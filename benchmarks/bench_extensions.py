@@ -1,0 +1,126 @@
+"""Benchmarks for the future-work features built beyond the paper's tables.
+
+* local search (``csp2-local``) vs the systematic dedicated solver on
+  feasible instances — the paper's proposed trade-off (speed on SAT
+  instances, no infeasibility proofs);
+* the incremental minimum-m search;
+* partitioned (first-fit and exact) vs global feasibility;
+* priority-assignment search seeded by the (D-C) conjecture.
+"""
+
+import pytest
+
+from repro.baselines import (
+    exact_partition,
+    first_fit_partition,
+    heuristic_priority_search,
+)
+from repro.generator import GeneratorConfig, generate_instances, running_example
+from repro.model import Platform
+from repro.solvers import Feasibility, find_min_processors, make_solver
+
+
+def _feasible_instances():
+    """A reproducible batch filtered down to CSP-feasible instances."""
+    out = []
+    for inst in generate_instances(GeneratorConfig(n=6, m=3, tmax=5), 12, seed=23):
+        r = make_solver("csp2+dc", inst.system, Platform.identical(inst.m)).solve(
+            time_limit=1.0
+        )
+        if r.is_feasible:
+            out.append(inst)
+    return out
+
+
+@pytest.mark.parametrize("name", ["csp2+dc", "csp2-local"])
+def test_feasible_batch(benchmark, name):
+    instances = _feasible_instances()
+    assert instances
+
+    def solve_all():
+        found = 0
+        for inst in instances:
+            r = make_solver(
+                name, inst.system, Platform.identical(inst.m), seed=0
+            ).solve(time_limit=2.0)
+            if r.status is Feasibility.FEASIBLE:
+                found += 1
+        return found
+
+    found = benchmark.pedantic(solve_all, rounds=1, iterations=1)
+    benchmark.extra_info["found"] = f"{found}/{len(instances)}"
+    print(f"\n{name}: {found}/{len(instances)} feasible instances solved")
+    if name == "csp2+dc":
+        assert found == len(instances)  # systematic search never misses
+    else:
+        assert found >= len(instances) // 2  # local search finds most
+
+
+def test_min_processors_search(benchmark):
+    def run():
+        res = find_min_processors(running_example(), time_limit_per_m=10)
+        return res
+
+    res = benchmark(run)
+    assert res.m == 2 and res.exact
+
+
+def test_partitioned_vs_global(benchmark):
+    instances = generate_instances(GeneratorConfig(n=5, m=2, tmax=5), 8, seed=31)
+
+    def run():
+        counts = {"ff": 0, "exact": 0, "global": 0}
+        for inst in instances:
+            if first_fit_partition(inst.system, inst.m).found:
+                counts["ff"] += 1
+            if exact_partition(inst.system, inst.m, time_limit=5.0).found:
+                counts["exact"] += 1
+            r = make_solver(
+                "csp2+dc", inst.system, Platform.identical(inst.m)
+            ).solve(time_limit=1.0)
+            if r.is_feasible:
+                counts["global"] += 1
+        return counts
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\npartitioned vs global: {counts}")
+    assert counts["ff"] <= counts["exact"] <= counts["global"]
+
+
+def test_priority_heuristic_search(benchmark):
+    instances = [
+        inst
+        for inst in generate_instances(GeneratorConfig(n=4, m=2, tmax=5), 10, seed=37)
+        if float(inst.utilization_ratio) <= 1.0
+    ]
+
+    def run():
+        found = 0
+        for inst in instances:
+            res = heuristic_priority_search(
+                inst.system, inst.m, time_limit=2.0, fall_back=False
+            )
+            if res.found:
+                found += 1
+        return found
+
+    found = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nheuristic priority orders schedule {found}/{len(instances)} instances")
+
+
+def test_csp1_with_restarts(benchmark):
+    """The generic engine's randomized-restart mode (Choco-style) on the
+    running example."""
+    from repro.csp import Solver, var_order_min_domain
+    from repro.encodings import encode_csp1
+
+    system = running_example()
+
+    def solve():
+        enc = encode_csp1(system, Platform.identical(2))
+        return Solver(
+            enc.model, var_order=var_order_min_domain, seed=7, restart_nodes=256
+        ).solve(time_limit=30)
+
+    out = benchmark(solve)
+    assert out.status.name == "SAT"

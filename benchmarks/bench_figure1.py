@@ -1,0 +1,20 @@
+"""Figure 1: regenerate the availability-interval chart of Example 1."""
+
+from repro.experiments.figure1 import figure1
+
+
+def test_figure1(benchmark):
+    chart = benchmark(figure1)
+    print("\n" + chart)
+
+    lines = chart.splitlines()
+    assert lines[0] == "hyperperiod T = 12"
+    # tau1: back-to-back 2-slot windows -> releases at every even slot
+    tau1 = next(l for l in lines if l.startswith("tau1")).split()[1:13]
+    assert tau1 == ["[", "#"] * 6
+    # tau2: released at 1, window length 4, third window wraps onto slot 0
+    tau2 = next(l for l in lines if l.startswith("tau2")).split()[1:13]
+    assert tau2 == ["#", "[", "#", "#", "#", "[", "#", "#", "#", "[", "#", "#"]
+    # tau3: 2-of-3 pattern with idle slots at 2, 5, 8, 11
+    tau3 = next(l for l in lines if l.startswith("tau3")).split()[1:13]
+    assert tau3 == ["[", "#", ".", "[", "#", ".", "[", "#", ".", "[", "#", "."]

@@ -1,0 +1,45 @@
+"""Table I: overruns per solver on random instances (m=5, n=10, Tmax=7).
+
+The benchmark body is the full experiment (generation + the instance x
+solver matrix).  Shape assertions encode the paper's qualitative findings;
+absolute counts differ (scaled budget, pure-Python substrate), the
+ordering must not.
+"""
+
+from repro.experiments.report import format_table1
+from repro.experiments.table1 import Table1Config, run_table1
+
+from conftest import table1_config
+
+
+def test_table1(benchmark):
+    result = benchmark.pedantic(
+        run_table1, args=(table1_config(),), rounds=1, iterations=1
+    )
+    print("\n" + format_table1(result))
+
+    cfg = result.config
+    solved = result.overruns["solved"]
+    unsolved = result.overruns["unsolved"]
+
+    # every instance lands in exactly one group
+    assert result.n_solved_instances + result.n_unsolved_instances == cfg.n_instances
+
+    # paper shape 1: CSP1 overruns at least as often as every dedicated
+    # CSP2 variant, on both groups (Table I: 202 vs 133..12, 205 vs 189)
+    for s in cfg.solvers:
+        if s != "csp1":
+            assert solved["csp1"] >= solved[s], (s, solved)
+            assert unsolved["csp1"] >= unsolved[s], (s, unsolved)
+
+    # paper shape 2: (D-C) is the best CSP2 ordering on solved instances
+    # (12 overruns vs 34/111/115/133) — allow ties at small sample sizes
+    assert solved["csp2+dc"] <= min(
+        solved["csp2"], solved["csp2+rm"], solved["csp2+dm"], solved["csp2+tc"]
+    )
+
+    # paper shape 3: all CSP2 variants behave identically on unsolved
+    # instances (189 across the board) — the value ordering cannot help
+    # when there is nothing to find
+    csp2_unsolved = {unsolved[s] for s in cfg.solvers if s.startswith("csp2")}
+    assert len(csp2_unsolved) == 1, unsolved

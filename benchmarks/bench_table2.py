@@ -1,0 +1,36 @@
+"""Table II: unsolved instances vs the r > 1 utilization filter.
+
+Re-aggregates the shared Table I records (the timed body is the
+aggregation, exactly the computation the paper's Table II adds on top of
+Table I's runs).
+"""
+
+from repro.experiments.report import format_table2
+from repro.experiments.table2 import run_table2
+
+
+def test_table2(benchmark, table1_result):
+    result = benchmark(run_table2, table1=table1_result)
+    print("\n" + format_table2(result))
+
+    # the split partitions the unsolved instances
+    assert (
+        result.n_filtered + result.n_unfiltered
+        == table1_result.n_unsolved_instances
+    )
+
+    # paper shape: "a large proportion of unsolvable instances can be
+    # easily detected" — the r>1 filter catches most unsolved instances
+    # (183 of 205 in the paper)
+    if result.n_filtered + result.n_unfiltered >= 4:
+        assert result.n_filtered >= result.n_unfiltered
+
+    # consistency with Table I: per-solver overruns add up across groups
+    for s in result.config.solvers:
+        assert (
+            result.overruns["filtered"][s] + result.overruns["unfiltered"][s]
+            == table1_result.overruns["unsolved"][s]
+        )
+
+    # provably-unsolvable counts only unfiltered instances
+    assert 0 <= result.provably_unsolvable_unfiltered <= result.n_unfiltered

@@ -1,0 +1,28 @@
+"""Table III: difficulty (mean resolution time) versus utilization ratio."""
+
+from repro.experiments.report import format_table3
+from repro.experiments.table3 import run_table3
+
+
+def test_table3(benchmark, table1_result):
+    result = benchmark(run_table3, table1=table1_result)
+    print("\n" + format_table3(result))
+
+    bins = result.bins
+    # bins cover every instance exactly once
+    assert sum(b[2] for b in bins) == table1_result.config.n_instances
+
+    nonempty = result.nonempty_bins()
+    if len(nonempty) >= 2:
+        # paper shape: resolution time increases with r — check the trend
+        # between the easy (r well below 1) and hard (r near/above 1) ends
+        lo_bin = nonempty[0]
+        hi_bin = max(nonempty, key=lambda b: b[3])
+        assert hi_bin[3] >= lo_bin[3]
+        # the hardest bins sit at r >= ~0.9 (paper: times saturate past 1.0)
+        assert hi_bin[0] >= 0.8
+
+    # distribution shape: instances concentrate around r ~ 0.8-1.2
+    # (paper: "clearly centered around the 0.9-1.0 interval")
+    center = sum(b[2] for b in bins if 0.7 <= b[0] <= 1.2)
+    assert center >= table1_result.config.n_instances // 2

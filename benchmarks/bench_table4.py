@@ -1,0 +1,56 @@
+"""Table IV: scaling the task count (Tmax=15, m = ceil(U)).
+
+Paper shape: average r converges to 1 and m grows linearly with n; the
+hyperperiod approaches lcm(1..15) = 360360; CSP1 collapses (overruns /
+memory) while the dedicated CSP2+(D-C) keeps answering but solves fewer
+instances as n grows.
+"""
+
+import os
+
+from repro.experiments.report import format_table4
+from repro.experiments.table4 import Table4Config, run_table4
+
+PAPER = os.environ.get("REPRO_PAPER", "") == "1"
+
+
+def _config() -> Table4Config:
+    if PAPER:
+        return Table4Config.paper_scale()
+    return Table4Config(
+        task_counts=(4, 8, 16, 32), instances_per_n=5, time_limit=0.4, seed=2009
+    )
+
+
+def test_table4(benchmark):
+    result = benchmark.pedantic(run_table4, args=(_config(),), rounds=1, iterations=1)
+    print("\n" + format_table4(result))
+
+    rows = result.rows
+    ns = [row.n for row in rows]
+
+    # r converges towards 1 (paper: 0.74 -> 0.99): weakly increasing-ish,
+    # compare the ends which is robust at small sample sizes
+    assert rows[-1].avg_r >= rows[0].avg_r
+
+    # m grows linearly with n (paper: m ~ n/2.5); check monotone growth
+    for a, b in zip(rows, rows[1:]):
+        assert b.avg_m > a.avg_m
+
+    # hyperperiod approaches lcm(1..15) = 360360
+    assert rows[-1].avg_hyperperiod <= 360360
+    assert rows[-1].avg_hyperperiod > rows[0].avg_hyperperiod
+
+    # CSP2+(D-C) solves a decreasing share as n grows (81% -> 0% in the
+    # paper); compare first vs last row
+    first_dc = rows[0].per_solver["csp2+dc"]
+    last_dc = rows[-1].per_solver["csp2+dc"]
+    assert first_dc is not None and last_dc is not None
+    assert first_dc[0] >= last_dc[0]
+
+    # CSP1 never out-solves the dedicated solver at any n where both ran
+    for row in rows:
+        c1 = row.per_solver.get("csp1")
+        dc = row.per_solver["csp2+dc"]
+        if c1 is not None and dc is not None:
+            assert c1[0] <= dc[0] + 1e-9, row

@@ -1,0 +1,28 @@
+"""Shared configuration for the benchmark harness.
+
+Default scales are chosen so the whole suite finishes in a few minutes of
+pure-Python compute while preserving the paper's qualitative shape; set
+``REPRO_PAPER=1`` to run the published 500-instance / 30 s protocol
+(hours — use the CLI's ``--paper`` for a single table instead).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.table1 import Table1Config, run_table1
+
+PAPER = os.environ.get("REPRO_PAPER", "") == "1"
+
+
+def table1_config() -> Table1Config:
+    if PAPER:
+        return Table1Config.paper_scale()
+    return Table1Config(n_instances=12, time_limit=0.35, seed=2009)
+
+
+@pytest.fixture(scope="session")
+def table1_result():
+    """One shared Table I run reused by the Table II/III aggregations
+    (exactly as the paper reuses the same 500-run records)."""
+    return run_table1(table1_config())

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Partitioned vs global scheduling (the paper's Section I dichotomy).
+
+The paper studies *global* scheduling — tasks and jobs may migrate — and
+cites constraint programming for the *partitioned* case as prior work [5].
+This example quantifies the gap on concrete instances:
+
+1. The running example is globally feasible on two processors, but NO
+   partition of its three tasks onto two processors is feasible — proved
+   exhaustively with an exact uniprocessor EDF test per bin.  Migration is
+   load-bearing.
+
+2. Across random instances, it measures how often each approach succeeds:
+   first-fit partitioning <= exact partitioning <= global CSP (the last
+   inequality is the theoretical dominance of global scheduling).
+
+3. The minimum-m view: the incremental search (the paper's future-work
+   algorithm) finds the smallest sufficient machine count, globally and
+   partitioned.
+
+Run:  python examples/partitioned_vs_global.py
+"""
+
+from repro import Platform, make_solver
+from repro.baselines import exact_partition, first_fit_partition
+from repro.generator import GeneratorConfig, generate_instances, running_example
+from repro.solvers import find_min_processors
+
+
+def demo_running_example() -> None:
+    system = running_example()
+    print("== the running example: migration is essential ==")
+    glob = make_solver("csp2+dc", system, Platform.identical(2)).solve(time_limit=30)
+    print(f"  global CSP on m=2:        {glob.status.value}")
+
+    part = exact_partition(system, 2)
+    print(
+        f"  exact partitioning on m=2: "
+        f"{'found ' + str(part.assignment) if part.found else 'no partition exists'}"
+        f" ({part.partitions_tried} bin-feasibility checks)"
+    )
+    assert glob.is_feasible and not part.found and part.exact
+    print("  -> feasible globally, provably unpartitionable: jobs must migrate\n")
+
+
+def demo_success_rates(n_instances: int = 25) -> None:
+    print("== success rates across random instances ==")
+    config = GeneratorConfig(n=5, m=3, tmax=5)
+    instances = generate_instances(config, n_instances, seed=17)
+
+    counts = {"first-fit": 0, "exact partition": 0, "global CSP": 0}
+    for inst in instances:
+        if first_fit_partition(inst.system, inst.m).found:
+            counts["first-fit"] += 1
+        if exact_partition(inst.system, inst.m).found:
+            counts["exact partition"] += 1
+        r = make_solver("csp2+dc", inst.system, Platform.identical(inst.m)).solve(
+            time_limit=2.0
+        )
+        if r.is_feasible:
+            counts["global CSP"] += 1
+
+    for k, v in counts.items():
+        print(f"  {k:16s} {v:3d}/{n_instances}")
+    assert counts["first-fit"] <= counts["exact partition"] <= counts["global CSP"]
+    print(
+        "  -> dominance holds (first-fit <= exact partition <= global).\n"
+        "     Note the counts usually coincide: on Section VII-A random\n"
+        "     workloads, migration-essential instances like the running\n"
+        "     example are rare — the global-vs-partitioned gap is real but\n"
+        "     thin, which is why the crafted Example 1 matters.\n"
+    )
+
+
+def demo_min_processors() -> None:
+    print("== smallest sufficient m (incremental search, paper Sec. VIII) ==")
+    system = running_example()
+    res = find_min_processors(system, time_limit_per_m=10)
+    print(f"  global:      m = {res.m} ({'exact' if res.exact else 'upper bound'})")
+
+    m = res.m
+    while not exact_partition(system, m).found:
+        m += 1
+    print(f"  partitioned: m = {m}")
+    print("  -> the partitioned penalty for this workload is "
+          f"{m - res.m} extra processor(s)")
+
+
+if __name__ == "__main__":
+    demo_running_example()
+    demo_success_rates()
+    demo_min_processors()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Priority-driven scheduling vs exact CSP search (paper's future work).
+
+Two demonstrations:
+
+1. The paper's own running example is feasible (the CSP finds a schedule)
+   yet *no* task-level fixed-priority order schedules it — not even global
+   EDF does.  Exact search genuinely buys schedulability that priority
+   policies cannot reach.
+
+2. The discussion section conjectures that the winning (D-C) value
+   ordering could seed a priority-assignment algorithm.  We measure it:
+   across random CSP-feasible instances, how often does the (D-C) priority
+   order — vs RM/DM/(T-C) and exhaustive search — yield a feasible global
+   fixed-priority schedule?
+
+Run:  python examples/priority_vs_csp.py
+"""
+
+from repro import Platform, make_solver
+from repro.baselines import (
+    exhaustive_priority_search,
+    global_edf,
+    global_fixed_priority,
+    priority_order_from_heuristic,
+)
+from repro.generator import GeneratorConfig, generate_instances, running_example
+
+HEURISTICS = ["dc", "tc", "dm", "rm"]
+
+
+def demo_running_example() -> None:
+    system = running_example()
+    print("== the running example: CSP feasible, priority-unschedulable ==")
+    csp = make_solver("csp2+dc", system, Platform.identical(2)).solve(time_limit=30)
+    print(f"  CSP2+(D-C):          {csp.status.value}")
+
+    edf = global_edf(system, 2)
+    print(f"  global EDF:          {edf.verdict}"
+          + (f" (task {edf.missed[0] + 1} misses at t={edf.missed[2]})"
+             if edf.missed else ""))
+
+    search = exhaustive_priority_search(system, 2)
+    print(f"  all {search.orders_tried} fixed-priority orders: "
+          f"{'some schedulable' if search.found else 'every order misses'}")
+    assert csp.is_feasible and not search.found
+    print()
+
+
+def demo_dc_conjecture(n_instances: int = 30) -> None:
+    print("== how often is each priority heuristic enough? ==")
+    config = GeneratorConfig(n=5, m=2, tmax=6)
+    instances = generate_instances(config, n_instances, seed=7)
+
+    feasible = []
+    for inst in instances:
+        r = make_solver("csp2+dc", inst.system, Platform.identical(inst.m)).solve(
+            time_limit=2.0
+        )
+        if r.is_feasible:
+            feasible.append(inst)
+    print(f"  {len(feasible)}/{n_instances} random instances are CSP-feasible")
+
+    wins = {h: 0 for h in HEURISTICS}
+    exhaustive_wins = 0
+    for inst in feasible:
+        for h in HEURISTICS:
+            order = priority_order_from_heuristic(inst.system, h)
+            sim = global_fixed_priority(inst.system, inst.m, order)
+            if sim.schedulable:
+                wins[h] += 1
+        if exhaustive_priority_search(inst.system, inst.m, time_limit=5.0).found:
+            exhaustive_wins += 1
+
+    for h in HEURISTICS:
+        print(f"  G-FP with {h.upper():3s} priority: {wins[h]:3d}/{len(feasible)}")
+    print(f"  G-FP best over all n! orders: {exhaustive_wins:3d}/{len(feasible)}")
+    print(f"  exact CSP (by construction): {len(feasible):3d}/{len(feasible)}")
+    print()
+    print("  -> (D-C) should lead the heuristics, and even exhaustive "
+          "fixed-priority stays below the CSP — priority assignment is a "
+          "heuristic, exact search is the ground truth.")
+
+
+if __name__ == "__main__":
+    demo_running_example()
+    demo_dc_conjecture()

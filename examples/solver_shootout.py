@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Compare every solver family on a batch of random instances.
+
+Reproduces the spirit of the paper's Table I at demo scale: the paper's
+six configurations (CSP1 generic, dedicated CSP2 x five value orderings)
+plus this reproduction's extras (generic-engine CSP2 and the SAT route),
+on Section VII-A random workloads.  Prints per-solver solve counts,
+overruns and mean search effort, and cross-checks that all solvers agree
+instance by instance.
+
+Run:  python examples/solver_shootout.py
+"""
+
+from collections import defaultdict
+
+from repro import Platform, make_solver, validate
+from repro.generator import GeneratorConfig, generate_instances
+
+SOLVERS = [
+    "csp1",
+    "csp2",
+    "csp2+rm",
+    "csp2+dm",
+    "csp2+tc",
+    "csp2+dc",
+    "csp2-generic+dc",
+    "sat",
+]
+
+N_INSTANCES = 12
+TIME_LIMIT = 1.0
+
+
+def main() -> None:
+    config = GeneratorConfig(n=6, m=3, tmax=6)
+    instances = generate_instances(config, N_INSTANCES, seed=42)
+    print(
+        f"{N_INSTANCES} random instances (n={config.n}, m={config.m}, "
+        f"Tmax={config.tmax}), {TIME_LIMIT:g}s budget per run\n"
+    )
+
+    stats = defaultdict(lambda: {"feasible": 0, "infeasible": 0, "unknown": 0,
+                                 "nodes": 0, "time": 0.0})
+    verdicts: dict[int, dict[str, str]] = defaultdict(dict)
+    for idx, inst in enumerate(instances):
+        platform = Platform.identical(inst.m)
+        for name in SOLVERS:
+            result = make_solver(name, inst.system, platform).solve(
+                time_limit=TIME_LIMIT
+            )
+            s = stats[name]
+            s[result.status.value] += 1
+            s["nodes"] += result.stats.nodes
+            s["time"] += result.stats.elapsed
+            verdicts[idx][name] = result.status.value
+            if result.schedule is not None:
+                assert validate(result.schedule).ok, (name, idx)
+
+    header = f"{'solver':18s} {'feasible':>9s} {'infeasible':>11s} " \
+             f"{'overrun':>8s} {'mean nodes':>11s} {'mean time':>10s}"
+    print(header)
+    print("-" * len(header))
+    for name in SOLVERS:
+        s = stats[name]
+        print(
+            f"{name:18s} {s['feasible']:9d} {s['infeasible']:11d} "
+            f"{s['unknown']:8d} {s['nodes'] / N_INSTANCES:11.0f} "
+            f"{s['time'] / N_INSTANCES:9.3f}s"
+        )
+
+    print("\ncross-check: decided verdicts must agree per instance")
+    disagreements = 0
+    for idx, per_solver in verdicts.items():
+        decided = {v for v in per_solver.values() if v != "unknown"}
+        if len(decided) > 1:
+            disagreements += 1
+            print(f"  instance {idx}: {per_solver} !!")
+    print("  all consistent" if disagreements == 0 else f"  {disagreements} conflicts")
+    assert disagreements == 0
+
+
+if __name__ == "__main__":
+    main()

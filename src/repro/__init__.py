@@ -1,0 +1,61 @@
+"""repro — Global Multiprocessor Real-Time Scheduling as a CSP.
+
+A full reproduction of Cucu-Grosjean & Buffet (ICPP 2009): periodic task
+systems on identical/uniform/heterogeneous multiprocessors, solved exactly
+by restating feasibility as a finite constraint satisfaction problem over
+one hyperperiod.
+
+Quickstart
+----------
+>>> import repro
+>>> system = repro.TaskSystem.from_tuples([(0, 1, 2, 2), (1, 3, 4, 4), (0, 2, 2, 3)])
+>>> result = repro.solve(system, m=2)
+>>> result.is_feasible
+True
+
+See README.md for the architecture tour and DESIGN.md for the paper
+mapping.
+"""
+
+from repro.model import (
+    Platform,
+    Task,
+    TaskSystem,
+    clone_for_arbitrary_deadlines,
+)
+from repro.schedule import (
+    IDLE,
+    Schedule,
+    compute_metrics,
+    render_gantt,
+    render_intervals,
+    validate,
+)
+from repro.solvers import (
+    Feasibility,
+    SolveResult,
+    available_solvers,
+    make_solver,
+    solve,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Task",
+    "TaskSystem",
+    "Platform",
+    "clone_for_arbitrary_deadlines",
+    "IDLE",
+    "Schedule",
+    "validate",
+    "render_gantt",
+    "render_intervals",
+    "compute_metrics",
+    "Feasibility",
+    "SolveResult",
+    "solve",
+    "make_solver",
+    "available_solvers",
+    "__version__",
+]

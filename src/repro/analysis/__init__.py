@@ -1,0 +1,19 @@
+"""Feasibility analysis: necessary conditions and instance filters."""
+
+from repro.analysis.feasibility import (
+    NecessaryCheck,
+    demand_over_capacity_witness,
+    necessary_conditions,
+    passes_utilization_filter,
+)
+from repro.analysis.bounds import BoundVerdict, density_bound, gfb_utilization_bound
+
+__all__ = [
+    "NecessaryCheck",
+    "demand_over_capacity_witness",
+    "necessary_conditions",
+    "passes_utilization_filter",
+    "BoundVerdict",
+    "density_bound",
+    "gfb_utilization_bound",
+]

@@ -1,0 +1,95 @@
+"""Classical *sufficient* schedulability bounds for global scheduling.
+
+The paper's approach is exact-but-expensive; the standard cheap
+alternatives are closed-form bounds.  Implemented here for context and
+cross-checking (each bound, when it fires, certifies schedulability under
+the corresponding *policy*, hence feasibility — the exact CSP solvers must
+agree):
+
+* **GFB utilization bound** (Goossens-Funk-Baruah) for global EDF on
+  implicit-deadline systems (``D_i = T_i``)::
+
+      U <= m - (m - 1) * U_max   =>   G-EDF schedulable
+
+* its **density generalization** for constrained deadlines
+  (``D_i <= T_i``), with ``delta_i = C_i / D_i``::
+
+      delta_sum <= m - (m - 1) * delta_max   =>   G-EDF schedulable
+
+* the trivial **single-processor utilization bound**: ``U <= 1`` on
+  ``m = 1`` with implicit deadlines (EDF optimality).
+
+All bounds are one-sided: failing them proves nothing (that is what the
+exact solvers are for).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.model.system import TaskSystem
+
+__all__ = ["BoundVerdict", "gfb_utilization_bound", "density_bound"]
+
+
+@dataclass(frozen=True)
+class BoundVerdict:
+    """Result of a sufficient test: fired (True) or inconclusive (False)."""
+
+    name: str
+    schedulable: bool
+    detail: str
+
+    def __bool__(self) -> bool:
+        return self.schedulable
+
+
+def gfb_utilization_bound(system: TaskSystem, m: int) -> BoundVerdict:
+    """GFB: implicit-deadline systems are G-EDF-schedulable on ``m``
+    identical processors when ``U <= m - (m-1) U_max``.
+
+    Raises if any task has ``D_i != T_i`` (the bound does not apply).
+    """
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    if any(t.deadline != t.period for t in system):
+        raise ValueError(
+            "the GFB utilization bound applies to implicit-deadline systems "
+            "only (D_i = T_i); use density_bound for constrained deadlines"
+        )
+    u = system.utilization
+    u_max = max((t.utilization for t in system), default=Fraction(0))
+    threshold = m - (m - 1) * u_max
+    fired = u <= threshold
+    return BoundVerdict(
+        "gfb-utilization",
+        bool(fired),
+        f"U = {float(u):.3f} {'<=' if fired else '>'} "
+        f"m - (m-1)*Umax = {float(threshold):.3f}",
+    )
+
+
+def density_bound(system: TaskSystem, m: int) -> BoundVerdict:
+    """Density form for constrained deadlines: G-EDF-schedulable when
+    ``sum C_i/D_i <= m - (m-1) * max(C_i/D_i)``.
+
+    Requires ``D_i <= T_i`` for every task.
+    """
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    if not system.is_constrained:
+        raise ValueError(
+            "the density bound needs constrained deadlines; clone the system first"
+        )
+    densities = [Fraction(t.wcet, t.deadline) for t in system]
+    total = sum(densities, Fraction(0))
+    d_max = max(densities, default=Fraction(0))
+    threshold = m - (m - 1) * d_max
+    fired = total <= threshold
+    return BoundVerdict(
+        "density",
+        bool(fired),
+        f"delta_sum = {float(total):.3f} {'<=' if fired else '>'} "
+        f"m - (m-1)*delta_max = {float(threshold):.3f}",
+    )

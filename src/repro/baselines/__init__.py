@@ -1,0 +1,56 @@
+"""Baseline schedulers: priority-driven simulation and priority assignment.
+
+The paper has no algorithmic baseline (the CSPs *are* the contribution),
+but its discussion section points at one: searching the ``n!`` priority
+orderings for a feasible *global fixed-priority* schedule, seeded by the
+(D-C) criterion.  This package builds that machinery:
+
+* :mod:`repro.baselines.simulator` — an exact discrete-time simulator of
+  global preemptive priority-driven scheduling on identical processors,
+  with cycle detection so "no deadline miss, forever" is a proof, not a
+  bounded observation;
+* :mod:`repro.baselines.priorities` — global EDF and global fixed-priority
+  policies (RM / DM / T-C / D-C orders);
+* :mod:`repro.baselines.priority_search` — exhaustive, heuristic-seeded
+  and Audsley-style searches over priority orderings.
+
+Every schedulable verdict comes with an extracted cyclic
+:class:`repro.schedule.Schedule`, so baseline results cross-check the CSP
+solvers through the same validator: a priority-schedulable instance is
+feasible, hence the CSPs must find it feasible too.
+"""
+
+from repro.baselines.simulator import SimulationResult, simulate_priority_policy
+from repro.baselines.priorities import (
+    global_edf,
+    global_fixed_priority,
+    priority_order_from_heuristic,
+)
+from repro.baselines.priority_search import (
+    PrioritySearchResult,
+    audsley_priority_search,
+    exhaustive_priority_search,
+    heuristic_priority_search,
+)
+from repro.baselines.partitioned import (
+    PartitionResult,
+    exact_partition,
+    first_fit_partition,
+    uniprocessor_edf_feasible,
+)
+
+__all__ = [
+    "PartitionResult",
+    "exact_partition",
+    "first_fit_partition",
+    "uniprocessor_edf_feasible",
+    "SimulationResult",
+    "simulate_priority_policy",
+    "global_edf",
+    "global_fixed_priority",
+    "priority_order_from_heuristic",
+    "PrioritySearchResult",
+    "audsley_priority_search",
+    "exhaustive_priority_search",
+    "heuristic_priority_search",
+]

@@ -1,0 +1,135 @@
+"""Search over fixed-priority assignments (the paper's future-work item).
+
+Three strategies of increasing cleverness:
+
+* :func:`exhaustive_priority_search` — try all ``n!`` orders (exact but
+  only viable for small ``n``; the paper names the ``n!`` space
+  explicitly);
+* :func:`heuristic_priority_search` — try the four heuristic orders
+  (D-C first, per the paper's conjecture) and fall back to exhaustive;
+* :func:`audsley_priority_search` — Audsley-style lowest-priority-first
+  greedy.  NOTE: optimality of Audsley's OPA needs a schedulability test
+  that is independent of the relative order of higher-priority tasks;
+  exact simulation is *not* such a test on multiprocessors, so this is a
+  polynomial heuristic here, not an exact procedure (documented
+  limitation, interesting to benchmark against exhaustive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+
+from repro.baselines.priorities import global_fixed_priority
+from repro.baselines.simulator import SimulationResult
+from repro.model.system import TaskSystem
+from repro.solvers.ordering import task_order
+from repro.util.timer import Deadline
+
+__all__ = [
+    "PrioritySearchResult",
+    "exhaustive_priority_search",
+    "heuristic_priority_search",
+    "audsley_priority_search",
+]
+
+
+@dataclass
+class PrioritySearchResult:
+    """Outcome of a priority-assignment search."""
+
+    order: list[int] | None  # a schedulable priority order, if found
+    simulation: SimulationResult | None
+    orders_tried: int
+    exhausted: bool  # True iff the whole candidate space was refuted
+
+    @property
+    def found(self) -> bool:
+        return self.order is not None
+
+
+def exhaustive_priority_search(
+    system: TaskSystem,
+    m: int,
+    time_limit: float | None = None,
+    max_cycles: int = 64,
+) -> PrioritySearchResult:
+    """Try every priority permutation until one is schedulable."""
+    deadline = Deadline(time_limit)
+    tried = 0
+    for perm in permutations(range(system.n)):
+        if deadline.expired():
+            return PrioritySearchResult(None, None, tried, exhausted=False)
+        tried += 1
+        sim = global_fixed_priority(system, m, list(perm), max_cycles=max_cycles)
+        if sim.schedulable:
+            return PrioritySearchResult(list(perm), sim, tried, exhausted=False)
+    return PrioritySearchResult(None, None, tried, exhausted=True)
+
+
+def heuristic_priority_search(
+    system: TaskSystem,
+    m: int,
+    time_limit: float | None = None,
+    fall_back: bool = True,
+    max_cycles: int = 64,
+) -> PrioritySearchResult:
+    """Try (D-C), (T-C), DM, RM and index orders first, then exhaustive."""
+    deadline = Deadline(time_limit)
+    tried = 0
+    seen: set[tuple[int, ...]] = set()
+    for heuristic in ("dc", "tc", "dm", "rm", None):
+        order = tuple(task_order(system, heuristic))
+        if order in seen:
+            continue
+        seen.add(order)
+        if deadline.expired():
+            return PrioritySearchResult(None, None, tried, exhausted=False)
+        tried += 1
+        sim = global_fixed_priority(system, m, list(order), max_cycles=max_cycles)
+        if sim.schedulable:
+            return PrioritySearchResult(list(order), sim, tried, exhausted=False)
+    if not fall_back:
+        return PrioritySearchResult(None, None, tried, exhausted=False)
+    rest = exhaustive_priority_search(
+        system, m, time_limit=deadline.remaining() if time_limit else None,
+        max_cycles=max_cycles,
+    )
+    return PrioritySearchResult(
+        rest.order, rest.simulation, tried + rest.orders_tried, rest.exhausted
+    )
+
+
+def audsley_priority_search(
+    system: TaskSystem,
+    m: int,
+    max_cycles: int = 64,
+) -> PrioritySearchResult:
+    """Audsley-style greedy: assign the lowest priority level to some task
+    that is schedulable there (with all unassigned tasks above it, in index
+    order), then recurse on the rest.  Polynomial (O(n^2) simulations)."""
+    remaining = list(range(system.n))
+    suffix: list[int] = []  # lowest priorities, built back to front
+    tried = 0
+    while remaining:
+        placed = False
+        for candidate in remaining:
+            others = [i for i in remaining if i != candidate]
+            order = others + [candidate] + suffix
+            tried += 1
+            sim = global_fixed_priority(system, m, order, max_cycles=max_cycles)
+            # candidate is safe at this level if *its own* jobs never miss;
+            # full-order schedulability would be a stronger ask, but a miss
+            # by a higher task can still be fixed by ordering `others`
+            if sim.schedulable or (sim.missed is not None and sim.missed[0] != candidate):
+                suffix.insert(0, candidate)
+                remaining = others
+                placed = True
+                break
+        if not placed:
+            return PrioritySearchResult(None, None, tried, exhausted=False)
+    final = global_fixed_priority(system, m, suffix, max_cycles=max_cycles)
+    tried += 1
+    if final.schedulable:
+        return PrioritySearchResult(suffix, final, tried, exhausted=False)
+    return PrioritySearchResult(None, None, tried, exhausted=False)

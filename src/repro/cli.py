@@ -1,0 +1,248 @@
+"""Command-line interface: ``repro-mgrts`` (or ``python -m repro.cli``).
+
+Subcommands
+-----------
+``generate``    sample random instances (Section VII-A) to a JSON file
+``solve``       solve one instance (from a JSON file or inline tuples)
+``validate``    re-check a solved schedule JSON against C1-C4
+``figure1``     print the paper's Figure 1 chart
+``experiment``  reproduce table1 / table2 / table3 / table4
+
+Instance JSON format::
+
+    {"tasks": [[O, C, D, T], ...], "m": 2}
+
+Schedule JSON (produced by ``solve --output``) adds ``"table"`` (m x T,
+-1 = idle).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.experiments.report import (
+    format_table1,
+    format_table2,
+    format_table3,
+    format_table4,
+)
+from repro.generator.random_systems import GeneratorConfig, generate_instances
+from repro.model.platform import Platform
+from repro.model.system import TaskSystem
+from repro.schedule.io import (
+    dump_json,
+    load_instance,
+    schedule_from_dict,
+    schedule_to_dict,
+    system_to_dict,
+)
+from repro.schedule.render import render_gantt
+from repro.schedule.validate import validate as validate_schedule
+from repro.solvers.api import solve as api_solve
+from repro.solvers.registry import available_solvers
+
+__all__ = ["main"]
+
+
+def _load_instance(path: str) -> tuple[TaskSystem, Platform]:
+    with open(path) as fh:
+        return load_instance(json.load(fh))
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    cfg = GeneratorConfig(
+        n=args.n, tmax=args.tmax,
+        m=args.m if args.m is not None else "uniform",
+        order=args.order, offsets=args.offsets,
+    )
+    instances = generate_instances(cfg, args.count, seed=args.seed)
+    payload = [
+        {"tasks": [list(t.as_tuple()) for t in inst.system], "m": inst.m,
+         "seed": inst.seed}
+        for inst in instances
+    ]
+    out = json.dumps(payload if args.count != 1 else payload[0], indent=2)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(out + "\n")
+        print(f"wrote {args.count} instance(s) to {args.output}")
+    else:
+        print(out)
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    system, platform = _load_instance(args.instance)
+    if args.min_processors:
+        from repro.solvers.min_processors import find_min_processors
+
+        res_min = find_min_processors(
+            system, solver=args.solver, time_limit_per_m=args.time_limit
+        )
+        for tried_m, status in res_min.attempts.items():
+            print(f"m={tried_m}: {status.value}")
+        if res_min.found:
+            kind = "exact minimum" if res_min.exact else "upper bound"
+            print(f"smallest sufficient m = {res_min.m} ({kind})")
+            if res_min.result.schedule is not None:
+                print(render_gantt(res_min.result.schedule))
+            return 0
+        print("no sufficient m found within the budget")
+        return 2
+    res = api_solve(
+        system,
+        platform=platform,
+        solver=args.solver,
+        time_limit=args.time_limit,
+        seed=args.seed,
+    )
+    print(f"status: {res.status.value}")
+    print(
+        f"solver: {args.solver}  nodes: {res.stats.nodes}  "
+        f"elapsed: {res.stats.elapsed:.3f}s"
+    )
+    if res.schedule is not None:
+        print(render_gantt(res.schedule))
+        if args.output:
+            with open(args.output, "w") as fh:
+                fh.write(dump_json(schedule_to_dict(res.schedule)))
+            print(f"wrote schedule to {args.output}")
+    return 0 if res.status.value != "unknown" else 2
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    with open(args.schedule) as fh:
+        sched = schedule_from_dict(json.load(fh))
+    result = validate_schedule(sched)
+    if result.ok:
+        print("schedule is feasible (C1-C4 hold)")
+        return 0
+    print(f"schedule violates {len(result.violations)} constraint(s):")
+    for v in result.violations:
+        print(f"  {v}")
+    return 1
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    from repro.experiments.figure1 import figure1
+
+    if args.instance:
+        system, _ = _load_instance(args.instance)
+        print(figure1(system))
+    else:
+        print(figure1())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.table1 import Table1Config, run_table1
+    from repro.experiments.table2 import run_table2
+    from repro.experiments.table3 import run_table3
+    from repro.experiments.table4 import Table4Config, run_table4
+
+    progress = None
+    if not args.quiet:
+        def progress(done, total):  # noqa: E306
+            print(f"\r  run {done}/{total}", end="", file=sys.stderr, flush=True)
+
+    name = args.table
+    if name in ("table1", "table2", "table3"):
+        if args.paper:
+            cfg = Table1Config.paper_scale()
+        else:
+            cfg = Table1Config(
+                n_instances=args.instances, time_limit=args.time_limit,
+            )
+        t1 = run_table1(cfg, progress=progress)
+        if not args.quiet:
+            print(file=sys.stderr)
+        if name == "table1":
+            print(format_table1(t1))
+        elif name == "table2":
+            print(format_table2(run_table2(table1=t1)))
+        else:
+            print(format_table3(run_table3(table1=t1)))
+        if args.records:
+            with open(args.records, "w") as fh:
+                fh.write(t1.run.to_json())
+            print(f"records written to {args.records}")
+    elif name == "table4":
+        if args.paper:
+            cfg4 = Table4Config.paper_scale()
+        else:
+            cfg4 = Table4Config(
+                instances_per_n=max(2, args.instances // 4),
+                time_limit=args.time_limit,
+            )
+        t4 = run_table4(cfg4, progress=progress)
+        if not args.quiet:
+            print(file=sys.stderr)
+        print(format_table4(t4))
+    else:  # pragma: no cover - argparse restricts choices
+        raise AssertionError(name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mgrts",
+        description="Global multiprocessor real-time scheduling as a CSP "
+        "(Cucu-Grosjean & Buffet, ICPP 2009)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="sample random instances (Section VII-A)")
+    g.add_argument("--count", type=int, default=1)
+    g.add_argument("-n", type=int, default=10, help="tasks per instance")
+    g.add_argument("-m", type=int, default=None, help="processors (default: U(1..n-1))")
+    g.add_argument("--tmax", type=int, default=7)
+    g.add_argument("--order", default="d-first", choices=["d-first", "cdt", "tdc"])
+    g.add_argument("--offsets", default="uniform", choices=["uniform", "zero"])
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("--output", "-o", default=None)
+    g.set_defaults(func=_cmd_generate)
+
+    s = sub.add_parser("solve", help="solve one instance JSON")
+    s.add_argument("instance", help="instance JSON file")
+    s.add_argument("--solver", default="csp2+dc", choices=available_solvers())
+    s.add_argument("--time-limit", type=float, default=30.0)
+    s.add_argument("--seed", type=int, default=None)
+    s.add_argument("--output", "-o", default=None, help="write schedule JSON here")
+    s.add_argument(
+        "--min-processors",
+        action="store_true",
+        help="ignore the instance's m; incrementally find the smallest "
+        "sufficient processor count (paper Section VIII)",
+    )
+    s.set_defaults(func=_cmd_solve)
+
+    v = sub.add_parser("validate", help="check a schedule JSON against C1-C4")
+    v.add_argument("schedule", help="schedule JSON file (from solve --output)")
+    v.set_defaults(func=_cmd_validate)
+
+    f = sub.add_parser("figure1", help="print the availability-interval chart")
+    f.add_argument("--instance", default=None, help="chart this instance instead")
+    f.set_defaults(func=_cmd_figure1)
+
+    e = sub.add_parser("experiment", help="reproduce a table of Section VII")
+    e.add_argument("table", choices=["table1", "table2", "table3", "table4"])
+    e.add_argument("--instances", type=int, default=40)
+    e.add_argument("--time-limit", type=float, default=1.0)
+    e.add_argument("--paper", action="store_true",
+                   help="full 500x30s protocol (hours of compute)")
+    e.add_argument("--records", default=None, help="dump raw run records JSON")
+    e.add_argument("--quiet", action="store_true")
+    e.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,78 @@
+"""A from-scratch finite-domain CSP engine.
+
+This is the substrate the paper delegates to Choco [10]: variables over
+finite integer domains, constraint propagation to a fixpoint, and
+depth-first backtracking search with pluggable variable/value ordering
+heuristics (paper Section III-B lists exactly these ingredients:
+propagation, variable ordering, value ordering, added constraints).
+
+Design notes (see DESIGN.md Section 6): domains are Python-int bitmasks —
+``bit v`` set iff value ``v + offset`` is still possible — with a trail for
+O(changed) backtracking; propagators are stateless over the current domains
+and re-run when a watched variable changes, which keeps them trivially
+correct under backtracking.
+
+Example
+-------
+>>> from repro.csp import Model, Solver
+>>> m = Model()
+>>> x = m.int_var(0, 2, "x")
+>>> y = m.int_var(0, 2, "y")
+>>> m.add_all_different_except([x, y], except_value=None)
+>>> m.add_non_decreasing([x, y])
+>>> out = Solver(m).solve()
+>>> out.status.name
+'SAT'
+"""
+
+from repro.csp.core import Model, Variable
+from repro.csp.state import DomainState
+from repro.csp.propagators import (
+    AllDifferentExceptValue,
+    AtMostOneTrue,
+    CountEq,
+    ExactSumBool,
+    NonDecreasing,
+    Propagator,
+    Table,
+    WeightedCountEq,
+    WeightedExactSumBool,
+)
+from repro.csp.heuristics import (
+    value_order_ascending,
+    value_order_custom,
+    value_order_descending,
+    value_order_random,
+    var_order_dom_deg,
+    var_order_input,
+    var_order_min_domain,
+    var_order_random,
+)
+from repro.csp.search import SearchStats, Solver, SolveOutcome, Status
+
+__all__ = [
+    "Model",
+    "Variable",
+    "DomainState",
+    "Propagator",
+    "AtMostOneTrue",
+    "ExactSumBool",
+    "WeightedExactSumBool",
+    "CountEq",
+    "WeightedCountEq",
+    "AllDifferentExceptValue",
+    "NonDecreasing",
+    "Table",
+    "Solver",
+    "SolveOutcome",
+    "SearchStats",
+    "Status",
+    "var_order_input",
+    "var_order_min_domain",
+    "var_order_dom_deg",
+    "var_order_random",
+    "value_order_ascending",
+    "value_order_descending",
+    "value_order_random",
+    "value_order_custom",
+]

@@ -1,0 +1,165 @@
+"""Variable- and value-ordering heuristics (paper Section III-B).
+
+A *variable order* is a callable ``(state, context) -> Variable | None``
+returning the next unassigned variable to branch on (None = all assigned).
+A *value order* is a callable ``(state, var) -> list[int]`` returning the
+values to try, best first.  ``context`` carries static search data
+(variable degrees, an optional ``random.Random``).
+
+The generic CSP1 solver uses ``min_domain`` (+ optional random tie-break,
+reproducing Choco's randomized default-search behaviour observed in
+Section VII-B); the generic CSP2 solver uses ``input`` order over
+chronologically created variables plus custom per-variable value orders
+for the RM/DM/(T-C)/(D-C) task heuristics.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.csp.core import Variable
+from repro.csp.state import DomainState
+
+__all__ = [
+    "SearchContext",
+    "var_order_input",
+    "var_order_min_domain",
+    "var_order_dom_deg",
+    "var_order_random",
+    "value_order_ascending",
+    "value_order_descending",
+    "value_order_random",
+    "value_order_custom",
+]
+
+
+@dataclass
+class SearchContext:
+    """Static data shared by heuristics during one solve."""
+
+    degrees: Sequence[int]
+    rng: random.Random | None = None
+    #: scratch: index of the first possibly-unassigned variable (input order)
+    first_unassigned_hint: int = field(default=0)
+
+
+# -- variable orders ----------------------------------------------------------
+
+def var_order_input(state: DomainState, ctx: SearchContext) -> Variable | None:
+    """First unassigned variable in model creation order.
+
+    With CSP2's chronological variable creation this is the paper's
+    "time first, then processor id" ordering (Section V-C-1).
+    """
+    variables = state.model.variables
+    masks = state.masks
+    for idx in range(ctx.first_unassigned_hint, len(variables)):
+        m = masks[idx]
+        if m & (m - 1):
+            return variables[idx]
+    return None
+
+
+def var_order_min_domain(state: DomainState, ctx: SearchContext) -> Variable | None:
+    """Smallest current domain ("most constrained variable" fail-first);
+    ties broken by index, or uniformly at random when ``ctx.rng`` is set."""
+    best: list[Variable] = []
+    best_size = None
+    for v, m in zip(state.model.variables, state.masks):
+        if not m & (m - 1):
+            continue  # assigned
+        s = m.bit_count()
+        if best_size is None or s < best_size:
+            best_size = s
+            best = [v]
+        elif s == best_size and ctx.rng is not None:
+            best.append(v)
+    if not best:
+        return None
+    if ctx.rng is not None and len(best) > 1:
+        return ctx.rng.choice(best)
+    return best[0]
+
+
+def var_order_dom_deg(state: DomainState, ctx: SearchContext) -> Variable | None:
+    """Minimize domain-size / static-degree (a classic refinement of
+    min-domain that prefers highly-constrained variables)."""
+    best = None
+    best_key = None
+    for v, m in zip(state.model.variables, state.masks):
+        if not m & (m - 1):
+            continue
+        deg = ctx.degrees[v.index] or 1
+        key = (m.bit_count() / deg, v.index)
+        if best_key is None or key < best_key:
+            best_key = key
+            best = v
+    return best
+
+
+def var_order_random(state: DomainState, ctx: SearchContext) -> Variable | None:
+    """Uniformly random unassigned variable (requires ``ctx.rng``)."""
+    if ctx.rng is None:
+        raise ValueError("var_order_random needs a seeded SearchContext.rng")
+    pool = [
+        v
+        for v, m in zip(state.model.variables, state.masks)
+        if m & (m - 1)
+    ]
+    if not pool:
+        return None
+    return ctx.rng.choice(pool)
+
+
+# -- value orders -------------------------------------------------------------
+
+def value_order_ascending(state: DomainState, var: Variable) -> list[int]:
+    """Smallest value first."""
+    return state.values(var)
+
+
+def value_order_descending(state: DomainState, var: Variable) -> list[int]:
+    """Largest value first."""
+    return state.values(var)[::-1]
+
+
+def make_value_order_random(rng: random.Random):
+    """Factory: shuffled value order using a shared RNG."""
+
+    def order(state: DomainState, var: Variable) -> list[int]:
+        vals = state.values(var)
+        rng.shuffle(vals)
+        return vals
+
+    return order
+
+
+# kept as a named symbol so callers can pass it like the other orders;
+# they must construct it through make_value_order_random for seeding.
+value_order_random = make_value_order_random
+
+
+def value_order_custom(ranks: Mapping[int, Sequence[int]] | Sequence[int]):
+    """Factory: per-variable (by ``var.index``) or global preferred order.
+
+    ``ranks`` is either a mapping ``var.index -> preferred value list`` or a
+    single list applied to every variable.  Values present in the current
+    domain are tried in preferred order; leftover domain values (not
+    mentioned in the list) follow in ascending order.
+    """
+
+    def order(state: DomainState, var: Variable) -> list[int]:
+        if isinstance(ranks, Mapping):
+            preferred = ranks.get(var.index, ())
+        else:
+            preferred = ranks
+        current = state.values(var)
+        in_dom = set(current)
+        out = [v for v in preferred if v in in_dom]
+        chosen = set(out)
+        out.extend(v for v in current if v not in chosen)
+        return out
+
+    return order

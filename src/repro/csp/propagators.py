@@ -1,0 +1,390 @@
+"""Constraint propagators.
+
+Each propagator exposes the variables it watches (``vars``) and a
+``propagate(state) -> bool`` method that prunes domains towards (at least)
+bounds/value consistency and returns ``False`` on wipe-out.  Propagators are
+*stateless* across calls — they recompute from the current domains — which
+makes them trivially correct under backtracking at the cost of O(k) work
+per call; the CSP1/CSP2 constraint arities here are small enough that this
+is the right trade (DESIGN.md Section 6).
+
+The set of propagators is exactly what the paper's encodings need:
+
+================  ============================================  ==========
+propagator         paper constraint                              encoding
+================  ============================================  ==========
+AtMostOneTrue      (3) one task per processor-slot,              CSP1
+                   (4) one processor per task-slot
+ExactSumBool       (5) exactly C_i units per window              CSP1
+WeightedExactSum   (11) heterogeneous variant                    CSP1-het
+CountEq            (9) exactly C_i slots equal to i              CSP2
+WeightedCountEq    (12) heterogeneous variant                    CSP2-het
+AllDifferentExc    (8) processors differ unless idle             CSP2
+NonDecreasing      (10)/(13) symmetry breaking                   CSP2
+Table              (generic; used by tests/extensions)           --
+================  ============================================  ==========
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.csp.core import Variable
+from repro.csp.state import DomainState
+
+__all__ = [
+    "Propagator",
+    "AtMostOneTrue",
+    "ExactSumBool",
+    "WeightedExactSumBool",
+    "CountEq",
+    "WeightedCountEq",
+    "AllDifferentExceptValue",
+    "NonDecreasing",
+    "Table",
+]
+
+_TRUE = 0b10  # singleton {1} mask of a boolean variable
+_FALSE = 0b01  # singleton {0}
+
+
+def _check_bools(vars: Sequence[Variable]) -> tuple[Variable, ...]:
+    vs = tuple(vars)
+    for v in vs:
+        if v.offset != 0 or v.initial_mask & ~0b11:
+            raise ValueError(f"{v.name} is not a boolean variable")
+    return vs
+
+
+class Propagator:
+    """Base class; subclasses set ``vars`` and implement ``propagate``."""
+
+    __slots__ = ("vars",)
+
+    vars: tuple[Variable, ...]
+
+    def propagate(self, state: DomainState) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        names = ",".join(v.name for v in self.vars[:4])
+        more = "" if len(self.vars) <= 4 else f",..{len(self.vars)}"
+        return f"{type(self).__name__}({names}{more})"
+
+
+class AtMostOneTrue(Propagator):
+    """At most one of the boolean variables is 1 (paper (3)/(4))."""
+
+    __slots__ = ()
+
+    def __init__(self, bools: Sequence[Variable]) -> None:
+        self.vars = _check_bools(bools)
+
+    def propagate(self, state: DomainState) -> bool:
+        masks = state.masks
+        first_true: Variable | None = None
+        for v in self.vars:
+            if masks[v.index] == _TRUE:
+                if first_true is not None:
+                    return False
+                first_true = v
+        if first_true is None:
+            return True
+        for v in self.vars:
+            if v is not first_true and masks[v.index] != _FALSE:
+                if not state.assign(v, 0):
+                    return False
+        return True
+
+
+class ExactSumBool(Propagator):
+    """Exactly ``total`` of the booleans are 1 (paper (5))."""
+
+    __slots__ = ("total",)
+
+    def __init__(self, bools: Sequence[Variable], total: int) -> None:
+        self.vars = _check_bools(bools)
+        if total < 0:
+            raise ValueError(f"total must be >= 0, got {total}")
+        self.total = total
+
+    def propagate(self, state: DomainState) -> bool:
+        masks = state.masks
+        ones = 0
+        free: list[Variable] = []
+        for v in self.vars:
+            m = masks[v.index]
+            if m == _TRUE:
+                ones += 1
+            elif m != _FALSE:
+                free.append(v)
+        if ones > self.total or ones + len(free) < self.total:
+            return False
+        if ones == self.total:
+            for v in free:
+                if not state.assign(v, 0):
+                    return False
+        elif ones + len(free) == self.total:
+            for v in free:
+                if not state.assign(v, 1):
+                    return False
+        return True
+
+
+class WeightedExactSumBool(Propagator):
+    """``sum c_k b_k == total`` with ``c_k >= 1`` (paper (11)).
+
+    Zero-rate pairs must be excluded by the encoding (their variable's
+    domain is {0} in the paper; here they are simply not created).
+    """
+
+    __slots__ = ("coefs", "total")
+
+    def __init__(
+        self, bools: Sequence[Variable], coefs: Sequence[int], total: int
+    ) -> None:
+        self.vars = _check_bools(bools)
+        self.coefs = tuple(int(c) for c in coefs)
+        if len(self.coefs) != len(self.vars):
+            raise ValueError("one coefficient per variable required")
+        if any(c < 1 for c in self.coefs):
+            raise ValueError(f"coefficients must be >= 1, got {self.coefs}")
+        if total < 0:
+            raise ValueError(f"total must be >= 0, got {total}")
+        self.total = total
+
+    def propagate(self, state: DomainState) -> bool:
+        # iterate to an internal fixpoint: assigning one variable tightens
+        # the bounds for the others within the same call
+        masks = state.masks
+        while True:
+            lb = 0
+            free: list[tuple[Variable, int]] = []
+            free_sum = 0
+            for v, c in zip(self.vars, self.coefs):
+                m = masks[v.index]
+                if m == _TRUE:
+                    lb += c
+                elif m != _FALSE:
+                    free.append((v, c))
+                    free_sum += c
+            if lb > self.total or lb + free_sum < self.total:
+                return False
+            changed = False
+            for v, c in free:
+                if lb + c > self.total:
+                    # taking v would overshoot
+                    if not state.assign(v, 0):
+                        return False
+                    changed = True
+                elif lb + free_sum - c < self.total:
+                    # dropping v would undershoot
+                    if not state.assign(v, 1):
+                        return False
+                    changed = True
+            if not changed:
+                return True
+
+
+class CountEq(Propagator):
+    """Exactly ``total`` variables take ``value`` (paper (9))."""
+
+    __slots__ = ("value", "total")
+
+    def __init__(self, vars: Sequence[Variable], value: int, total: int) -> None:
+        self.vars = tuple(vars)
+        if not self.vars:
+            raise ValueError("CountEq over no variables")
+        if total < 0:
+            raise ValueError(f"total must be >= 0, got {total}")
+        self.value = value
+        self.total = total
+
+    def propagate(self, state: DomainState) -> bool:
+        value = self.value
+        fixed = 0
+        candidates: list[Variable] = []
+        for v in self.vars:
+            b = value - v.offset
+            if b < 0:
+                continue
+            m = state.masks[v.index]
+            bit = 1 << b
+            if not m & bit:
+                continue
+            if m == bit:
+                fixed += 1
+            else:
+                candidates.append(v)
+        if fixed > self.total or fixed + len(candidates) < self.total:
+            return False
+        if fixed == self.total:
+            for v in candidates:
+                if not state.remove_value(v, value):
+                    return False
+        elif fixed + len(candidates) == self.total:
+            for v in candidates:
+                if not state.assign(v, value):
+                    return False
+        return True
+
+
+class WeightedCountEq(Propagator):
+    """``sum_k c_k [x_k == value] == total`` with ``c_k >= 1`` (paper (12))."""
+
+    __slots__ = ("coefs", "value", "total")
+
+    def __init__(
+        self,
+        vars: Sequence[Variable],
+        coefs: Sequence[int],
+        value: int,
+        total: int,
+    ) -> None:
+        self.vars = tuple(vars)
+        self.coefs = tuple(int(c) for c in coefs)
+        if len(self.coefs) != len(self.vars):
+            raise ValueError("one coefficient per variable required")
+        if any(c < 1 for c in self.coefs):
+            raise ValueError(f"coefficients must be >= 1, got {self.coefs}")
+        if total < 0:
+            raise ValueError(f"total must be >= 0, got {total}")
+        self.value = value
+        self.total = total
+
+    def propagate(self, state: DomainState) -> bool:
+        # internal fixpoint, same reasoning as WeightedExactSumBool
+        value = self.value
+        while True:
+            lb = 0
+            free: list[tuple[Variable, int]] = []
+            free_sum = 0
+            for v, c in zip(self.vars, self.coefs):
+                b = value - v.offset
+                if b < 0:
+                    continue
+                m = state.masks[v.index]
+                bit = 1 << b
+                if not m & bit:
+                    continue
+                if m == bit:
+                    lb += c
+                else:
+                    free.append((v, c))
+                    free_sum += c
+            if lb > self.total or lb + free_sum < self.total:
+                return False
+            changed = False
+            for v, c in free:
+                if lb + c > self.total:
+                    if not state.remove_value(v, value):
+                        return False
+                    changed = True
+                elif lb + free_sum - c < self.total:
+                    if not state.assign(v, value):
+                        return False
+                    changed = True
+            if not changed:
+                return True
+
+
+class AllDifferentExceptValue(Propagator):
+    """Assigned values are pairwise distinct, except ``except_value``
+    which any number of variables may share (paper (8): two processors
+    never run the same task unless both are idle).
+
+    ``except_value=None`` gives plain value-consistency alldifferent.
+    """
+
+    __slots__ = ("except_value",)
+
+    def __init__(self, vars: Sequence[Variable], except_value: int | None) -> None:
+        self.vars = tuple(vars)
+        if len(self.vars) < 2:
+            raise ValueError("AllDifferent needs at least two variables")
+        self.except_value = except_value
+
+    def propagate(self, state: DomainState) -> bool:
+        taken: set[int] = set()
+        unassigned: list[Variable] = []
+        for v in self.vars:
+            m = state.masks[v.index]
+            if m & (m - 1):
+                unassigned.append(v)
+                continue
+            val = v.offset + m.bit_length() - 1
+            if val == self.except_value:
+                continue
+            if val in taken:
+                return False
+            taken.add(val)
+        if not taken:
+            return True
+        for v in unassigned:
+            for val in taken:
+                if not state.remove_value(v, val):
+                    return False
+        return True
+
+
+class NonDecreasing(Propagator):
+    """``x_1 <= x_2 <= .. <= x_k`` via bounds propagation (paper (10)/(13)).
+
+    Used for symmetry breaking across (groups of) identical processors;
+    the CSP2 encoding ranks the idle value *above* every task id so the
+    plain ordering matches the paper's "tasks ascending, idles last".
+    """
+
+    __slots__ = ()
+
+    def __init__(self, vars: Sequence[Variable]) -> None:
+        self.vars = tuple(vars)
+        if len(self.vars) < 2:
+            raise ValueError("NonDecreasing needs at least two variables")
+
+    def propagate(self, state: DomainState) -> bool:
+        vs = self.vars
+        # forward pass: lower bounds ripple right
+        for a, b in zip(vs, vs[1:]):
+            if not state.remove_below(b, state.min_value(a)):
+                return False
+        # backward pass: upper bounds ripple left
+        for a, b in zip(reversed(vs[:-1]), reversed(vs)):
+            if not state.remove_above(a, state.max_value(b)):
+                return False
+        return True
+
+
+class Table(Propagator):
+    """Positive table constraint: the value tuple must be one of ``tuples``.
+
+    Straightforward generalized-arc-consistent filtering by support
+    counting; provided for extensions and as a brute-force oracle in tests.
+    """
+
+    __slots__ = ("tuples",)
+
+    def __init__(self, vars: Sequence[Variable], tuples: Iterable[Sequence[int]]) -> None:
+        self.vars = tuple(vars)
+        if not self.vars:
+            raise ValueError("Table over no variables")
+        tups = tuple(tuple(t) for t in tuples)
+        if any(len(t) != len(self.vars) for t in tups):
+            raise ValueError("every tuple must match the variable count")
+        self.tuples = tups
+
+    def propagate(self, state: DomainState) -> bool:
+        supported: list[set[int]] = [set() for _ in self.vars]
+        for tup in self.tuples:
+            if all(state.contains(v, val) for v, val in zip(self.vars, tup)):
+                for s, val in zip(supported, tup):
+                    s.add(val)
+        for v, support in zip(self.vars, supported):
+            if not support:
+                return False
+            mask = 0
+            for val in support:
+                mask |= 1 << (val - v.offset)
+            if not state.intersect_mask(v, mask):
+                return False
+        return True

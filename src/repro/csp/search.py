@@ -1,0 +1,313 @@
+"""Systematic (backtracking) search over a CSP model.
+
+Depth-first d-way branching exactly as sketched in the paper's Section
+III-B: pick an unassigned variable (variable-ordering heuristic), try its
+values in heuristic order, propagate constraints to a fixpoint after every
+assignment, backtrack on wipe-out.  The search is *complete*: it terminates
+with SAT (a solution), UNSAT (exhausted the space) or UNKNOWN (hit the
+time/node budget, the paper's "overrun").
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.csp.core import Model, Variable
+from repro.csp.heuristics import (
+    SearchContext,
+    value_order_ascending,
+    var_order_min_domain,
+)
+from repro.csp.state import DomainState
+from repro.util.timer import Deadline
+
+__all__ = ["Status", "SearchStats", "SolveOutcome", "Solver"]
+
+
+class Status(Enum):
+    """Search outcome."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"  # budget exhausted before an answer (paper: overrun)
+
+
+@dataclass
+class SearchStats:
+    """Counters of one solve run."""
+
+    nodes: int = 0          # value-assignment attempts
+    fails: int = 0          # attempts refuted by propagation
+    propagations: int = 0   # propagator executions
+    solutions: int = 0
+    max_depth: int = 0
+    restarts: int = 0       # geometric restarts taken (restart_nodes mode)
+    elapsed: float = 0.0
+
+
+@dataclass
+class SolveOutcome:
+    """Result of :meth:`Solver.solve` / :meth:`Solver.solve_all`."""
+
+    status: Status
+    solution: dict[Variable, int] | None
+    stats: SearchStats
+    solutions: list[dict[Variable, int]] = field(default_factory=list)
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status is Status.SAT
+
+    def value(self, var: Variable) -> int:
+        """Value of ``var`` in the (first) solution."""
+        if self.solution is None:
+            raise ValueError(f"no solution available (status={self.status.name})")
+        return self.solution[var]
+
+
+class _Timeout(Exception):
+    """Internal: budget expired inside the propagation fixpoint."""
+
+
+class Solver:
+    """Backtracking solver for a :class:`Model`.
+
+    Parameters
+    ----------
+    model:
+        The CSP to solve.
+    var_order:
+        Variable-ordering heuristic ``(state, ctx) -> Variable | None``;
+        default: min-domain (fail-first).
+    value_order:
+        Value-ordering heuristic ``(state, var) -> list[int]``;
+        default: ascending.
+    seed:
+        When given, a ``random.Random(seed)`` is exposed to heuristics via
+        the search context (random tie-breaking / orders).  The search is
+        fully deterministic for a fixed seed.
+    restart_nodes:
+        When set, the search restarts from the root after this many nodes,
+        doubling the cutoff each time (geometric restarts, the classic
+        companion of randomized heuristics in solvers like Choco).  The
+        procedure stays complete: UNSAT is only reported when a run
+        exhausts the space *without* hitting its cutoff, and the growing
+        cutoff guarantees some run eventually does.  Pointless without a
+        randomized heuristic (every run would explore the same prefix).
+    """
+
+    def __init__(
+        self,
+        model: Model,
+        var_order=None,
+        value_order=None,
+        seed: int | None = None,
+        restart_nodes: int | None = None,
+    ) -> None:
+        self.model = model
+        self.var_order = var_order or var_order_min_domain
+        self.value_order = value_order or value_order_ascending
+        if restart_nodes is not None and restart_nodes < 1:
+            raise ValueError(f"restart_nodes must be >= 1, got {restart_nodes}")
+        self.restart_nodes = restart_nodes
+        self.ctx = SearchContext(
+            degrees=model.degrees(),
+            rng=None if seed is None else random.Random(seed),
+        )
+        # event-driven propagation wiring
+        self._props = list(model.constraints)
+        self._watchers: list[list[int]] = [[] for _ in model.variables]
+        for pid, prop in enumerate(self._props):
+            for v in prop.vars:
+                self._watchers[v.index].append(pid)
+        self._queue: deque[int] = deque()
+        self._on_queue = [False] * len(self._props)
+        self._deadline: Deadline | None = None
+        self._prop_budget_check = 0
+        self._cutoff_hit = False
+        self.stats = SearchStats()
+
+    # -- propagation -----------------------------------------------------------
+    def _enqueue_watchers(self, state: DomainState) -> None:
+        for idx in state.drain_changed():
+            for pid in self._watchers[idx]:
+                if not self._on_queue[pid]:
+                    self._on_queue[pid] = True
+                    self._queue.append(pid)
+
+    def _enqueue_all(self) -> None:
+        for pid in range(len(self._props)):
+            if not self._on_queue[pid]:
+                self._on_queue[pid] = True
+                self._queue.append(pid)
+
+    def _reset_queue(self, state: DomainState) -> None:
+        while self._queue:
+            self._on_queue[self._queue.popleft()] = False
+        state.changed.clear()
+
+    def _fixpoint(self, state: DomainState) -> bool:
+        """Run queued propagators to a fixpoint; False on conflict."""
+        queue = self._queue
+        props = self._props
+        on_queue = self._on_queue
+        self._enqueue_watchers(state)
+        while queue:
+            pid = queue.popleft()
+            on_queue[pid] = False
+            self.stats.propagations += 1
+            self._prop_budget_check += 1
+            if self._prop_budget_check >= 1024:
+                self._prop_budget_check = 0
+                if self._deadline is not None and self._deadline.expired():
+                    self._reset_queue(state)
+                    raise _Timeout
+            if not props[pid].propagate(state):
+                self._reset_queue(state)
+                return False
+            self._enqueue_watchers(state)
+        return True
+
+    # -- search -------------------------------------------------------------------
+    def solve(
+        self,
+        time_limit: float | None = None,
+        node_limit: int | None = None,
+    ) -> SolveOutcome:
+        """Find one solution (or prove none exists, or run out of budget)."""
+        if self.restart_nodes is None:
+            return self._search(time_limit, node_limit, max_solutions=1)
+        return self._solve_with_restarts(time_limit, node_limit)
+
+    def _solve_with_restarts(
+        self, time_limit: float | None, node_limit: int | None
+    ) -> SolveOutcome:
+        """Geometric-restart wrapper around :meth:`_search`."""
+        deadline = Deadline(time_limit)
+        cutoff = self.restart_nodes
+        total = SearchStats()
+        while True:
+            remaining_nodes = None
+            if node_limit is not None:
+                remaining_nodes = node_limit - total.nodes
+                if remaining_nodes <= 0:
+                    total.elapsed = deadline.elapsed()
+                    return SolveOutcome(Status.UNKNOWN, None, total)
+            run_budget = deadline.remaining() if time_limit is not None else None
+            self._cutoff_hit = False
+            out = self._search(
+                run_budget, remaining_nodes, max_solutions=1, node_cutoff=cutoff
+            )
+            total.nodes += out.stats.nodes
+            total.fails += out.stats.fails
+            total.propagations += out.stats.propagations
+            total.max_depth = max(total.max_depth, out.stats.max_depth)
+            total.solutions = out.stats.solutions
+            total.elapsed = deadline.elapsed()
+            if out.status is not Status.UNKNOWN or not self._cutoff_hit:
+                # decided, or a *real* budget exhaustion — final either way
+                out.stats = total
+                return out
+            total.restarts += 1
+            cutoff *= 2  # restart with a doubled cutoff (keeps completeness)
+
+    def solve_all(
+        self,
+        max_solutions: int | None = None,
+        time_limit: float | None = None,
+        node_limit: int | None = None,
+    ) -> SolveOutcome:
+        """Enumerate solutions (up to ``max_solutions``).
+
+        Status is SAT if at least one solution was found *and* either the
+        cap was reached or the space was exhausted; UNSAT when exhausted
+        with none; UNKNOWN on budget exhaustion (solutions found so far are
+        still reported).  Incompatible with restarts (re-running from the
+        root would revisit solutions).
+        """
+        if self.restart_nodes is not None:
+            raise ValueError("solve_all cannot be combined with restart_nodes")
+        cap = max_solutions if max_solutions is not None else float("inf")
+        return self._search(time_limit, node_limit, max_solutions=cap)
+
+    def _search(
+        self,
+        time_limit: float | None,
+        node_limit: int | None,
+        max_solutions: float,
+        node_cutoff: int | None = None,
+    ) -> SolveOutcome:
+        self.stats = SearchStats()
+        stats = self.stats
+        state = DomainState(self.model)
+        self._deadline = deadline = Deadline(time_limit)
+        solutions: list[dict[Variable, int]] = []
+
+        def outcome(status: Status) -> SolveOutcome:
+            stats.elapsed = deadline.elapsed()
+            stats.solutions = len(solutions)
+            return SolveOutcome(
+                status=status,
+                solution=solutions[0] if solutions else None,
+                stats=stats,
+                solutions=solutions,
+            )
+
+        # root propagation
+        self._enqueue_all()
+        try:
+            if not self._fixpoint(state):
+                return outcome(Status.UNSAT)
+        except _Timeout:
+            return outcome(Status.UNKNOWN)
+
+        first = self.var_order(state, self.ctx)
+        if first is None:
+            solutions.append(state.solution())
+            return outcome(Status.SAT)
+
+        stack: list[tuple[Variable, object]] = [
+            (first, iter(self.value_order(state, first)))
+        ]
+        while stack:
+            if deadline.expired() or (
+                node_limit is not None and stats.nodes >= node_limit
+            ):
+                return outcome(Status.UNKNOWN)
+            if node_cutoff is not None and stats.nodes >= node_cutoff:
+                self._cutoff_hit = True
+                return outcome(Status.UNKNOWN)
+            var, it = stack[-1]
+            val = next(it, None)
+            if val is None:
+                # every value of this entry failed: unwind to the parent
+                stack.pop()
+                if stack:
+                    state.pop_level()
+                continue
+            stats.nodes += 1
+            if len(stack) > stats.max_depth:
+                stats.max_depth = len(stack)
+            state.push_level()
+            try:
+                ok = state.assign(var, val) and self._fixpoint(state)
+            except _Timeout:
+                return outcome(Status.UNKNOWN)
+            if not ok:
+                stats.fails += 1
+                state.pop_level()
+                continue
+            nxt = self.var_order(state, self.ctx)
+            if nxt is None:
+                solutions.append(state.solution())
+                if len(solutions) >= max_solutions:
+                    return outcome(Status.SAT)
+                state.pop_level()  # keep enumerating from this entry
+                continue
+            stack.append((nxt, iter(self.value_order(state, nxt))))
+
+        # space exhausted
+        return outcome(Status.SAT if solutions else Status.UNSAT)

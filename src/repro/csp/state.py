@@ -1,0 +1,173 @@
+"""Trail-based domain state for backtracking search.
+
+Current domains live in a flat ``list[int]`` of bitmasks indexed by
+variable index.  Every mutation pushes ``(index, old_mask)`` onto a trail;
+:meth:`DomainState.push_level` / :meth:`pop_level` bracket decision levels
+so the search undoes exactly the changes of a failed subtree — O(#changes),
+never a full copy.
+
+The state also keeps a *changed* log that the propagation engine drains to
+schedule watching propagators (event-driven propagation).
+"""
+
+from __future__ import annotations
+
+from repro.csp.core import Model, Variable
+
+__all__ = ["DomainState"]
+
+
+class DomainState:
+    """Mutable domains of one search over a :class:`Model`."""
+
+    __slots__ = ("model", "masks", "_trail", "_levels", "changed")
+
+    def __init__(self, model: Model) -> None:
+        self.model = model
+        self.masks: list[int] = [v.initial_mask for v in model.variables]
+        self._trail: list[tuple[int, int]] = []
+        self._levels: list[int] = []
+        #: variable indices whose domain changed since last drained
+        self.changed: list[int] = []
+
+    # -- queries ------------------------------------------------------------
+    def mask(self, var: Variable) -> int:
+        """Current domain bitmask (relative to ``var.offset``)."""
+        return self.masks[var.index]
+
+    def size(self, var: Variable) -> int:
+        """Current domain size."""
+        return self.masks[var.index].bit_count()
+
+    def is_assigned(self, var: Variable) -> bool:
+        """True iff the domain is a singleton."""
+        m = self.masks[var.index]
+        return m != 0 and (m & (m - 1)) == 0
+
+    def value(self, var: Variable) -> int:
+        """The assigned value; raises if unassigned."""
+        m = self.masks[var.index]
+        if m == 0 or m & (m - 1):
+            raise ValueError(f"{var.name} is not assigned (mask={bin(m)})")
+        return var.offset + m.bit_length() - 1
+
+    def contains(self, var: Variable, value: int) -> bool:
+        """True iff ``value`` is still in the domain."""
+        b = value - var.offset
+        return b >= 0 and bool(self.masks[var.index] >> b & 1)
+
+    def min_value(self, var: Variable) -> int:
+        """Smallest value in the domain."""
+        m = self.masks[var.index]
+        if not m:
+            raise ValueError(f"{var.name} has an empty domain")
+        return var.offset + ((m & -m).bit_length() - 1)
+
+    def max_value(self, var: Variable) -> int:
+        """Largest value in the domain."""
+        m = self.masks[var.index]
+        if not m:
+            raise ValueError(f"{var.name} has an empty domain")
+        return var.offset + m.bit_length() - 1
+
+    def values(self, var: Variable) -> list[int]:
+        """Current domain as a sorted list."""
+        out = []
+        m, base = self.masks[var.index], var.offset
+        while m:
+            low = m & -m
+            out.append(base + low.bit_length() - 1)
+            m ^= low
+        return out
+
+    def solution(self) -> dict[Variable, int]:
+        """Mapping of every variable to its value (all must be assigned)."""
+        return {v: self.value(v) for v in self.model.variables}
+
+    # -- mutations ------------------------------------------------------------
+    def _set_mask(self, idx: int, new_mask: int) -> None:
+        self._trail.append((idx, self.masks[idx]))
+        self.masks[idx] = new_mask
+        self.changed.append(idx)
+
+    def assign(self, var: Variable, value: int) -> bool:
+        """Reduce the domain to ``{value}``; False if value not in domain."""
+        b = value - var.offset
+        if b < 0:
+            return False
+        bit = 1 << b
+        old = self.masks[var.index]
+        if not old & bit:
+            return False
+        if old != bit:
+            self._set_mask(var.index, bit)
+        return True
+
+    def remove_value(self, var: Variable, value: int) -> bool:
+        """Remove one value; False if this empties the domain."""
+        b = value - var.offset
+        if b < 0:
+            return True  # value was never in the domain
+        bit = 1 << b
+        old = self.masks[var.index]
+        if not old & bit:
+            return True
+        new = old & ~bit
+        if new == 0:
+            return False
+        self._set_mask(var.index, new)
+        return True
+
+    def intersect_mask(self, var: Variable, mask: int) -> bool:
+        """Keep only values whose bits are set in ``mask`` (same offset);
+        False if the domain becomes empty."""
+        old = self.masks[var.index]
+        new = old & mask
+        if new == old:
+            return True
+        if new == 0:
+            return False
+        self._set_mask(var.index, new)
+        return True
+
+    def remove_above(self, var: Variable, bound: int) -> bool:
+        """Remove every value > bound; False if the domain empties."""
+        b = bound - var.offset
+        if b < 0:
+            return False
+        return self.intersect_mask(var, (1 << (b + 1)) - 1)
+
+    def remove_below(self, var: Variable, bound: int) -> bool:
+        """Remove every value < bound; False if the domain empties."""
+        b = bound - var.offset
+        if b <= 0:
+            return True
+        return self.intersect_mask(var, ~((1 << b) - 1))
+
+    # -- trail ---------------------------------------------------------------
+    @property
+    def level(self) -> int:
+        """Current decision depth."""
+        return len(self._levels)
+
+    def push_level(self) -> None:
+        """Open a new decision level."""
+        self._levels.append(len(self._trail))
+
+    def pop_level(self) -> None:
+        """Undo every change made since the matching :meth:`push_level`."""
+        if not self._levels:
+            raise RuntimeError("pop_level without matching push_level")
+        mark = self._levels.pop()
+        masks = self.masks
+        trail = self._trail
+        while len(trail) > mark:
+            idx, old = trail.pop()
+            masks[idx] = old
+        self.changed.clear()
+
+    def drain_changed(self) -> list[int]:
+        """Return and clear the changed-variable log."""
+        out = self.changed
+        self.changed = []
+        return out

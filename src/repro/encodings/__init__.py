@@ -1,0 +1,19 @@
+"""MGRTS -> constraint-problem encodings (paper Sections IV, V, VI).
+
+* :mod:`repro.encodings.csp1` — the boolean encoding (one ``x_{i,j}(t)``
+  per task/processor/slot), constraints (2)-(5), heterogeneous variant
+  (11).
+* :mod:`repro.encodings.csp2` — the n-ary encoding (one ``x_j(t)`` per
+  processor/slot), constraints (7)-(9), symmetry rule (10)/(13),
+  heterogeneous variant (12).
+* :mod:`repro.encodings.sat1` — CNF form of CSP1 (the paper's remark that
+  "even boolean satisfiability (SAT) solvers could be used").
+
+Every encoding owns a ``decode`` method turning a solver solution back
+into a :class:`repro.schedule.Schedule` (Theorem 1's construction).
+"""
+
+from repro.encodings.csp1 import Csp1Encoding, encode_csp1
+from repro.encodings.csp2 import Csp2Encoding, encode_csp2
+
+__all__ = ["Csp1Encoding", "encode_csp1", "Csp2Encoding", "encode_csp2"]

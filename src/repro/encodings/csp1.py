@@ -1,0 +1,121 @@
+"""CSP encoding #1 (paper Section IV): boolean variables.
+
+One binary variable ``x_{i,j}(t)`` per (task, processor, slot) meaning
+"task ``i`` runs on ``P_j`` at slot ``t``", under:
+
+* (2)  ``x_{i,j}(t) = 0`` outside availability windows — realized by *not
+  creating* out-of-window variables at all (the paper notes constraint
+  propagation would fix them before search; eliminating them up front is
+  the same reduction, from ``sum_i m*T`` down to ``sum_i m*(T/T_i)*D_i``
+  real variables);
+* (3)  per (processor, slot): at most one task;
+* (4)  per (task, slot): at most one processor;
+* (5)  per (task, window): exactly ``C_i`` units — or the weighted variant
+  (11) ``sum s_{i,j} x_{i,j}(t) = C_i`` on non-identical platforms, with
+  ``s_{i,j} = 0`` pairs excluded from variable creation (their domain is
+  ``{0}`` in the paper's Section VI-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.csp.core import Model, Variable
+from repro.model import intervals
+from repro.model.platform import Platform
+from repro.model.system import TaskSystem
+from repro.schedule.schedule import IDLE, Schedule
+
+__all__ = ["Csp1Encoding", "encode_csp1"]
+
+
+@dataclass
+class Csp1Encoding:
+    """The CSP1 model plus the bookkeeping needed to decode solutions."""
+
+    system: TaskSystem
+    platform: Platform
+    model: Model
+    #: (task, processor, slot) -> variable; only in-window, rate>0 triples
+    vars: dict[tuple[int, int, int], Variable] = field(repr=False)
+
+    @property
+    def n_variables(self) -> int:
+        return self.model.n_variables
+
+    def decode(self, solution: dict[Variable, int]) -> Schedule:
+        """Theorem 1: ``sigma_j(t) = i`` iff ``x_{i,j}(t) = 1``."""
+        T = self.system.hyperperiod
+        table = np.full((self.platform.m, T), IDLE, dtype=np.int32)
+        for (i, j, t), var in self.vars.items():
+            if solution[var] == 1:
+                if table[j, t] != IDLE:
+                    raise ValueError(
+                        f"solution places tasks {int(table[j, t])} and {i} both "
+                        f"on P{j + 1} at slot {t}"
+                    )
+                table[j, t] = i
+        return Schedule(self.system, self.platform, table)
+
+
+def encode_csp1(system: TaskSystem, platform: Platform) -> Csp1Encoding:
+    """Build the CSP1 :class:`Model` for a constrained-deadline system.
+
+    Arbitrary-deadline systems must be cloned first
+    (:func:`repro.model.transform.clone_for_arbitrary_deadlines`).
+    """
+    if not system.is_constrained:
+        raise ValueError(
+            "CSP1 requires a constrained-deadline system; apply "
+            "clone_for_arbitrary_deadlines() first (paper Section VI-B)"
+        )
+    T = system.hyperperiod
+    m = platform.m
+    n = system.n
+    rates = platform.rate_matrix(n)
+    identical = platform.is_identical
+
+    model = Model()
+    vars: dict[tuple[int, int, int], Variable] = {}
+
+    # variables: only (i, j, t) with t inside a window of i and s_ij > 0
+    per_proc_slot: dict[tuple[int, int], list[Variable]] = {}
+    per_task_slot: dict[tuple[int, int], list[Variable]] = {}
+    for i in range(n):
+        eligible_procs = [j for j in range(m) if rates[i, j] > 0]
+        for t in system.task_slots(i):
+            for j in eligible_procs:
+                v = model.bool_var(f"x[{i},{j},{t}]")
+                vars[(i, j, t)] = v
+                per_proc_slot.setdefault((j, t), []).append(v)
+                per_task_slot.setdefault((i, t), []).append(v)
+
+    # (3): at most one task per processor-slot
+    for group in per_proc_slot.values():
+        if len(group) > 1:
+            model.add_at_most_one_true(group)
+    # (4): at most one processor per task-slot
+    for group in per_task_slot.values():
+        if len(group) > 1:
+            model.add_at_most_one_true(group)
+    # (5)/(11): exactly C_i per availability window
+    for i in range(n):
+        task = system[i]
+        C = task.wcet
+        for job in range(system.n_jobs(i)):
+            wvars: list[Variable] = []
+            wcoefs: list[int] = []
+            for t in intervals.window_slots(task, T, job):
+                for j in range(m):
+                    v = vars.get((i, j, t))
+                    if v is not None:
+                        wvars.append(v)
+                        wcoefs.append(int(rates[i, j]))
+            if identical:
+                model.add_exact_sum_bool(wvars, C)
+            else:
+                model.add_weighted_exact_sum_bool(wvars, wcoefs, C)
+
+    return Csp1Encoding(system=system, platform=platform, model=model, vars=vars)

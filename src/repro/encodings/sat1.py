@@ -1,0 +1,112 @@
+"""CNF encoding of CSP1 (the paper's SAT remark, Section IV).
+
+Same variable shape as CSP1 — a boolean per in-window, eligible
+(task, processor, slot) triple — with the constraints expressed as
+cardinality clauses:
+
+* (3)/(4): at-most-one (pairwise or sequential, selectable);
+* (5): exactly-``C_i`` per availability window (sequential counters).
+
+Identical platforms only: weighted sums (11) have no natural clausal
+cardinality form, and the paper's SAT remark targets the identical case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.model import intervals
+from repro.model.platform import Platform
+from repro.model.system import TaskSystem
+from repro.sat.cnf import CNF
+from repro.sat.encode import (
+    at_most_one_pairwise,
+    at_most_one_sequential,
+    exactly_k,
+)
+from repro.schedule.schedule import IDLE, Schedule
+
+__all__ = ["Sat1Encoding", "encode_sat1"]
+
+_AMO = {
+    "pairwise": at_most_one_pairwise,
+    "sequential": at_most_one_sequential,
+}
+
+
+@dataclass
+class Sat1Encoding:
+    """CNF plus decode bookkeeping."""
+
+    system: TaskSystem
+    platform: Platform
+    cnf: CNF
+    #: (task, processor, slot) -> DIMACS variable
+    vars: dict[tuple[int, int, int], int] = field(repr=False)
+
+    def decode(self, model: list[bool]) -> Schedule:
+        """Model -> cyclic schedule (Theorem 1)."""
+        T = self.system.hyperperiod
+        table = np.full((self.platform.m, T), IDLE, dtype=np.int32)
+        for (i, j, t), var in self.vars.items():
+            if model[var - 1]:
+                if table[j, t] != IDLE:
+                    raise ValueError(
+                        f"model places tasks {int(table[j, t])} and {i} both on "
+                        f"P{j + 1} at slot {t}"
+                    )
+                table[j, t] = i
+        return Schedule(self.system, self.platform, table)
+
+
+def encode_sat1(
+    system: TaskSystem, platform: Platform, amo: str = "sequential"
+) -> Sat1Encoding:
+    """Build the CNF for a constrained system on identical processors."""
+    if not system.is_constrained:
+        raise ValueError(
+            "SAT encoding requires a constrained-deadline system; apply "
+            "clone_for_arbitrary_deadlines() first"
+        )
+    if not platform.is_identical:
+        raise ValueError(
+            "the SAT encoding supports identical platforms only; use CSP1/CSP2 "
+            "for uniform or heterogeneous rates (paper Section VI-A)"
+        )
+    if amo not in _AMO:
+        raise ValueError(f"amo must be one of {sorted(_AMO)}, got {amo!r}")
+    amo_encode = _AMO[amo]
+
+    T = system.hyperperiod
+    m = platform.m
+    cnf = CNF()
+    vars: dict[tuple[int, int, int], int] = {}
+    per_proc_slot: dict[tuple[int, int], list[int]] = {}
+    per_task_slot: dict[tuple[int, int], list[int]] = {}
+    for i in range(system.n):
+        for t in system.task_slots(i):
+            for j in range(m):
+                v = cnf.new_var()
+                vars[(i, j, t)] = v
+                per_proc_slot.setdefault((j, t), []).append(v)
+                per_task_slot.setdefault((i, t), []).append(v)
+
+    for group in per_proc_slot.values():
+        if len(group) > 1:
+            amo_encode(cnf, group)
+    for group in per_task_slot.values():
+        if len(group) > 1:
+            amo_encode(cnf, group)
+    for i in range(system.n):
+        task = system[i]
+        for job in range(system.n_jobs(i)):
+            lits = [
+                vars[(i, j, t)]
+                for t in intervals.window_slots(task, T, job)
+                for j in range(m)
+            ]
+            exactly_k(cnf, lits, task.wcet)
+
+    return Sat1Encoding(system=system, platform=platform, cnf=cnf, vars=vars)

@@ -1,0 +1,58 @@
+"""Tiny ASCII charting for experiment reports (no plotting dependency).
+
+The paper presents Table III as a table; the underlying story is a curve
+(resolution time vs utilization ratio).  :func:`bar_chart` renders such
+series as horizontal bars so the CLI and EXPERIMENTS.md can show the trend
+at a glance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["bar_chart", "table3_chart"]
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float | None],
+    width: int = 40,
+    unit: str = "",
+    fill: str = "#",
+) -> str:
+    """Horizontal bar chart; None values render as absent rows.
+
+    >>> print(bar_chart(["a", "b"], [1.0, 2.0], width=4))
+    a  ##    1
+    b  ####  2
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    if len(fill) != 1:
+        raise ValueError("fill must be a single character")
+    present = [v for v in values if v is not None]
+    if not present:
+        return "(no data)"
+    vmax = max(present) or 1.0
+    label_w = max(len(l) for l in labels)
+    lines = []
+    for label, v in zip(labels, values):
+        if v is None:
+            lines.append(f"{label.ljust(label_w)}  {'-':>{width}}")
+            continue
+        n = round(v / vmax * width)
+        n = max(n, 1) if v > 0 else 0
+        num = f"{v:g}{unit}"
+        lines.append(f"{label.ljust(label_w)}  {(fill * n).ljust(width)}  {num}")
+    return "\n".join(lines)
+
+
+def table3_chart(result, width: int = 40) -> str:
+    """Render a Table III result's time-vs-r curve as a bar chart."""
+    bins = result.nonempty_bins()
+    labels = [f"r {lo:.1f}-{hi:.1f} (n={count})" for lo, hi, count, _ in bins]
+    values = [mean_t for _, _, _, mean_t in bins]
+    header = "mean resolution time by utilization ratio"
+    return header + "\n" + bar_chart(labels, values, width=width, unit="s")

@@ -1,0 +1,19 @@
+"""Figure 1: the availability-interval pattern of the running example.
+
+The paper's only figure shows, for Example 1 (m=2, n=3, hyperperiod 12),
+each task's availability intervals over one hyperperiod.  We regenerate it
+as an ASCII chart through the same rendering path any user system gets.
+"""
+
+from __future__ import annotations
+
+from repro.generator.named import running_example
+from repro.model.system import TaskSystem
+from repro.schedule.render import render_intervals
+
+__all__ = ["figure1"]
+
+
+def figure1(system: TaskSystem | None = None) -> str:
+    """The Figure 1 chart (for the running example by default)."""
+    return render_intervals(system if system is not None else running_example())

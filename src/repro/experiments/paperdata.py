@@ -1,0 +1,83 @@
+"""The paper's reported numbers (Tables I-IV), for side-by-side reports.
+
+These are transcription of Cucu-Grosjean & Buffet's published results —
+the reproduction never reads them as inputs, only prints them next to
+measured values in EXPERIMENTS.md and the CLI reports.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "PAPER_SOLVER_LABELS",
+]
+
+#: registry name -> the paper's column label
+PAPER_SOLVER_LABELS = {
+    "csp1": "CSP1",
+    "csp2": "CSP2",
+    "csp2+rm": "+RM",
+    "csp2+dm": "+DM",
+    "csp2+tc": "+(T-C)",
+    "csp2+dc": "+(D-C)",
+}
+
+#: Table I — overrun counts on 500 instances (m=5, n=10, Tmax=7, 30 s)
+PAPER_TABLE1 = {
+    "solved": {
+        "csp1": 202, "csp2": 133, "csp2+rm": 115, "csp2+dm": 111,
+        "csp2+tc": 34, "csp2+dc": 12, "total": 295,
+    },
+    "unsolved": {
+        "csp1": 205, "csp2": 189, "csp2+rm": 189, "csp2+dm": 189,
+        "csp2+tc": 189, "csp2+dc": 189, "total": 205,
+    },
+}
+
+#: Table II — unsolved overruns split by the r > 1 filter
+PAPER_TABLE2 = {
+    "filtered": {
+        "csp1": 183, "csp2": 170, "csp2+rm": 170, "csp2+dm": 170,
+        "csp2+tc": 170, "csp2+dc": 170, "total": 183,
+    },
+    "unfiltered": {
+        "csp1": 22, "csp2": 19, "csp2+rm": 19, "csp2+dm": 19,
+        "csp2+tc": 19, "csp2+dc": 19, "total": 22,
+    },
+    "provably_unsolvable_unfiltered": 3,
+}
+
+#: Table III — (r_min, r_max, #instances, mean resolution time [s])
+PAPER_TABLE3 = [
+    (0.0, 0.4, 0, None),
+    (0.4, 0.5, 2, 5.0),
+    (0.5, 0.6, 4, 2.1),
+    (0.6, 0.7, 29, 6.5),
+    (0.7, 0.8, 79, 7.7),
+    (0.8, 0.9, 98, 10.7),
+    (0.9, 1.0, 105, 18.7),
+    (1.0, 1.1, 87, 28.5),
+    (1.1, 1.2, 51, 29.1),
+    (1.2, 1.3, 35, 28.1),
+    (1.3, 1.4, 7, 30.0),
+    (1.4, 1.5, 1, 30.0),
+    (1.5, 1.6, 1, 30.0),
+    (1.6, 1.7, 1, 30.0),
+    (1.7, 2.0, 0, None),
+]
+
+#: Table IV — growing n (Tmax=15, m=ceil(U), 100 instances per n).
+#: Columns: n -> (avg r, avg m, avg T/1000, CSP1 solved%, CSP1 tres,
+#:                CSP2+(D-C) solved%, CSP2+(D-C) tres); None = not run.
+PAPER_TABLE4 = {
+    4: (0.74, 2.15, 2.60, 0.29, 19.52, 0.81, 0.01),
+    8: (0.84, 3.56, 2.79, 0.01, 29.58, 0.66, 0.05),
+    16: (0.93, 6.87, 111.21, 0.00, 30.00, 0.10, 0.02),
+    32: (0.96, 13.02, 285.29, None, None, 0.00, 0.00),
+    64: (0.98, 25.82, 345.95, None, None, 0.00, 0.00),
+    128: (0.99, 51.07, 360.36, None, None, 0.00, 0.00),
+    256: (0.99, 101.28, 360.36, None, None, 0.00, 0.00),
+}

@@ -1,0 +1,151 @@
+"""Plain-text rendering of the reproduced tables, paper numbers alongside."""
+
+from __future__ import annotations
+
+from repro.experiments.paperdata import (
+    PAPER_SOLVER_LABELS,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+)
+from repro.experiments.table1 import Table1Result
+from repro.experiments.table2 import Table2Result
+from repro.experiments.table3 import Table3Result
+from repro.experiments.table4 import Table4Result
+
+__all__ = [
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "format_table4",
+]
+
+
+def _grid(headers: list[str], rows: list[list[str]], title: str) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+    lines = [title]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _solver_label(name: str) -> str:
+    return PAPER_SOLVER_LABELS.get(name, name)
+
+
+def format_table1(result: Table1Result, with_paper: bool = True) -> str:
+    solvers = list(result.config.solvers)
+    headers = ["# overruns"] + [_solver_label(s) for s in solvers] + ["Total"]
+    rows = []
+    for label, counts, total in result.rows():
+        rows.append([label] + [str(c) for c in counts] + [str(total)])
+        if with_paper and label in PAPER_TABLE1:
+            paper = PAPER_TABLE1[label]
+            rows.append(
+                [f"  (paper, 500x30s)"]
+                + [str(paper.get(s, "-")) for s in solvers]
+                + [str(paper["total"])]
+            )
+    title = (
+        f"Table I - runs hitting the {result.run.time_limit:g}s limit "
+        f"({result.config.n_instances} instances, m={result.config.m}, "
+        f"n={result.config.n}, Tmax={result.config.tmax})"
+    )
+    return _grid(headers, rows, title)
+
+
+def format_table2(result: Table2Result, with_paper: bool = True) -> str:
+    solvers = list(result.config.solvers)
+    headers = ["# overruns"] + [_solver_label(s) for s in solvers] + ["Total"]
+    rows = []
+    for label, counts, total in result.rows():
+        rows.append([label] + [str(c) for c in counts] + [str(total)])
+        if with_paper and label in PAPER_TABLE2:
+            paper = PAPER_TABLE2[label]
+            rows.append(
+                ["  (paper, 500x30s)"]
+                + [str(paper.get(s, "-")) for s in solvers]
+                + [str(paper["total"])]
+            )
+    title = "Table II - unsolved runs hitting the limit, split by the r>1 filter"
+    body = _grid(headers, rows, title)
+    extra = (
+        f"\nprovably unsolvable among unfiltered unsolved: "
+        f"{result.provably_unsolvable_unfiltered}"
+    )
+    if with_paper:
+        extra += f" (paper: {PAPER_TABLE2['provably_unsolvable_unfiltered']})"
+    return body + extra
+
+
+def format_table3(result: Table3Result, with_paper: bool = True) -> str:
+    headers = ["rmin-rmax", "#instances", "tres [s]"]
+    if with_paper:
+        headers += ["paper #", "paper tres"]
+    paper_by_bin = {(lo, hi): (cnt, t) for lo, hi, cnt, t in PAPER_TABLE3}
+    rows = []
+    for lo, hi, count, mean_t in result.bins:
+        row = [
+            f"{lo:.1f}-{hi:.1f}",
+            str(count),
+            "-" if mean_t is None else f"{mean_t:.2f}",
+        ]
+        if with_paper:
+            pc, pt = paper_by_bin.get((lo, hi), ("-", None))
+            row += [str(pc), "-" if pt is None else f"{pt:.1f}"]
+        rows.append(row)
+    title = (
+        "Table III - instance distribution and mean resolution time by "
+        "utilization ratio"
+    )
+    return _grid(headers, rows, title)
+
+
+def format_table4(result: Table4Result, with_paper: bool = True) -> str:
+    solvers = list(result.config.solvers)
+    headers = ["n", "r", "m", "T(1000)"]
+    for s in solvers:
+        headers += [f"{_solver_label(s)} solved", f"{_solver_label(s)} tres"]
+    rows = []
+    for row in result.rows:
+        cells = [
+            str(row.n),
+            f"{row.avg_r:.2f}",
+            f"{row.avg_m:.2f}",
+            f"{row.avg_hyperperiod / 1000:.2f}",
+        ]
+        for s in solvers:
+            entry = row.per_solver.get(s)
+            if entry is None:
+                cells += ["-", "-"]
+            else:
+                solved, tres = entry
+                cells += [f"{solved:.0%}", f"{tres:.2f}"]
+        rows.append(cells)
+        if with_paper and row.n in PAPER_TABLE4:
+            pr, pm, pt, c1s, c1t, c2s, c2t = PAPER_TABLE4[row.n]
+            paper_cells = ["  (paper)", f"{pr:.2f}", f"{pm:.2f}", f"{pt:.2f}"]
+            for s in solvers:
+                if s.startswith("csp1"):
+                    vals = (c1s, c1t)
+                elif s.startswith("csp2"):
+                    vals = (c2s, c2t)
+                else:
+                    vals = (None, None)
+                paper_cells += [
+                    "-" if vals[0] is None else f"{vals[0]:.0%}",
+                    "-" if vals[1] is None else f"{vals[1]:.2f}",
+                ]
+            rows.append(paper_cells)
+    title = (
+        f"Table IV - growing task count (Tmax={result.config.tmax}, m=ceil(U), "
+        f"{result.config.instances_per_n} instances per n, "
+        f"{result.config.time_limit:g}s budget)"
+    )
+    return _grid(headers, rows, title)

@@ -1,0 +1,158 @@
+"""Instance x solver matrix runner with budgets and JSON-able records."""
+
+from __future__ import annotations
+
+import json
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import asdict, dataclass, field
+
+from repro.generator.random_systems import Instance
+from repro.model.platform import Platform
+from repro.solvers.base import Feasibility
+from repro.solvers.registry import make_solver
+
+__all__ = ["RunRecord", "ExperimentRun", "run_instances", "estimate_csp1_variables"]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One (instance, solver) outcome — the unit all tables aggregate."""
+
+    instance_seed: int | None
+    n: int
+    m: int
+    hyperperiod: int
+    utilization_ratio: float
+    solver: str
+    status: str  # feasible | infeasible | unknown | skipped-memory
+    elapsed: float
+    nodes: int
+
+    @property
+    def overrun(self) -> bool:
+        """The paper's overrun: budget exhausted without an answer.
+
+        ``skipped-memory`` counts as an overrun too — the paper reports
+        CSP1 "runs out of memory on large instances" in the same breath.
+        """
+        return self.status in ("unknown", "skipped-memory")
+
+    @property
+    def solved(self) -> bool:
+        """A feasible schedule was produced within the budget."""
+        return self.status == "feasible"
+
+
+@dataclass
+class ExperimentRun:
+    """All records of one experiment, plus its configuration snapshot."""
+
+    description: str
+    time_limit: float
+    records: list[RunRecord] = field(default_factory=list)
+
+    # -- aggregation helpers used by the table modules ----------------------
+    def by_instance(self) -> dict[int, list[RunRecord]]:
+        out: dict[int, list[RunRecord]] = {}
+        for r in self.records:
+            out.setdefault(r.instance_seed, []).append(r)
+        return out
+
+    def solvers(self) -> list[str]:
+        seen: list[str] = []
+        for r in self.records:
+            if r.solver not in seen:
+                seen.append(r.solver)
+        return seen
+
+    # -- persistence ----------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "description": self.description,
+                "time_limit": self.time_limit,
+                "records": [asdict(r) for r in self.records],
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentRun":
+        data = json.loads(text)
+        return cls(
+            description=data["description"],
+            time_limit=data["time_limit"],
+            records=[RunRecord(**r) for r in data["records"]],
+        )
+
+
+def estimate_csp1_variables(instance: Instance) -> int:
+    """Predicted CSP1 model size ``sum_i m * (T/T_i) * D_i`` — used to skip
+    builds that would exhaust memory (the paper: CSP1 "runs out of memory
+    on 'large' instances", Table IV)."""
+    s = instance.system
+    return sum(
+        instance.m * s.n_jobs(i) * s[i].deadline for i in range(s.n)
+    )
+
+
+def run_instances(
+    instances: Sequence[Instance],
+    solvers: Sequence[str],
+    time_limit: float,
+    description: str = "",
+    seed: int | None = None,
+    csp1_variable_limit: int = 2_000_000,
+    progress: Callable[[int, int], None] | None = None,
+) -> ExperimentRun:
+    """Run every solver on every instance under a per-run wall budget.
+
+    Model/encoding construction counts against the budget (the paper's
+    "resolution time" starts when the solver is handed the problem).
+    ``csp1_variable_limit`` guards generic-engine encodings against
+    instances whose model would not fit in memory; those runs are recorded
+    as ``skipped-memory``.
+    """
+    run = ExperimentRun(description=description, time_limit=time_limit)
+    total = len(instances) * len(solvers)
+    done = 0
+    for inst in instances:
+        platform = Platform.identical(inst.m)
+        for name in solvers:
+            done += 1
+            if progress is not None:
+                progress(done, total)
+            base = dict(
+                instance_seed=inst.seed,
+                n=inst.system.n,
+                m=inst.m,
+                hyperperiod=inst.system.hyperperiod,
+                utilization_ratio=float(inst.utilization_ratio),
+                solver=name,
+            )
+            if name.startswith(("csp1", "csp2-generic", "sat")):
+                if estimate_csp1_variables(inst) > csp1_variable_limit:
+                    run.records.append(
+                        RunRecord(
+                            **base, status="skipped-memory",
+                            elapsed=time_limit, nodes=0,
+                        )
+                    )
+                    continue
+            t0 = time.monotonic()
+            solver = make_solver(name, inst.system, platform, seed=seed)
+            build = time.monotonic() - t0
+            remaining = max(0.0, time_limit - build)
+            result = solver.solve(time_limit=remaining)
+            elapsed = min(build + result.stats.elapsed, time_limit)
+            status = result.status.value
+            if result.status is Feasibility.UNKNOWN:
+                elapsed = time_limit  # an overrun consumed the full budget
+            run.records.append(
+                RunRecord(
+                    **base, status=status, elapsed=elapsed,
+                    nodes=result.stats.nodes,
+                )
+            )
+    return run

@@ -1,0 +1,117 @@
+"""Table I: overruns per solver, solved vs unsolved instances.
+
+Paper protocol (Section VII-C): 500 random problems with m=5, n=10,
+Tmax=7, no utilization filtering, 30 s budget per (instance, solver) run;
+count the runs that hit the budget ("overruns"), separately for instances
+*solved by at least one solver* and instances no solver solved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.runner import ExperimentRun, run_instances
+from repro.generator.random_systems import GeneratorConfig, generate_instances
+from repro.solvers.registry import PAPER_SOLVERS
+
+__all__ = ["Table1Config", "Table1Result", "run_table1"]
+
+
+@dataclass(frozen=True)
+class Table1Config:
+    """Parameters; defaults are scaled down from the paper (see DESIGN.md).
+
+    ``paper_scale()`` restores the published 500 x 30 s protocol.
+    """
+
+    n_instances: int = 40
+    n: int = 10
+    m: int = 5
+    tmax: int = 7
+    time_limit: float = 1.0
+    solvers: tuple[str, ...] = tuple(PAPER_SOLVERS)
+    seed: int = 2009
+
+    @classmethod
+    def paper_scale(cls) -> "Table1Config":
+        return cls(n_instances=500, time_limit=30.0)
+
+    def generator(self) -> GeneratorConfig:
+        return GeneratorConfig(n=self.n, m=self.m, tmax=self.tmax)
+
+
+@dataclass
+class Table1Result:
+    """Overrun counts by (group, solver) plus the underlying run."""
+
+    config: Table1Config
+    run: ExperimentRun
+    #: group name -> solver -> overrun count; group "total" -> instance counts
+    overruns: dict[str, dict[str, int]] = field(default_factory=dict)
+    n_solved_instances: int = 0
+    n_unsolved_instances: int = 0
+
+    def rows(self) -> list[tuple[str, list[int], int]]:
+        """(group label, per-solver overruns, group size) rows, paper order."""
+        return [
+            (
+                "solved",
+                [self.overruns["solved"][s] for s in self.config.solvers],
+                self.n_solved_instances,
+            ),
+            (
+                "unsolved",
+                [self.overruns["unsolved"][s] for s in self.config.solvers],
+                self.n_unsolved_instances,
+            ),
+        ]
+
+
+def run_table1(
+    config: Table1Config | None = None,
+    run: ExperimentRun | None = None,
+    progress=None,
+) -> Table1Result:
+    """Run (or re-aggregate) the Table I experiment.
+
+    Pass ``run`` to re-aggregate existing records (Tables II and III reuse
+    the same records, as in the paper).
+    """
+    config = config or Table1Config()
+    if run is None:
+        instances = generate_instances(
+            config.generator(), config.n_instances, seed=config.seed
+        )
+        run = run_instances(
+            instances,
+            config.solvers,
+            time_limit=config.time_limit,
+            description=f"table1: {config.n_instances} instances "
+            f"m={config.m} n={config.n} Tmax={config.tmax}",
+            progress=progress,
+        )
+
+    by_instance = run.by_instance()
+    overruns = {
+        "solved": {s: 0 for s in config.solvers},
+        "unsolved": {s: 0 for s in config.solvers},
+    }
+    n_solved = 0
+    n_unsolved = 0
+    for records in by_instance.values():
+        solved = any(r.solved for r in records)
+        group = "solved" if solved else "unsolved"
+        if solved:
+            n_solved += 1
+        else:
+            n_unsolved += 1
+        for r in records:
+            if r.overrun:
+                overruns[group][r.solver] += 1
+    return Table1Result(
+        config=config,
+        run=run,
+        overruns=overruns,
+        n_solved_instances=n_solved,
+        n_unsolved_instances=n_unsolved,
+    )

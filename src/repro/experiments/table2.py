@@ -1,0 +1,86 @@
+"""Table II: unsolved instances vs the ``r > 1`` utilization filter.
+
+Reuses Table I's records.  Unsolved instances (no solver found a schedule)
+are split into *filtered* (``r > 1``, detectable by the cheap necessary
+condition without any search) and *unfiltered*; overruns are counted per
+solver within each group, and the paper additionally reports how many
+unfiltered unsolved instances are *provably* infeasible (some solver
+terminated with UNSAT inside the budget).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.runner import ExperimentRun
+from repro.experiments.table1 import Table1Config, Table1Result, run_table1
+
+__all__ = ["Table2Result", "run_table2"]
+
+
+@dataclass
+class Table2Result:
+    config: Table1Config
+    run: ExperimentRun
+    #: group -> solver -> overruns; groups "filtered" / "unfiltered"
+    overruns: dict[str, dict[str, int]] = field(default_factory=dict)
+    n_filtered: int = 0
+    n_unfiltered: int = 0
+    #: unfiltered unsolved instances some solver proved infeasible
+    provably_unsolvable_unfiltered: int = 0
+
+    def rows(self) -> list[tuple[str, list[int], int]]:
+        return [
+            (
+                "filtered",
+                [self.overruns["filtered"][s] for s in self.config.solvers],
+                self.n_filtered,
+            ),
+            (
+                "unfiltered",
+                [self.overruns["unfiltered"][s] for s in self.config.solvers],
+                self.n_unfiltered,
+            ),
+        ]
+
+
+def run_table2(
+    config: Table1Config | None = None,
+    table1: Table1Result | None = None,
+    progress=None,
+) -> Table2Result:
+    """Aggregate Table II (running Table I first if needed)."""
+    if table1 is None:
+        table1 = run_table1(config, progress=progress)
+    config = table1.config
+    run = table1.run
+
+    overruns = {
+        "filtered": {s: 0 for s in config.solvers},
+        "unfiltered": {s: 0 for s in config.solvers},
+    }
+    n_filtered = 0
+    n_unfiltered = 0
+    provable = 0
+    for records in run.by_instance().values():
+        if any(r.solved for r in records):
+            continue  # Table II looks at unsolved instances only
+        r_ratio = records[0].utilization_ratio
+        group = "filtered" if r_ratio > 1 else "unfiltered"
+        if group == "filtered":
+            n_filtered += 1
+        else:
+            n_unfiltered += 1
+            if any(rec.status == "infeasible" for rec in records):
+                provable += 1
+        for rec in records:
+            if rec.overrun:
+                overruns[group][rec.solver] += 1
+    return Table2Result(
+        config=config,
+        run=run,
+        overruns=overruns,
+        n_filtered=n_filtered,
+        n_unfiltered=n_unfiltered,
+        provably_unsolvable_unfiltered=provable,
+    )

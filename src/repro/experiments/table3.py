@@ -1,0 +1,60 @@
+"""Table III: where the difficult problems are.
+
+Reuses Table I's records: instances are binned by utilization ratio ``r``
+(the paper's bins — one wide 0.0-0.4 bin, then width 0.1 up to 1.7, then
+1.7-2.0) and the mean resolution time *over all solvers* is reported per
+bin.  The expected shape: time grows with ``r`` and saturates at the
+budget just past ``r = 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.runner import ExperimentRun
+from repro.experiments.table1 import Table1Config, Table1Result, run_table1
+
+__all__ = ["Table3Result", "run_table3", "PAPER_BINS"]
+
+#: the paper's (r_min, r_max] bins
+PAPER_BINS: list[tuple[float, float]] = (
+    [(0.0, 0.4)]
+    + [(round(0.4 + k * 0.1, 1), round(0.5 + k * 0.1, 1)) for k in range(13)]
+    + [(1.7, 2.0)]
+)
+
+
+@dataclass
+class Table3Result:
+    config: Table1Config
+    run: ExperimentRun
+    #: (r_min, r_max, #instances, mean time or None)
+    bins: list[tuple[float, float, int, float | None]] = field(default_factory=list)
+
+    def nonempty_bins(self) -> list[tuple[float, float, int, float | None]]:
+        return [b for b in self.bins if b[2] > 0]
+
+
+def run_table3(
+    config: Table1Config | None = None,
+    table1: Table1Result | None = None,
+    progress=None,
+) -> Table3Result:
+    """Aggregate Table III (running Table I first if needed)."""
+    if table1 is None:
+        table1 = run_table1(config, progress=progress)
+    run = table1.run
+
+    bins: list[tuple[float, float, int, float | None]] = []
+    by_instance = run.by_instance()
+    for lo, hi in PAPER_BINS:
+        times: list[float] = []
+        count = 0
+        for records in by_instance.values():
+            r = records[0].utilization_ratio
+            if lo < r <= hi or (lo == 0.0 and r == 0.0):
+                count += 1
+                times.extend(rec.elapsed for rec in records)
+        mean = sum(times) / len(times) if times else None
+        bins.append((lo, hi, count, mean))
+    return Table3Result(config=table1.config, run=run, bins=bins)

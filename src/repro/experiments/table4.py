@@ -1,0 +1,104 @@
+"""Table IV: increasing the number of tasks.
+
+Paper protocol (Section VII-E): Tmax=15, n in {4, 8, 16, 32, 64, 128,
+256}; per instance ``m = m_min = ceil(sum C_i/T_i)`` (so no instance is
+prunable by the utilization filter); 100 instances per n; run CSP1 and
+CSP2+(D-C).  Reported per n: average utilization ratio, average m, average
+hyperperiod, and per solver the solved fraction and mean resolution time.
+
+CSP1 "suffers from many overruns and runs out of memory on large
+instances" — the runner's variable-count guard records those as overruns
+(``skipped-memory``); beyond ``csp1_max_n`` CSP1 is not attempted at all,
+matching the paper's dashes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+
+from repro.experiments.runner import ExperimentRun, run_instances
+from repro.generator.random_systems import GeneratorConfig, generate_instances
+
+__all__ = ["Table4Config", "Table4Result", "Table4Row", "run_table4"]
+
+
+@dataclass(frozen=True)
+class Table4Config:
+    """Defaults scaled down from the paper; ``paper_scale()`` restores it."""
+
+    task_counts: tuple[int, ...] = (4, 8, 16, 32)
+    instances_per_n: int = 15
+    tmax: int = 15
+    time_limit: float = 1.0
+    csp1_max_n: int = 16
+    seed: int = 2009
+    solvers: tuple[str, ...] = ("csp1", "csp2+dc")
+
+    @classmethod
+    def paper_scale(cls) -> "Table4Config":
+        return cls(
+            task_counts=(4, 8, 16, 32, 64, 128, 256),
+            instances_per_n=100,
+            time_limit=30.0,
+        )
+
+
+@dataclass
+class Table4Row:
+    """One n row of Table IV."""
+
+    n: int
+    avg_r: float
+    avg_m: float
+    avg_hyperperiod: float
+    #: solver -> (solved fraction, mean resolution time); None if not run
+    per_solver: dict[str, tuple[float, float] | None]
+
+
+@dataclass
+class Table4Result:
+    config: Table4Config
+    rows: list[Table4Row] = field(default_factory=list)
+    runs: dict[int, ExperimentRun] = field(default_factory=dict)
+
+
+def run_table4(config: Table4Config | None = None, progress=None) -> Table4Result:
+    """Run the scaling experiment."""
+    config = config or Table4Config()
+    result = Table4Result(config=config)
+    for n in config.task_counts:
+        gen = GeneratorConfig(n=n, tmax=config.tmax, m="min")
+        instances = generate_instances(gen, config.instances_per_n, seed=config.seed + n)
+        solvers = [
+            s for s in config.solvers
+            if not (s.startswith("csp1") and n > config.csp1_max_n)
+        ]
+        run = run_instances(
+            instances,
+            solvers,
+            time_limit=config.time_limit,
+            description=f"table4: n={n} Tmax={config.tmax} m=min",
+            progress=progress,
+        )
+        result.runs[n] = run
+
+        per_solver: dict[str, tuple[float, float] | None] = {}
+        for s in config.solvers:
+            recs = [r for r in run.records if r.solver == s]
+            if not recs:
+                per_solver[s] = None
+                continue
+            solved = sum(1 for r in recs if r.solved) / len(recs)
+            tres = mean(r.elapsed for r in recs)
+            per_solver[s] = (solved, tres)
+        result.rows.append(
+            Table4Row(
+                n=n,
+                avg_r=mean(float(i.utilization_ratio) for i in instances),
+                avg_m=mean(i.m for i in instances),
+                avg_hyperperiod=mean(i.system.hyperperiod for i in instances),
+                per_solver=per_solver,
+            )
+        )
+    return result

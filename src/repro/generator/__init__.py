@@ -1,0 +1,29 @@
+"""Workload generation: the paper's random instances plus named systems."""
+
+from repro.generator.random_systems import (
+    GeneratorConfig,
+    Instance,
+    generate_instance,
+    generate_instances,
+    generate_system,
+    generate_task,
+)
+from repro.generator.named import (
+    running_example,
+    running_example_platform,
+    saturated_pair,
+    harmonic_system,
+)
+
+__all__ = [
+    "GeneratorConfig",
+    "Instance",
+    "generate_instance",
+    "generate_instances",
+    "generate_system",
+    "generate_task",
+    "running_example",
+    "running_example_platform",
+    "saturated_pair",
+    "harmonic_system",
+]

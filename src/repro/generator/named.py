@@ -1,0 +1,51 @@
+"""Named instances used throughout examples, tests and docs."""
+
+from __future__ import annotations
+
+from repro.model.platform import Platform
+from repro.model.system import TaskSystem
+from repro.util.math import lcm_all
+
+__all__ = [
+    "running_example",
+    "running_example_platform",
+    "saturated_pair",
+    "harmonic_system",
+]
+
+
+def running_example() -> TaskSystem:
+    """The paper's Example 1 (Figure 1): n=3, m=2, hyperperiod 12.
+
+    ======  ===  ===  ===  ===
+    task     O    C    D    T
+    ======  ===  ===  ===  ===
+    tau1     0    1    2    2
+    tau2     1    3    4    4
+    tau3     0    2    2    3
+    ======  ===  ===  ===  ===
+    """
+    return TaskSystem.from_tuples([(0, 1, 2, 2), (1, 3, 4, 4), (0, 2, 2, 3)])
+
+
+def running_example_platform() -> Platform:
+    """The two identical processors of Example 1."""
+    return Platform.identical(2)
+
+
+def saturated_pair() -> TaskSystem:
+    """Two tasks that exactly saturate one processor (U = 1) — feasible on
+    m=1 only with perfect packing; a minimal stress case."""
+    return TaskSystem.from_tuples([(0, 1, 2, 2), (0, 2, 4, 4)])
+
+
+def harmonic_system(levels: int = 4, base: int = 2) -> TaskSystem:
+    """Harmonic periods ``base, base^2, ..`` with C=1, D=T — the friendly
+    workload family (harmonic RM is optimal on one processor)."""
+    if levels < 1:
+        raise ValueError(f"levels must be >= 1, got {levels}")
+    tuples = []
+    for k in range(1, levels + 1):
+        period = base**k
+        tuples.append((0, 1, period, period))
+    return TaskSystem.from_tuples(tuples)

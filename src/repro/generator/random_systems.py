@@ -1,0 +1,146 @@
+"""Random problem generation (paper Section VII-A).
+
+The paper's recipe:
+
+* ``n > 2`` tasks, ``m in 1..(n-1)`` processors, maximum period ``Tmax``;
+* per task the constraint ``0 <= C_i <= D_i <= T_i`` must hold, and the
+  order in which the three dependent parameters are drawn shapes the
+  distribution:
+
+  - ``cdt``:     ``C ~ U(1..Tmax)``, ``D ~ U(C..Tmax)``, ``T ~ U(D..Tmax)``
+    (favors large periods);
+  - ``tdc``:     ``T ~ U(1..Tmax)``, ``D ~ U(1..T)``, ``C ~ U(1..D)``
+    (favors short WCETs);
+  - ``d-first`` (the paper's choice): ``D ~ U(1..Tmax)`` first, then
+    ``C ~ U(1..D)`` and ``T ~ U(D..Tmax)`` — independent given ``D``.
+
+* offsets: the paper leaves ``O_i`` unspecified beyond "independent of
+  other parameters"; since only ``O_i mod T_i`` matters for the cyclic
+  pattern (DESIGN.md Section 2) we draw ``O ~ U(0..T-1)`` by default, with
+  ``offsets="zero"`` for synchronous systems.
+
+Instances are *not* filtered by utilization (the paper keeps ``r > 1``
+instances on purpose — Table II counts how many can be pruned that way).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from fractions import Fraction
+
+from repro.model.system import TaskSystem
+from repro.model.task import Task
+
+__all__ = [
+    "GeneratorConfig",
+    "Instance",
+    "generate_task",
+    "generate_system",
+    "generate_instance",
+    "generate_instances",
+]
+
+_ORDERS = ("d-first", "cdt", "tdc")
+_OFFSETS = ("uniform", "zero")
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs of the random generator.
+
+    ``m`` may be a fixed int, ``"uniform"`` (``U(1..n-1)``, the paper's
+    generic choice) or ``"min"`` (``m = max(1, ceil(U))``, Table IV's rule
+    making every instance pass the utilization filter).
+    """
+
+    n: int = 10
+    tmax: int = 7
+    m: int | str = 5
+    order: str = "d-first"
+    offsets: str = "uniform"
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"n must be >= 1, got {self.n}")
+        if self.tmax < 1:
+            raise ValueError(f"tmax must be >= 1, got {self.tmax}")
+        if self.order not in _ORDERS:
+            raise ValueError(f"order must be one of {_ORDERS}, got {self.order!r}")
+        if self.offsets not in _OFFSETS:
+            raise ValueError(f"offsets must be one of {_OFFSETS}, got {self.offsets!r}")
+        if isinstance(self.m, str):
+            if self.m not in ("uniform", "min"):
+                raise ValueError(f"m must be an int, 'uniform' or 'min', got {self.m!r}")
+        elif self.m < 1:
+            raise ValueError(f"m must be >= 1, got {self.m}")
+
+
+@dataclass(frozen=True)
+class Instance:
+    """One generated problem: a task system and a processor count."""
+
+    system: TaskSystem
+    m: int
+    seed: int | None = None
+
+    @property
+    def utilization_ratio(self) -> Fraction:
+        """``r = U / m`` (Table III's difficulty axis)."""
+        return self.system.utilization_ratio(self.m)
+
+
+def generate_task(rng: random.Random, tmax: int, order: str = "d-first") -> Task:
+    """Draw one task (without offset; offset drawn by the system sampler)."""
+    if order == "cdt":
+        c = rng.randint(1, tmax)
+        d = rng.randint(c, tmax)
+        t = rng.randint(d, tmax)
+    elif order == "tdc":
+        t = rng.randint(1, tmax)
+        d = rng.randint(1, t)
+        c = rng.randint(1, d)
+    elif order == "d-first":
+        d = rng.randint(1, tmax)
+        c = rng.randint(1, d)
+        t = rng.randint(d, tmax)
+    else:
+        raise ValueError(f"order must be one of {_ORDERS}, got {order!r}")
+    return Task(offset=0, wcet=c, deadline=d, period=t)
+
+
+def generate_system(
+    rng: random.Random,
+    n: int,
+    tmax: int,
+    order: str = "d-first",
+    offsets: str = "uniform",
+) -> TaskSystem:
+    """Draw a full task system."""
+    tasks = []
+    for _ in range(n):
+        t = generate_task(rng, tmax, order)
+        o = rng.randint(0, t.period - 1) if offsets == "uniform" else 0
+        tasks.append(Task(o, t.wcet, t.deadline, t.period))
+    return TaskSystem(tasks)
+
+
+def generate_instance(config: GeneratorConfig, seed: int) -> Instance:
+    """Draw one :class:`Instance` deterministically from ``seed``."""
+    rng = random.Random(seed)
+    system = generate_system(rng, config.n, config.tmax, config.order, config.offsets)
+    if config.m == "uniform":
+        m = rng.randint(1, max(1, config.n - 1))
+    elif config.m == "min":
+        m = system.min_processors
+    else:
+        m = config.m
+    return Instance(system=system, m=m, seed=seed)
+
+
+def generate_instances(config: GeneratorConfig, count: int, seed: int = 0) -> list[Instance]:
+    """``count`` instances with derived per-instance seeds (reproducible)."""
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    base = random.Random(seed)
+    return [generate_instance(config, base.randrange(2**62)) for _ in range(count)]

@@ -1,0 +1,31 @@
+"""Task model: periodic tasks, task systems, platforms, availability windows.
+
+This is the paper's Section II.  A task is the 4-tuple
+``(O_i, C_i, D_i, T_i)`` (offset, WCET, relative deadline, period); a task
+system is a finite set of tasks with a hyperperiod ``T = lcm(T_i)``; a
+platform is a set of processors that is *identical*, *uniform* or
+*heterogeneous* (execution-rate matrix ``s_{i,j}``).
+"""
+
+from repro.model.task import Task
+from repro.model.system import TaskSystem
+from repro.model.platform import Platform
+from repro.model.intervals import (
+    active_job,
+    job_release,
+    slots_after,
+    window_slots,
+)
+from repro.model.transform import CloneMap, clone_for_arbitrary_deadlines
+
+__all__ = [
+    "Task",
+    "TaskSystem",
+    "Platform",
+    "active_job",
+    "job_release",
+    "slots_after",
+    "window_slots",
+    "CloneMap",
+    "clone_for_arbitrary_deadlines",
+]

@@ -1,0 +1,103 @@
+"""Cyclic availability windows over one hyperperiod.
+
+The paper restricts the search to *periodic* schedules of length
+``T = lcm(T_i)`` (Section III): the pattern of availability intervals
+repeats every ``T`` slots, so a cyclic schedule that satisfies C1-C4 within
+one hyperperiod unrolls to a feasible infinite schedule.
+
+We index slots ``0 .. T-1`` (paper uses ``1 .. T``).  Job ``j`` of task
+``i`` within the cycle (``j = 0 .. T/T_i - 1``) is released at slot
+``r_j = phase_i + j*T_i`` where ``phase_i = O_i mod T_i``, and its
+availability window is the *cyclic* slot set
+``{(r_j + u) mod T : u = 0 .. D_i - 1}``.
+
+When ``O_i + D_i > T_i`` the last window of the cycle wraps past slot
+``T-1``; the wrapped slots at the start of cycle ``c`` serve the final job
+of cycle ``c-1`` (see DESIGN.md Section 5 for why this is exactly
+feasibility-preserving).  All functions here handle the wrapped case.
+
+With ``D_i <= T_i`` (constrained, which every solver-facing system
+satisfies) a task's windows are pairwise disjoint, so each slot belongs to
+at most one window per task — :func:`active_job` exploits this to run in
+O(1) without materializing interval objects (Table IV instances would need
+~10M of them otherwise).
+"""
+
+from __future__ import annotations
+
+from repro.model.task import Task
+
+__all__ = ["active_job", "job_release", "window_slots", "slots_after", "n_jobs"]
+
+
+def n_jobs(task: Task, hyperperiod: int) -> int:
+    """Number of jobs of ``task`` per hyperperiod (``T / T_i``)."""
+    if hyperperiod % task.period != 0:
+        raise ValueError(
+            f"hyperperiod {hyperperiod} is not a multiple of period {task.period}"
+        )
+    return hyperperiod // task.period
+
+
+def job_release(task: Task, job: int) -> int:
+    """Release slot (within the cycle) of 0-based job ``job``.
+
+    Always in ``0 .. T_hyper - 1`` because ``phase < T_i`` and
+    ``job * T_i < T_hyper``.
+    """
+    if job < 0:
+        raise ValueError(f"job index must be >= 0, got {job}")
+    return task.phase + job * task.period
+
+
+def active_job(task: Task, hyperperiod: int, slot: int) -> int | None:
+    """The 0-based job of ``task`` whose window contains ``slot``, else None.
+
+    O(1).  Requires ``D_i <= T_i`` (disjoint windows); raises otherwise.
+    """
+    if not task.is_constrained:
+        raise ValueError(
+            f"active_job requires a constrained-deadline task, got D={task.deadline} "
+            f"> T={task.period}; clone the system first"
+        )
+    if not 0 <= slot < hyperperiod:
+        raise ValueError(f"slot {slot} outside 0..{hyperperiod - 1}")
+    delta = (slot - task.phase) % hyperperiod
+    job, within = divmod(delta, task.period)
+    if within < task.deadline:
+        return job
+    return None
+
+
+def window_slots(task: Task, hyperperiod: int, job: int) -> list[int]:
+    """The cyclic slot set of ``job``'s availability window, in scan order
+    within the cycle is NOT guaranteed — slots are listed release-first,
+    i.e. ``r_j, r_j+1, ..`` wrapping modulo the hyperperiod."""
+    r = job_release(task, job)
+    return [(r + u) % hyperperiod for u in range(task.deadline)]
+
+
+def slots_after(task: Task, hyperperiod: int, job: int, slot: int) -> int:
+    """Number of window slots of ``job`` *strictly after* ``slot`` in scan
+    order (the linear order ``0 < 1 < .. < T-1``, not cyclic order).
+
+    This is the chronological solver's remaining-capacity bound: after
+    finishing slot ``t``, a window with ``d`` units of demand left is dead
+    unless ``d <= slots_after(.., t)``.
+    """
+    T = hyperperiod
+    r = job_release(task, job)
+    end = r + task.deadline - 1  # last slot, possibly >= T (wrapped)
+    count = 0
+    if end < T:
+        # plain window [r, end]
+        if slot < end:
+            count = end - max(slot, r - 1)
+    else:
+        # wrapped: head [r, T-1] and tail [0, end - T]
+        tail_end = end - T
+        if slot < T - 1:
+            count += (T - 1) - max(slot, r - 1)
+        if slot < tail_end:
+            count += tail_end - slot
+    return count

@@ -1,0 +1,206 @@
+"""Processor platforms: identical, uniform, heterogeneous (paper Section I/VI).
+
+A platform is fully described by its execution-rate function: a job of task
+``i`` running on processor ``P_j`` for ``t`` slots completes ``s_{i,j} * t``
+units of execution.
+
+* *identical*:      ``s_{i,j} = 1``               (paper Sections IV-V)
+* *uniform*:        ``s_{i,j} = s_j``             (per-processor speed)
+* *heterogeneous*:  arbitrary ``s_{i,j} >= 0``    (``0`` = cannot run;
+  paper Section VI-A)
+
+Rates are integers so that the exactly-``C_i`` constraints (11)/(12) stay in
+integer arithmetic (scale rational rates up front if needed).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from fractions import Fraction
+
+import numpy as np
+
+__all__ = ["Platform"]
+
+
+class Platform:
+    """An ``m``-processor platform with integer execution rates.
+
+    Use the factory classmethods :meth:`identical`, :meth:`uniform` and
+    :meth:`heterogeneous`.  For identical/uniform platforms the rate matrix
+    is lazily broadcast to any number of tasks; heterogeneous platforms fix
+    the number of tasks at construction.
+    """
+
+    __slots__ = ("_kind", "_m", "_speeds", "_matrix")
+
+    def __init__(
+        self,
+        kind: str,
+        m: int,
+        speeds: tuple[int, ...] | None = None,
+        matrix: np.ndarray | None = None,
+    ) -> None:
+        if kind not in ("identical", "uniform", "heterogeneous"):
+            raise ValueError(f"unknown platform kind {kind!r}")
+        if m < 1:
+            raise ValueError(f"need at least one processor, got m={m}")
+        self._kind = kind
+        self._m = m
+        self._speeds = speeds
+        self._matrix = matrix
+
+    # -- factories -----------------------------------------------------------
+    @classmethod
+    def identical(cls, m: int) -> "Platform":
+        """``m`` identical unit-speed processors."""
+        return cls("identical", m)
+
+    @classmethod
+    def uniform(cls, speeds: Sequence[int]) -> "Platform":
+        """Uniform platform: processor ``P_j`` has speed ``speeds[j] >= 1``."""
+        sp = tuple(int(s) for s in speeds)
+        if not sp:
+            raise ValueError("need at least one speed")
+        if any(s < 1 for s in sp):
+            raise ValueError(f"uniform speeds must be >= 1, got {sp}")
+        if all(s == sp[0] == 1 for s in sp):
+            return cls.identical(len(sp))
+        return cls("uniform", len(sp), speeds=sp)
+
+    @classmethod
+    def heterogeneous(cls, rates: Sequence[Sequence[int]]) -> "Platform":
+        """Heterogeneous platform from an ``n x m`` rate matrix.
+
+        ``rates[i][j] = 0`` means task ``i`` cannot run on ``P_j``
+        (dedicated processors, paper Section I).
+        """
+        mat = np.asarray(rates, dtype=np.int64)
+        if mat.ndim != 2 or mat.shape[0] < 1 or mat.shape[1] < 1:
+            raise ValueError(f"rate matrix must be 2-D non-empty, got shape {mat.shape}")
+        if (mat < 0).any():
+            raise ValueError("rates must be >= 0")
+        if (mat.max(axis=1) == 0).any():
+            bad = int(np.argmax(mat.max(axis=1) == 0))
+            raise ValueError(f"task {bad} cannot run on any processor")
+        return cls("heterogeneous", mat.shape[1], matrix=mat)
+
+    # -- basic properties ------------------------------------------------------
+    @property
+    def kind(self) -> str:
+        """One of ``identical``, ``uniform``, ``heterogeneous``."""
+        return self._kind
+
+    @property
+    def m(self) -> int:
+        """Number of processors."""
+        return self._m
+
+    @property
+    def is_identical(self) -> bool:
+        return self._kind == "identical"
+
+    @property
+    def n_tasks(self) -> int | None:
+        """Number of tasks fixed by a heterogeneous rate matrix (else None)."""
+        return None if self._matrix is None else int(self._matrix.shape[0])
+
+    def __repr__(self) -> str:
+        if self._kind == "identical":
+            return f"Platform.identical({self._m})"
+        if self._kind == "uniform":
+            return f"Platform.uniform({list(self._speeds)})"
+        return f"Platform.heterogeneous({self._matrix.tolist()})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Platform):
+            return NotImplemented
+        if self._kind != other._kind or self._m != other._m:
+            return False
+        if self._kind == "uniform":
+            return self._speeds == other._speeds
+        if self._kind == "heterogeneous":
+            return bool(np.array_equal(self._matrix, other._matrix))
+        return True
+
+    def __hash__(self) -> int:
+        if self._kind == "heterogeneous":
+            return hash((self._kind, self._matrix.tobytes()))
+        return hash((self._kind, self._m, self._speeds))
+
+    # -- rates ---------------------------------------------------------------
+    def _check_task(self, i: int) -> None:
+        if i < 0 or (self._matrix is not None and i >= self._matrix.shape[0]):
+            raise IndexError(f"task index {i} out of range")
+
+    def rate(self, i: int, j: int) -> int:
+        """Execution rate ``s_{i,j}`` of task ``i`` on processor ``j``."""
+        if not 0 <= j < self._m:
+            raise IndexError(f"processor index {j} out of range 0..{self._m - 1}")
+        self._check_task(i)
+        if self._kind == "identical":
+            return 1
+        if self._kind == "uniform":
+            return self._speeds[j]
+        return int(self._matrix[i, j])
+
+    def rate_matrix(self, n: int) -> np.ndarray:
+        """Full ``n x m`` rate matrix (broadcasting identical/uniform kinds)."""
+        if self._kind == "identical":
+            return np.ones((n, self._m), dtype=np.int64)
+        if self._kind == "uniform":
+            return np.tile(np.asarray(self._speeds, dtype=np.int64), (n, 1))
+        if n != self._matrix.shape[0]:
+            raise ValueError(
+                f"heterogeneous platform fixed at {self._matrix.shape[0]} tasks, got n={n}"
+            )
+        return self._matrix.copy()
+
+    def eligible_processors(self, i: int) -> list[int]:
+        """Processors with ``s_{i,j} > 0`` for task ``i``."""
+        if self._kind != "heterogeneous":
+            return list(range(self._m))
+        self._check_task(i)
+        return [j for j in range(self._m) if self._matrix[i, j] > 0]
+
+    def eligible_tasks(self, j: int, n: int) -> list[int]:
+        """Tasks that can run on processor ``j`` (all, unless heterogeneous)."""
+        if self._kind != "heterogeneous":
+            return list(range(n))
+        return [i for i in range(self._matrix.shape[0]) if self._matrix[i, j] > 0]
+
+    # -- structure used by the CSP2 search strategy (paper Section VI-A) -----
+    def identical_groups(self, n: int) -> list[list[int]]:
+        """Maximal groups of processors with identical rate columns.
+
+        Consecutive-id groups are what the restricted symmetry-breaking rule
+        (13) applies to; on an identical platform this is one group of all
+        processors.  Processors are grouped regardless of id adjacency —
+        callers order variables so that group members are adjacent.
+        """
+        mat = self.rate_matrix(n)
+        groups: dict[bytes, list[int]] = {}
+        for j in range(self._m):
+            groups.setdefault(mat[:, j].tobytes(), []).append(j)
+        return sorted(groups.values(), key=lambda g: g[0])
+
+    def quality(self, system) -> list["Fraction"]:
+        """The paper's processor quality measure
+        ``Q(P_j) = sum_i s_{i,j} C_i / T_i`` (Section VI-A), as exact
+        fractions, one per processor."""
+        n = len(system)
+        mat = self.rate_matrix(n)
+        out = []
+        for j in range(self._m):
+            q = sum(
+                (Fraction(int(mat[i, j]) * system[i].wcet, system[i].period) for i in range(n)),
+                Fraction(0),
+            )
+            out.append(q)
+        return out
+
+    def processor_order(self, system) -> list[int]:
+        """Processors sorted least-capable-first by :meth:`quality`
+        (Section VI-A: pruning the search tree as early as possible)."""
+        quality = self.quality(system)
+        return sorted(range(self._m), key=lambda j: (quality[j], j))

@@ -1,0 +1,95 @@
+"""Arbitrary-deadline systems via task cloning (paper Section VI-B).
+
+With ``D_i > T_i`` up to ``k_i = ceil(D_i / T_i)`` jobs of the same task may
+be simultaneously active, and the CSP encodings (which identify "the task"
+with a single value/variable row) cannot express two instances running at
+once on different processors.  The paper's fix: replace ``tau_i`` by ``k_i``
+*clones* ``tau_{i,i'}``::
+
+    O_{i,i'} = O_i + (i'-1) * T_i        (windows start one period apart)
+    C_{i,i'} = C_i
+    D_{i,i'} = D_i
+    T_{i,i'} = k_i * T_i                 (smallest multiple of T_i >= D_i)
+
+Every clone is then constrained (``D <= k_i T_i``), and solving the cloned
+system with the unchanged encodings solves the original one: clone ``i'``
+serves exactly the jobs ``i', i'+k_i, i'+2k_i, ...`` of the original task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.system import TaskSystem
+from repro.model.task import Task
+from repro.util.math import ceil_div
+
+__all__ = ["CloneMap", "clone_for_arbitrary_deadlines"]
+
+
+@dataclass(frozen=True)
+class CloneMap:
+    """Bookkeeping from a cloned system back to its original.
+
+    Attributes
+    ----------
+    original:
+        The pre-transformation system.
+    origin_of:
+        ``origin_of[c]`` is the original task index of clone ``c``.
+    clone_index_of:
+        ``clone_index_of[c]`` is the clone's 1-based ``i'`` within its
+        original task (paper notation ``tau_{i,i'}``).
+    clones_of:
+        ``clones_of[i]`` lists the clone indices of original task ``i``,
+        in ``i'`` order.
+    """
+
+    original: TaskSystem
+    origin_of: tuple[int, ...]
+    clone_index_of: tuple[int, ...]
+    clones_of: tuple[tuple[int, ...], ...]
+
+    @property
+    def is_identity(self) -> bool:
+        """True when no task needed cloning (already constrained)."""
+        return len(self.origin_of) == len(self.original) and all(
+            len(c) == 1 for c in self.clones_of
+        )
+
+
+def clone_for_arbitrary_deadlines(system: TaskSystem) -> tuple[TaskSystem, CloneMap]:
+    """Rewrite ``system`` so that every task is constrained (``D <= T``).
+
+    Constrained tasks are passed through untouched (``k_i = 1`` yields the
+    original 4-tuple).  Returns the rewritten system and a :class:`CloneMap`.
+    """
+    clones: list[Task] = []
+    origin_of: list[int] = []
+    clone_index_of: list[int] = []
+    clones_of: list[tuple[int, ...]] = []
+    for i, task in enumerate(system):
+        k = ceil_div(task.deadline, task.period)
+        indices = []
+        for iprime in range(1, k + 1):
+            name = task.name if k == 1 else f"{task.name}.{iprime}"
+            clones.append(
+                Task(
+                    offset=task.offset + (iprime - 1) * task.period,
+                    wcet=task.wcet,
+                    deadline=task.deadline,
+                    period=k * task.period,
+                    name=name,
+                )
+            )
+            indices.append(len(clones) - 1)
+            origin_of.append(i)
+            clone_index_of.append(iprime)
+        clones_of.append(tuple(indices))
+    cloned = TaskSystem(clones)
+    return cloned, CloneMap(
+        original=system,
+        origin_of=tuple(origin_of),
+        clone_index_of=tuple(clone_index_of),
+        clones_of=tuple(clones_of),
+    )

@@ -1,0 +1,32 @@
+"""A from-scratch CDCL SAT solver and CNF tooling.
+
+The paper remarks (Section IV) that CSP1's all-boolean shape means "even
+boolean satisfiability (SAT) solvers could be used".  This package makes
+that remark executable: :mod:`repro.sat.cnf` holds formulas (DIMACS I/O
+included), :mod:`repro.sat.encode` provides at-most-one and exactly-k
+cardinality encodings (pairwise and Sinz sequential-counter), and
+:mod:`repro.sat.solver` is a conflict-driven clause-learning solver with
+two-watched-literal propagation, EVSIDS branching, phase saving and Luby
+restarts.
+"""
+
+from repro.sat.cnf import CNF
+from repro.sat.encode import (
+    at_least_one,
+    at_most_one_pairwise,
+    at_most_one_sequential,
+    exactly_k,
+)
+from repro.sat.solver import CdclSolver, SatResult, SatStats, SatStatus
+
+__all__ = [
+    "CNF",
+    "at_least_one",
+    "at_most_one_pairwise",
+    "at_most_one_sequential",
+    "exactly_k",
+    "CdclSolver",
+    "SatResult",
+    "SatStats",
+    "SatStatus",
+]

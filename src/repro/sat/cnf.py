@@ -1,0 +1,105 @@
+"""CNF formula container with DIMACS import/export.
+
+Literals use DIMACS convention: variables are 1-based positive integers,
+a negative integer is the negated variable, 0 terminates clauses in files.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["CNF"]
+
+
+class CNF:
+    """A growable CNF formula."""
+
+    def __init__(self, n_vars: int = 0) -> None:
+        if n_vars < 0:
+            raise ValueError(f"n_vars must be >= 0, got {n_vars}")
+        self.n_vars = n_vars
+        self.clauses: list[tuple[int, ...]] = []
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable; returns its (positive) index."""
+        self.n_vars += 1
+        return self.n_vars
+
+    def new_vars(self, count: int) -> list[int]:
+        """Allocate ``count`` fresh variables."""
+        return [self.new_var() for _ in range(count)]
+
+    def add_clause(self, lits: Iterable[int]) -> None:
+        """Add one clause; literals must reference allocated variables."""
+        clause = tuple(lits)
+        for lit in clause:
+            if lit == 0:
+                raise ValueError("literal 0 is reserved for DIMACS terminators")
+            if abs(lit) > self.n_vars:
+                raise ValueError(
+                    f"literal {lit} references unallocated variable (n_vars={self.n_vars})"
+                )
+        self.clauses.append(clause)
+
+    def add_clauses(self, clauses: Iterable[Sequence[int]]) -> None:
+        for c in clauses:
+            self.add_clause(c)
+
+    @property
+    def n_clauses(self) -> int:
+        return len(self.clauses)
+
+    # -- DIMACS -----------------------------------------------------------------
+    def to_dimacs(self) -> str:
+        """Serialize in DIMACS cnf format."""
+        lines = [f"p cnf {self.n_vars} {self.n_clauses}"]
+        for clause in self.clauses:
+            lines.append(" ".join(str(l) for l in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_dimacs(cls, text: str) -> "CNF":
+        """Parse DIMACS cnf text (comments and header tolerated)."""
+        cnf: CNF | None = None
+        pending: list[int] = []
+        clauses: list[list[int]] = []
+        max_var = 0
+        for raw in text.splitlines():
+            line = raw.strip()
+            if not line or line.startswith("c"):
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                if len(parts) != 4 or parts[1] != "cnf":
+                    raise ValueError(f"bad DIMACS header: {line!r}")
+                cnf = cls(int(parts[2]))
+                continue
+            for tok in line.split():
+                lit = int(tok)
+                if lit == 0:
+                    clauses.append(pending)
+                    pending = []
+                else:
+                    pending.append(lit)
+                    max_var = max(max_var, abs(lit))
+        if pending:
+            clauses.append(pending)
+        if cnf is None:
+            cnf = cls(max_var)
+        cnf.n_vars = max(cnf.n_vars, max_var)
+        cnf.add_clauses(clauses)
+        return cnf
+
+    def evaluate(self, assignment: Sequence[bool]) -> bool:
+        """True iff the 0-indexed boolean ``assignment`` satisfies all clauses."""
+        if len(assignment) < self.n_vars:
+            raise ValueError(f"assignment covers {len(assignment)} of {self.n_vars} vars")
+        for clause in self.clauses:
+            if not any(
+                assignment[abs(l) - 1] == (l > 0) for l in clause
+            ):
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"CNF(vars={self.n_vars}, clauses={self.n_clauses})"

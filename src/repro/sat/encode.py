@@ -1,0 +1,100 @@
+"""Cardinality-constraint encodings over CNF.
+
+The CSP1 -> SAT translation needs exactly the cardinality vocabulary of
+the paper's constraints: at-most-one for (3)/(4) and exactly-k for (5).
+Two at-most-one encodings are provided (the classic pairwise quadratic
+one and Sinz's sequential-counter with auxiliaries) so the ablation bench
+can compare them; exactly-k composes two sequential at-most-k counters
+(one over the literals for the upper bound, one over their negations for
+the lower bound).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.sat.cnf import CNF
+
+__all__ = [
+    "at_least_one",
+    "at_most_one_pairwise",
+    "at_most_one_sequential",
+    "at_most_k_sequential",
+    "exactly_k",
+]
+
+
+def at_least_one(cnf: CNF, lits: Sequence[int]) -> None:
+    """``l_1 | l_2 | ..`` (an empty list adds the contradiction clause)."""
+    cnf.add_clause(lits)
+
+
+def at_most_one_pairwise(cnf: CNF, lits: Sequence[int]) -> None:
+    """Pairwise encoding: ``O(k^2)`` binary clauses, no auxiliaries."""
+    for a in range(len(lits)):
+        for b in range(a + 1, len(lits)):
+            cnf.add_clause([-lits[a], -lits[b]])
+
+
+def at_most_one_sequential(cnf: CNF, lits: Sequence[int]) -> None:
+    """Sinz sequential encoding: ``O(k)`` clauses with ``k-1`` auxiliaries.
+
+    ``s_i`` means "some literal among the first ``i+1`` is true".
+    """
+    k = len(lits)
+    if k <= 1:
+        return
+    if k <= 3:
+        # pairwise is smaller at tiny sizes
+        at_most_one_pairwise(cnf, lits)
+        return
+    s = cnf.new_vars(k - 1)
+    cnf.add_clause([-lits[0], s[0]])
+    for i in range(1, k - 1):
+        cnf.add_clause([-lits[i], s[i]])
+        cnf.add_clause([-s[i - 1], s[i]])
+        cnf.add_clause([-lits[i], -s[i - 1]])
+    cnf.add_clause([-lits[k - 1], -s[k - 2]])
+
+
+def at_most_k_sequential(cnf: CNF, lits: Sequence[int], k: int) -> None:
+    """Sinz LTn,k sequential counter: at most ``k`` of ``lits`` are true."""
+    n = len(lits)
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    if k == 0:
+        for l in lits:
+            cnf.add_clause([-l])
+        return
+    if n <= k:
+        return  # trivially satisfied
+    if k == 1:
+        at_most_one_sequential(cnf, lits)
+        return
+    # s[i][j]: among lits[0..i], at least j+1 are true (j < k)
+    s = [[cnf.new_var() for _ in range(k)] for _ in range(n)]
+    cnf.add_clause([-lits[0], s[0][0]])
+    for j in range(1, k):
+        cnf.add_clause([-s[0][j]])
+    for i in range(1, n):
+        cnf.add_clause([-lits[i], s[i][0]])
+        cnf.add_clause([-s[i - 1][0], s[i][0]])
+        for j in range(1, k):
+            cnf.add_clause([-lits[i], -s[i - 1][j - 1], s[i][j]])
+            cnf.add_clause([-s[i - 1][j], s[i][j]])
+        cnf.add_clause([-lits[i], -s[i - 1][k - 1]])
+
+
+def exactly_k(cnf: CNF, lits: Sequence[int], k: int) -> None:
+    """Exactly ``k`` of ``lits`` are true (paper constraint (5)).
+
+    Composes an at-most-k over the literals with an at-most-(n-k) over
+    their negations (which is at-least-k over the literals).
+    """
+    n = len(lits)
+    if k < 0 or k > n:
+        # unsatisfiable on its face
+        cnf.add_clause([])
+        return
+    at_most_k_sequential(cnf, lits, k)
+    at_most_k_sequential(cnf, [-l for l in lits], n - k)

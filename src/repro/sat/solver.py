@@ -1,0 +1,314 @@
+"""A conflict-driven clause-learning (CDCL) SAT solver.
+
+Standard modern architecture, sized for the CSP1-shaped instances of this
+repository:
+
+* two-watched-literal unit propagation;
+* first-UIP conflict analysis with clause learning;
+* EVSIDS variable activities (exponentially decayed, bumped on conflict);
+* phase saving;
+* Luby-sequence restarts;
+* learned-clause database growth is unbounded (instances here are small
+  enough that deletion buys nothing but complexity).
+
+Internal literal encoding: variable ``v`` (0-based) has positive literal
+``2v`` and negative literal ``2v+1``; ``lit ^ 1`` negates.  The public API
+speaks DIMACS (1-based signed ints) via :class:`repro.sat.cnf.CNF`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.sat.cnf import CNF
+from repro.util.timer import Deadline
+
+__all__ = ["SatStatus", "SatStats", "SatResult", "CdclSolver"]
+
+_UNASSIGNED = -1
+
+
+class SatStatus(Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class SatStats:
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    restarts: int = 0
+    learned: int = 0
+    elapsed: float = 0.0
+
+
+@dataclass
+class SatResult:
+    status: SatStatus
+    #: 0-indexed truth values (only meaningful when SAT)
+    model: list[bool] | None
+    stats: SatStats
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status is SatStatus.SAT
+
+    def value(self, dimacs_var: int) -> bool:
+        """Truth value of a DIMACS variable in the model."""
+        if self.model is None:
+            raise ValueError(f"no model (status={self.status.name})")
+        return self.model[dimacs_var - 1]
+
+
+def _luby(i: int) -> int:
+    """The Luby restart sequence 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,.. (1-based).
+
+    ``luby(i) = 2^(k-1)`` when ``i = 2^k - 1``, else ``luby(i - 2^(k-1) + 1)``
+    for the unique ``k`` with ``2^(k-1) <= i < 2^k``.
+    """
+    if i < 1:
+        raise ValueError(f"luby index is 1-based, got {i}")
+    while True:
+        k = i.bit_length()
+        if i == (1 << k) - 1:
+            return 1 << (k - 1)
+        i = i - (1 << (k - 1)) + 1
+
+
+class CdclSolver:
+    """Solve a :class:`CNF`; one instance per formula."""
+
+    def __init__(self, cnf: CNF) -> None:
+        self.n = cnf.n_vars
+        self.stats = SatStats()
+        self._empty_input = False
+        # clauses as lists of internal literals
+        self.clauses: list[list[int]] = []
+        self.values: list[int] = [_UNASSIGNED] * self.n
+        self.levels: list[int] = [0] * self.n
+        self.reasons: list[int] = [-1] * self.n  # clause index or -1 (decision)
+        self.trail: list[int] = []  # internal lits in assignment order
+        self.trail_lim: list[int] = []
+        self.qhead = 0
+        self.watches: list[list[int]] = [[] for _ in range(2 * self.n)]
+        self.activity: list[float] = [0.0] * self.n
+        self.var_inc = 1.0
+        self.phase: list[bool] = [False] * self.n
+        self._units: list[int] = []
+        for clause in cnf.clauses:
+            lits = sorted({self._to_internal(l) for l in clause})
+            # drop tautologies (x | ~x)
+            if any(lits[i] ^ 1 == lits[i + 1] for i in range(len(lits) - 1)):
+                continue
+            if not lits:
+                self._empty_input = True
+            elif len(lits) == 1:
+                self._units.append(lits[0])
+            else:
+                self._attach(lits)
+
+    @staticmethod
+    def _to_internal(dimacs: int) -> int:
+        v = abs(dimacs) - 1
+        return 2 * v + (1 if dimacs < 0 else 0)
+
+    def _attach(self, lits: list[int]) -> int:
+        idx = len(self.clauses)
+        self.clauses.append(lits)
+        self.watches[lits[0]].append(idx)
+        self.watches[lits[1]].append(idx)
+        return idx
+
+    # -- assignment ------------------------------------------------------------
+    def _lit_value(self, lit: int) -> int:
+        """1 true, 0 false, -1 unassigned."""
+        v = self.values[lit >> 1]
+        if v == _UNASSIGNED:
+            return _UNASSIGNED
+        return v ^ (lit & 1)
+
+    def _enqueue(self, lit: int, reason: int) -> bool:
+        var = lit >> 1
+        val = 1 - (lit & 1)
+        if self.values[var] != _UNASSIGNED:
+            return self.values[var] == val
+        self.values[var] = val
+        self.levels[var] = len(self.trail_lim)
+        self.reasons[var] = reason
+        self.trail.append(lit)
+        return True
+
+    def _propagate(self) -> int:
+        """Unit propagation; returns conflicting clause index or -1."""
+        while self.qhead < len(self.trail):
+            lit = self.trail[self.qhead]
+            self.qhead += 1
+            self.stats.propagations += 1
+            false_lit = lit ^ 1
+            watch_list = self.watches[false_lit]
+            i = 0
+            while i < len(watch_list):
+                ci = watch_list[i]
+                clause = self.clauses[ci]
+                # normalize: watched false literal at position 1
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._lit_value(first) == 1:
+                    i += 1
+                    continue
+                # search replacement watch
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._lit_value(clause[k]) != 0:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self.watches[clause[1]].append(ci)
+                        watch_list[i] = watch_list[-1]
+                        watch_list.pop()
+                        moved = True
+                        break
+                if moved:
+                    continue
+                # clause is unit or conflicting
+                if self._lit_value(first) == 0:
+                    self.qhead = len(self.trail)
+                    return ci
+                self._enqueue(first, ci)
+                i += 1
+        return -1
+
+    # -- conflict analysis --------------------------------------------------------
+    def _bump(self, var: int) -> None:
+        self.activity[var] += self.var_inc
+        if self.activity[var] > 1e100:
+            for v in range(self.n):
+                self.activity[v] *= 1e-100
+            self.var_inc *= 1e-100
+
+    def _analyze(self, confl: int) -> tuple[list[int], int]:
+        """1-UIP learned clause and backjump level."""
+        learnt = [0]  # placeholder for the asserting literal
+        seen = [False] * self.n
+        counter = 0
+        lit = -1
+        level = len(self.trail_lim)
+        index = len(self.trail) - 1
+        reason = confl
+        while True:
+            clause = self.clauses[reason]
+            start = 0 if lit == -1 else 1
+            # for a reason clause, clause[0] is the implied literal
+            for q in clause[start:]:
+                var = q >> 1
+                if not seen[var] and self.levels[var] > 0:
+                    seen[var] = True
+                    self._bump(var)
+                    if self.levels[var] >= level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            # pick next trail literal to resolve on
+            while True:
+                lit = self.trail[index]
+                index -= 1
+                if seen[lit >> 1]:
+                    break
+            counter -= 1
+            seen[lit >> 1] = False
+            if counter == 0:
+                break
+            # invariant: while a clause serves as a reason its implied
+            # literal sits at position 0 (it stays true until backjumped,
+            # so propagation never swaps it out of the watch slots)
+            reason = self.reasons[lit >> 1]
+        learnt[0] = lit ^ 1
+        if len(learnt) == 1:
+            return learnt, 0
+        back = max(self.levels[q >> 1] for q in learnt[1:])
+        # move a literal of the backjump level into watch position 1
+        for k in range(1, len(learnt)):
+            if self.levels[learnt[k] >> 1] == back:
+                learnt[1], learnt[k] = learnt[k], learnt[1]
+                break
+        return learnt, back
+
+    def _backjump(self, level: int) -> None:
+        if len(self.trail_lim) <= level:
+            return
+        mark = self.trail_lim[level]
+        for lit in self.trail[mark:]:
+            var = lit >> 1
+            self.phase[var] = self.values[var] == 1
+            self.values[var] = _UNASSIGNED
+            self.reasons[var] = -1
+        del self.trail[mark:]
+        del self.trail_lim[level:]
+        self.qhead = len(self.trail)
+
+    def _decide(self) -> int:
+        """Pick an unassigned variable by activity; -1 when all assigned."""
+        best = -1
+        best_act = -1.0
+        for v in range(self.n):
+            if self.values[v] == _UNASSIGNED and self.activity[v] > best_act:
+                best_act = self.activity[v]
+                best = v
+        return best
+
+    # -- main loop -------------------------------------------------------------------
+    def solve(self, time_limit: float | None = None, conflict_limit: int | None = None) -> SatResult:
+        deadline = Deadline(time_limit)
+        stats = self.stats
+
+        def result(status: SatStatus, model=None) -> SatResult:
+            stats.elapsed = deadline.elapsed()
+            return SatResult(status=status, model=model, stats=stats)
+
+        if self._empty_input:
+            return result(SatStatus.UNSAT)
+        for lit in self._units:
+            if not self._enqueue(lit, -1):
+                return result(SatStatus.UNSAT)
+        if self._propagate() != -1:
+            return result(SatStatus.UNSAT)
+
+        restart_count = 0
+        conflicts_until_restart = 64 * _luby(1)
+        while True:
+            if deadline.expired() or (
+                conflict_limit is not None and stats.conflicts >= conflict_limit
+            ):
+                return result(SatStatus.UNKNOWN)
+            confl = self._propagate()
+            if confl != -1:
+                stats.conflicts += 1
+                if not self.trail_lim:
+                    return result(SatStatus.UNSAT)
+                learnt, back = self._analyze(confl)
+                self._backjump(back)
+                if len(learnt) == 1:
+                    if not self._enqueue(learnt[0], -1):
+                        return result(SatStatus.UNSAT)
+                else:
+                    ci = self._attach(learnt)
+                    stats.learned += 1
+                    self._enqueue(learnt[0], ci)
+                self.var_inc /= 0.95  # EVSIDS decay
+                conflicts_until_restart -= 1
+                if conflicts_until_restart <= 0:
+                    stats.restarts += 1
+                    restart_count += 1
+                    conflicts_until_restart = 64 * _luby(restart_count + 1)
+                    self._backjump(0)
+                continue
+            var = self._decide()
+            if var == -1:
+                model = [self.values[v] == 1 for v in range(self.n)]
+                return result(SatStatus.SAT, model)
+            stats.decisions += 1
+            self.trail_lim.append(len(self.trail))
+            lit = 2 * var + (0 if self.phase[var] else 1)
+            self._enqueue(lit, -1)

@@ -1,0 +1,32 @@
+"""Schedule substrate: cyclic schedule tables, validation, rendering, metrics.
+
+A schedule is the paper's ``sigma : N -> {0,1,..,n}^m`` restricted to one
+hyperperiod (Section II / Theorem 1): an ``m x T`` table whose entry
+``(j, t)`` is the 0-based task index running on processor ``P_j`` in slot
+``t``, or ``IDLE`` (-1).  The infinite schedule is the table repeated every
+``T`` slots.
+"""
+
+from repro.schedule.schedule import IDLE, Schedule
+from repro.schedule.validate import ValidationResult, Violation, validate
+from repro.schedule.metrics import ScheduleMetrics, compute_metrics
+from repro.schedule.render import render_gantt, render_intervals
+from repro.schedule.io import schedule_from_dict, schedule_to_dict
+from repro.schedule.segments import JobTrace, Segment, extract_traces
+
+__all__ = [
+    "JobTrace",
+    "Segment",
+    "extract_traces",
+    "IDLE",
+    "Schedule",
+    "ValidationResult",
+    "Violation",
+    "validate",
+    "ScheduleMetrics",
+    "compute_metrics",
+    "render_gantt",
+    "render_intervals",
+    "schedule_from_dict",
+    "schedule_to_dict",
+]

@@ -1,0 +1,118 @@
+"""Canonical JSON (de)serialization for systems, platforms and schedules.
+
+One stable on-disk schema shared by the CLI, the experiment harness and
+downstream users::
+
+    system:    {"tasks": [[O, C, D, T], ...], "names": [...]?}
+    platform:  {"kind": "identical", "m": 2}
+             | {"kind": "uniform", "speeds": [2, 1]}
+             | {"kind": "heterogeneous", "rates": [[...], ...]}
+    schedule:  {"system": ..., "platform": ..., "table": [[...], ...]}
+    instance:  {"tasks": ..., "m": 2}            (generator output), or
+               {"tasks": ..., "platform": ...}
+
+Everything round-trips exactly (integers only, no floats involved).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.model.platform import Platform
+from repro.model.system import TaskSystem
+from repro.schedule.schedule import Schedule
+
+__all__ = [
+    "system_to_dict",
+    "system_from_dict",
+    "platform_to_dict",
+    "platform_from_dict",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "load_instance",
+    "dump_json",
+]
+
+
+def system_to_dict(system: TaskSystem) -> dict[str, Any]:
+    """Serialize a task system (names kept only if any were customized)."""
+    out: dict[str, Any] = {"tasks": [list(t.as_tuple()) for t in system]}
+    names = [t.name for t in system]
+    if names != [f"tau{i + 1}" for i in range(system.n)]:
+        out["names"] = names
+    return out
+
+
+def system_from_dict(data: dict[str, Any]) -> TaskSystem:
+    """Inverse of :func:`system_to_dict`."""
+    if "tasks" not in data:
+        raise ValueError("system JSON needs a 'tasks' list")
+    return TaskSystem.from_tuples(data["tasks"], names=data.get("names"))
+
+
+def platform_to_dict(platform: Platform) -> dict[str, Any]:
+    """Serialize a platform."""
+    if platform.kind == "identical":
+        return {"kind": "identical", "m": platform.m}
+    if platform.kind == "uniform":
+        return {
+            "kind": "uniform",
+            "speeds": [platform.rate(0, j) for j in range(platform.m)],
+        }
+    return {
+        "kind": "heterogeneous",
+        "rates": platform.rate_matrix(platform.n_tasks).tolist(),
+    }
+
+
+def platform_from_dict(data: dict[str, Any]) -> Platform:
+    """Inverse of :func:`platform_to_dict`."""
+    kind = data.get("kind")
+    if kind == "identical":
+        return Platform.identical(int(data["m"]))
+    if kind == "uniform":
+        return Platform.uniform(data["speeds"])
+    if kind == "heterogeneous":
+        return Platform.heterogeneous(data["rates"])
+    raise ValueError(f"unknown platform kind {kind!r}")
+
+
+def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
+    """Serialize a schedule with its system and platform (self-contained)."""
+    return {
+        "system": system_to_dict(schedule.system),
+        "platform": platform_to_dict(schedule.platform),
+        "table": schedule.table.tolist(),
+    }
+
+
+def schedule_from_dict(data: dict[str, Any]) -> Schedule:
+    """Inverse of :func:`schedule_to_dict`.
+
+    Also accepts the legacy flat form ``{"tasks": .., "m": .., "table": ..}``.
+    """
+    if "system" in data:
+        system = system_from_dict(data["system"])
+        platform = platform_from_dict(data["platform"])
+    else:
+        system = system_from_dict(data)
+        platform = Platform.identical(int(data["m"]))
+    return Schedule(system, platform, data["table"])
+
+
+def load_instance(data: dict[str, Any]) -> tuple[TaskSystem, Platform]:
+    """Parse an instance dict: a system plus either ``m`` or ``platform``."""
+    system = system_from_dict(data)
+    if "platform" in data:
+        platform = platform_from_dict(data["platform"])
+    elif "m" in data:
+        platform = Platform.identical(int(data["m"]))
+    else:
+        raise ValueError("instance JSON needs 'm' or 'platform'")
+    return system, platform
+
+
+def dump_json(data: dict[str, Any]) -> str:
+    """Consistent JSON formatting for all files this library writes."""
+    return json.dumps(data, indent=2) + "\n"

@@ -1,0 +1,73 @@
+"""ASCII rendering: availability-interval charts (Figure 1) and Gantt tables.
+
+:func:`render_intervals` reproduces the paper's Figure 1 — the pattern of
+availability intervals of every task over one hyperperiod — as text:
+
+    tau1  |##|##|##|##|##|##|       D1 = T1 = 2
+    tau2  .####.####.####            O2 = 1, D2 = T2 = 4
+    ...
+
+:func:`render_gantt` prints a solved schedule, one row per processor.
+"""
+
+from __future__ import annotations
+
+from repro.model import intervals
+from repro.model.system import TaskSystem
+from repro.schedule.schedule import IDLE, Schedule
+
+__all__ = ["render_intervals", "render_gantt"]
+
+
+def _ruler(T: int, cell: int, indent: int) -> str:
+    """Slot-number ruler printed above charts."""
+    parts = []
+    for t in range(T):
+        parts.append(str(t).rjust(cell))
+    return " " * indent + "".join(parts)
+
+
+def render_intervals(system: TaskSystem, mark: str = "#", gap: str = ".") -> str:
+    """Figure 1: one row per task, ``mark`` on window slots, ``gap`` elsewhere.
+
+    Window starts are drawn with ``[`` so adjacent windows stay readable
+    (tau1 in the running example has back-to-back windows).
+    """
+    if len(mark) != 1 or len(gap) != 1:
+        raise ValueError("mark and gap must be single characters")
+    T = system.hyperperiod
+    name_w = max(len(t.name or "") for t in system) + 2
+    cell = max(2, len(str(T - 1)) + 1)
+    lines = [f"hyperperiod T = {T}", _ruler(T, cell, name_w)]
+    for i, task in enumerate(system):
+        row = []
+        for t in range(T):
+            job = intervals.active_job(task, T, t)
+            if job is None:
+                ch = gap
+            elif t == intervals.job_release(task, job):
+                ch = "["
+            else:
+                ch = mark
+            row.append(ch.rjust(cell))
+        params = f"  O={task.offset} C={task.wcet} D={task.deadline} T={task.period}"
+        lines.append((task.name or f"tau{i+1}").ljust(name_w) + "".join(row) + params)
+    return "\n".join(lines)
+
+
+def render_gantt(schedule: Schedule, idle: str = ".") -> str:
+    """One row per processor; cells show 1-based task numbers (paper style)."""
+    if len(idle) != 1:
+        raise ValueError("idle must be a single character")
+    system = schedule.system
+    T = schedule.horizon
+    cell = max(2, len(str(system.n)) + 1, len(str(T - 1)) + 1)
+    name_w = len(f"P{schedule.m}") + 2
+    lines = [_ruler(T, cell, name_w)]
+    for j in range(schedule.m):
+        row = []
+        for t in range(T):
+            e = schedule.entry(j, t)
+            row.append((idle if e == IDLE else str(e + 1)).rjust(cell))
+        lines.append(f"P{j + 1}".ljust(name_w) + "".join(row))
+    return "\n".join(lines)

@@ -1,0 +1,137 @@
+"""The cyclic schedule table."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+from repro.model.platform import Platform
+from repro.model.system import TaskSystem
+
+__all__ = ["IDLE", "Schedule"]
+
+#: Entry marking an idle processor slot (the paper's value "0" in sigma and
+#: "-1" in CSP2; we use -1 so task indices can stay 0-based).
+IDLE: int = -1
+
+
+class Schedule:
+    """An ``m x T`` cyclic schedule for a task system on a platform.
+
+    The table is validated for *shape and entry range* at construction;
+    semantic validation (the paper's conditions C1-C4) lives in
+    :func:`repro.schedule.validate.validate` so that invalid schedules can
+    still be constructed, inspected and rendered while debugging solvers.
+    """
+
+    __slots__ = ("system", "platform", "table")
+
+    def __init__(
+        self,
+        system: TaskSystem,
+        platform: Platform,
+        table: np.ndarray | Iterable[Iterable[int]],
+    ) -> None:
+        self.system = system
+        self.platform = platform
+        tab = np.array(table, dtype=np.int32, copy=True)
+        if tab.ndim != 2:
+            raise ValueError(f"schedule table must be 2-D, got shape {tab.shape}")
+        m, T = tab.shape
+        if m != platform.m:
+            raise ValueError(f"table has {m} processor rows, platform has {platform.m}")
+        if T == 0 or T % system.hyperperiod != 0:
+            raise ValueError(
+                f"table has {T} slots; must be a positive multiple of the "
+                f"hyperperiod {system.hyperperiod} (a period-kT cyclic schedule "
+                "is still cyclic — clone merging produces k > 1)"
+            )
+        if tab.min(initial=IDLE) < IDLE or tab.max(initial=IDLE) >= system.n:
+            raise ValueError(
+                f"table entries must be {IDLE} (idle) or task indices 0..{system.n - 1}"
+            )
+        tab.setflags(write=False)
+        self.table = tab
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def empty(cls, system: TaskSystem, platform: Platform) -> "Schedule":
+        """All-idle schedule."""
+        return cls(
+            system,
+            platform,
+            np.full((platform.m, system.hyperperiod), IDLE, dtype=np.int32),
+        )
+
+    @classmethod
+    def from_assignment(
+        cls,
+        system: TaskSystem,
+        platform: Platform,
+        assignment: Mapping[tuple[int, int], int],
+    ) -> "Schedule":
+        """Build from a sparse ``{(processor, slot): task}`` mapping."""
+        tab = np.full((platform.m, system.hyperperiod), IDLE, dtype=np.int32)
+        for (j, t), i in assignment.items():
+            tab[j, t] = i
+        return cls(system, platform, tab)
+
+    # -- accessors -------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        """Number of processors."""
+        return int(self.table.shape[0])
+
+    @property
+    def horizon(self) -> int:
+        """Cycle length (the hyperperiod ``T``)."""
+        return int(self.table.shape[1])
+
+    def entry(self, j: int, t: int) -> int:
+        """Task on processor ``j`` at cyclic slot ``t`` (``IDLE`` if none).
+
+        ``t`` may be any non-negative absolute slot; it is reduced mod T
+        (Theorem 1's periodic extension)."""
+        return int(self.table[j, t % self.horizon])
+
+    def tasks_at(self, t: int) -> list[int]:
+        """Sorted task indices running (on any processor) in slot ``t``."""
+        col = self.table[:, t % self.horizon]
+        return sorted(int(x) for x in col[col != IDLE])
+
+    def processor_of(self, i: int, t: int) -> int | None:
+        """Processor running task ``i`` at slot ``t``, or None."""
+        js = np.flatnonzero(self.table[:, t % self.horizon] == i)
+        if len(js) == 0:
+            return None
+        # C3 violations (task on several processors) are reported by the
+        # validator; here we return the lowest processor.
+        return int(js[0])
+
+    def task_assignments(self, i: int) -> list[tuple[int, int]]:
+        """All ``(processor, slot)`` pairs where task ``i`` runs, slot-major."""
+        js, ts = np.nonzero(self.table == i)
+        return sorted(zip((int(j) for j in js), (int(t) for t in ts)), key=lambda p: (p[1], p[0]))
+
+    def busy_slots(self) -> int:
+        """Total non-idle entries in the table."""
+        return int((self.table != IDLE).sum())
+
+    def unroll(self, cycles: int) -> np.ndarray:
+        """The table repeated ``cycles`` times along the time axis."""
+        if cycles < 1:
+            raise ValueError(f"cycles must be >= 1, got {cycles}")
+        return np.tile(self.table, (1, cycles))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schedule):
+            return NotImplemented
+        return (
+            self.system == other.system
+            and self.platform == other.platform
+            and bool(np.array_equal(self.table, other.table))
+        )
+
+    def __repr__(self) -> str:
+        return f"Schedule(m={self.m}, T={self.horizon}, busy={self.busy_slots()})"

@@ -1,0 +1,122 @@
+"""Execution-segment extraction: schedules as per-job event traces.
+
+A cyclic table answers "who runs at slot t"; downstream tooling (trace
+viewers, WCRT measurement, migration accounting) wants the dual view:
+for each *job*, the list of contiguous execution segments in window order.
+This module extracts that trace, cyclically correct (wrapped windows
+produce segments whose window order differs from scan order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model import intervals
+from repro.schedule.schedule import Schedule
+
+__all__ = ["Segment", "JobTrace", "extract_traces"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A maximal run of consecutive window slots on one processor.
+
+    ``window_pos`` is the 0-based offset of the segment's first unit
+    within the job's availability window (so wrap-around is already
+    normalized away); ``start_slot`` is the corresponding cyclic slot.
+    """
+
+    processor: int
+    window_pos: int
+    start_slot: int
+    length: int
+
+
+@dataclass(frozen=True)
+class JobTrace:
+    """All execution segments of one job, in window order."""
+
+    task: int
+    job: int
+    release_slot: int
+    segments: tuple[Segment, ...]
+
+    @property
+    def units(self) -> int:
+        """Total execution received (== C_i for a feasible schedule)."""
+        return sum(s.length for s in self.segments)
+
+    @property
+    def migrations(self) -> int:
+        """Processor changes between consecutive segments."""
+        return sum(
+            1
+            for a, b in zip(self.segments, self.segments[1:])
+            if a.processor != b.processor
+        )
+
+    @property
+    def preemptions(self) -> int:
+        """Times the job stopped with work remaining and resumed later
+        (a gap in window positions between consecutive segments)."""
+        return sum(
+            1
+            for a, b in zip(self.segments, self.segments[1:])
+            if b.window_pos > a.window_pos + a.length
+        )
+
+    @property
+    def completion_pos(self) -> int | None:
+        """Window position right after the last executed unit (None if the
+        job never ran) — a response-time measure in window coordinates."""
+        if not self.segments:
+            return None
+        last = self.segments[-1]
+        return last.window_pos + last.length
+
+
+def extract_traces(schedule: Schedule) -> list[JobTrace]:
+    """Extract every job's execution trace from a cyclic schedule.
+
+    Works for feasible *and* partial schedules (segments simply cover
+    whatever units are present).  Segments are maximal runs of units that
+    are consecutive in *window order* and stay on one processor; a run is
+    broken by an idle window slot (preemption) or a processor change
+    (migration).
+    """
+    system = schedule.system
+    T = schedule.horizon
+    traces: list[JobTrace] = []
+    for i in range(system.n):
+        task = system[i]
+        for job in range(T // task.period):
+            slots = intervals.window_slots(task, T, job)
+            segments: list[Segment] = []
+            cur: list | None = None  # [proc, window_pos, start_slot, length]
+            last_ran_pos = None
+            for pos, s in enumerate(slots):
+                proc = schedule.processor_of(i, s)
+                if proc is None:
+                    if cur is not None:
+                        segments.append(Segment(*cur))
+                        cur = None
+                    continue
+                contiguous = last_ran_pos == pos - 1
+                if cur is not None and cur[0] == proc and contiguous:
+                    cur[3] += 1
+                else:
+                    if cur is not None:
+                        segments.append(Segment(*cur))
+                    cur = [proc, pos, s, 1]
+                last_ran_pos = pos
+            if cur is not None:
+                segments.append(Segment(*cur))
+            traces.append(
+                JobTrace(
+                    task=i,
+                    job=job,
+                    release_slot=intervals.job_release(task, job),
+                    segments=tuple(segments),
+                )
+            )
+    return traces

@@ -1,0 +1,36 @@
+"""Solver facade: every way this library can answer an MGRTS instance.
+
+All solvers share one result type (:class:`SolveResult`) and one calling
+convention: ``solver.solve(time_limit=..) -> SolveResult``.  The registry
+exposes the paper's six experimental configurations by name::
+
+    csp1        CSP1 on the generic engine (the paper's Choco run)
+    csp2        dedicated chronological solver, task-index value order
+    csp2+rm     ... Rate Monotonic value order
+    csp2+dm     ... Deadline Monotonic
+    csp2+tc     ... smallest T-C first
+    csp2+dc     ... smallest D-C first (the experimental winner)
+
+plus extras built in this reproduction: ``csp2-generic[+h]`` (encoding #2
+on the generic engine), ``sat`` (CNF + CDCL), and the baselines under
+:mod:`repro.baselines`.
+
+Use :func:`repro.solvers.api.solve` (re-exported as ``repro.solve``) for
+the one-call interface that also handles arbitrary-deadline cloning.
+"""
+
+from repro.solvers.base import Feasibility, SolveResult, SolverStats
+from repro.solvers.registry import available_solvers, make_solver
+from repro.solvers.api import solve
+from repro.solvers.min_processors import MinProcessorsResult, find_min_processors
+
+__all__ = [
+    "Feasibility",
+    "SolveResult",
+    "SolverStats",
+    "available_solvers",
+    "make_solver",
+    "solve",
+    "MinProcessorsResult",
+    "find_min_processors",
+]

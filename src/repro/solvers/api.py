@@ -1,0 +1,128 @@
+"""One-call front door: ``repro.solve(system, m=2)``.
+
+Handles the plumbing a downstream user should not have to know about:
+arbitrary-deadline systems are cloned (Section VI-B), the solver is looked
+up by name, and the resulting schedule is validated before being returned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.platform import Platform
+from repro.model.system import TaskSystem
+from repro.model.transform import CloneMap, clone_for_arbitrary_deadlines
+from repro.schedule.schedule import IDLE, Schedule
+from repro.schedule.validate import validate
+from repro.solvers.base import Feasibility, SolveResult
+from repro.solvers.registry import make_solver
+
+__all__ = ["solve", "MgrtsResult", "merge_clone_schedule"]
+
+
+def merge_clone_schedule(schedule: Schedule, clone_map: CloneMap) -> Schedule:
+    """Relabel a cloned system's schedule with original task indices.
+
+    The result is a *display* schedule over the original (possibly
+    arbitrary-deadline) system — two clones of one task may legitimately
+    run in parallel, so only the cloned schedule is validated.
+    """
+    original = clone_map.original
+    table = np.full(schedule.table.shape, IDLE, dtype=np.int32)
+    for c, origin in enumerate(clone_map.origin_of):
+        table[schedule.table == c] = origin
+    return Schedule(original, schedule.platform, table)
+
+
+@dataclass
+class MgrtsResult:
+    """Outcome of :func:`solve` on a (possibly arbitrary-deadline) system."""
+
+    result: SolveResult
+    system: TaskSystem
+    cloned_system: TaskSystem
+    clone_map: CloneMap
+
+    @property
+    def status(self) -> Feasibility:
+        return self.result.status
+
+    @property
+    def is_feasible(self) -> bool:
+        return self.result.is_feasible
+
+    @property
+    def schedule(self) -> Schedule | None:
+        """The validated schedule over the (cloned) constrained system."""
+        return self.result.schedule
+
+    @property
+    def original_schedule(self) -> Schedule | None:
+        """Schedule relabeled with the original task indices (for display)."""
+        if self.result.schedule is None:
+            return None
+        if self.clone_map.is_identity:
+            return self.result.schedule
+        return merge_clone_schedule(self.result.schedule, self.clone_map)
+
+    @property
+    def stats(self):
+        return self.result.stats
+
+
+def solve(
+    system: TaskSystem,
+    platform: Platform | None = None,
+    m: int | None = None,
+    solver: str = "csp2+dc",
+    time_limit: float | None = None,
+    node_limit: int | None = None,
+    seed: int | None = None,
+    check: bool = True,
+    **options,
+) -> MgrtsResult:
+    """Solve an MGRTS instance end to end.
+
+    Parameters
+    ----------
+    system:
+        Any task system; arbitrary-deadline tasks are cloned automatically.
+    platform, m:
+        Pass a :class:`Platform`, or just ``m`` for identical processors.
+    solver:
+        A registry name (default ``csp2+dc``, the paper's best performer).
+    time_limit, node_limit:
+        Search budget (the paper used 30 s).
+    seed:
+        Randomized-strategy seed (``csp1``).
+    check:
+        Validate the returned schedule against C1-C4 (cheap insurance;
+        raises if a solver ever produced an invalid schedule).
+    options:
+        Extra solver-specific flags (``symmetry_breaking=False``, ...).
+
+    Returns
+    -------
+    MgrtsResult
+        Status, stats, and (if feasible) the cyclic schedule.
+    """
+    if platform is None:
+        if m is None:
+            raise ValueError("pass either platform= or m=")
+        platform = Platform.identical(m)
+    elif m is not None and m != platform.m:
+        raise ValueError(f"conflicting processor counts: m={m}, platform.m={platform.m}")
+
+    cloned, cmap = clone_for_arbitrary_deadlines(system)
+    if platform.kind == "heterogeneous" and not cmap.is_identity:
+        raise ValueError(
+            "heterogeneous rate matrices are indexed by task; expand the "
+            "matrix for the cloned system and pass the cloned system directly"
+        )
+    engine = make_solver(solver, cloned, platform, seed=seed, **options)
+    result = engine.solve(time_limit=time_limit, node_limit=node_limit)
+    if check and result.schedule is not None:
+        validate(result.schedule).raise_if_invalid()
+    return MgrtsResult(result=result, system=system, cloned_system=cloned, clone_map=cmap)

@@ -1,0 +1,248 @@
+"""Local search over the CSP2 representation (paper future work).
+
+The discussion section proposes "using the same CSP formalizations with
+local search algorithms, although they won't be able to prove that a given
+instance is infeasible".  This module implements that proposal as a
+min-conflicts search over per-slot task selections:
+
+* a *state* is one complete per-slot assignment — for every slot, which
+  tasks run (at most ``m``, all available at that slot); conditions C1/C2/
+  C3 and the idle-rule hold by construction, so the only violated
+  constraint is (9), "exactly C_i units per window";
+* the *cost* of a state is the total window deviation
+  ``sum_windows |received - C_i|``;
+* a *move* toggles one task in one slot (add if capacity remains, else
+  swap against a running task), chosen among the moves that most reduce
+  cost over a random candidate window (min-conflicts with noise);
+* sideways moves escape plateaus, random restarts escape local minima.
+
+The solver returns FEASIBLE with a validated schedule when cost reaches 0
+and UNKNOWN otherwise — never INFEASIBLE, exactly the trade-off the paper
+states.  Identical platforms only (moves assume unit rates).
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.model import intervals
+from repro.model.platform import Platform
+from repro.model.system import TaskSystem
+from repro.schedule.schedule import IDLE, Schedule
+from repro.solvers.base import Feasibility, SolveResult, SolverStats
+from repro.util.timer import Deadline
+
+__all__ = ["Csp2LocalSearchSolver"]
+
+
+class Csp2LocalSearchSolver:
+    """Min-conflicts local search for MGRTS (identical processors).
+
+    Parameters
+    ----------
+    seed:
+        RNG seed (the search is randomized by nature; fixed seed = fixed
+        trajectory).
+    max_steps_per_restart:
+        Moves before giving up on a trajectory and restarting.
+    noise:
+        Probability of taking a random (rather than best) move — standard
+        min-conflicts noise to escape plateaus.
+    """
+
+    name = "csp2-local"
+
+    def __init__(
+        self,
+        system: TaskSystem,
+        platform: Platform,
+        seed: int | None = 0,
+        max_steps_per_restart: int = 2000,
+        noise: float = 0.08,
+    ) -> None:
+        if not system.is_constrained:
+            raise ValueError(
+                "local search needs a constrained-deadline system; apply "
+                "clone_for_arbitrary_deadlines() first"
+            )
+        if not platform.is_identical:
+            raise ValueError("local search supports identical platforms only")
+        if not 0.0 <= noise <= 1.0:
+            raise ValueError(f"noise must be in [0, 1], got {noise}")
+        self.system = system
+        self.platform = platform
+        self.seed = seed
+        self.max_steps_per_restart = max_steps_per_restart
+        self.noise = noise
+
+        T = system.hyperperiod
+        self._T = T
+        self._m = platform.m
+        # available tasks per slot and the (task, job) window id per slot
+        self._avail: list[list[int]] = [[] for _ in range(T)]
+        self._job_at: list[dict[int, int]] = [dict() for _ in range(T)]
+        for i in range(system.n):
+            if system[i].wcet == 0:
+                continue
+            for t in system.task_slots(i):
+                job = intervals.active_job(system[i], T, t)
+                self._avail[t].append(i)
+                self._job_at[t][i] = job
+        # window targets, flattened ids (and the reverse map for O(1) moves)
+        self._window_id: dict[tuple[int, int], int] = {}
+        self._window_key: list[tuple[int, int]] = []
+        self._targets: list[int] = []
+        for i in range(system.n):
+            for job in range(system.n_jobs(i)):
+                self._window_id[(i, job)] = len(self._targets)
+                self._window_key.append((i, job))
+                self._targets.append(system[i].wcet)
+
+    # -- state helpers -----------------------------------------------------------
+    def _initial_state(self, rng: random.Random) -> list[set[int]]:
+        """Greedy randomized construction: fill each slot up to m tasks,
+        preferring tasks whose windows still need units."""
+        received = [0] * len(self._targets)
+        state: list[set[int]] = []
+        for t in range(self._T):
+            cands = list(self._avail[t])
+            rng.shuffle(cands)
+            cands.sort(
+                key=lambda i: self._targets[self._window_id[(i, self._job_at[t][i])]]
+                - received[self._window_id[(i, self._job_at[t][i])]],
+                reverse=True,
+            )
+            chosen = set()
+            for i in cands:
+                if len(chosen) >= self._m:
+                    break
+                wid = self._window_id[(i, self._job_at[t][i])]
+                if received[wid] < self._targets[wid]:
+                    chosen.add(i)
+                    received[wid] += 1
+            state.append(chosen)
+        return state
+
+    def _cost_and_received(self, state: list[set[int]]) -> tuple[int, list[int]]:
+        received = [0] * len(self._targets)
+        for t, chosen in enumerate(state):
+            for i in chosen:
+                received[self._window_id[(i, self._job_at[t][i])]] += 1
+        cost = sum(abs(r - c) for r, c in zip(received, self._targets))
+        return cost, received
+
+    # -- main loop -------------------------------------------------------------
+    def solve(
+        self, time_limit: float | None = None, node_limit: int | None = None
+    ) -> SolveResult:
+        deadline = Deadline(time_limit)
+        rng = random.Random(self.seed)
+        stats = SolverStats()
+        restarts = 0
+
+        def result(status: Feasibility, schedule=None) -> SolveResult:
+            stats.elapsed = deadline.elapsed()
+            stats.extra["restarts"] = restarts
+            return SolveResult(
+                status=status, schedule=schedule, stats=stats, solver_name=self.name
+            )
+
+        # windows that cannot be filled even in principle: bail out early
+        # (this is the only "reasoning" a local search gets for free)
+        for i in range(self.system.n):
+            if self.system[i].wcet > self.system[i].deadline:
+                return result(Feasibility.UNKNOWN)
+
+        while not deadline.expired():
+            if node_limit is not None and stats.nodes >= node_limit:
+                break
+            state = self._initial_state(rng)
+            cost, received = self._cost_and_received(state)
+            steps = 0
+            while cost > 0 and steps < self.max_steps_per_restart:
+                if deadline.expired() or (
+                    node_limit is not None and stats.nodes >= node_limit
+                ):
+                    return result(Feasibility.UNKNOWN)
+                steps += 1
+                stats.nodes += 1
+                if not self._step(state, received, rng):
+                    break  # no move available at all (degenerate instance)
+                # `received` is maintained incrementally by _step
+                cost = sum(abs(r - c) for r, c in zip(received, self._targets))
+            if cost == 0:
+                schedule = self._build(state)
+                return result(Feasibility.FEASIBLE, schedule)
+            restarts += 1
+            stats.fails += 1
+        return result(Feasibility.UNKNOWN)
+
+    def _step(
+        self, state: list[set[int]], received: list[int], rng: random.Random
+    ) -> bool:
+        """One min-conflicts move; returns False if no move exists."""
+        # pick a violated window, biased towards under-filled ones
+        violated = [
+            wid
+            for wid, (r, c) in enumerate(zip(received, self._targets))
+            if r != c
+        ]
+        if not violated:
+            return True
+        wid = rng.choice(violated)
+        task, job = self._window_key[wid]
+        slots = intervals.window_slots(self.system[task], self._T, job)
+        deficit = self._targets[wid] - received[wid]
+
+        if deficit > 0:
+            # add a unit of `task` somewhere in the window
+            candidates = [t for t in slots if task not in state[t]]
+            rng.shuffle(candidates)
+            for t in candidates:
+                if len(state[t]) < self._m:
+                    state[t].add(task)
+                    received[wid] += 1
+                    return True
+            # window full everywhere: evict the most over-filled co-runner
+            best: tuple[int, int] | None = None
+            best_gain = -(10**9)
+            for t in candidates:
+                for other in state[t]:
+                    owid = self._window_id[(other, self._job_at[t][other])]
+                    gain = received[owid] - self._targets[owid]
+                    if gain > best_gain or (
+                        gain == best_gain and rng.random() < 0.5
+                    ):
+                        best_gain = gain
+                        best = (t, other)
+            if best is None:
+                return False
+            if rng.random() < self.noise:
+                t = rng.choice(candidates)
+                other = rng.choice(sorted(state[t]))
+                best = (t, other)
+            t, other = best
+            owid = self._window_id[(other, self._job_at[t][other])]
+            state[t].discard(other)
+            received[owid] -= 1
+            state[t].add(task)
+            received[wid] += 1
+            return True
+
+        # over-filled: drop a unit from a random slot of the window
+        running = [t for t in slots if task in state[t]]
+        if not running:
+            return False
+        t = rng.choice(running)
+        state[t].discard(task)
+        received[wid] -= 1
+        return True
+
+    def _build(self, state: list[set[int]]) -> Schedule:
+        table = np.full((self._m, self._T), IDLE, dtype=np.int32)
+        for t, chosen in enumerate(state):
+            for pos, i in enumerate(sorted(chosen)):
+                table[pos, t] = i
+        return Schedule(self.system, self.platform, table)

@@ -1,0 +1,82 @@
+"""Incremental search for the smallest sufficient processor count.
+
+Paper, Section VII-E: "It would be interesting to use an algorithm which
+incrementally searches for the smallest number of processors m required to
+schedule a given set of tasks."  This module is that algorithm: starting
+from the utilization lower bound ``m_min = max(1, ceil(U))``, solve with
+``m, m+1, ...`` until FEASIBLE, carrying exactness guarantees along:
+
+* every ``m`` answered INFEASIBLE is a *proof* that ``m`` is not enough;
+* the first FEASIBLE ``m`` together with those proofs pins the optimum;
+* any UNKNOWN (overrun) makes the final answer a (reported) upper bound
+  only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.model.platform import Platform
+from repro.model.system import TaskSystem
+from repro.solvers.base import Feasibility, SolveResult
+from repro.solvers.registry import make_solver
+from repro.util.timer import Deadline
+
+__all__ = ["MinProcessorsResult", "find_min_processors"]
+
+
+@dataclass
+class MinProcessorsResult:
+    """Outcome of the incremental-m search.
+
+    ``m`` is the smallest feasible processor count found (None if the
+    search ran out of budget or hit ``max_m`` before any FEASIBLE answer);
+    ``exact`` is True when every count below ``m`` was *proven*
+    infeasible, i.e. ``m`` is the true optimum rather than an upper bound.
+    """
+
+    m: int | None
+    exact: bool
+    result: SolveResult | None
+    #: m -> status for every count attempted, in order
+    attempts: dict[int, Feasibility] = field(default_factory=dict)
+
+    @property
+    def found(self) -> bool:
+        return self.m is not None
+
+
+def find_min_processors(
+    system: TaskSystem,
+    solver: str = "csp2+dc",
+    time_limit_per_m: float | None = None,
+    total_time_limit: float | None = None,
+    max_m: int | None = None,
+    **options,
+) -> MinProcessorsResult:
+    """Find the minimum identical-processor count for ``system``.
+
+    ``max_m`` defaults to ``n`` (with ``m = n`` every task can have a
+    processor to itself at every instant, so only per-task ``C <= D``
+    failures can remain infeasible beyond it).
+    """
+    deadline = Deadline(total_time_limit)
+    start = max(1, system.min_processors)
+    cap = max_m if max_m is not None else max(start, system.n)
+    attempts: dict[int, Feasibility] = {}
+    exact = True
+    for m in range(start, cap + 1):
+        budget = time_limit_per_m
+        if total_time_limit is not None:
+            remaining = deadline.remaining()
+            if remaining <= 0:
+                return MinProcessorsResult(None, False, None, attempts)
+            budget = min(budget, remaining) if budget is not None else remaining
+        engine = make_solver(solver, system, Platform.identical(m), **options)
+        res = engine.solve(time_limit=budget)
+        attempts[m] = res.status
+        if res.status is Feasibility.FEASIBLE:
+            return MinProcessorsResult(m, exact, res, attempts)
+        if res.status is Feasibility.UNKNOWN:
+            exact = False  # this m might have been feasible
+    return MinProcessorsResult(None, False, None, attempts)

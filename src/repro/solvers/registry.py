@@ -1,0 +1,89 @@
+"""Named solver configurations (the columns of Tables I, II and IV)."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.model.platform import Platform
+from repro.model.system import TaskSystem
+
+__all__ = ["available_solvers", "make_solver", "PAPER_SOLVERS"]
+
+#: the six configurations the paper's experiments compare (Table I order)
+PAPER_SOLVERS = ["csp1", "csp2", "csp2+rm", "csp2+dm", "csp2+tc", "csp2+dc"]
+
+
+def _parse_heuristic(suffix: str) -> str:
+    from repro.solvers.ordering import heuristic_key
+
+    heuristic_key(suffix)  # validates / raises
+    return suffix
+
+
+def make_solver(
+    name: str,
+    system: TaskSystem,
+    platform: Platform,
+    seed: int | None = None,
+    **options,
+):
+    """Instantiate a solver by name.
+
+    Names::
+
+        csp1[+min_dom|+dom_deg|+input]   generic engine on encoding #1
+        csp2[+rm|+dm|+tc|+dc]            dedicated chronological solver
+        csp2-generic[+rm|+dm|+tc|+dc]    generic engine on encoding #2
+        csp2-local                       min-conflicts local search (never
+                                         proves infeasibility; future work
+                                         of the paper, Section VIII)
+        sat[+pairwise|+sequential]       CNF encoding + CDCL solver
+
+    ``seed`` feeds the randomized tie-breaking of ``csp1`` (the generic
+    solver's randomized default strategy, Section VII-B); extra keyword
+    options are forwarded to the solver class (e.g. ``symmetry_breaking``,
+    ``idle_rule``, ``demand_pruning``, ``energetic_pruning``).
+    """
+    from repro.solvers.csp1_generic import Csp1GenericSolver
+    from repro.solvers.csp2_dedicated import Csp2DedicatedSolver
+    from repro.solvers.csp2_generic import Csp2GenericSolver
+    from repro.solvers.csp2_local import Csp2LocalSearchSolver
+    from repro.solvers.sat_solver import SatEncodingSolver
+
+    key = name.strip().lower()
+    base, _, suffix = key.partition("+")
+    if base == "csp2-local":
+        return Csp2LocalSearchSolver(
+            system, platform, seed=seed if seed is not None else 0, **options
+        )
+    if base == "csp1":
+        return Csp1GenericSolver(
+            system, platform, var_heuristic=suffix or "min_dom", seed=seed, **options
+        )
+    if base == "csp2":
+        return Csp2DedicatedSolver(
+            system, platform, heuristic=_parse_heuristic(suffix) if suffix else None, **options
+        )
+    if base == "csp2-generic":
+        return Csp2GenericSolver(
+            system, platform, heuristic=_parse_heuristic(suffix) if suffix else None, **options
+        )
+    if base == "sat":
+        return SatEncodingSolver(system, platform, amo=suffix or "sequential", **options)
+    raise ValueError(f"unknown solver {name!r}; try one of {available_solvers()}")
+
+
+def available_solvers() -> list[str]:
+    """Canonical names accepted by :func:`make_solver`."""
+    return PAPER_SOLVERS + [
+        "csp1+dom_deg",
+        "csp1+input",
+        "csp2-generic",
+        "csp2-generic+rm",
+        "csp2-generic+dm",
+        "csp2-generic+tc",
+        "csp2-generic+dc",
+        "csp2-local",
+        "sat",
+        "sat+pairwise",
+    ]

@@ -1,0 +1,36 @@
+"""Probabilistic execution times (the paper's long-term future work).
+
+Section VIII closes with: "one of our objectives is to move from the
+usual deterministic setting — where worst-case execution times are
+considered — to probabilistic settings — e.g. where a probability
+distribution over execution times is known for each task".
+
+This package takes the first step the paper's own semantics permits: the
+cyclic schedule is still built for WCETs (and Theorem 1's remark applies —
+*processors idle through unused budget to avoid scheduling anomalies*, so
+deadlines are met with probability 1).  What becomes probabilistic is the
+*resource usage*: how much of the reserved capacity is actually consumed.
+The tools here quantify that:
+
+* :class:`ExecTimeDistribution` — discrete distributions over
+  ``0..C_i`` with exact moments;
+* :func:`expected_utilization` — closed-form expected busy fraction of a
+  WCET schedule under given distributions;
+* :func:`simulate_actual_usage` — Monte-Carlo execution of the cyclic
+  schedule, yielding empirical usage/slack statistics (converges to the
+  closed form — property-tested).
+"""
+
+from repro.stochastic.distributions import ExecTimeDistribution
+from repro.stochastic.usage import (
+    UsageStats,
+    expected_utilization,
+    simulate_actual_usage,
+)
+
+__all__ = [
+    "ExecTimeDistribution",
+    "UsageStats",
+    "expected_utilization",
+    "simulate_actual_usage",
+]

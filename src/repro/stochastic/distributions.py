@@ -1,0 +1,97 @@
+"""Discrete execution-time distributions bounded by the WCET."""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping
+from fractions import Fraction
+
+__all__ = ["ExecTimeDistribution"]
+
+
+class ExecTimeDistribution:
+    """A probability mass function over integer execution times ``0..C``.
+
+    Probabilities are exact :class:`fractions.Fraction` values summing to
+    one, so expectations are exact too; sampling uses cumulative inversion.
+    """
+
+    __slots__ = ("_pmf", "_wcet", "_cdf")
+
+    def __init__(self, pmf: Mapping[int, Fraction | int | str]) -> None:
+        items: list[tuple[int, Fraction]] = []
+        for value, p in sorted(pmf.items()):
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                raise ValueError(f"execution times must be ints >= 0, got {value!r}")
+            frac = Fraction(p)
+            if frac < 0:
+                raise ValueError(f"probabilities must be >= 0, got {frac}")
+            if frac > 0:
+                items.append((value, frac))
+        if not items:
+            raise ValueError("distribution needs at least one positive-mass value")
+        total = sum(f for _, f in items)
+        if total != 1:
+            raise ValueError(f"probabilities must sum to 1, got {total}")
+        self._pmf = tuple(items)
+        self._wcet = items[-1][0]
+        cdf = []
+        acc = Fraction(0)
+        for v, f in items:
+            acc += f
+            cdf.append((v, acc))
+        self._cdf = tuple(cdf)
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def deterministic(cls, c: int) -> "ExecTimeDistribution":
+        """Always exactly ``c`` (the classical WCET model)."""
+        return cls({c: Fraction(1)})
+
+    @classmethod
+    def uniform(cls, lo: int, hi: int) -> "ExecTimeDistribution":
+        """Uniform over ``lo..hi`` inclusive."""
+        if hi < lo:
+            raise ValueError(f"empty range {lo}..{hi}")
+        n = hi - lo + 1
+        return cls({v: Fraction(1, n) for v in range(lo, hi + 1)})
+
+    # -- queries ---------------------------------------------------------------
+    @property
+    def wcet(self) -> int:
+        """The largest value with positive mass (must not exceed the task's C)."""
+        return self._wcet
+
+    @property
+    def support(self) -> tuple[int, ...]:
+        return tuple(v for v, _ in self._pmf)
+
+    def probability(self, value: int) -> Fraction:
+        for v, f in self._pmf:
+            if v == value:
+                return f
+        return Fraction(0)
+
+    @property
+    def mean(self) -> Fraction:
+        """Exact expectation."""
+        return sum((Fraction(v) * f for v, f in self._pmf), Fraction(0))
+
+    @property
+    def variance(self) -> Fraction:
+        mu = self.mean
+        return sum(
+            ((Fraction(v) - mu) ** 2 * f for v, f in self._pmf), Fraction(0)
+        )
+
+    def sample(self, rng: random.Random) -> int:
+        """One draw via cumulative inversion."""
+        u = Fraction(rng.random()).limit_denominator(10**12)
+        for v, acc in self._cdf:
+            if u <= acc:
+                return v
+        return self._wcet
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{v}: {str(f)}" for v, f in self._pmf)
+        return f"ExecTimeDistribution({{{inner}}})"

@@ -1,0 +1,26 @@
+"""Small shared utilities: integer math, bitset helpers, time budgets.
+
+These are deliberately dependency-free; everything above them in the stack
+(`repro.model`, `repro.csp`, `repro.sat`, ...) builds on this module.
+"""
+
+from repro.util.math import ceil_div, gcd_all, lcm_all, lcm_pair
+from repro.util.bitset import (
+    bit_indices,
+    first_bit,
+    mask_of,
+    popcount,
+)
+from repro.util.timer import Deadline
+
+__all__ = [
+    "ceil_div",
+    "gcd_all",
+    "lcm_all",
+    "lcm_pair",
+    "bit_indices",
+    "first_bit",
+    "mask_of",
+    "popcount",
+    "Deadline",
+]

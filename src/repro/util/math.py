@@ -1,0 +1,56 @@
+"""Integer arithmetic helpers used throughout the task model and encodings."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+__all__ = ["ceil_div", "gcd_all", "lcm_all", "lcm_pair"]
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Return ``ceil(a / b)`` for integers with ``b > 0``.
+
+    Used e.g. for the clone count ``k_i = ceil(D_i / T_i)`` of the
+    arbitrary-deadline transformation and the minimum processor count
+    ``m_min = ceil(sum C_i / T_i)`` of Table IV.
+    """
+    if b <= 0:
+        raise ValueError(f"ceil_div requires b > 0, got {b}")
+    return -(-a // b)
+
+
+def lcm_pair(a: int, b: int) -> int:
+    """Least common multiple of two positive integers."""
+    if a <= 0 or b <= 0:
+        raise ValueError(f"lcm requires positive integers, got {a}, {b}")
+    return a // math.gcd(a, b) * b
+
+
+def lcm_all(values: Iterable[int]) -> int:
+    """Least common multiple of a non-empty iterable of positive integers.
+
+    This is the hyperperiod ``T = lcm(T_1, ..., T_n)`` of a task system.
+    """
+    result = 1
+    seen = False
+    for v in values:
+        seen = True
+        result = lcm_pair(result, v)
+    if not seen:
+        raise ValueError("lcm_all requires at least one value")
+    return result
+
+
+def gcd_all(values: Iterable[int]) -> int:
+    """Greatest common divisor of a non-empty iterable of positive integers."""
+    result = 0
+    seen = False
+    for v in values:
+        if v <= 0:
+            raise ValueError(f"gcd requires positive integers, got {v}")
+        seen = True
+        result = math.gcd(result, v)
+    if not seen:
+        raise ValueError("gcd_all requires at least one value")
+    return result

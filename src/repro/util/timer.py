@@ -1,0 +1,49 @@
+"""Wall-clock budgets shared by all solvers.
+
+The paper gives every solver run a fixed resolution-time budget (30 s on a
+2009 Core2Quad).  ``Deadline`` wraps ``time.monotonic`` so solvers can poll
+cheaply inside their search loops and report elapsed time in their stats.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Deadline"]
+
+
+class Deadline:
+    """A wall-clock budget; ``None`` or ``inf`` means unlimited.
+
+    >>> d = Deadline(0.5)
+    >>> d.expired()
+    False
+    >>> d.remaining() <= 0.5
+    True
+    """
+
+    __slots__ = ("limit", "_start", "_end")
+
+    def __init__(self, limit: float | None = None) -> None:
+        if limit is not None and limit < 0:
+            raise ValueError(f"time limit must be >= 0, got {limit}")
+        self.limit = limit
+        self._start = time.monotonic()
+        self._end = None if limit is None else self._start + limit
+
+    def expired(self) -> bool:
+        """True once the budget has been consumed."""
+        return self._end is not None and time.monotonic() >= self._end
+
+    def elapsed(self) -> float:
+        """Seconds since the deadline was created."""
+        return time.monotonic() - self._start
+
+    def remaining(self) -> float:
+        """Seconds left, ``inf`` when unlimited, clamped at 0."""
+        if self._end is None:
+            return float("inf")
+        return max(0.0, self._end - time.monotonic())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Deadline(limit={self.limit}, elapsed={self.elapsed():.3f})"

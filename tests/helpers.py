@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+from repro.model import Platform, TaskSystem
+
+__all__ = [
+    "running_example",
+    "RUNNING_EXAMPLE_TABLE",
+    "running_example_platform",
+]
+
+
+def running_example() -> TaskSystem:
+    """The paper's running example (Example 1): m=2, n=3, T=12."""
+    return TaskSystem.from_tuples([(0, 1, 2, 2), (1, 3, 4, 4), (0, 2, 2, 3)])
+
+
+def running_example_platform() -> Platform:
+    return Platform.identical(2)
+
+
+# A hand-verified feasible schedule for the running example (0-based task
+# ids: tau1=0, tau2=1, tau3=2; -1 = idle).  Utilization is 23/12, so exactly
+# one of the 24 processor-slots idles.
+#   tau1 @ slots 0,2,5,6,8,11 (one per window)
+#   tau2 @ 1,3,4 | 5,7,8 | 9,10,11 (three per window)
+#   tau3 @ 0,1 | 3,4 | 6,7 | 9,10 (both slots of each window)
+RUNNING_EXAMPLE_TABLE = [
+    [2, 2, 0, 2, 2, 0, 2, 2, 0, 2, 2, 0],
+    [0, 1, -1, 1, 1, 1, 0, 1, 1, 1, 1, 1],
+]

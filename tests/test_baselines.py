@@ -1,0 +1,219 @@
+"""Tests for the priority-driven simulator and priority-assignment search."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    audsley_priority_search,
+    exhaustive_priority_search,
+    global_edf,
+    global_fixed_priority,
+    heuristic_priority_search,
+    priority_order_from_heuristic,
+    simulate_priority_policy,
+)
+from repro.model import Platform, Task, TaskSystem
+from repro.schedule import validate
+from repro.solvers import make_solver
+
+from tests.helpers import running_example
+
+
+class TestSimulatorBasics:
+    def test_single_task_schedulable(self):
+        s = TaskSystem.from_tuples([(0, 1, 2, 2)])
+        sim = global_edf(s, 1)
+        assert sim.schedulable is True
+        assert sim.missed is None
+        assert validate(sim.schedule).ok
+
+    def test_overload_misses(self):
+        s = TaskSystem.from_tuples([(0, 2, 2, 2), (0, 2, 2, 2)])
+        sim = global_edf(s, 1)
+        assert sim.schedulable is False
+        assert sim.missed is not None
+        assert sim.schedule is None
+
+    def test_miss_identifies_task(self):
+        # tau2 (low EDF priority at t=0) must miss on m=1
+        s = TaskSystem.from_tuples([(0, 1, 1, 2), (0, 2, 2, 2)])
+        sim = global_edf(s, 1)
+        assert sim.schedulable is False
+        task, rel, dl = sim.missed
+        assert task == 1
+
+    def test_rejects_arbitrary_deadlines(self):
+        s = TaskSystem.from_tuples([(0, 1, 5, 3)])
+        with pytest.raises(ValueError, match="constrained"):
+            global_edf(s, 1)
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            global_edf(running_example(), 0)
+
+    def test_zero_wcet_tasks_never_run(self):
+        s = TaskSystem.from_tuples([(0, 0, 1, 1), (0, 1, 2, 2)])
+        sim = global_edf(s, 1)
+        assert sim.schedulable is True
+        assert all(e in (-1, 1) for e in sim.schedule.table.flatten())
+
+    def test_offsets_respected(self):
+        s = TaskSystem.from_tuples([(1, 1, 4, 4), (0, 1, 2, 2)])
+        sim = global_edf(s, 1)
+        assert sim.schedulable is True
+        assert validate(sim.schedule).ok
+        # the offset task never runs before its first release pattern slot
+        assert sim.schedule.entry(0, 0) != 0 or sim.schedule.entry(0, 1) == 0
+
+
+class TestDhallEffect:
+    """The classic global-RM anomaly: m-1 light tasks + 1 heavy task."""
+
+    def test_dhall_instance(self):
+        # two light (C=1, T=D=5... classic: C=2eps) and one heavy C=T
+        # tasks: 2 x (0,1,5,5) + (0,5,6,6)? keep integers small:
+        s = TaskSystem.from_tuples([(0, 1, 4, 4), (0, 1, 4, 4), (0, 4, 4, 4)])
+        # RM order: light tasks first -> heavy task starves on m=2
+        rm = priority_order_from_heuristic(s, "rm")
+        sim_rm = global_fixed_priority(s, 2, rm)
+        # whichever order RM picked, the CSP solver knows it's feasible:
+        exact = make_solver("csp2+dc", s, Platform.identical(2)).solve(time_limit=20)
+        assert exact.is_feasible
+        # and some fixed-priority order does schedule it
+        search = exhaustive_priority_search(s, 2)
+        assert search.found
+        assert validate(search.simulation.schedule).ok
+
+
+class TestFixedPriority:
+    def test_validates_permutation(self):
+        with pytest.raises(ValueError, match="permutation"):
+            global_fixed_priority(running_example(), 2, [0, 0, 1])
+
+    def test_priority_order_matters(self):
+        # heavy (0,2,4,4) + light (0,1,2,2) on m=1: the light task's tight
+        # window needs priority; heavy-first starves it at slot 0-1
+        s = TaskSystem.from_tuples([(0, 2, 4, 4), (0, 1, 2, 2)])
+        good = global_fixed_priority(s, 1, [1, 0])
+        bad = global_fixed_priority(s, 1, [0, 1])
+        assert good.schedulable is True
+        assert validate(good.schedule).ok
+        assert bad.schedulable is False
+
+    def test_heuristic_orders(self):
+        s = running_example()
+        assert priority_order_from_heuristic(s, "rm") == [0, 2, 1]
+        assert priority_order_from_heuristic(s, "dm") == [0, 2, 1]
+        assert priority_order_from_heuristic(s, "dc") == [2, 0, 1]
+        assert priority_order_from_heuristic(s, None) == [0, 1, 2]
+
+
+class TestSimulatedSchedulesAreFeasible:
+    """Any schedulable simulation provides a valid cyclic schedule, hence a
+    feasibility certificate the CSP solvers must agree with."""
+
+    @settings(deadline=None, max_examples=30)
+    @given(st.data())
+    def test_edf_cross_check(self, data):
+        n = data.draw(st.integers(1, 4))
+        tasks = []
+        for _ in range(n):
+            t = data.draw(st.sampled_from([1, 2, 3, 4, 6]))
+            d = data.draw(st.integers(1, t))
+            c = data.draw(st.integers(0, d))
+            o = data.draw(st.integers(0, t - 1))
+            tasks.append(Task(o, c, d, t))
+        system = TaskSystem(tasks)
+        m = data.draw(st.integers(1, 3))
+        sim = global_edf(system, m)
+        if sim.schedulable:
+            assert validate(sim.schedule).ok
+            exact = make_solver("csp2+dc", system, Platform.identical(m)).solve(
+                time_limit=20
+            )
+            assert exact.is_feasible
+
+
+#: FP-schedulable on m=1 with the right order (light task first)
+FP_FRIENDLY = [(0, 2, 4, 4), (0, 1, 2, 2)]
+
+
+class TestCspBeatsPriorityPolicies:
+    """The running example is CSP-feasible (Theorem 1 / Section VII) but NO
+    task-level fixed-priority order — and not even global EDF — schedules
+    it.  This is the gap that motivates exact CSP search."""
+
+    def test_running_example_not_fp_schedulable(self):
+        res = exhaustive_priority_search(running_example(), 2)
+        assert not res.found
+        assert res.exhausted
+        assert res.orders_tried == 6  # 3! orders, all refuted
+
+    def test_running_example_not_edf_schedulable(self):
+        sim = global_edf(running_example(), 2)
+        assert sim.schedulable is False
+
+    def test_but_csp_schedules_it(self):
+        r = make_solver("csp2+dc", running_example(), Platform.identical(2)).solve(
+            time_limit=20
+        )
+        assert r.is_feasible
+
+
+class TestPrioritySearch:
+    def test_exhaustive_finds_friendly(self):
+        res = exhaustive_priority_search(TaskSystem.from_tuples(FP_FRIENDLY), 1)
+        assert res.found
+        assert res.order == [1, 0]
+        assert validate(res.simulation.schedule).ok
+
+    def test_exhaustive_refutes(self):
+        s = TaskSystem.from_tuples([(0, 2, 2, 2), (0, 2, 2, 2)])
+        res = exhaustive_priority_search(s, 1)
+        assert not res.found
+        assert res.exhausted
+        assert res.orders_tried == 2
+
+    def test_exhaustive_time_limit(self):
+        res = exhaustive_priority_search(running_example(), 2, time_limit=0.0)
+        assert not res.found and not res.exhausted
+
+    def test_heuristic_search_tries_few(self):
+        res = heuristic_priority_search(TaskSystem.from_tuples(FP_FRIENDLY), 1)
+        assert res.found
+        assert res.orders_tried <= 5
+
+    def test_heuristic_no_fallback(self):
+        s = TaskSystem.from_tuples([(0, 2, 2, 2), (0, 2, 2, 2)])
+        res = heuristic_priority_search(s, 1, fall_back=False)
+        assert not res.found and not res.exhausted
+
+    def test_audsley_on_friendly(self):
+        res = audsley_priority_search(TaskSystem.from_tuples(FP_FRIENDLY), 1)
+        assert res.found
+        assert validate(res.simulation.schedule).ok
+
+    def test_audsley_fails_cleanly(self):
+        s = TaskSystem.from_tuples([(0, 2, 2, 2), (0, 2, 2, 2)])
+        res = audsley_priority_search(s, 1)
+        assert not res.found
+
+    @settings(deadline=None, max_examples=15)
+    @given(st.data())
+    def test_priority_schedulable_implies_csp_feasible(self, data):
+        n = data.draw(st.integers(2, 3))
+        tasks = []
+        for _ in range(n):
+            t = data.draw(st.sampled_from([2, 3, 4]))
+            d = data.draw(st.integers(1, t))
+            c = data.draw(st.integers(1, d))
+            tasks.append(Task(0, c, d, t))
+        system = TaskSystem(tasks)
+        m = data.draw(st.integers(1, 2))
+        res = exhaustive_priority_search(system, m)
+        if res.found:
+            exact = make_solver("csp2+dc", system, Platform.identical(m)).solve(
+                time_limit=20
+            )
+            assert exact.is_feasible

@@ -1,0 +1,174 @@
+"""End-to-end CLI tests (all through main(), no subprocesses)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestGenerate:
+    def test_single_to_stdout(self, capsys):
+        code, out, _ = run_cli(capsys, "generate", "--count", "1", "-n", "4", "--seed", "1")
+        assert code == 0
+        data = json.loads(out)
+        assert len(data["tasks"]) == 4
+        assert 1 <= data["m"] <= 3
+
+    def test_many_to_file(self, capsys, tmp_path):
+        path = tmp_path / "batch.json"
+        code, out, _ = run_cli(
+            capsys, "generate", "--count", "3", "-n", "3", "-o", str(path)
+        )
+        assert code == 0
+        data = json.loads(path.read_text())
+        assert len(data) == 3
+
+    def test_fixed_m(self, capsys):
+        code, out, _ = run_cli(capsys, "generate", "-n", "5", "-m", "2", "--seed", "4")
+        assert json.loads(out)["m"] == 2
+
+    def test_deterministic(self, capsys):
+        _, out1, _ = run_cli(capsys, "generate", "--seed", "9")
+        _, out2, _ = run_cli(capsys, "generate", "--seed", "9")
+        assert out1 == out2
+
+
+class TestSolveValidate:
+    @pytest.fixture
+    def instance_file(self, tmp_path):
+        path = tmp_path / "inst.json"
+        path.write_text(
+            json.dumps({"tasks": [[0, 1, 2, 2], [1, 3, 4, 4], [0, 2, 2, 3]], "m": 2})
+        )
+        return str(path)
+
+    def test_solve_feasible(self, capsys, instance_file):
+        code, out, _ = run_cli(capsys, "solve", instance_file, "--time-limit", "20")
+        assert code == 0
+        assert "status: feasible" in out
+        assert "P1" in out  # gantt printed
+
+    def test_solve_writes_schedule(self, capsys, instance_file, tmp_path):
+        sched_path = tmp_path / "sched.json"
+        code, out, _ = run_cli(
+            capsys, "solve", instance_file, "--time-limit", "20", "-o", str(sched_path)
+        )
+        assert code == 0
+        data = json.loads(sched_path.read_text())
+        assert len(data["table"]) == 2
+        assert len(data["table"][0]) == 12
+
+    def test_solve_then_validate(self, capsys, instance_file, tmp_path):
+        sched_path = tmp_path / "sched.json"
+        run_cli(capsys, "solve", instance_file, "--time-limit", "20", "-o", str(sched_path))
+        code, out, _ = run_cli(capsys, "validate", str(sched_path))
+        assert code == 0
+        assert "feasible" in out
+
+    def test_validate_catches_corruption(self, capsys, instance_file, tmp_path):
+        sched_path = tmp_path / "sched.json"
+        run_cli(capsys, "solve", instance_file, "--time-limit", "20", "-o", str(sched_path))
+        data = json.loads(sched_path.read_text())
+        data["table"][0][0] = -1  # drop one unit
+        sched_path.write_text(json.dumps(data))
+        code, out, _ = run_cli(capsys, "validate", str(sched_path))
+        assert code == 1
+        assert "violates" in out
+
+    def test_solve_infeasible_exit_zero(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"tasks": [[0, 2, 2, 2], [0, 2, 2, 2]], "m": 1}))
+        code, out, _ = run_cli(capsys, "solve", str(path), "--time-limit", "20")
+        assert code == 0
+        assert "status: infeasible" in out
+
+    def test_solve_timeout_exit_two(self, capsys, instance_file):
+        code, out, _ = run_cli(
+            capsys, "solve", instance_file, "--solver", "csp1", "--time-limit", "0.0"
+        )
+        assert code == 2
+
+    def test_alternative_solver(self, capsys, instance_file):
+        code, out, _ = run_cli(
+            capsys, "solve", instance_file, "--solver", "sat", "--time-limit", "20"
+        )
+        assert code == 0 and "feasible" in out
+
+    def test_min_processors_mode(self, capsys, instance_file):
+        code, out, _ = run_cli(
+            capsys, "solve", instance_file, "--min-processors", "--time-limit", "20"
+        )
+        assert code == 0
+        assert "smallest sufficient m = 2 (exact minimum)" in out
+
+    def test_platform_instance_format(self, capsys, tmp_path):
+        path = tmp_path / "het.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "tasks": [[0, 4, 2, 4], [0, 1, 2, 2]],
+                    "platform": {"kind": "heterogeneous", "rates": [[2, 0], [1, 1]]},
+                }
+            )
+        )
+        code, out, _ = run_cli(capsys, "solve", str(path), "--time-limit", "20")
+        assert code == 0 and "status: feasible" in out
+
+
+class TestFigure1:
+    def test_default(self, capsys):
+        code, out, _ = run_cli(capsys, "figure1")
+        assert code == 0
+        assert "hyperperiod T = 12" in out
+
+    def test_custom_instance(self, capsys, tmp_path):
+        path = tmp_path / "inst.json"
+        path.write_text(json.dumps({"tasks": [[0, 1, 2, 2]], "m": 1}))
+        code, out, _ = run_cli(capsys, "figure1", "--instance", str(path))
+        assert "hyperperiod T = 2" in out
+
+
+class TestExperiment:
+    def test_table1_tiny(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "experiment", "table1",
+            "--instances", "4", "--time-limit", "0.1", "--quiet",
+        )
+        assert code == 0
+        assert "Table I" in out
+
+    def test_table2_tiny_with_records(self, capsys, tmp_path):
+        rec = tmp_path / "records.json"
+        code, out, _ = run_cli(
+            capsys, "experiment", "table2",
+            "--instances", "4", "--time-limit", "0.1", "--quiet",
+            "--records", str(rec),
+        )
+        assert code == 0
+        assert "Table II" in out
+        assert json.loads(rec.read_text())["records"]
+
+    def test_table3_tiny(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "experiment", "table3",
+            "--instances", "4", "--time-limit", "0.1", "--quiet",
+        )
+        assert "Table III" in out
+
+    def test_table4_tiny(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "experiment", "table4",
+            "--instances", "8", "--time-limit", "0.1", "--quiet",
+        )
+        assert "Table IV" in out
+
+    def test_unknown_table_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["experiment", "table9"])

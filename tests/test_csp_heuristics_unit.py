@@ -1,0 +1,112 @@
+"""Direct unit tests for the CSP search heuristics."""
+
+import random
+
+import pytest
+
+from repro.csp import Model
+from repro.csp.heuristics import (
+    SearchContext,
+    make_value_order_random,
+    value_order_ascending,
+    value_order_custom,
+    value_order_descending,
+    var_order_dom_deg,
+    var_order_input,
+    var_order_min_domain,
+)
+from repro.csp.state import DomainState
+
+
+@pytest.fixture
+def setup():
+    m = Model()
+    a = m.int_var(0, 4, "a")          # size 5
+    b = m.int_var(0, 1, "b")          # size 2
+    c = m.int_var_from([1, 3, 9], "c")  # size 3
+    m.add_non_decreasing([a, b])
+    m.add_non_decreasing([a, c])
+    ctx = SearchContext(degrees=m.degrees())
+    return m, (a, b, c), ctx
+
+
+class TestVarOrders:
+    def test_input_order(self, setup):
+        m, (a, b, c), ctx = setup
+        s = DomainState(m)
+        assert var_order_input(s, ctx) is a
+        s.assign(a, 0)
+        assert var_order_input(s, ctx) is b
+
+    def test_input_none_when_done(self, setup):
+        m, (a, b, c), ctx = setup
+        s = DomainState(m)
+        for v, val in ((a, 1), (b, 1), (c, 3)):
+            s.assign(v, val)
+        assert var_order_input(s, ctx) is None
+
+    def test_min_domain(self, setup):
+        m, (a, b, c), ctx = setup
+        s = DomainState(m)
+        assert var_order_min_domain(s, ctx) is b  # size 2
+        s.assign(b, 0)
+        assert var_order_min_domain(s, ctx) is c  # size 3
+
+    def test_min_domain_random_tiebreak_seeded(self, setup):
+        m, (a, b, c), ctx = setup
+        s = DomainState(m)
+        s.remove_value(c, 9)  # now b and c both size 2
+        ctx.rng = random.Random(0)
+        picks = {var_order_min_domain(s, ctx).name for _ in range(20)}
+        assert picks == {"b", "c"}  # both get picked across draws
+
+    def test_dom_deg(self, setup):
+        m, (a, b, c), ctx = setup
+        s = DomainState(m)
+        # a: 5/2 = 2.5, b: 2/1 = 2.0, c: 3/1 = 3.0 -> b
+        assert var_order_dom_deg(s, ctx) is b
+        s.assign(b, 1)
+        # a: 2.5 vs c: 3.0 -> a
+        assert var_order_dom_deg(s, ctx) is a
+
+    def test_dom_deg_handles_degree_zero(self):
+        m = Model()
+        x = m.int_var(0, 1, "x")  # no constraints at all
+        ctx = SearchContext(degrees=m.degrees())
+        assert var_order_dom_deg(DomainState(m), ctx) is x
+
+
+class TestValueOrders:
+    def test_ascending_descending(self, setup):
+        m, (a, b, c), _ = setup
+        s = DomainState(m)
+        assert value_order_ascending(s, c) == [1, 3, 9]
+        assert value_order_descending(s, c) == [9, 3, 1]
+
+    def test_random_covers_domain(self, setup):
+        m, (a, b, c), _ = setup
+        s = DomainState(m)
+        order = make_value_order_random(random.Random(1))
+        vals = order(s, c)
+        assert sorted(vals) == [1, 3, 9]
+
+    def test_custom_per_var(self, setup):
+        m, (a, b, c), _ = setup
+        s = DomainState(m)
+        order = value_order_custom({c.index: [9, 1]})
+        assert order(s, c) == [9, 1, 3]  # leftovers appended ascending
+        assert order(s, a) == [0, 1, 2, 3, 4]  # unmapped var: ascending
+
+    def test_custom_global(self, setup):
+        m, (a, b, c), _ = setup
+        s = DomainState(m)
+        order = value_order_custom([3, 0])
+        assert order(s, a) == [3, 0, 1, 2, 4]
+        assert order(s, c) == [3, 1, 9]
+
+    def test_custom_ignores_absent_values(self, setup):
+        m, (a, b, c), _ = setup
+        s = DomainState(m)
+        s.remove_value(c, 9)
+        order = value_order_custom([9, 3])
+        assert order(s, c) == [3, 1]

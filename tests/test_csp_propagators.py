@@ -1,0 +1,330 @@
+"""Unit tests for each propagator, plus a brute-force semantics oracle."""
+
+import itertools
+
+import pytest
+
+from repro.csp import (
+    AllDifferentExceptValue,
+    AtMostOneTrue,
+    CountEq,
+    ExactSumBool,
+    Model,
+    NonDecreasing,
+    Table,
+    WeightedCountEq,
+    WeightedExactSumBool,
+)
+from repro.csp.state import DomainState
+
+
+def satisfies(constraint, values: dict) -> bool:
+    """Ground-truth semantics of every propagator (used across test files)."""
+    vals = [values[v] for v in constraint.vars]
+    if isinstance(constraint, AtMostOneTrue):
+        return sum(vals) <= 1
+    if isinstance(constraint, WeightedExactSumBool):
+        return sum(c * x for c, x in zip(constraint.coefs, vals)) == constraint.total
+    if isinstance(constraint, ExactSumBool):
+        return sum(vals) == constraint.total
+    if isinstance(constraint, WeightedCountEq):
+        return (
+            sum(c for c, x in zip(constraint.coefs, vals) if x == constraint.value)
+            == constraint.total
+        )
+    if isinstance(constraint, CountEq):
+        return vals.count(constraint.value) == constraint.total
+    if isinstance(constraint, AllDifferentExceptValue):
+        seen = set()
+        for x in vals:
+            if x == constraint.except_value:
+                continue
+            if x in seen:
+                return False
+            seen.add(x)
+        return True
+    if isinstance(constraint, NonDecreasing):
+        return all(a <= b for a, b in zip(vals, vals[1:]))
+    if isinstance(constraint, Table):
+        return tuple(vals) in constraint.tuples
+    raise TypeError(f"no oracle for {type(constraint).__name__}")
+
+
+class TestAtMostOneTrue:
+    def test_second_true_fails(self):
+        m = Model()
+        a, b = m.bool_var("a"), m.bool_var("b")
+        p = AtMostOneTrue([a, b])
+        s = DomainState(m)
+        s.assign(a, 1)
+        s.assign(b, 1)
+        assert not p.propagate(s)
+
+    def test_one_true_forces_zeros(self):
+        m = Model()
+        a, b, c = (m.bool_var(x) for x in "abc")
+        p = AtMostOneTrue([a, b, c])
+        s = DomainState(m)
+        s.assign(b, 1)
+        assert p.propagate(s)
+        assert s.value(a) == 0 and s.value(c) == 0
+
+    def test_no_true_no_pruning(self):
+        m = Model()
+        a, b = m.bool_var("a"), m.bool_var("b")
+        s = DomainState(m)
+        assert AtMostOneTrue([a, b]).propagate(s)
+        assert s.size(a) == 2 and s.size(b) == 2
+
+    def test_rejects_non_bool(self):
+        m = Model()
+        with pytest.raises(ValueError):
+            AtMostOneTrue([m.int_var(0, 2)])
+
+
+class TestExactSumBool:
+    def test_saturated_forces_zeros(self):
+        m = Model()
+        vs = [m.bool_var() for _ in range(4)]
+        s = DomainState(m)
+        s.assign(vs[0], 1)
+        s.assign(vs[1], 1)
+        assert ExactSumBool(vs, 2).propagate(s)
+        assert s.value(vs[2]) == 0 and s.value(vs[3]) == 0
+
+    def test_tight_forces_ones(self):
+        m = Model()
+        vs = [m.bool_var() for _ in range(3)]
+        s = DomainState(m)
+        s.assign(vs[0], 0)
+        assert ExactSumBool(vs, 2).propagate(s)
+        assert s.value(vs[1]) == 1 and s.value(vs[2]) == 1
+
+    def test_overshoot_fails(self):
+        m = Model()
+        vs = [m.bool_var() for _ in range(2)]
+        s = DomainState(m)
+        s.assign(vs[0], 1)
+        s.assign(vs[1], 1)
+        assert not ExactSumBool(vs, 1).propagate(s)
+
+    def test_undershoot_fails(self):
+        m = Model()
+        vs = [m.bool_var() for _ in range(2)]
+        s = DomainState(m)
+        s.assign(vs[0], 0)
+        s.assign(vs[1], 0)
+        assert not ExactSumBool(vs, 1).propagate(s)
+
+    def test_rejects_negative_total(self):
+        m = Model()
+        with pytest.raises(ValueError):
+            ExactSumBool([m.bool_var()], -1)
+
+
+class TestWeightedExactSumBool:
+    def test_coefficient_overshoot_pruned(self):
+        # 3a + 2b == 2  ->  a must be 0, b must be 1
+        m = Model()
+        a, b = m.bool_var("a"), m.bool_var("b")
+        s = DomainState(m)
+        assert WeightedExactSumBool([a, b], [3, 2], 2).propagate(s)
+        assert s.value(a) == 0 and s.value(b) == 1
+
+    def test_needed_var_forced(self):
+        # 2a + 1b == 3 -> both required
+        m = Model()
+        a, b = m.bool_var("a"), m.bool_var("b")
+        s = DomainState(m)
+        assert WeightedExactSumBool([a, b], [2, 1], 3).propagate(s)
+        assert s.value(a) == 1 and s.value(b) == 1
+
+    def test_unreachable_total_fails(self):
+        m = Model()
+        a = m.bool_var("a")
+        s = DomainState(m)
+        assert not WeightedExactSumBool([a], [2], 3).propagate(s)
+
+    def test_validation(self):
+        m = Model()
+        a = m.bool_var()
+        with pytest.raises(ValueError):
+            WeightedExactSumBool([a], [0], 1)
+        with pytest.raises(ValueError):
+            WeightedExactSumBool([a], [1, 2], 1)
+        with pytest.raises(ValueError):
+            WeightedExactSumBool([a], [1], -2)
+
+
+class TestCountEq:
+    def test_saturated_removes_value(self):
+        m = Model()
+        vs = [m.int_var(0, 2) for _ in range(3)]
+        s = DomainState(m)
+        s.assign(vs[0], 1)
+        assert CountEq(vs, 1, 1).propagate(s)
+        assert s.values(vs[1]) == [0, 2]
+        assert s.values(vs[2]) == [0, 2]
+
+    def test_tight_assigns_value(self):
+        m = Model()
+        vs = [m.int_var(0, 2) for _ in range(3)]
+        s = DomainState(m)
+        s.remove_value(vs[0], 1)
+        assert CountEq(vs, 1, 2).propagate(s)
+        assert s.value(vs[1]) == 1 and s.value(vs[2]) == 1
+
+    def test_value_not_in_any_domain_with_positive_total_fails(self):
+        m = Model()
+        vs = [m.int_var(0, 2) for _ in range(2)]
+        s = DomainState(m)
+        assert not CountEq(vs, 7, 1).propagate(s)
+
+    def test_total_zero_removes_everywhere(self):
+        m = Model()
+        vs = [m.int_var(0, 2) for _ in range(2)]
+        s = DomainState(m)
+        assert CountEq(vs, 1, 0).propagate(s)
+        assert s.values(vs[0]) == [0, 2]
+
+    def test_offset_domains(self):
+        m = Model()
+        vs = [m.int_var(5, 7), m.int_var(3, 5)]
+        s = DomainState(m)
+        s.assign(vs[0], 5)
+        assert CountEq(vs, 5, 1).propagate(s)
+        assert s.values(vs[1]) == [3, 4]
+
+
+class TestWeightedCountEq:
+    def test_weights_respected(self):
+        # coef 2 on v0: if v0==value it contributes 2
+        m = Model()
+        vs = [m.int_var(0, 1), m.int_var(0, 1)]
+        s = DomainState(m)
+        s.assign(vs[0], 1)
+        # total=2 already reached: remove value 1 from v1
+        assert WeightedCountEq(vs, [2, 1], 1, 2).propagate(s)
+        assert s.value(vs[1]) == 0
+
+    def test_overshooting_candidate_loses_value(self):
+        # total 1 cannot absorb the coef-2 candidate
+        m = Model()
+        vs = [m.int_var(0, 1), m.int_var(0, 1)]
+        s = DomainState(m)
+        assert WeightedCountEq(vs, [2, 1], 1, 1).propagate(s)
+        assert s.values(vs[0]) == [0]
+        assert s.value(vs[1]) == 1  # forced: only way to reach 1
+
+    def test_unreachable_fails(self):
+        m = Model()
+        vs = [m.int_var(0, 1)]
+        s = DomainState(m)
+        assert not WeightedCountEq(vs, [2], 1, 3).propagate(s)
+
+
+class TestAllDifferentExceptValue:
+    def test_duplicate_fails(self):
+        m = Model()
+        a, b = m.int_var(0, 3), m.int_var(0, 3)
+        s = DomainState(m)
+        s.assign(a, 2)
+        s.assign(b, 2)
+        assert not AllDifferentExceptValue([a, b], None).propagate(s)
+
+    def test_exception_value_may_repeat(self):
+        m = Model()
+        a, b = m.int_var(0, 3), m.int_var(0, 3)
+        s = DomainState(m)
+        s.assign(a, 3)
+        s.assign(b, 3)
+        assert AllDifferentExceptValue([a, b], 3).propagate(s)
+
+    def test_assigned_value_removed_from_others(self):
+        m = Model()
+        a, b, c = (m.int_var(0, 3) for _ in range(3))
+        s = DomainState(m)
+        s.assign(a, 1)
+        assert AllDifferentExceptValue([a, b, c], 3).propagate(s)
+        assert 1 not in s.values(b) and 1 not in s.values(c)
+
+    def test_needs_two_vars(self):
+        m = Model()
+        with pytest.raises(ValueError):
+            AllDifferentExceptValue([m.int_var(0, 1)], None)
+
+
+class TestNonDecreasing:
+    def test_bounds_ripple(self):
+        m = Model()
+        a, b, c = m.int_var(0, 9), m.int_var(3, 5), m.int_var(0, 9)
+        s = DomainState(m)
+        assert NonDecreasing([a, b, c]).propagate(s)
+        assert s.max_value(a) == 5  # a <= max(b)
+        assert s.min_value(c) == 3  # c >= min(b)
+
+    def test_conflict(self):
+        m = Model()
+        a, b = m.int_var(5, 9), m.int_var(0, 3)
+        s = DomainState(m)
+        assert not NonDecreasing([a, b]).propagate(s)
+
+    def test_chain_transitive(self):
+        m = Model()
+        vs = [m.int_var(0, 9) for _ in range(4)]
+        s = DomainState(m)
+        s.assign(vs[0], 6)
+        s.assign(vs[3], 7)
+        assert NonDecreasing(vs).propagate(s)
+        assert s.min_value(vs[1]) == 6 and s.max_value(vs[1]) == 7
+        assert s.min_value(vs[2]) == 6 and s.max_value(vs[2]) == 7
+
+
+class TestTable:
+    def test_filters_to_supports(self):
+        m = Model()
+        a, b = m.int_var(0, 2), m.int_var(0, 2)
+        s = DomainState(m)
+        t = Table([a, b], [(0, 1), (1, 2)])
+        assert t.propagate(s)
+        assert s.values(a) == [0, 1]
+        assert s.values(b) == [1, 2]
+
+    def test_no_support_fails(self):
+        m = Model()
+        a, b = m.int_var(0, 1), m.int_var(0, 1)
+        s = DomainState(m)
+        s.assign(a, 1)
+        s.assign(b, 1)
+        assert not Table([a, b], [(0, 0), (0, 1)]).propagate(s)
+
+    def test_arity_checked(self):
+        m = Model()
+        with pytest.raises(ValueError):
+            Table([m.int_var(0, 1)], [(0, 1)])
+
+
+def test_pruning_never_removes_solutions():
+    """Propagator soundness: any full assignment satisfying the constraint
+    survives one propagate() call from any sub-domain containing it."""
+    m = Model()
+    vs = [m.int_var(0, 2) for _ in range(3)]
+    constraints = [
+        CountEq(vs, 1, 2),
+        AllDifferentExceptValue(vs, 2),
+        NonDecreasing(vs),
+        WeightedCountEq(vs, [2, 1, 1], 0, 2),
+        Table(vs, [(0, 1, 2), (2, 2, 2), (1, 1, 0)]),
+    ]
+    for constraint in constraints:
+        for full in itertools.product([0, 1, 2], repeat=3):
+            values = dict(zip(vs, full))
+            if not satisfies(constraint, values):
+                continue
+            s = DomainState(m)
+            # restrict each var to {value, value+something} supersets
+            for v, val in values.items():
+                s.intersect_mask(v, (1 << (val - v.offset)) | s.mask(v))
+            assert constraint.propagate(s), (constraint, full)
+            for v, val in values.items():
+                assert s.contains(v, val), (constraint, full, v.name)

@@ -1,0 +1,79 @@
+"""Tests for geometric restarts in the generic CSP engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.csp import Model, Solver, Status, var_order_random
+
+
+def pigeonhole(n_pigeons, n_holes):
+    m = Model()
+    vs = [m.int_var(0, n_holes - 1, f"p{i}") for i in range(n_pigeons)]
+    m.add_all_different_except(vs, None)
+    return m, vs
+
+
+class TestRestarts:
+    def test_sat_found_with_restarts(self):
+        m, vs = pigeonhole(4, 4)
+        out = Solver(m, var_order=var_order_random, seed=1, restart_nodes=3).solve()
+        assert out.status is Status.SAT
+        vals = [out.value(v) for v in vs]
+        assert len(set(vals)) == 4
+
+    def test_unsat_still_proven(self):
+        """Completeness: the doubling cutoff eventually exceeds the tree."""
+        m, _ = pigeonhole(5, 4)
+        out = Solver(m, var_order=var_order_random, seed=1, restart_nodes=2).solve()
+        assert out.status is Status.UNSAT
+        assert out.stats.restarts > 0
+
+    def test_restart_counter(self):
+        m, _ = pigeonhole(6, 5)
+        out = Solver(m, var_order=var_order_random, seed=3, restart_nodes=1).solve()
+        assert out.status is Status.UNSAT
+        assert out.stats.restarts >= 1
+
+    def test_node_limit_respected_across_runs(self):
+        m, _ = pigeonhole(7, 6)
+        out = Solver(m, var_order=var_order_random, seed=5, restart_nodes=2).solve(
+            node_limit=10
+        )
+        assert out.status is Status.UNKNOWN
+        assert out.stats.nodes <= 14  # limit + one cutoff block of slack
+
+    def test_time_limit_respected(self):
+        m, _ = pigeonhole(8, 7)
+        out = Solver(m, var_order=var_order_random, seed=5, restart_nodes=4).solve(
+            time_limit=0.0
+        )
+        assert out.status is Status.UNKNOWN
+
+    def test_rejects_bad_cutoff(self):
+        m, _ = pigeonhole(3, 3)
+        with pytest.raises(ValueError):
+            Solver(m, restart_nodes=0)
+
+    def test_solve_all_incompatible(self):
+        m, _ = pigeonhole(3, 3)
+        with pytest.raises(ValueError, match="solve_all"):
+            Solver(m, restart_nodes=5).solve_all()
+
+    def test_without_cutoff_no_restarts(self):
+        m, _ = pigeonhole(4, 3)
+        out = Solver(m).solve()
+        assert out.status is Status.UNSAT
+        assert out.stats.restarts == 0
+
+
+@settings(deadline=None, max_examples=30)
+@given(st.integers(2, 5), st.integers(2, 5), st.integers(1, 8), st.integers(0, 100))
+def test_restarts_never_change_the_answer(p, h, cutoff, seed):
+    m1, _ = pigeonhole(p, h)
+    plain = Solver(m1).solve()
+    m2, _ = pigeonhole(p, h)
+    restarted = Solver(
+        m2, var_order=var_order_random, seed=seed, restart_nodes=cutoff
+    ).solve(time_limit=20)
+    assert restarted.status == plain.status

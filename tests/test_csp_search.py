@@ -1,0 +1,244 @@
+"""Search engine tests: correctness against brute force, heuristics, limits."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.csp import (
+    AllDifferentExceptValue,
+    CountEq,
+    Model,
+    NonDecreasing,
+    Solver,
+    Status,
+    Table,
+    value_order_ascending,
+    value_order_custom,
+    value_order_descending,
+    var_order_dom_deg,
+    var_order_input,
+    var_order_min_domain,
+    var_order_random,
+)
+from repro.csp.heuristics import make_value_order_random
+
+from tests.test_csp_propagators import satisfies
+
+
+def brute_force_solutions(model):
+    """All solutions by exhaustive enumeration (ground truth)."""
+    vars = model.variables
+    domains = [v.initial_values() for v in vars]
+    out = []
+    for combo in itertools.product(*domains):
+        values = dict(zip(vars, combo))
+        if all(satisfies(c, values) for c in model.constraints):
+            out.append(values)
+    return out
+
+
+class TestBasics:
+    def test_trivial_sat(self):
+        m = Model()
+        x = m.int_var(1, 3, "x")
+        out = Solver(m).solve()
+        assert out.status is Status.SAT
+        assert out.value(x) in (1, 2, 3)
+        assert out.is_sat
+
+    def test_root_propagation_solves(self):
+        m = Model()
+        x = m.int_var(0, 5)
+        y = m.constant(4)
+        m.add_non_decreasing([y, x])  # x >= 4
+        m.add_non_decreasing([x, y])  # x <= 4
+        out = Solver(m).solve()
+        assert out.status is Status.SAT
+        assert out.value(x) == 4
+        assert out.stats.nodes == 0  # solved by propagation alone
+
+    def test_unsat(self):
+        m = Model()
+        a, b = m.int_var(0, 1), m.int_var(0, 1)
+        m.add_all_different_except([a, b], None)
+        m.add_non_decreasing([b, a])  # b <= a
+        m.add_non_decreasing([a, b])  # a <= b -> a == b -> conflict
+        out = Solver(m).solve()
+        assert out.status is Status.UNSAT
+        assert out.solution is None
+
+    def test_value_raises_without_solution(self):
+        m = Model()
+        x = m.int_var(0, 0)
+        y = m.int_var(1, 1)
+        m.add_non_decreasing([y, x])
+        out = Solver(m).solve()
+        with pytest.raises(ValueError):
+            out.value(x)
+
+    def test_node_limit(self):
+        # pigeonhole: 7 pigeons, 6 holes — UNSAT but needs real search
+        m = Model()
+        vs = [m.int_var(0, 5) for _ in range(7)]
+        m.add_all_different_except(vs, None)
+        out = Solver(m).solve(node_limit=3)
+        assert out.status is Status.UNKNOWN
+        assert out.stats.nodes >= 3
+
+    def test_time_limit_zero(self):
+        m = Model()
+        vs = [m.int_var(0, 5) for _ in range(6)]
+        m.add_all_different_except(vs, None)
+        out = Solver(m).solve(time_limit=0.0)
+        assert out.status is Status.UNKNOWN
+
+
+class TestEnumeration:
+    def test_solve_all_counts(self):
+        # x <= y over {0,1,2}^2 -> 6 solutions
+        m = Model()
+        x, y = m.int_var(0, 2), m.int_var(0, 2)
+        m.add_non_decreasing([x, y])
+        out = Solver(m).solve_all()
+        assert out.status is Status.SAT
+        assert len(out.solutions) == 6
+        assert out.stats.solutions == 6
+
+    def test_solutions_unique(self):
+        m = Model()
+        x, y = m.int_var(0, 2), m.int_var(0, 2)
+        m.add_non_decreasing([x, y])
+        out = Solver(m).solve_all()
+        seen = {tuple(sorted((v.name, val) for v, val in sol.items())) for sol in out.solutions}
+        assert len(seen) == len(out.solutions)
+
+    def test_max_solutions_cap(self):
+        m = Model()
+        x, y = m.int_var(0, 2), m.int_var(0, 2)
+        out = Solver(m).solve_all(max_solutions=4)
+        assert out.status is Status.SAT
+        assert len(out.solutions) == 4
+
+    def test_exhausted_unsat(self):
+        m = Model()
+        x = m.int_var(0, 1)
+        y = m.int_var(0, 1)
+        m.add(Table([x, y], []))  # empty table: nothing allowed
+        out = Solver(m).solve_all()
+        assert out.status is Status.UNSAT
+
+
+class TestHeuristics:
+    def _pigeonhole(self):
+        """3 pigeons, 3 holes, all different — 6 solutions."""
+        m = Model()
+        vs = [m.int_var(0, 2, f"p{i}") for i in range(3)]
+        m.add_all_different_except(vs, None)
+        return m, vs
+
+    @pytest.mark.parametrize(
+        "var_order",
+        [var_order_input, var_order_min_domain, var_order_dom_deg],
+    )
+    @pytest.mark.parametrize(
+        "value_order", [value_order_ascending, value_order_descending]
+    )
+    def test_all_heuristics_find_all_solutions(self, var_order, value_order):
+        m, vs = self._pigeonhole()
+        out = Solver(m, var_order=var_order, value_order=value_order).solve_all()
+        assert len(out.solutions) == 6
+
+    def test_random_orders_reproducible(self):
+        m, vs = self._pigeonhole()
+        a = Solver(m, var_order=var_order_random, seed=7).solve()
+        b = Solver(m, var_order=var_order_random, seed=7).solve()
+        assert a.solution == b.solution
+
+    def test_random_var_order_requires_seed(self):
+        m, _ = self._pigeonhole()
+        with pytest.raises(ValueError):
+            Solver(m, var_order=var_order_random).solve()
+
+    def test_random_value_order(self):
+        import random
+
+        m, _ = self._pigeonhole()
+        vo = make_value_order_random(random.Random(3))
+        out = Solver(m, value_order=vo).solve_all()
+        assert len(out.solutions) == 6
+
+    def test_custom_value_order_changes_first_solution(self):
+        m = Model()
+        x = m.int_var(0, 2, "x")
+        pref = value_order_custom({x.index: [2, 0, 1]})
+        out = Solver(m, value_order=pref).solve()
+        assert out.value(x) == 2
+
+    def test_custom_value_order_global_list(self):
+        m = Model()
+        x = m.int_var(0, 2)
+        y = m.int_var(0, 2)
+        out = Solver(m, value_order=value_order_custom([1, 2, 0])).solve()
+        assert out.value(x) == 1 and out.value(y) == 1
+
+    def test_input_order_branches_in_creation_order(self):
+        m = Model()
+        x = m.int_var(0, 1, "x")
+        y = m.int_var(0, 1, "y")
+        out = Solver(m, var_order=var_order_input).solve()
+        assert out.stats.max_depth >= 1
+        assert out.value(x) == 0
+
+
+class TestStats:
+    def test_stats_populated(self):
+        m = Model()
+        vs = [m.int_var(0, 3) for _ in range(4)]
+        m.add_all_different_except(vs, None)
+        out = Solver(m).solve()
+        assert out.stats.nodes > 0
+        assert out.stats.propagations > 0
+        assert out.stats.elapsed >= 0.0
+        assert out.stats.max_depth >= 1
+
+
+@settings(deadline=None, max_examples=60)
+@given(st.data())
+def test_solver_matches_brute_force(data):
+    """Random small CSPs: the solver finds exactly the brute-force solutions."""
+    n_vars = data.draw(st.integers(2, 4))
+    m = Model()
+    vs = [m.int_var(0, data.draw(st.integers(1, 3)), f"v{i}") for i in range(n_vars)]
+
+    n_constraints = data.draw(st.integers(0, 3))
+    for _ in range(n_constraints):
+        kind = data.draw(st.sampled_from(["count", "alldiff", "nondec", "table"]))
+        sub_idx = data.draw(
+            st.lists(st.integers(0, n_vars - 1), min_size=2, max_size=n_vars, unique=True)
+        )
+        sub = [vs[i] for i in sub_idx]
+        if kind == "count":
+            m.add_count_eq(sub, data.draw(st.integers(0, 3)), data.draw(st.integers(0, 2)))
+        elif kind == "alldiff":
+            exc = data.draw(st.one_of(st.none(), st.integers(0, 3)))
+            m.add_all_different_except(sub, exc)
+        elif kind == "nondec":
+            m.add_non_decreasing(sub)
+        else:
+            n_tuples = data.draw(st.integers(0, 6))
+            tuples = [
+                tuple(data.draw(st.integers(0, 3)) for _ in sub) for _ in range(n_tuples)
+            ]
+            m.add_table(sub, tuples)
+
+    expected = brute_force_solutions(m)
+    out = Solver(m).solve_all()
+    if expected:
+        assert out.status is Status.SAT
+    else:
+        assert out.status is Status.UNSAT
+    got = {tuple(sol[v] for v in m.variables) for sol in out.solutions}
+    want = {tuple(sol[v] for v in m.variables) for sol in expected}
+    assert got == want

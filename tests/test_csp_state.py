@@ -1,0 +1,161 @@
+"""Tests for the trail-based domain state."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.csp import Model
+from repro.csp.state import DomainState
+
+
+@pytest.fixture
+def setup():
+    m = Model()
+    x = m.int_var(2, 5, "x")
+    y = m.int_var_from([1, 3, 7], "y")
+    b = m.bool_var("b")
+    return m, x, y, b
+
+
+class TestQueries:
+    def test_initial_domains(self, setup):
+        m, x, y, b = setup
+        s = DomainState(m)
+        assert s.values(x) == [2, 3, 4, 5]
+        assert s.values(y) == [1, 3, 7]
+        assert s.values(b) == [0, 1]
+        assert s.size(x) == 4
+        assert s.min_value(y) == 1 and s.max_value(y) == 7
+
+    def test_contains(self, setup):
+        m, x, y, b = setup
+        s = DomainState(m)
+        assert s.contains(y, 3)
+        assert not s.contains(y, 2)
+        assert not s.contains(y, -5)
+
+    def test_value_requires_assignment(self, setup):
+        m, x, *_ = setup
+        s = DomainState(m)
+        with pytest.raises(ValueError):
+            s.value(x)
+        s.assign(x, 3)
+        assert s.value(x) == 3
+        assert s.is_assigned(x)
+
+    def test_solution_requires_all_assigned(self, setup):
+        m, x, y, b = setup
+        s = DomainState(m)
+        for v, val in ((x, 2), (y, 7), (b, 0)):
+            assert s.assign(v, val)
+        assert s.solution() == {x: 2, y: 7, b: 0}
+
+
+class TestMutations:
+    def test_assign_missing_value_fails(self, setup):
+        m, x, y, b = setup
+        s = DomainState(m)
+        assert not s.assign(y, 2)
+        assert s.values(y) == [1, 3, 7]  # untouched
+
+    def test_remove_value(self, setup):
+        m, x, *_ = setup
+        s = DomainState(m)
+        assert s.remove_value(x, 3)
+        assert s.values(x) == [2, 4, 5]
+
+    def test_remove_absent_value_is_noop(self, setup):
+        m, x, *_ = setup
+        s = DomainState(m)
+        assert s.remove_value(x, 99)
+        assert s.remove_value(x, -99)
+        assert s.values(x) == [2, 3, 4, 5]
+
+    def test_remove_last_value_fails(self, setup):
+        m, x, *_ = setup
+        s = DomainState(m)
+        s.assign(x, 2)
+        assert not s.remove_value(x, 2)
+        assert s.values(x) == [2]  # wipe-out refused, domain kept
+
+    def test_remove_above_below(self, setup):
+        m, x, *_ = setup
+        s = DomainState(m)
+        assert s.remove_above(x, 4)
+        assert s.remove_below(x, 3)
+        assert s.values(x) == [3, 4]
+        assert not s.remove_above(x, 1)  # would wipe out
+
+    def test_changed_log(self, setup):
+        m, x, y, b = setup
+        s = DomainState(m)
+        s.assign(x, 3)
+        s.remove_value(y, 7)
+        assert s.drain_changed() == [x.index, y.index]
+        assert s.drain_changed() == []
+
+
+class TestTrail:
+    def test_push_pop_restores(self, setup):
+        m, x, y, b = setup
+        s = DomainState(m)
+        s.remove_value(x, 5)  # root-level change: permanent
+        s.push_level()
+        s.assign(x, 2)
+        s.assign(y, 3)
+        s.push_level()
+        s.assign(b, 1)
+        assert s.level == 2
+        s.pop_level()
+        assert s.values(b) == [0, 1]
+        assert s.value(x) == 2  # level-1 changes survive
+        s.pop_level()
+        assert s.values(x) == [2, 3, 4]  # root change survives
+        assert s.values(y) == [1, 3, 7]
+        assert s.level == 0
+
+    def test_pop_without_push_raises(self, setup):
+        m, *_ = setup
+        s = DomainState(m)
+        with pytest.raises(RuntimeError):
+            s.pop_level()
+
+    def test_pop_clears_changed(self, setup):
+        m, x, *_ = setup
+        s = DomainState(m)
+        s.push_level()
+        s.assign(x, 2)
+        s.pop_level()
+        assert s.drain_changed() == []
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 9)),  # (var, value) ops
+        max_size=30,
+    ),
+    st.lists(st.booleans(), max_size=10),  # push/pop pattern
+)
+def test_trail_restores_exactly(ops, pattern):
+    """Random remove ops bracketed by levels always restore exactly."""
+    m = Model()
+    vars = [m.int_var(0, 9, f"v{i}") for i in range(4)]
+    s = DomainState(m)
+    snapshots = []
+    op_iter = iter(ops)
+    for do_push in pattern:
+        if do_push or not snapshots:
+            snapshots.append(list(s.masks))
+            s.push_level()
+            for _ in range(3):
+                op = next(op_iter, None)
+                if op is None:
+                    break
+                vi, val = op
+                s.remove_value(vars[vi], val)
+        else:
+            s.pop_level()
+            assert s.masks == snapshots.pop()
+    while snapshots:
+        s.pop_level()
+        assert s.masks == snapshots.pop()

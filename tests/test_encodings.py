@@ -1,0 +1,179 @@
+"""Tests for the CSP1/CSP2/SAT encodings: structure, decode, Theorem 2."""
+
+import itertools
+
+import pytest
+
+from repro.csp import Solver, Status
+from repro.encodings import encode_csp1, encode_csp2
+from repro.encodings.sat1 import encode_sat1
+from repro.model import Platform, Task, TaskSystem
+from repro.schedule import IDLE, validate
+
+from tests.helpers import running_example
+
+
+class TestCsp1Structure:
+    def test_variable_count_reduction(self):
+        """Paper Section IV-B: real variables are sum_i m*(T/T_i)*D_i."""
+        s = running_example()
+        enc = encode_csp1(s, Platform.identical(2))
+        expected = sum(2 * s.n_jobs(i) * s[i].deadline for i in range(3))
+        assert enc.n_variables == expected
+        # versus the naive n*m*T = 3*2*12 = 72
+        assert enc.n_variables < 3 * 2 * 12
+
+    def test_heterogeneous_zero_rate_vars_not_created(self):
+        s = TaskSystem.from_tuples([(0, 1, 2, 2), (0, 1, 2, 2)])
+        p = Platform.heterogeneous([[1, 0], [1, 1]])
+        enc = encode_csp1(s, p)
+        assert not any(i == 0 and j == 1 for (i, j, t) in enc.vars)
+
+    def test_rejects_arbitrary_deadlines(self):
+        s = TaskSystem.from_tuples([(0, 1, 5, 3)])
+        with pytest.raises(ValueError, match="clone"):
+            encode_csp1(s, Platform.identical(1))
+
+    def test_decode_roundtrip(self):
+        s = running_example()
+        enc = encode_csp1(s, Platform.identical(2))
+        out = Solver(enc.model).solve()
+        assert out.status is Status.SAT
+        sched = enc.decode(out.solution)
+        assert validate(sched).ok
+
+    def test_decode_rejects_conflicting_solution(self):
+        s = TaskSystem.from_tuples([(0, 1, 2, 2), (0, 1, 2, 2)])
+        enc = encode_csp1(s, Platform.identical(1))
+        # forge a "solution" that puts both tasks on P1 at slot 0
+        bogus = {v: 0 for v in enc.model.variables}
+        bogus[enc.vars[(0, 0, 0)]] = 1
+        bogus[enc.vars[(1, 0, 0)]] = 1
+        with pytest.raises(ValueError, match="both"):
+            enc.decode(bogus)
+
+
+class TestCsp2Structure:
+    def test_variable_count_is_m_times_T(self):
+        s = running_example()
+        enc = encode_csp2(s, Platform.identical(2))
+        assert enc.n_variables == 2 * 12
+
+    def test_idle_value_is_n(self):
+        s = running_example()
+        enc = encode_csp2(s, Platform.identical(2))
+        assert enc.idle_value == 3
+
+    def test_domains_respect_windows(self):
+        """Condition (7) folded into domains: tau3 unavailable at slot 2."""
+        s = running_example()
+        enc = encode_csp2(s, Platform.identical(2))
+        v = enc.vars[(0, 2)]
+        assert 2 not in v.initial_values()
+        assert enc.idle_value in v.initial_values()
+
+    def test_heterogeneous_domains_drop_zero_rate_tasks(self):
+        s = TaskSystem.from_tuples([(0, 1, 2, 2), (0, 1, 2, 2)])
+        p = Platform.heterogeneous([[1, 0], [1, 1]])
+        enc = encode_csp2(s, p)
+        assert 0 not in enc.vars[(1, 0)].initial_values()
+        assert 0 in enc.vars[(0, 0)].initial_values()
+
+    def test_decode_roundtrip(self):
+        s = running_example()
+        enc = encode_csp2(s, Platform.identical(2))
+        out = Solver(enc.model).solve()
+        assert out.status is Status.SAT
+        assert validate(enc.decode(out.solution)).ok
+
+    def test_rejects_arbitrary_deadlines(self):
+        s = TaskSystem.from_tuples([(0, 1, 5, 3)])
+        with pytest.raises(ValueError, match="clone"):
+            encode_csp2(s, Platform.identical(1))
+
+
+def count_solutions(model):
+    out = Solver(model).solve_all()
+    assert out.status in (Status.SAT, Status.UNSAT)
+    return len(out.solutions)
+
+
+TINY_SYSTEMS = [
+    TaskSystem.from_tuples([(0, 1, 2, 2)]),
+    TaskSystem.from_tuples([(0, 1, 2, 2), (0, 1, 2, 2)]),
+    TaskSystem.from_tuples([(0, 1, 2, 2), (1, 1, 2, 4)]),
+    TaskSystem.from_tuples([(0, 2, 2, 3), (0, 1, 3, 3)]),
+    TaskSystem.from_tuples([(0, 2, 2, 2), (0, 1, 2, 2), (0, 1, 2, 2)]),  # infeasible on m=2
+    TaskSystem.from_tuples([(1, 1, 2, 2), (0, 1, 1, 1)]),
+]
+
+
+class TestTheorem2:
+    """CSP1 and CSP2 are equivalent (paper Theorem 2) — and because the
+    paper's proof is a bijection of solutions, the solution *counts* match
+    (symmetry breaking off, which removes solutions by design)."""
+
+    @pytest.mark.parametrize("m", [1, 2])
+    @pytest.mark.parametrize("sys_idx", range(len(TINY_SYSTEMS)))
+    def test_solution_counts_match(self, sys_idx, m):
+        s = TINY_SYSTEMS[sys_idx]
+        p = Platform.identical(m)
+        c1 = count_solutions(encode_csp1(s, p).model)
+        c2 = count_solutions(encode_csp2(s, p, symmetry_breaking=False).model)
+        assert c1 == c2
+
+    @pytest.mark.parametrize("sys_idx", range(len(TINY_SYSTEMS)))
+    def test_symmetry_breaking_preserves_feasibility(self, sys_idx):
+        s = TINY_SYSTEMS[sys_idx]
+        p = Platform.identical(2)
+        full = count_solutions(encode_csp2(s, p, symmetry_breaking=False).model)
+        sym = count_solutions(encode_csp2(s, p, symmetry_breaking=True).model)
+        assert sym <= full
+        assert (sym > 0) == (full > 0)
+
+    def test_symmetry_breaking_divides_by_permutations(self):
+        """With m=2 and >= 2 tasks runnable, rule (10) halves some slots."""
+        s = TaskSystem.from_tuples([(0, 1, 2, 2), (0, 1, 2, 2)])
+        p = Platform.identical(2)
+        full = count_solutions(encode_csp2(s, p, symmetry_breaking=False).model)
+        sym = count_solutions(encode_csp2(s, p, symmetry_breaking=True).model)
+        assert sym < full
+
+
+class TestSat1:
+    def test_rejects_non_identical(self):
+        s = TaskSystem.from_tuples([(0, 1, 2, 2)])
+        with pytest.raises(ValueError, match="identical"):
+            encode_sat1(s, Platform.uniform([2, 1]))
+
+    def test_rejects_arbitrary(self):
+        s = TaskSystem.from_tuples([(0, 1, 5, 3)])
+        with pytest.raises(ValueError, match="clone"):
+            encode_sat1(s, Platform.identical(1))
+
+    def test_rejects_bad_amo(self):
+        s = running_example()
+        with pytest.raises(ValueError, match="amo"):
+            encode_sat1(s, Platform.identical(2), amo="magic")
+
+    def test_pairwise_has_no_aux_for_amo(self):
+        s = TaskSystem.from_tuples([(0, 1, 2, 2)])
+        enc_p = encode_sat1(s, Platform.identical(2), amo="pairwise")
+        # problem vars: T=2 window slots x 2 procs x 1 window per hyperperiod
+        assert len(enc_p.vars) == 4
+        # auxiliaries (from the exactly_k counters) come after problem vars
+        assert enc_p.cnf.n_vars >= len(enc_p.vars)
+
+    def test_feasibility_matches_csp(self):
+        for s in TINY_SYSTEMS:
+            for m in (1, 2):
+                p = Platform.identical(m)
+                from repro.sat.solver import CdclSolver
+
+                for amo in ("pairwise", "sequential"):
+                    enc = encode_sat1(s, p, amo=amo)
+                    sat_out = CdclSolver(enc.cnf).solve()
+                    csp_feasible = count_solutions(encode_csp1(s, p).model) > 0
+                    assert sat_out.is_sat == csp_feasible, (s, m, amo)
+                    if sat_out.is_sat:
+                        assert validate(enc.decode(sat_out.model)).ok

@@ -1,0 +1,145 @@
+"""Tests for the Section VII-A random generator and named instances."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generator import (
+    GeneratorConfig,
+    generate_instance,
+    generate_instances,
+    generate_system,
+    generate_task,
+    harmonic_system,
+    running_example,
+    running_example_platform,
+    saturated_pair,
+)
+
+
+class TestConfig:
+    def test_defaults_are_table1(self):
+        cfg = GeneratorConfig()
+        assert (cfg.n, cfg.m, cfg.tmax) == (10, 5, 7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(n=0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(tmax=0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(order="xyz")
+        with pytest.raises(ValueError):
+            GeneratorConfig(offsets="sometimes")
+        with pytest.raises(ValueError):
+            GeneratorConfig(m=0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(m="median")
+
+
+@settings(max_examples=60)
+@given(st.integers(0, 10_000), st.integers(1, 12), st.sampled_from(["d-first", "cdt", "tdc"]))
+def test_task_constraint_chain(seed, tmax, order):
+    """Every sampled task satisfies 1 <= C <= D <= T <= Tmax (paper VII-A)."""
+    t = generate_task(random.Random(seed), tmax, order)
+    assert 1 <= t.wcet <= t.deadline <= t.period <= tmax
+
+
+def test_bad_order_rejected():
+    with pytest.raises(ValueError):
+        generate_task(random.Random(0), 5, "dct")
+
+
+@settings(max_examples=30)
+@given(st.integers(0, 10_000))
+def test_system_shape(seed):
+    s = generate_system(random.Random(seed), n=6, tmax=7)
+    assert s.n == 6
+    assert s.is_constrained
+    assert all(0 <= t.offset < t.period for t in s)
+
+
+def test_zero_offsets_mode():
+    s = generate_system(random.Random(1), n=5, tmax=7, offsets="zero")
+    assert all(t.offset == 0 for t in s)
+
+
+class TestInstances:
+    def test_deterministic_by_seed(self):
+        cfg = GeneratorConfig()
+        a = generate_instance(cfg, 123)
+        b = generate_instance(cfg, 123)
+        assert a.system == b.system and a.m == b.m
+
+    def test_fixed_m(self):
+        inst = generate_instance(GeneratorConfig(m=5), 7)
+        assert inst.m == 5
+
+    def test_uniform_m_range(self):
+        cfg = GeneratorConfig(n=10, m="uniform")
+        ms = {generate_instance(cfg, s).m for s in range(200)}
+        assert ms <= set(range(1, 10))
+        assert len(ms) > 3  # actually varies
+
+    def test_min_m_rule(self):
+        """Table IV: m = max(1, ceil(U)) makes every instance pass the filter."""
+        cfg = GeneratorConfig(n=8, tmax=15, m="min")
+        for s in range(50):
+            inst = generate_instance(cfg, s)
+            assert inst.m == inst.system.min_processors
+            assert inst.utilization_ratio <= 1
+
+    def test_generate_many(self):
+        batch = generate_instances(GeneratorConfig(n=4, tmax=5), 20, seed=1)
+        assert len(batch) == 20
+        # all reproducible
+        again = generate_instances(GeneratorConfig(n=4, tmax=5), 20, seed=1)
+        assert [i.system for i in batch] == [i.system for i in again]
+        # different seeds differ
+        other = generate_instances(GeneratorConfig(n=4, tmax=5), 20, seed=2)
+        assert [i.system for i in batch] != [i.system for i in other]
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            generate_instances(GeneratorConfig(), -1)
+
+    def test_utilization_ratio(self):
+        inst = generate_instance(GeneratorConfig(), 5)
+        assert inst.utilization_ratio == inst.system.utilization / inst.m
+
+
+class TestOrderBias:
+    """The paper: C->D->T favors large periods, T->D->C favors short WCETs."""
+
+    def test_distribution_shift(self):
+        rng = random.Random(0)
+        n = 3000
+        cdt = [generate_task(rng, 10, "cdt") for _ in range(n)]
+        tdc = [generate_task(rng, 10, "tdc") for _ in range(n)]
+        mean_period_cdt = sum(t.period for t in cdt) / n
+        mean_period_tdc = sum(t.period for t in tdc) / n
+        assert mean_period_cdt > mean_period_tdc
+        mean_wcet_cdt = sum(t.wcet for t in cdt) / n
+        mean_wcet_tdc = sum(t.wcet for t in tdc) / n
+        assert mean_wcet_tdc < mean_wcet_cdt
+
+
+class TestNamed:
+    def test_running_example_matches_paper(self):
+        s = running_example()
+        assert [t.as_tuple() for t in s] == [(0, 1, 2, 2), (1, 3, 4, 4), (0, 2, 2, 3)]
+        assert s.hyperperiod == 12
+        assert running_example_platform().m == 2
+
+    def test_saturated_pair(self):
+        s = saturated_pair()
+        assert s.utilization == 1
+
+    def test_harmonic(self):
+        s = harmonic_system(levels=3, base=2)
+        assert [t.period for t in s] == [2, 4, 8]
+        assert s.hyperperiod == 8
+        with pytest.raises(ValueError):
+            harmonic_system(levels=0)

@@ -1,0 +1,105 @@
+"""Tests for the min-conflicts local-search solver (paper future work)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import Platform, Task, TaskSystem
+from repro.schedule import validate
+from repro.solvers import Feasibility, make_solver
+from repro.solvers.csp2_local import Csp2LocalSearchSolver
+
+from tests.helpers import running_example
+
+
+class TestConstruction:
+    def test_registry_name(self):
+        s = running_example()
+        solver = make_solver("csp2-local", s, Platform.identical(2))
+        assert solver.name == "csp2-local"
+
+    def test_rejects_arbitrary_deadlines(self):
+        s = TaskSystem.from_tuples([(0, 1, 5, 3)])
+        with pytest.raises(ValueError, match="clone"):
+            Csp2LocalSearchSolver(s, Platform.identical(1))
+
+    def test_rejects_non_identical(self):
+        with pytest.raises(ValueError, match="identical"):
+            Csp2LocalSearchSolver(running_example(), Platform.uniform([2, 1]))
+
+    def test_rejects_bad_noise(self):
+        with pytest.raises(ValueError, match="noise"):
+            Csp2LocalSearchSolver(running_example(), Platform.identical(2), noise=2.0)
+
+
+class TestSolving:
+    def test_solves_running_example(self):
+        solver = Csp2LocalSearchSolver(running_example(), Platform.identical(2), seed=1)
+        r = solver.solve(time_limit=20)
+        assert r.status is Feasibility.FEASIBLE
+        assert validate(r.schedule).ok
+
+    def test_never_claims_infeasible(self):
+        # genuinely infeasible instance: local search must say UNKNOWN
+        s = TaskSystem.from_tuples([(0, 2, 2, 2), (0, 2, 2, 2), (0, 1, 2, 2)])
+        r = Csp2LocalSearchSolver(s, Platform.identical(2), seed=1).solve(
+            time_limit=0.3
+        )
+        assert r.status is Feasibility.UNKNOWN  # the paper's stated trade-off
+
+    def test_cd_violation_short_circuits(self):
+        s = TaskSystem.from_tuples([(0, 3, 2, 4)])
+        r = Csp2LocalSearchSolver(s, Platform.identical(1)).solve(time_limit=5)
+        assert r.status is Feasibility.UNKNOWN
+        assert r.stats.nodes == 0
+
+    def test_zero_wcet_trivial(self):
+        s = TaskSystem.from_tuples([(0, 0, 2, 2)])
+        r = Csp2LocalSearchSolver(s, Platform.identical(1)).solve(time_limit=5)
+        assert r.status is Feasibility.FEASIBLE
+        assert r.schedule.busy_slots() == 0
+
+    def test_deterministic_for_seed(self):
+        a = Csp2LocalSearchSolver(running_example(), Platform.identical(2), seed=5)
+        b = Csp2LocalSearchSolver(running_example(), Platform.identical(2), seed=5)
+        ra = a.solve(time_limit=20)
+        rb = b.solve(time_limit=20)
+        assert ra.status == rb.status
+        if ra.schedule is not None:
+            assert ra.schedule == rb.schedule
+
+    def test_restart_counter_exposed(self):
+        s = TaskSystem.from_tuples([(0, 2, 2, 2), (0, 2, 2, 2), (0, 1, 2, 2)])
+        solver = Csp2LocalSearchSolver(
+            s, Platform.identical(2), seed=1, max_steps_per_restart=5
+        )
+        r = solver.solve(time_limit=0.2)
+        assert "restarts" in r.stats.extra
+        assert r.stats.extra["restarts"] >= 1
+
+
+@settings(deadline=None, max_examples=25)
+@given(st.data())
+def test_local_search_agrees_with_exact_when_it_answers(data):
+    """Whatever the local search finds must be a real schedule; and it
+    should find most schedules the exact solver proves feasible."""
+    n = data.draw(st.integers(1, 4))
+    tasks = []
+    for _ in range(n):
+        t = data.draw(st.sampled_from([1, 2, 3, 4, 6]))
+        d = data.draw(st.integers(1, t))
+        c = data.draw(st.integers(0, d))
+        o = data.draw(st.integers(0, t - 1))
+        tasks.append(Task(o, c, d, t))
+    system = TaskSystem(tasks)
+    m = data.draw(st.integers(1, 3))
+    platform = Platform.identical(m)
+
+    exact = make_solver("csp2+dc", system, platform).solve(time_limit=20)
+    local = Csp2LocalSearchSolver(system, platform, seed=3).solve(time_limit=3)
+    if local.status is Feasibility.FEASIBLE:
+        assert validate(local.schedule).ok
+        assert exact.status is Feasibility.FEASIBLE
+    # and local search never contradicts a feasible instance by claiming
+    # infeasibility (it structurally cannot return INFEASIBLE)
+    assert local.status is not Feasibility.INFEASIBLE

@@ -1,0 +1,85 @@
+"""Tests for the incremental minimum-m search (paper future work)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import Platform, Task, TaskSystem
+from repro.solvers import Feasibility, find_min_processors, make_solver
+
+from tests.helpers import running_example
+
+
+class TestBasics:
+    def test_running_example_needs_two(self):
+        res = find_min_processors(running_example(), time_limit_per_m=20)
+        assert res.found and res.m == 2
+        assert res.exact
+        assert res.result.is_feasible
+        # the search started at ceil(U) = 2, so only one attempt
+        assert list(res.attempts) == [2]
+
+    def test_single_light_task(self):
+        s = TaskSystem.from_tuples([(0, 1, 4, 4)])
+        res = find_min_processors(s, time_limit_per_m=20)
+        assert res.m == 1 and res.exact
+
+    def test_utilization_bound_not_always_tight(self):
+        # two D=1 tasks colliding at slot 0: U = 2/8 -> start at m=1,
+        # but only m=2 works; the m=1 INFEASIBLE proof keeps it exact
+        s = TaskSystem.from_tuples([(0, 1, 1, 8), (0, 1, 1, 8)])
+        res = find_min_processors(s, time_limit_per_m=20)
+        assert res.m == 2
+        assert res.exact
+        assert res.attempts[1] is Feasibility.INFEASIBLE
+
+    def test_impossible_task_never_fits(self):
+        # C > D: no processor count helps
+        s = TaskSystem.from_tuples([(0, 3, 2, 4)])
+        res = find_min_processors(s, time_limit_per_m=5, max_m=4)
+        assert not res.found
+        assert all(v is Feasibility.INFEASIBLE for v in res.attempts.values())
+
+    def test_budget_exhaustion_reported(self):
+        res = find_min_processors(
+            running_example(), solver="csp1", total_time_limit=0.0
+        )
+        assert not res.found
+        assert not res.exact or res.attempts == {}
+
+    def test_unknown_attempt_breaks_exactness(self):
+        # csp1 with a tiny per-m budget will overrun on m=2... then a
+        # bigger m may still be found by the same solver; exactness drops
+        s = running_example()
+        res = find_min_processors(
+            s, solver="csp1", time_limit_per_m=0.01, max_m=3
+        )
+        if res.found:
+            assert not res.exact
+
+
+@settings(deadline=None, max_examples=20)
+@given(st.data())
+def test_min_m_is_minimal_and_feasible(data):
+    n = data.draw(st.integers(1, 4))
+    tasks = []
+    for _ in range(n):
+        t = data.draw(st.sampled_from([1, 2, 4]))
+        d = data.draw(st.integers(1, t))
+        c = data.draw(st.integers(1, d))
+        tasks.append(Task(0, c, d, t))
+    system = TaskSystem(tasks)
+    res = find_min_processors(system, time_limit_per_m=20)
+    assert res.found, "every C<=D<=T system fits on n processors"
+    assert res.exact
+    # feasible at m
+    check = make_solver("csp2+dc", system, Platform.identical(res.m)).solve(
+        time_limit=20
+    )
+    assert check.is_feasible
+    # infeasible at m-1 (when m-1 >= 1)
+    if res.m > 1:
+        below = make_solver(
+            "csp2+dc", system, Platform.identical(res.m - 1)
+        ).solve(time_limit=20)
+        assert below.status is Feasibility.INFEASIBLE

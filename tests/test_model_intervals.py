@@ -1,0 +1,134 @@
+"""Tests for the cyclic availability-window machinery.
+
+The paper's Figure 1 (running example, hyperperiod 12) pins down the
+expected windows; hypothesis checks the O(1) formulas against brute force.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model import Task, active_job, job_release, slots_after, window_slots
+from repro.model.intervals import n_jobs
+from repro.util.math import lcm_all
+
+
+def constrained_tasks(max_period=12):
+    """Constrained-deadline tasks (D <= T) with small parameters."""
+
+    def build(o, t, d, c):
+        d = min(d, t)
+        return Task(offset=o, wcet=min(c, d), deadline=d, period=t)
+
+    return st.builds(
+        build,
+        st.integers(0, 15),
+        st.integers(1, max_period),
+        st.integers(1, max_period),
+        st.integers(1, max_period),
+    )
+
+
+class TestRunningExample:
+    """Figure 1: tau1=(0,1,2,2), tau2=(1,3,4,4), tau3=(0,2,2,3), T=12."""
+
+    T = 12
+
+    def test_tau1_windows(self):
+        t1 = Task(0, 1, 2, 2)
+        assert n_jobs(t1, self.T) == 6
+        assert [window_slots(t1, self.T, k) for k in range(6)] == [
+            [0, 1], [2, 3], [4, 5], [6, 7], [8, 9], [10, 11],
+        ]
+
+    def test_tau2_windows(self):
+        t2 = Task(1, 3, 4, 4)
+        assert n_jobs(t2, self.T) == 3
+        assert [window_slots(t2, self.T, k) for k in range(3)] == [
+            [1, 2, 3, 4], [5, 6, 7, 8], [9, 10, 11, 0],
+        ]
+
+    def test_tau3_windows(self):
+        t3 = Task(0, 2, 2, 3)
+        assert n_jobs(t3, self.T) == 4
+        assert [window_slots(t3, self.T, k) for k in range(4)] == [
+            [0, 1], [3, 4], [6, 7], [9, 10],
+        ]
+
+    def test_tau3_idle_slots(self):
+        t3 = Task(0, 2, 2, 3)
+        actives = [active_job(t3, self.T, s) for s in range(self.T)]
+        assert actives == [0, 0, None, 1, 1, None, 2, 2, None, 3, 3, None]
+
+    def test_tau2_wrap(self):
+        # tau2's third window [9..12] wraps: slot 0 belongs to job 2
+        t2 = Task(1, 3, 4, 4)
+        assert active_job(t2, self.T, 0) == 2
+        assert active_job(t2, self.T, 1) == 0
+
+
+class TestJobRelease:
+    def test_release_uses_phase(self):
+        t = Task(7, 1, 2, 3)  # phase 1
+        assert [job_release(t, k) for k in range(4)] == [1, 4, 7, 10]
+
+    def test_rejects_negative_job(self):
+        with pytest.raises(ValueError):
+            job_release(Task(0, 1, 2, 2), -1)
+
+
+class TestActiveJobValidation:
+    def test_rejects_arbitrary_deadline(self):
+        with pytest.raises(ValueError):
+            active_job(Task(0, 1, 5, 3), 12, 0)
+
+    def test_rejects_bad_hyperperiod(self):
+        with pytest.raises(ValueError):
+            n_jobs(Task(0, 1, 2, 5), 12)
+
+    def test_rejects_out_of_range_slot(self):
+        with pytest.raises(ValueError):
+            active_job(Task(0, 1, 2, 2), 12, 12)
+
+
+@given(constrained_tasks(), st.integers(1, 4))
+def test_active_job_matches_windows(task, mult):
+    """active_job(t) == the unique job whose window contains t (brute force)."""
+    T = lcm_all([task.period]) * mult
+    by_slot = {}
+    for k in range(n_jobs(task, T)):
+        for s in window_slots(task, T, k):
+            assert s not in by_slot, "windows of one constrained task must be disjoint"
+            by_slot[s] = k
+    for s in range(T):
+        assert active_job(task, T, s) == by_slot.get(s)
+
+
+@given(constrained_tasks(), st.integers(1, 4))
+def test_window_sizes(task, mult):
+    T = task.period * mult
+    for k in range(n_jobs(task, T)):
+        slots = window_slots(task, T, k)
+        assert len(slots) == task.deadline
+        assert len(set(slots)) == task.deadline
+        assert all(0 <= s < T for s in slots)
+
+
+@given(constrained_tasks(), st.integers(1, 4), st.integers(-1, 47))
+def test_slots_after_matches_bruteforce(task, mult, slot):
+    T = task.period * mult
+    slot = min(slot, T - 1)
+    for k in range(n_jobs(task, T)):
+        slots = window_slots(task, T, k)
+        expected = sum(1 for s in slots if s > slot)
+        assert slots_after(task, T, k, slot) == expected, (
+            f"task={task.as_tuple()} T={T} job={k} slot={slot}"
+        )
+
+
+@given(constrained_tasks(), st.integers(1, 3))
+def test_slots_after_full_before_scan(task, mult):
+    """Before the scan starts (slot=-1) every window has all D slots left."""
+    T = task.period * mult
+    for k in range(n_jobs(task, T)):
+        assert slots_after(task, T, k, -1) == task.deadline

@@ -1,0 +1,141 @@
+"""Tests for Platform (identical / uniform / heterogeneous)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.model import Platform, TaskSystem
+
+EXAMPLE = TaskSystem.from_tuples([(0, 1, 2, 2), (1, 3, 4, 4), (0, 2, 2, 3)])
+
+
+class TestIdentical:
+    def test_basic(self):
+        p = Platform.identical(2)
+        assert p.m == 2 and p.kind == "identical" and p.is_identical
+
+    def test_rates_all_one(self):
+        p = Platform.identical(3)
+        assert all(p.rate(i, j) == 1 for i in range(5) for j in range(3))
+
+    def test_rate_matrix(self):
+        assert Platform.identical(2).rate_matrix(3).tolist() == [[1, 1], [1, 1], [1, 1]]
+
+    def test_rejects_zero_processors(self):
+        with pytest.raises(ValueError):
+            Platform.identical(0)
+
+    def test_one_identical_group(self):
+        assert Platform.identical(4).identical_groups(3) == [[0, 1, 2, 3]]
+
+    def test_eligibility_everything(self):
+        p = Platform.identical(2)
+        assert p.eligible_processors(1) == [0, 1]
+        assert p.eligible_tasks(0, 3) == [0, 1, 2]
+
+
+class TestUniform:
+    def test_basic(self):
+        p = Platform.uniform([2, 1, 1])
+        assert p.kind == "uniform" and p.m == 3
+
+    def test_rates_broadcast_over_tasks(self):
+        p = Platform.uniform([2, 1])
+        assert p.rate(0, 0) == 2 and p.rate(7, 0) == 2 and p.rate(0, 1) == 1
+
+    def test_all_unit_speeds_collapse_to_identical(self):
+        assert Platform.uniform([1, 1]).kind == "identical"
+
+    def test_rejects_zero_speed(self):
+        with pytest.raises(ValueError):
+            Platform.uniform([1, 0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Platform.uniform([])
+
+    def test_groups_by_speed(self):
+        p = Platform.uniform([2, 1, 2, 1])
+        assert p.identical_groups(2) == [[0, 2], [1, 3]]
+
+
+class TestHeterogeneous:
+    def test_basic(self):
+        p = Platform.heterogeneous([[1, 0], [2, 1], [0, 3]])
+        assert p.kind == "heterogeneous" and p.m == 2 and p.n_tasks == 3
+
+    def test_rate_lookup(self):
+        p = Platform.heterogeneous([[1, 0], [2, 1]])
+        assert p.rate(0, 1) == 0 and p.rate(1, 0) == 2
+
+    def test_zero_rate_means_ineligible(self):
+        p = Platform.heterogeneous([[1, 0], [2, 1], [0, 3]])
+        assert p.eligible_processors(0) == [0]
+        assert p.eligible_processors(2) == [1]
+        assert p.eligible_tasks(0, 3) == [0, 1]
+        assert p.eligible_tasks(1, 3) == [1, 2]
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ValueError):
+            Platform.heterogeneous([[1, -1]])
+
+    def test_rejects_unrunnable_task(self):
+        with pytest.raises(ValueError):
+            Platform.heterogeneous([[1, 1], [0, 0]])
+
+    def test_rejects_wrong_task_count(self):
+        p = Platform.heterogeneous([[1, 1], [1, 1]])
+        with pytest.raises(ValueError):
+            p.rate_matrix(3)
+
+    def test_rate_matrix_roundtrip(self):
+        mat = [[1, 0], [2, 1], [0, 3]]
+        p = Platform.heterogeneous(mat)
+        assert np.array_equal(p.rate_matrix(3), np.array(mat))
+
+    def test_groups_by_column(self):
+        p = Platform.heterogeneous([[1, 2, 1], [1, 1, 1]])
+        assert p.identical_groups(2) == [[0, 2], [1]]
+
+
+class TestQualityOrdering:
+    def test_identical_quality_equal(self):
+        p = Platform.identical(2)
+        q = p.quality(EXAMPLE)
+        assert q[0] == q[1] == EXAMPLE.utilization
+
+    def test_heterogeneous_quality(self):
+        # Q(Pj) = sum_i s_ij * Ci/Ti
+        p = Platform.heterogeneous([[1, 2], [1, 0], [1, 1]])
+        q = p.quality(EXAMPLE)
+        assert q[0] == Fraction(1, 2) + Fraction(3, 4) + Fraction(2, 3)
+        assert q[1] == 2 * Fraction(1, 2) + Fraction(2, 3)
+
+    def test_processor_order_least_capable_first(self):
+        p = Platform.heterogeneous([[1, 2], [1, 0], [1, 1]])
+        # Q(P0)=23/12, Q(P1)=5/3=20/12 -> P1 first
+        assert p.processor_order(EXAMPLE) == [1, 0]
+
+    def test_order_ties_broken_by_id(self):
+        assert Platform.identical(3).processor_order(EXAMPLE) == [0, 1, 2]
+
+
+class TestDunder:
+    def test_eq(self):
+        assert Platform.identical(2) == Platform.identical(2)
+        assert Platform.identical(2) != Platform.identical(3)
+        assert Platform.uniform([2, 1]) == Platform.uniform([2, 1])
+        assert Platform.heterogeneous([[1]]) == Platform.heterogeneous([[1]])
+        assert Platform.identical(1) != Platform.heterogeneous([[1]])
+
+    def test_hash_consistent(self):
+        assert hash(Platform.uniform([2, 1])) == hash(Platform.uniform([2, 1]))
+
+    def test_repr_roundtrippable(self):
+        for p in (
+            Platform.identical(2),
+            Platform.uniform([2, 1]),
+            Platform.heterogeneous([[1, 2]]),
+        ):
+            assert eval(repr(p), {"Platform": Platform}) == p

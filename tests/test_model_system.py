@@ -1,0 +1,147 @@
+"""Tests for TaskSystem aggregates."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model import Task, TaskSystem
+
+EXAMPLE = [(0, 1, 2, 2), (1, 3, 4, 4), (0, 2, 2, 3)]
+
+
+@pytest.fixture
+def example():
+    return TaskSystem.from_tuples(EXAMPLE)
+
+
+def systems(max_n=5, max_period=10):
+    def build(params):
+        tasks = []
+        for o, t, d, c in params:
+            d = min(d, t)
+            tasks.append(Task(o, min(c, d), d, t))
+        return TaskSystem(tasks)
+
+    return st.builds(
+        build,
+        st.lists(
+            st.tuples(
+                st.integers(0, 8),
+                st.integers(1, max_period),
+                st.integers(1, max_period),
+                st.integers(0, max_period),
+            ),
+            min_size=1,
+            max_size=max_n,
+        ),
+    )
+
+
+class TestConstruction:
+    def test_from_tuples(self, example):
+        assert example.n == 3
+        assert example[1].as_tuple() == (1, 3, 4, 4)
+
+    def test_default_names_one_based(self, example):
+        assert [t.name for t in example] == ["tau1", "tau2", "tau3"]
+
+    def test_explicit_names(self):
+        s = TaskSystem.from_tuples(EXAMPLE, names=["a", "b", "c"])
+        assert [t.name for t in s] == ["a", "b", "c"]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            TaskSystem([])
+
+    def test_rejects_non_task(self):
+        with pytest.raises(TypeError):
+            TaskSystem([(0, 1, 2, 2)])
+
+    def test_equality_and_hash(self, example):
+        other = TaskSystem.from_tuples(EXAMPLE)
+        assert example == other
+        assert hash(example) == hash(other)
+
+    def test_rename(self, example):
+        renamed = example.rename(["x", "y", "z"])
+        assert [t.name for t in renamed] == ["x", "y", "z"]
+        with pytest.raises(ValueError):
+            example.rename(["only-one"])
+
+
+class TestAggregates:
+    def test_hyperperiod(self, example):
+        assert example.hyperperiod == 12
+
+    def test_max_period(self, example):
+        assert example.max_period == 4
+
+    def test_utilization_exact(self, example):
+        # 1/2 + 3/4 + 2/3 = 23/12
+        assert example.utilization == Fraction(23, 12)
+
+    def test_utilization_ratio(self, example):
+        assert example.utilization_ratio(2) == Fraction(23, 24)
+
+    def test_ratio_rejects_bad_m(self, example):
+        with pytest.raises(ValueError):
+            example.utilization_ratio(0)
+
+    def test_density_example(self, example):
+        # 1/2 + 3/4 + 2/2 = 9/4
+        assert example.density == Fraction(9, 4)
+
+    def test_min_processors(self, example):
+        # ceil(23/12) = 2, the paper's m_min rule (Table IV)
+        assert example.min_processors == 2
+
+    def test_min_processors_at_least_one(self):
+        s = TaskSystem.from_tuples([(0, 0, 1, 1)])
+        assert s.min_processors == 1
+
+    def test_is_constrained(self, example):
+        assert example.is_constrained
+        s = TaskSystem.from_tuples([(0, 1, 5, 3)])
+        assert not s.is_constrained
+
+    def test_total_jobs(self, example):
+        # 6 + 3 + 4 jobs per hyperperiod
+        assert example.total_jobs() == 13
+
+    def test_total_demand(self, example):
+        # 6*1 + 3*3 + 4*2 = 23 units per hyperperiod
+        assert example.total_demand() == 23
+
+    def test_task_slots(self, example):
+        # tau3 can never run at slots 2, 5, 8, 11
+        assert example.task_slots(2) == [0, 1, 3, 4, 6, 7, 9, 10]
+
+
+@given(systems())
+def test_total_demand_equals_utilization_times_T(s):
+    """sum (T/T_i) C_i == U * T — exact identity linking the two load views."""
+    assert s.total_demand() == s.utilization * s.hyperperiod
+
+
+@given(systems())
+def test_hyperperiod_multiple_of_every_period(s):
+    assert all(s.hyperperiod % t.period == 0 for t in s)
+
+
+@given(systems())
+def test_min_processors_bounds(s):
+    m = s.min_processors
+    assert m >= 1
+    assert s.utilization <= m
+    if s.utilization > 0:
+        assert m - 1 < s.utilization
+
+
+@given(systems())
+def test_task_slots_union_sizes(s):
+    for i in range(s.n):
+        slots = s.task_slots(i)
+        assert len(slots) == s.n_jobs(i) * s[i].deadline
+        assert all(0 <= x < s.hyperperiod for x in slots)

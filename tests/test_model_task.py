@@ -1,0 +1,112 @@
+"""Tests for repro.model.task."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model import Task
+
+
+def small_tasks():
+    """Strategy producing valid tasks with modest parameters."""
+    return st.builds(
+        lambda o, t, d, c: Task(offset=o, wcet=min(c, d), deadline=d, period=t),
+        st.integers(0, 10),
+        st.integers(1, 12),
+        st.integers(1, 12),
+        st.integers(0, 12),
+    )
+
+
+class TestValidation:
+    def test_valid(self):
+        t = Task(0, 1, 2, 2)
+        assert t.as_tuple() == (0, 1, 2, 2)
+
+    def test_rejects_negative_offset(self):
+        with pytest.raises(ValueError):
+            Task(-1, 1, 2, 2)
+
+    def test_rejects_negative_wcet(self):
+        with pytest.raises(ValueError):
+            Task(0, -1, 2, 2)
+
+    def test_rejects_zero_deadline(self):
+        with pytest.raises(ValueError):
+            Task(0, 1, 0, 2)
+
+    def test_rejects_zero_period(self):
+        with pytest.raises(ValueError):
+            Task(0, 1, 2, 0)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            Task(0.5, 1, 2, 2)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            Task(True, 1, 2, 2)
+
+    def test_allows_wcet_above_deadline(self):
+        # feasible on heterogeneous platforms with rates > 1 (DESIGN.md)
+        t = Task(0, 5, 3, 6)
+        assert t.wcet == 5
+
+    def test_zero_wcet_allowed(self):
+        assert Task(0, 0, 1, 1).wcet == 0
+
+
+class TestPaperAliases:
+    def test_aliases(self):
+        t = Task(1, 3, 4, 4)
+        assert (t.O, t.C, t.D, t.T) == (1, 3, 4, 4)
+
+
+class TestDerived:
+    def test_utilization_exact(self):
+        assert Task(0, 1, 2, 3).utilization == Fraction(1, 3)
+
+    def test_density_uses_min_d_t(self):
+        assert Task(0, 2, 6, 4).density == Fraction(1, 2)
+
+    def test_laxity(self):
+        assert Task(0, 2, 5, 7).laxity == 3
+
+    def test_slack(self):
+        assert Task(0, 2, 5, 7).slack == 5
+
+    def test_constrained(self):
+        assert Task(0, 1, 2, 2).is_constrained
+        assert not Task(0, 1, 5, 3).is_constrained
+
+    def test_phase(self):
+        assert Task(7, 1, 2, 3).phase == 1
+
+    @given(small_tasks())
+    def test_phase_below_period(self, t):
+        assert 0 <= t.phase < t.period
+
+    @given(small_tasks())
+    def test_utilization_positive_when_work(self, t):
+        assert (t.utilization > 0) == (t.wcet > 0)
+
+
+class TestMisc:
+    def test_with_name(self):
+        t = Task(0, 1, 2, 2).with_name("alpha")
+        assert t.name == "alpha"
+        assert t.as_tuple() == (0, 1, 2, 2)
+
+    def test_name_not_compared(self):
+        assert Task(0, 1, 2, 2, "a") == Task(0, 1, 2, 2, "b")
+
+    def test_str_contains_params(self):
+        s = str(Task(1, 3, 4, 4, "tau2"))
+        assert "tau2" in s and "O=1" in s and "C=3" in s
+
+    def test_frozen(self):
+        t = Task(0, 1, 2, 2)
+        with pytest.raises(AttributeError):
+            t.wcet = 5

@@ -1,0 +1,121 @@
+"""Tests for the arbitrary-deadline clone transformation (paper Section VI-B)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model import Task, TaskSystem, clone_for_arbitrary_deadlines
+from repro.util.math import ceil_div
+
+
+def arbitrary_systems(max_n=4, max_period=8, max_deadline=20):
+    def build(params):
+        tasks = []
+        for o, t, d, c in params:
+            tasks.append(Task(o, min(c, d), d, t))
+        return TaskSystem(tasks)
+
+    return st.builds(
+        build,
+        st.lists(
+            st.tuples(
+                st.integers(0, 6),
+                st.integers(1, max_period),
+                st.integers(1, max_deadline),
+                st.integers(0, 8),
+            ),
+            min_size=1,
+            max_size=max_n,
+        ),
+    )
+
+
+class TestConstrainedPassThrough:
+    def test_identity_on_constrained(self):
+        s = TaskSystem.from_tuples([(0, 1, 2, 2), (1, 3, 4, 4)])
+        cloned, cmap = clone_for_arbitrary_deadlines(s)
+        assert cloned == s
+        assert cmap.is_identity
+        assert cmap.origin_of == (0, 1)
+        assert cmap.clones_of == ((0,), (1,))
+
+
+class TestPaperFormulas:
+    def test_clone_parameters(self):
+        # D=5, T=2 -> k = ceil(5/2) = 3 clones
+        s = TaskSystem.from_tuples([(1, 2, 5, 2)])
+        cloned, cmap = clone_for_arbitrary_deadlines(s)
+        assert len(cloned) == 3
+        assert [c.as_tuple() for c in cloned] == [
+            (1, 2, 5, 6),  # O + 0*T, C, D, k*T
+            (3, 2, 5, 6),  # O + 1*T
+            (5, 2, 5, 6),  # O + 2*T
+        ]
+        assert cmap.origin_of == (0, 0, 0)
+        assert cmap.clone_index_of == (1, 2, 3)
+        assert not cmap.is_identity
+
+    def test_clone_names(self):
+        s = TaskSystem.from_tuples([(0, 1, 3, 2)], names=["a"])
+        cloned, _ = clone_for_arbitrary_deadlines(s)
+        assert [c.name for c in cloned] == ["a.1", "a.2"]
+
+    def test_mixed_system(self):
+        s = TaskSystem.from_tuples([(0, 1, 2, 2), (0, 1, 3, 2)])
+        cloned, cmap = clone_for_arbitrary_deadlines(s)
+        assert len(cloned) == 3
+        assert cmap.clones_of == ((0,), (1, 2))
+        assert cloned[0].as_tuple() == (0, 1, 2, 2)
+
+
+@given(arbitrary_systems())
+def test_clones_are_constrained(s):
+    cloned, _ = clone_for_arbitrary_deadlines(s)
+    assert cloned.is_constrained
+
+
+@given(arbitrary_systems())
+def test_clone_count_is_ceil_d_over_t(s):
+    cloned, cmap = clone_for_arbitrary_deadlines(s)
+    for i, task in enumerate(s):
+        assert len(cmap.clones_of[i]) == ceil_div(task.deadline, task.period)
+    assert len(cloned) == sum(len(c) for c in cmap.clones_of)
+
+
+@given(arbitrary_systems())
+def test_clone_utilization_preserved(s):
+    """Each task's k clones with period kT contribute the same utilization."""
+    cloned, _ = clone_for_arbitrary_deadlines(s)
+    assert cloned.utilization == s.utilization
+
+
+@given(arbitrary_systems())
+def test_clone_releases_partition_original_releases(s):
+    """Within one original hyperperiod multiple, the union of clone releases
+    equals the original task's releases, with no duplicates."""
+    cloned, cmap = clone_for_arbitrary_deadlines(s)
+    horizon = cloned.hyperperiod
+    for i, task in enumerate(s):
+        n_rel = horizon // task.period + 1
+        original = {task.offset + k * task.period for k in range(n_rel)}
+        original = {r for r in original if r < task.offset + horizon}
+        clone_rel = set()
+        for c in cmap.clones_of[i]:
+            ct = cloned[c]
+            for k in range(n_rel):
+                r = ct.offset + k * ct.period
+                if r < task.offset + horizon:
+                    assert r not in clone_rel, "double release"
+                    clone_rel.add(r)
+        assert clone_rel == original
+
+
+@given(arbitrary_systems())
+def test_origin_map_consistent(s):
+    cloned, cmap = clone_for_arbitrary_deadlines(s)
+    for i, clones in enumerate(cmap.clones_of):
+        for rank, c in enumerate(clones, start=1):
+            assert cmap.origin_of[c] == i
+            assert cmap.clone_index_of[c] == rank
+            assert cloned[c].wcet == s[i].wcet
+            assert cloned[c].deadline == s[i].deadline

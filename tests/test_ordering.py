@@ -1,0 +1,92 @@
+"""Unit tests for the task value-ordering heuristics (solvers.ordering)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model import Task, TaskSystem
+from repro.solvers.ordering import HEURISTICS, heuristic_key, task_order
+
+from tests.helpers import running_example
+
+
+class TestHeuristicKey:
+    def test_canonical_names(self):
+        for name in ("rm", "dm", "tc", "dc"):
+            assert heuristic_key(name) is HEURISTICS[name]
+
+    def test_paper_aliases(self):
+        assert heuristic_key("(D-C)") is HEURISTICS["dc"]
+        assert heuristic_key("T-C") is HEURISTICS["tc"]
+        assert heuristic_key("D-C") is HEURISTICS["dc"]
+
+    def test_case_and_whitespace(self):
+        assert heuristic_key(" RM ") is HEURISTICS["rm"]
+        assert heuristic_key("DM") is HEURISTICS["dm"]
+
+    def test_none_passthrough(self):
+        assert heuristic_key(None) is None
+        assert heuristic_key("none") is None
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown task heuristic"):
+            heuristic_key("edf")
+
+
+class TestKeys:
+    def test_key_values_on_example(self):
+        t = Task(1, 3, 4, 6)
+        assert HEURISTICS["rm"](t) == 6
+        assert HEURISTICS["dm"](t) == 4
+        assert HEURISTICS["tc"](t) == 3
+        assert HEURISTICS["dc"](t) == 1
+
+
+class TestTaskOrder:
+    def test_none_is_index_order(self):
+        assert task_order(running_example(), None) == [0, 1, 2]
+
+    def test_rm_order(self):
+        # periods 2, 4, 3 -> tau1, tau3, tau2
+        assert task_order(running_example(), "rm") == [0, 2, 1]
+
+    def test_dm_order(self):
+        # deadlines 2, 4, 2 -> tie between tau1/tau3 broken by index
+        assert task_order(running_example(), "dm") == [0, 2, 1]
+
+    def test_tc_order(self):
+        # T-C: 1, 1, 1 -> all ties -> index order
+        assert task_order(running_example(), "tc") == [0, 1, 2]
+
+    def test_dc_order(self):
+        # D-C: 1, 1, 0 -> tau3 first
+        assert task_order(running_example(), "dc") == [2, 0, 1]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 9), st.integers(1, 9), st.integers(1, 9)),
+            min_size=1,
+            max_size=6,
+        ),
+        st.sampled_from(["rm", "dm", "tc", "dc"]),
+    )
+    def test_order_is_permutation_sorted_by_key(self, params, heuristic):
+        tasks = [Task(0, min(c, d), d, max(d, t)) for c, d, t in params]
+        system = TaskSystem(tasks)
+        order = task_order(system, heuristic)
+        assert sorted(order) == list(range(system.n))
+        key = HEURISTICS[heuristic]
+        keys = [key(system[i]) for i in order]
+        assert keys == sorted(keys)
+
+    @given(st.lists(st.integers(1, 9), min_size=1, max_size=5))
+    def test_deterministic_tie_break(self, periods):
+        tasks = [Task(0, 1, p, p) for p in periods]
+        system = TaskSystem(tasks)
+        a = task_order(system, "rm")
+        b = task_order(system, "rm")
+        assert a == b
+        # ties resolve to ascending index
+        for x, y in zip(a, a[1:]):
+            kx, ky = periods[x], periods[y]
+            assert kx < ky or (kx == ky and x < y)

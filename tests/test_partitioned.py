@@ -1,0 +1,148 @@
+"""Tests for the partitioned-scheduling baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    exact_partition,
+    first_fit_partition,
+    uniprocessor_edf_feasible,
+)
+from repro.model import Platform, Task, TaskSystem
+from repro.solvers import Feasibility, make_solver
+
+from tests.helpers import running_example
+
+
+class TestUniprocessorTest:
+    def test_feasible_single(self):
+        assert uniprocessor_edf_feasible([Task(0, 1, 2, 2)])
+
+    def test_overload_infeasible(self):
+        assert not uniprocessor_edf_feasible([Task(0, 2, 2, 2), Task(0, 1, 2, 2)])
+
+    def test_empty_bin_feasible(self):
+        assert uniprocessor_edf_feasible([])
+
+    def test_edf_optimality_on_one_processor(self):
+        # EDF == exact feasibility on m=1: cross-check against the CSP
+        for tuples in [
+            [(0, 1, 2, 2), (0, 1, 4, 4)],
+            [(0, 2, 2, 4), (1, 1, 2, 2)],
+            [(0, 1, 1, 2), (1, 1, 1, 2)],
+        ]:
+            s = TaskSystem.from_tuples(tuples)
+            csp = make_solver("csp2+dc", s, Platform.identical(1)).solve(time_limit=20)
+            assert uniprocessor_edf_feasible(list(s.tasks)) == csp.is_feasible, tuples
+
+
+class TestFirstFit:
+    def test_easy_fit_packs_first_bin(self):
+        # both 0.5-utilization tasks fit together on one processor, and
+        # first-fit packs them there rather than spreading
+        s = TaskSystem.from_tuples([(0, 1, 2, 2), (0, 1, 2, 2)])
+        res = first_fit_partition(s, 2)
+        assert res.found
+        assert res.assignment == [0, 0]
+
+    def test_spreads_when_needed(self):
+        # two saturating tasks cannot share a processor
+        s = TaskSystem.from_tuples([(0, 2, 2, 2), (0, 2, 2, 2)])
+        res = first_fit_partition(s, 2)
+        assert res.found
+        assert sorted(res.assignment) == [0, 1]
+
+    def test_single_bin(self):
+        s = TaskSystem.from_tuples([(0, 1, 4, 4), (0, 1, 4, 4)])
+        res = first_fit_partition(s, 1)
+        assert res.found
+        assert res.assignment == [0, 0]
+
+    def test_heuristic_failure_not_a_proof(self):
+        s = TaskSystem.from_tuples([(0, 2, 2, 2), (0, 2, 2, 2), (0, 2, 2, 2)])
+        res = first_fit_partition(s, 2)
+        assert not res.found
+        assert not res.exact
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            first_fit_partition(running_example(), 0)
+
+
+class TestExactPartition:
+    def test_finds_partition(self):
+        s = TaskSystem.from_tuples([(0, 1, 2, 2), (0, 1, 2, 2), (0, 1, 4, 4)])
+        res = exact_partition(s, 2)
+        assert res.found and res.exact
+        # verify the witness bin by bin
+        bins = {}
+        for i, j in enumerate(res.assignment):
+            bins.setdefault(j, []).append(s[i])
+        assert all(uniprocessor_edf_feasible(b) for b in bins.values())
+
+    def test_refutes_exhaustively(self):
+        s = TaskSystem.from_tuples([(0, 2, 2, 2), (0, 2, 2, 2), (0, 2, 2, 2)])
+        res = exact_partition(s, 2)
+        assert not res.found
+        assert res.exact  # a proof: no partition exists
+
+    def test_running_example_has_no_partition_on_two(self):
+        """The paper's Example 1 is globally feasible but NOT partitionable:
+        global migration is essential — the key global-vs-partitioned gap."""
+        res = exact_partition(running_example(), 2)
+        assert not res.found and res.exact
+        # while the global CSP schedules it
+        glob = make_solver("csp2+dc", running_example(), Platform.identical(2)).solve(
+            time_limit=20
+        )
+        assert glob.is_feasible
+
+    def test_time_limit(self):
+        s = TaskSystem.from_tuples([(0, 1, 6, 6)] * 6)
+        res = exact_partition(s, 3, time_limit=0.0)
+        assert not res.exact
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            exact_partition(running_example(), 0)
+
+
+@settings(deadline=None, max_examples=20)
+@given(st.data())
+def test_partitioned_implies_global_feasible(data):
+    """Soundness: any partition found certifies global feasibility."""
+    n = data.draw(st.integers(1, 4))
+    tasks = []
+    for _ in range(n):
+        t = data.draw(st.sampled_from([1, 2, 4]))
+        d = data.draw(st.integers(1, t))
+        c = data.draw(st.integers(1, d))
+        o = data.draw(st.integers(0, t - 1))
+        tasks.append(Task(o, c, d, t))
+    system = TaskSystem(tasks)
+    m = data.draw(st.integers(1, 3))
+    res = exact_partition(system, m)
+    if res.found:
+        glob = make_solver("csp2+dc", system, Platform.identical(m)).solve(
+            time_limit=20
+        )
+        assert glob.is_feasible
+
+
+@settings(deadline=None, max_examples=15)
+@given(st.data())
+def test_first_fit_never_beats_exact(data):
+    n = data.draw(st.integers(1, 4))
+    tasks = []
+    for _ in range(n):
+        t = data.draw(st.sampled_from([2, 4]))
+        d = data.draw(st.integers(1, t))
+        c = data.draw(st.integers(1, d))
+        tasks.append(Task(0, c, d, t))
+    system = TaskSystem(tasks)
+    m = data.draw(st.integers(1, 2))
+    ff = first_fit_partition(system, m)
+    ex = exact_partition(system, m)
+    if ff.found:
+        assert ex.found  # exact search finds at least what the heuristic does

@@ -1,0 +1,232 @@
+"""SAT substrate tests: CNF container, cardinality encodings, CDCL solver."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat import (
+    CNF,
+    CdclSolver,
+    SatStatus,
+    at_least_one,
+    at_most_one_pairwise,
+    at_most_one_sequential,
+    exactly_k,
+)
+from repro.sat.encode import at_most_k_sequential
+from repro.sat.solver import _luby
+
+
+class TestCnf:
+    def test_new_vars(self):
+        cnf = CNF()
+        assert cnf.new_var() == 1
+        assert cnf.new_vars(3) == [2, 3, 4]
+        assert cnf.n_vars == 4
+
+    def test_add_clause_checks_vars(self):
+        cnf = CNF(2)
+        cnf.add_clause([1, -2])
+        with pytest.raises(ValueError):
+            cnf.add_clause([3])
+        with pytest.raises(ValueError):
+            cnf.add_clause([0])
+
+    def test_evaluate(self):
+        cnf = CNF(2)
+        cnf.add_clause([1, 2])
+        cnf.add_clause([-1, 2])
+        assert cnf.evaluate([False, True])
+        assert not cnf.evaluate([True, False])
+        with pytest.raises(ValueError):
+            cnf.evaluate([True])
+
+    def test_dimacs_roundtrip(self):
+        cnf = CNF(3)
+        cnf.add_clause([1, -2])
+        cnf.add_clause([2, 3, -1])
+        text = cnf.to_dimacs()
+        assert text.startswith("p cnf 3 2")
+        back = CNF.from_dimacs(text)
+        assert back.n_vars == 3
+        assert back.clauses == cnf.clauses
+
+    def test_dimacs_parse_comments_and_split_lines(self):
+        text = "c a comment\np cnf 2 2\n1 -2 0\n2\n1 0\n"
+        cnf = CNF.from_dimacs(text)
+        assert cnf.clauses == [(1, -2), (2, 1)]
+
+    def test_dimacs_bad_header(self):
+        with pytest.raises(ValueError):
+            CNF.from_dimacs("p wcnf 2 1\n1 0\n")
+
+
+def models(cnf: CNF):
+    """Brute-force all models (for small n)."""
+    out = []
+    for combo in itertools.product([False, True], repeat=cnf.n_vars):
+        if cnf.evaluate(list(combo)):
+            out.append(list(combo))
+    return out
+
+
+class TestEncodings:
+    @pytest.mark.parametrize("encoder", [at_most_one_pairwise, at_most_one_sequential])
+    @pytest.mark.parametrize("k", [0, 1, 2, 4, 5])
+    def test_amo_semantics(self, encoder, k):
+        cnf = CNF()
+        lits = cnf.new_vars(k)
+        encoder(cnf, lits)
+        for m in models(cnf):
+            assert sum(m[:k]) <= 1  # projection onto problem vars
+        # and every <=1 assignment of problem vars extends to a model
+        seen = {tuple(m[:k]) for m in models(cnf)}
+        for combo in itertools.product([False, True], repeat=k):
+            if sum(combo) <= 1:
+                assert tuple(combo) in seen
+
+    @pytest.mark.parametrize("n,k", [(1, 0), (3, 1), (4, 2), (5, 3), (4, 4)])
+    def test_at_most_k_semantics(self, n, k):
+        cnf = CNF()
+        lits = cnf.new_vars(n)
+        at_most_k_sequential(cnf, lits, k)
+        seen = {tuple(m[:n]) for m in models(cnf)}
+        for combo in itertools.product([False, True], repeat=n):
+            assert (tuple(combo) in seen) == (sum(combo) <= k)
+
+    @pytest.mark.parametrize("n,k", [(1, 1), (3, 0), (3, 2), (4, 2), (5, 5)])
+    def test_exactly_k_semantics(self, n, k):
+        cnf = CNF()
+        lits = cnf.new_vars(n)
+        exactly_k(cnf, lits, k)
+        seen = {tuple(m[:n]) for m in models(cnf)}
+        for combo in itertools.product([False, True], repeat=n):
+            assert (tuple(combo) in seen) == (sum(combo) == k)
+
+    def test_exactly_k_out_of_range_unsat(self):
+        cnf = CNF()
+        lits = cnf.new_vars(2)
+        exactly_k(cnf, lits, 5)
+        assert models(cnf) == []
+
+    def test_at_least_one(self):
+        cnf = CNF()
+        lits = cnf.new_vars(2)
+        at_least_one(cnf, lits)
+        assert all(any(m) for m in models(cnf))
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [_luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+
+
+class TestCdclBasics:
+    def test_trivial_sat(self):
+        cnf = CNF(1)
+        cnf.add_clause([1])
+        r = CdclSolver(cnf).solve()
+        assert r.status is SatStatus.SAT
+        assert r.value(1) is True
+
+    def test_trivial_unsat(self):
+        cnf = CNF(1)
+        cnf.add_clause([1])
+        cnf.add_clause([-1])
+        assert CdclSolver(cnf).solve().status is SatStatus.UNSAT
+
+    def test_empty_clause_unsat(self):
+        cnf = CNF(1)
+        cnf.add_clause([])
+        assert CdclSolver(cnf).solve().status is SatStatus.UNSAT
+
+    def test_no_clauses_sat(self):
+        cnf = CNF(3)
+        r = CdclSolver(cnf).solve()
+        assert r.status is SatStatus.SAT
+
+    def test_tautology_dropped(self):
+        cnf = CNF(2)
+        cnf.add_clause([1, -1])
+        cnf.add_clause([2])
+        r = CdclSolver(cnf).solve()
+        assert r.status is SatStatus.SAT and r.value(2)
+
+    def test_duplicate_literals_collapse(self):
+        cnf = CNF(1)
+        cnf.add_clause([1, 1, 1])
+        r = CdclSolver(cnf).solve()
+        assert r.status is SatStatus.SAT and r.value(1)
+
+    def test_value_requires_model(self):
+        cnf = CNF(1)
+        cnf.add_clause([1])
+        cnf.add_clause([-1])
+        r = CdclSolver(cnf).solve()
+        with pytest.raises(ValueError):
+            r.value(1)
+
+    def test_time_limit(self):
+        # pigeonhole PHP(6,5): hard for CDCL at tiny time budgets
+        cnf = php(7, 6)
+        r = CdclSolver(cnf).solve(time_limit=0.0)
+        assert r.status is SatStatus.UNKNOWN
+
+    def test_conflict_limit(self):
+        cnf = php(6, 5)
+        r = CdclSolver(cnf).solve(conflict_limit=2)
+        assert r.status in (SatStatus.UNKNOWN, SatStatus.UNSAT)
+
+    def test_stats_populated(self):
+        cnf = php(4, 3)
+        r = CdclSolver(cnf).solve()
+        assert r.status is SatStatus.UNSAT
+        assert r.stats.conflicts > 0
+        assert r.stats.propagations > 0
+
+
+def php(pigeons: int, holes: int) -> CNF:
+    """Pigeonhole principle CNF: UNSAT iff pigeons > holes."""
+    cnf = CNF()
+    var = [[cnf.new_var() for _ in range(holes)] for _ in range(pigeons)]
+    for p in range(pigeons):
+        cnf.add_clause(var[p])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                cnf.add_clause([-var[p1][h], -var[p2][h]])
+    return cnf
+
+
+class TestPigeonhole:
+    @pytest.mark.parametrize("p,h", [(2, 2), (3, 3), (3, 2), (5, 4), (6, 6)])
+    def test_php(self, p, h):
+        r = CdclSolver(php(p, h)).solve()
+        expected = SatStatus.SAT if p <= h else SatStatus.UNSAT
+        assert r.status is expected
+
+
+@settings(deadline=None, max_examples=120)
+@given(st.data())
+def test_cdcl_matches_brute_force(data):
+    """Random 3-ish-CNFs: CDCL agrees with exhaustive enumeration."""
+    n = data.draw(st.integers(1, 6))
+    n_clauses = data.draw(st.integers(0, 18))
+    cnf = CNF(n)
+    for _ in range(n_clauses):
+        width = data.draw(st.integers(1, 3))
+        clause = [
+            data.draw(st.integers(1, n)) * data.draw(st.sampled_from([1, -1]))
+            for _ in range(width)
+        ]
+        cnf.add_clause(clause)
+    expected_sat = bool(models(cnf))
+    r = CdclSolver(cnf).solve(time_limit=10)
+    assert r.status is not SatStatus.UNKNOWN
+    assert r.is_sat == expected_sat
+    if r.is_sat:
+        assert cnf.evaluate(r.model)

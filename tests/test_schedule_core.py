@@ -1,0 +1,96 @@
+"""Tests for the Schedule table type."""
+
+import numpy as np
+import pytest
+
+from repro.model import Platform, TaskSystem
+from repro.schedule import IDLE, Schedule
+
+from tests.helpers import RUNNING_EXAMPLE_TABLE, running_example
+
+
+@pytest.fixture
+def sched():
+    return Schedule(running_example(), Platform.identical(2), RUNNING_EXAMPLE_TABLE)
+
+
+class TestConstruction:
+    def test_shape_checked(self):
+        s = running_example()
+        with pytest.raises(ValueError, match="slots"):
+            Schedule(s, Platform.identical(2), np.full((2, 10), IDLE))
+        with pytest.raises(ValueError, match="processor rows"):
+            Schedule(s, Platform.identical(3), np.full((2, 12), IDLE))
+        with pytest.raises(ValueError, match="2-D"):
+            Schedule(s, Platform.identical(2), np.full(12, IDLE))
+
+    def test_entry_range_checked(self):
+        s = running_example()
+        bad = np.full((2, 12), IDLE)
+        bad[0, 0] = 3  # only tasks 0..2 exist
+        with pytest.raises(ValueError, match="task indices"):
+            Schedule(s, Platform.identical(2), bad)
+        bad[0, 0] = -2
+        with pytest.raises(ValueError, match="task indices"):
+            Schedule(s, Platform.identical(2), bad)
+
+    def test_table_defensively_copied_and_readonly(self, sched):
+        src = np.array(RUNNING_EXAMPLE_TABLE, dtype=np.int32)
+        s2 = Schedule(running_example(), Platform.identical(2), src)
+        src[0, 0] = IDLE
+        assert s2.entry(0, 0) == 2
+        with pytest.raises(ValueError):
+            sched.table[0, 0] = 1
+
+    def test_empty(self):
+        e = Schedule.empty(running_example(), Platform.identical(2))
+        assert e.busy_slots() == 0
+
+    def test_from_assignment(self):
+        sys_ = running_example()
+        s = Schedule.from_assignment(sys_, Platform.identical(2), {(0, 0): 2, (1, 3): 1})
+        assert s.entry(0, 0) == 2
+        assert s.entry(1, 3) == 1
+        assert s.busy_slots() == 2
+
+
+class TestAccessors:
+    def test_m_and_horizon(self, sched):
+        assert sched.m == 2 and sched.horizon == 12
+
+    def test_entry_periodic_extension(self, sched):
+        # Theorem 1: sigma(t) = sigma(t + kT)
+        for t in range(12):
+            assert sched.entry(0, t) == sched.entry(0, t + 12) == sched.entry(0, t + 120)
+
+    def test_tasks_at(self, sched):
+        assert sched.tasks_at(0) == [0, 2]
+        assert sched.tasks_at(2) == [0]
+
+    def test_processor_of(self, sched):
+        assert sched.processor_of(2, 0) == 0
+        assert sched.processor_of(0, 0) == 1
+        assert sched.processor_of(1, 0) is None
+
+    def test_task_assignments_slot_major(self, sched):
+        a = sched.task_assignments(0)
+        assert a == [(1, 0), (0, 2), (0, 5), (1, 6), (0, 8), (0, 11)]
+
+    def test_busy_slots(self, sched):
+        assert sched.busy_slots() == 23
+
+    def test_unroll(self, sched):
+        u = sched.unroll(3)
+        assert u.shape == (2, 36)
+        assert np.array_equal(u[:, :12], sched.table)
+        assert np.array_equal(u[:, 12:24], sched.table)
+        with pytest.raises(ValueError):
+            sched.unroll(0)
+
+    def test_eq(self, sched):
+        same = Schedule(running_example(), Platform.identical(2), RUNNING_EXAMPLE_TABLE)
+        assert sched == same
+        assert sched != Schedule.empty(running_example(), Platform.identical(2))
+
+    def test_repr(self, sched):
+        assert "m=2" in repr(sched) and "T=12" in repr(sched)

@@ -1,0 +1,114 @@
+"""Round-trip tests for the JSON serialization layer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import Platform, Task, TaskSystem
+from repro.schedule import Schedule
+from repro.schedule.io import (
+    dump_json,
+    load_instance,
+    platform_from_dict,
+    platform_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+    system_from_dict,
+    system_to_dict,
+)
+
+from tests.helpers import RUNNING_EXAMPLE_TABLE, running_example
+
+
+class TestSystemRoundTrip:
+    def test_basic(self):
+        s = running_example()
+        assert system_from_dict(system_to_dict(s)) == s
+
+    def test_names_preserved(self):
+        s = TaskSystem.from_tuples([(0, 1, 2, 2)], names=["sensor"])
+        d = system_to_dict(s)
+        assert d["names"] == ["sensor"]
+        assert system_from_dict(d)[0].name == "sensor"
+
+    def test_default_names_omitted(self):
+        d = system_to_dict(running_example())
+        assert "names" not in d
+
+    def test_missing_tasks_rejected(self):
+        with pytest.raises(ValueError, match="tasks"):
+            system_from_dict({})
+
+
+class TestPlatformRoundTrip:
+    @pytest.mark.parametrize(
+        "platform",
+        [
+            Platform.identical(3),
+            Platform.uniform([2, 1]),
+            Platform.heterogeneous([[1, 0], [2, 1]]),
+        ],
+    )
+    def test_roundtrip(self, platform):
+        assert platform_from_dict(platform_to_dict(platform)) == platform
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            platform_from_dict({"kind": "quantum"})
+
+
+class TestScheduleRoundTrip:
+    def test_roundtrip(self):
+        sched = Schedule(running_example(), Platform.identical(2), RUNNING_EXAMPLE_TABLE)
+        back = schedule_from_dict(schedule_to_dict(sched))
+        assert back == sched
+
+    def test_legacy_flat_format(self):
+        data = {
+            "tasks": [[0, 1, 2, 2], [1, 3, 4, 4], [0, 2, 2, 3]],
+            "m": 2,
+            "table": RUNNING_EXAMPLE_TABLE,
+        }
+        sched = schedule_from_dict(data)
+        assert sched.m == 2 and sched.horizon == 12
+
+    def test_heterogeneous_schedule(self):
+        s = TaskSystem.from_tuples([(0, 4, 2, 4)])
+        p = Platform.heterogeneous([[2]])
+        sched = Schedule.from_assignment(s, p, {(0, 0): 0, (0, 1): 0})
+        assert schedule_from_dict(schedule_to_dict(sched)) == sched
+
+
+class TestLoadInstance:
+    def test_with_m(self):
+        system, platform = load_instance({"tasks": [[0, 1, 2, 2]], "m": 2})
+        assert platform == Platform.identical(2)
+
+    def test_with_platform(self):
+        system, platform = load_instance(
+            {"tasks": [[0, 1, 2, 2]], "platform": {"kind": "uniform", "speeds": [3, 1]}}
+        )
+        assert platform == Platform.uniform([3, 1])
+
+    def test_missing_both(self):
+        with pytest.raises(ValueError, match="'m' or 'platform'"):
+            load_instance({"tasks": [[0, 1, 2, 2]]})
+
+
+def test_dump_json_trailing_newline():
+    assert dump_json({"a": 1}).endswith("\n")
+
+
+@settings(max_examples=40)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 9), st.integers(1, 9), st.integers(1, 9), st.integers(1, 9)
+        ),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_system_roundtrip_property(params):
+    s = TaskSystem([Task(o, min(c, d), d, t) for o, c, d, t in params])
+    assert system_from_dict(system_to_dict(s)) == s

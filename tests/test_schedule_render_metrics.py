@@ -1,0 +1,124 @@
+"""Tests for ASCII rendering (Figure 1) and schedule metrics."""
+
+import pytest
+
+from repro.model import Platform, TaskSystem
+from repro.schedule import (
+    Schedule,
+    compute_metrics,
+    render_gantt,
+    render_intervals,
+)
+
+from tests.helpers import RUNNING_EXAMPLE_TABLE, running_example
+
+
+@pytest.fixture
+def sched():
+    return Schedule(running_example(), Platform.identical(2), RUNNING_EXAMPLE_TABLE)
+
+
+class TestRenderIntervals:
+    def test_figure1_structure(self):
+        out = render_intervals(running_example())
+        lines = out.splitlines()
+        assert lines[0] == "hyperperiod T = 12"
+        assert len(lines) == 2 + 3  # header + ruler + 3 task rows
+
+    def test_figure1_tau3_pattern(self):
+        """tau3=(0,2,2,3): windows [0,1],[3,4],[6,7],[9,10] -> gaps at 2,5,8,11."""
+        out = render_intervals(running_example())
+        tau3 = next(l for l in out.splitlines() if l.startswith("tau3"))
+        cells = tau3.split()[1:13]
+        assert cells == ["[", "#", ".", "[", "#", ".", "[", "#", ".", "[", "#", "."]
+
+    def test_figure1_tau2_wraps(self):
+        """tau2's third window [9..12] wraps onto slot 0."""
+        out = render_intervals(running_example())
+        tau2 = next(l for l in out.splitlines() if l.startswith("tau2"))
+        cells = tau2.split()[1:13]
+        assert cells[0] == "#"  # wrapped tail of window 3
+        assert cells[1] == "["  # release of window 1
+        assert cells[9] == "["  # release of window 3
+
+    def test_parameters_shown(self):
+        out = render_intervals(running_example())
+        assert "O=1 C=3 D=4 T=4" in out
+
+    def test_rejects_multichar_mark(self):
+        with pytest.raises(ValueError):
+            render_intervals(running_example(), mark="##")
+
+
+class TestRenderGantt:
+    def test_shape(self, sched):
+        lines = render_gantt(sched).splitlines()
+        assert len(lines) == 3  # ruler + 2 processors
+        assert lines[1].startswith("P1")
+        assert lines[2].startswith("P2")
+
+    def test_one_based_task_numbers(self, sched):
+        p1 = render_gantt(sched).splitlines()[1].split()
+        # P1 row: tau3 tau3 tau1 ... -> rendered as 3 3 1 ...
+        assert p1[1:4] == ["3", "3", "1"]
+
+    def test_idle_marker(self, sched):
+        p2 = render_gantt(sched).splitlines()[2].split()
+        assert p2[3] == "."  # (P2, slot 2) idles
+
+    def test_rejects_multichar_idle(self, sched):
+        with pytest.raises(ValueError):
+            render_gantt(sched, idle="..")
+
+
+class TestMetrics:
+    def test_busy_idle(self, sched):
+        m = compute_metrics(sched)
+        assert m.busy_slots == 23
+        assert m.idle_slots == 1
+        assert m.total_slots == 24
+        assert m.utilization_achieved == pytest.approx(23 / 24)
+
+    def test_processor_load(self, sched):
+        m = compute_metrics(sched)
+        assert m.processor_load == (1.0, pytest.approx(11 / 12))
+
+    def test_jobs_counted(self, sched):
+        assert compute_metrics(sched).jobs == 13  # 6 + 3 + 4
+
+    def test_no_migrations_in_example(self, sched):
+        # every job of the fixture runs on a single processor
+        assert compute_metrics(sched).migrations == 0
+
+    def test_preemption_detected(self):
+        # one task C=2 D=4: run at slots 0 and 2 -> one preemption
+        s = TaskSystem.from_tuples([(0, 2, 4, 4)])
+        sched = Schedule.from_assignment(s, Platform.identical(1), {(0, 0): 0, (0, 2): 0})
+        m = compute_metrics(sched)
+        assert m.preemptions == 1
+        assert m.migrations == 0
+
+    def test_migration_detected(self):
+        # job runs slot 0 on P1 and slot 1 on P2 -> one migration, no preemption
+        s = TaskSystem.from_tuples([(0, 2, 4, 4)])
+        sched = Schedule.from_assignment(s, Platform.identical(2), {(0, 0): 0, (1, 1): 0})
+        m = compute_metrics(sched)
+        assert m.migrations == 1
+        assert m.preemptions == 0
+
+    def test_migration_after_gap_counts_both(self):
+        # run P1@0, idle@1, P2@2 -> preemption AND migration
+        s = TaskSystem.from_tuples([(0, 2, 4, 4)])
+        sched = Schedule.from_assignment(s, Platform.identical(2), {(0, 0): 0, (1, 2): 0})
+        m = compute_metrics(sched)
+        assert m.migrations == 1
+        assert m.preemptions == 1
+
+    def test_wrapped_window_measured_in_window_order(self):
+        # task (O=1, C=2, D=4, T=4), T_hyper=4: window [1,2,3,0(wrap)]
+        # run at slot 3 and wrapped slot 0: consecutive in window order
+        s = TaskSystem.from_tuples([(1, 2, 4, 4)])
+        sched = Schedule.from_assignment(s, Platform.identical(1), {(0, 3): 0, (0, 0): 0})
+        m = compute_metrics(sched)
+        assert m.preemptions == 0
+        assert m.migrations == 0

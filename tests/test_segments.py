@@ -1,0 +1,113 @@
+"""Tests for execution-segment trace extraction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import Platform, Task, TaskSystem
+from repro.schedule import Schedule, compute_metrics
+from repro.schedule.segments import JobTrace, Segment, extract_traces
+from repro.solvers import make_solver
+
+from tests.helpers import RUNNING_EXAMPLE_TABLE, running_example
+
+
+@pytest.fixture
+def traces():
+    sched = Schedule(running_example(), Platform.identical(2), RUNNING_EXAMPLE_TABLE)
+    return extract_traces(sched)
+
+
+class TestRunningExampleTraces:
+    def test_one_trace_per_job(self, traces):
+        assert len(traces) == 13  # 6 + 3 + 4 jobs
+
+    def test_units_equal_wcet_on_feasible(self, traces):
+        system = running_example()
+        for tr in traces:
+            assert tr.units == system[tr.task].wcet
+
+    def test_tau3_segments_are_whole_windows(self, traces):
+        # tau3 (C=D=2) always runs both slots back to back on P1
+        for tr in traces:
+            if tr.task == 2:
+                assert len(tr.segments) == 1
+                assert tr.segments[0].length == 2
+                assert tr.segments[0].processor == 0
+                assert tr.preemptions == 0 and tr.migrations == 0
+
+    def test_tau2_window1_trace(self, traces):
+        # tau2 job 0: units at slots 1,3,4 on P2 -> segments [1],[3,4]
+        tr = next(t for t in traces if t.task == 1 and t.job == 0)
+        assert [(s.start_slot, s.length) for s in tr.segments] == [(1, 1), (3, 2)]
+        assert tr.preemptions == 1
+        assert tr.migrations == 0
+        assert tr.completion_pos == 4  # finished at window position 4 of 4
+
+    def test_release_slots(self, traces):
+        tau2_releases = [t.release_slot for t in traces if t.task == 1]
+        assert tau2_releases == [1, 5, 9]
+
+
+class TestEdgeCases:
+    def test_empty_schedule_traces(self):
+        s = TaskSystem.from_tuples([(0, 1, 2, 2)])
+        sched = Schedule.empty(s, Platform.identical(1))
+        (tr,) = extract_traces(sched)
+        assert tr.segments == ()
+        assert tr.units == 0
+        assert tr.completion_pos is None
+
+    def test_wrapped_window_single_segment(self):
+        # task (1,2,4,4): T=4, window [1,2,3,0-wrapped]; run at 3 and 0:
+        # consecutive in window order -> ONE segment despite the wrap
+        s = TaskSystem.from_tuples([(1, 2, 4, 4)])
+        sched = Schedule.from_assignment(s, Platform.identical(1), {(0, 3): 0, (0, 0): 0})
+        (tr,) = extract_traces(sched)
+        assert len(tr.segments) == 1
+        assert tr.segments[0].window_pos == 2
+        assert tr.segments[0].start_slot == 3
+        assert tr.segments[0].length == 2
+
+    def test_migration_splits_segment(self):
+        s = TaskSystem.from_tuples([(0, 2, 4, 4)])
+        sched = Schedule.from_assignment(
+            s, Platform.identical(2), {(0, 0): 0, (1, 1): 0}
+        )
+        (tr,) = extract_traces(sched)
+        assert len(tr.segments) == 2
+        assert tr.migrations == 1
+        assert tr.preemptions == 0  # seamless handover, no gap
+
+    def test_gap_with_same_processor_is_preemption(self):
+        s = TaskSystem.from_tuples([(0, 2, 4, 4)])
+        sched = Schedule.from_assignment(
+            s, Platform.identical(1), {(0, 0): 0, (0, 2): 0}
+        )
+        (tr,) = extract_traces(sched)
+        assert tr.preemptions == 1
+        assert tr.migrations == 0
+
+
+@settings(deadline=None, max_examples=25)
+@given(st.data())
+def test_traces_agree_with_metrics(data):
+    """Segment-level migration/preemption totals match compute_metrics."""
+    n = data.draw(st.integers(1, 3))
+    tasks = []
+    for _ in range(n):
+        t = data.draw(st.sampled_from([2, 3, 4]))
+        d = data.draw(st.integers(1, t))
+        c = data.draw(st.integers(1, d))
+        o = data.draw(st.integers(0, t - 1))
+        tasks.append(Task(o, c, d, t))
+    system = TaskSystem(tasks)
+    m = data.draw(st.integers(1, 2))
+    r = make_solver("csp2+dc", system, Platform.identical(m)).solve(time_limit=20)
+    if not r.is_feasible:
+        return
+    traces = extract_traces(r.schedule)
+    metrics = compute_metrics(r.schedule)
+    assert sum(t.migrations for t in traces) == metrics.migrations
+    assert sum(t.preemptions for t in traces) == metrics.preemptions
+    assert sum(t.units for t in traces) == r.schedule.busy_slots()

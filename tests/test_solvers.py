@@ -1,0 +1,266 @@
+"""Solver-level tests: every solver agrees with ground truth and each other."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import Platform, Task, TaskSystem
+from repro.schedule import IDLE, Schedule, validate
+from repro.solvers import Feasibility, available_solvers, make_solver, solve
+
+from tests.helpers import running_example
+
+
+def brute_force_feasible(system: TaskSystem, m: int) -> bool:
+    """Ground truth on tiny instances: try every (n+1)^(m*T) table."""
+    T = system.hyperperiod
+    n = system.n
+    cells = m * T
+    assert (n + 1) ** cells <= 200_000, "instance too big for brute force"
+    for combo in itertools.product(range(-1, n), repeat=cells):
+        table = np.array(combo, dtype=np.int32).reshape(m, T)
+        if validate(Schedule(system, Platform.identical(m), table)).ok:
+            return True
+    return False
+
+
+def tiny_systems():
+    """Constrained systems with hyperperiod <= 4 and n <= 2 (brute-forceable)."""
+
+    def build(params):
+        tasks = []
+        for o, t, d, c in params:
+            d = min(d, t)
+            tasks.append(Task(o % t, min(c, d), d, t))
+        return TaskSystem(tasks)
+
+    period = st.sampled_from([1, 2, 4])
+    return st.builds(
+        build,
+        st.lists(
+            st.tuples(st.integers(0, 3), period, st.integers(1, 4), st.integers(0, 3)),
+            min_size=1,
+            max_size=2,
+        ),
+    )
+
+
+ALL_SOLVERS = [
+    "csp1",
+    "csp2",
+    "csp2+rm",
+    "csp2+dm",
+    "csp2+tc",
+    "csp2+dc",
+    "csp2-generic",
+    "csp2-generic+dc",
+    "sat",
+    "sat+pairwise",
+]
+
+
+@settings(deadline=None, max_examples=40)
+@given(tiny_systems(), st.integers(1, 2))
+def test_all_solvers_match_brute_force(system, m):
+    expected = brute_force_feasible(system, m)
+    platform = Platform.identical(m)
+    for name in ALL_SOLVERS:
+        r = make_solver(name, system, platform).solve(time_limit=20)
+        assert r.status is not Feasibility.UNKNOWN, (name, system)
+        assert r.is_feasible == expected, (name, system, m)
+        if r.is_feasible:
+            assert validate(r.schedule).ok, (name, system, m)
+
+
+def medium_systems():
+    """Constrained systems small enough for all solvers but non-trivial."""
+
+    def build(params):
+        tasks = []
+        for o, t, d, c in params:
+            d = min(d, t)
+            tasks.append(Task(o % t, min(c, d), d, t))
+        return TaskSystem(tasks)
+
+    period = st.sampled_from([1, 2, 3, 6])
+    return st.builds(
+        build,
+        st.lists(
+            st.tuples(st.integers(0, 5), period, st.integers(1, 6), st.integers(0, 4)),
+            min_size=2,
+            max_size=4,
+        ),
+    )
+
+
+@settings(deadline=None, max_examples=25)
+@given(medium_systems(), st.integers(1, 3))
+def test_solver_agreement_medium(system, m):
+    """All solver families agree on feasibility (no ground truth needed)."""
+    platform = Platform.identical(m)
+    answers = {}
+    for name in ["csp1", "csp2", "csp2+dc", "csp2-generic", "sat"]:
+        r = make_solver(name, system, platform).solve(time_limit=20)
+        assert r.status is not Feasibility.UNKNOWN, (name, system)
+        answers[name] = r.is_feasible
+        if r.schedule is not None:
+            assert validate(r.schedule).ok
+    assert len(set(answers.values())) == 1, (answers, system, m)
+
+
+@settings(deadline=None, max_examples=20)
+@given(medium_systems())
+def test_dedicated_flag_ablations_agree(system):
+    """idle rule / symmetry / prunings change effort, never the answer."""
+    platform = Platform.identical(2)
+    reference = None
+    for symmetry in (True, False):
+        for idle in (True, False):
+            for demand in (True, False):
+                for energetic in (True, False):
+                    r = make_solver(
+                        "csp2+dc",
+                        system,
+                        platform,
+                        symmetry_breaking=symmetry,
+                        idle_rule=idle,
+                        demand_pruning=demand,
+                        energetic_pruning=energetic,
+                    ).solve(time_limit=20)
+                    assert r.status is not Feasibility.UNKNOWN
+                    if reference is None:
+                        reference = r.is_feasible
+                    assert r.is_feasible == reference, (
+                        symmetry, idle, demand, energetic, system,
+                    )
+                    if r.schedule is not None:
+                        assert validate(r.schedule).ok
+
+
+def het_systems():
+    def build(params):
+        return TaskSystem(
+            [Task(o % t, c, min(d, t), t) for o, t, d, c in params]
+        )
+
+    period = st.sampled_from([1, 2, 4])
+    return st.builds(
+        build,
+        st.lists(
+            st.tuples(st.integers(0, 3), period, st.integers(1, 4), st.integers(0, 5)),
+            min_size=1,
+            max_size=3,
+        ),
+    )
+
+
+@settings(deadline=None, max_examples=25)
+@given(het_systems(), st.data())
+def test_heterogeneous_solver_agreement(system, data):
+    """CSP1, generic CSP2 and dedicated CSP2 agree on heterogeneous rates."""
+    n = system.n
+    m = data.draw(st.integers(1, 2))
+    rates = [
+        [data.draw(st.integers(0, 2)) for _ in range(m)] for _ in range(n)
+    ]
+    for row in rates:
+        if all(r == 0 for r in row):
+            row[0] = 1
+    platform = Platform.heterogeneous(rates)
+    answers = {}
+    for name in ["csp1", "csp2", "csp2+dc", "csp2-generic"]:
+        r = make_solver(name, system, platform).solve(time_limit=20)
+        assert r.status is not Feasibility.UNKNOWN, (name, system, rates)
+        answers[name] = r.is_feasible
+        if r.schedule is not None:
+            assert validate(r.schedule).ok, (name, rates)
+    assert len(set(answers.values())) == 1, (answers, system, rates)
+
+
+class TestRegistry:
+    def test_all_registered_names_construct(self):
+        s = running_example()
+        p = Platform.identical(2)
+        for name in available_solvers():
+            solver = make_solver(name, s, p)
+            assert hasattr(solver, "solve")
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown solver"):
+            make_solver("magic", running_example(), Platform.identical(2))
+
+    def test_unknown_heuristic(self):
+        with pytest.raises(ValueError, match="heuristic"):
+            make_solver("csp2+xyz", running_example(), Platform.identical(2))
+
+    def test_paper_solver_names(self):
+        from repro.solvers.registry import PAPER_SOLVERS
+
+        assert PAPER_SOLVERS == ["csp1", "csp2", "csp2+rm", "csp2+dm", "csp2+tc", "csp2+dc"]
+
+
+class TestApi:
+    def test_solve_with_m(self):
+        res = solve(running_example(), m=2, time_limit=20)
+        assert res.is_feasible
+        assert validate(res.schedule).ok
+        assert res.original_schedule is res.schedule  # no clones
+
+    def test_solve_requires_platform_or_m(self):
+        with pytest.raises(ValueError, match="platform"):
+            solve(running_example())
+
+    def test_solve_conflicting_m(self):
+        with pytest.raises(ValueError, match="conflicting"):
+            solve(running_example(), platform=Platform.identical(2), m=3)
+
+    def test_arbitrary_deadline_roundtrip(self):
+        arb = TaskSystem.from_tuples([(0, 2, 5, 2), (0, 1, 3, 3)])
+        res = solve(arb, m=2, time_limit=20)
+        assert res.is_feasible
+        assert not res.clone_map.is_identity
+        # cloned schedule is the validated one
+        assert validate(res.schedule).ok
+        orig = res.original_schedule
+        assert orig.system == arb
+        # merged table busy-count matches: relabeling preserves busy slots
+        assert orig.busy_slots() == res.schedule.busy_slots()
+
+    def test_arbitrary_deadline_parallel_clones(self):
+        # one task with D=2T: both clones must overlap at some slot
+        arb = TaskSystem.from_tuples([(0, 4, 4, 2)])
+        res = solve(arb, m=2, time_limit=20)
+        assert res.is_feasible
+        orig = res.original_schedule
+        both = [
+            t for t in range(orig.horizon)
+            if orig.entry(0, t) == 0 and orig.entry(1, t) == 0
+        ]
+        assert both, "clones of the saturated task must run in parallel somewhere"
+
+    def test_heterogeneous_arbitrary_rejected(self):
+        arb = TaskSystem.from_tuples([(0, 1, 5, 3)])
+        with pytest.raises(ValueError, match="cloned"):
+            solve(arb, platform=Platform.heterogeneous([[1]]))
+
+    def test_infeasible_reported(self):
+        s = TaskSystem.from_tuples([(0, 2, 2, 2), (0, 2, 2, 2)])
+        res = solve(s, m=1, time_limit=20)
+        assert res.status is Feasibility.INFEASIBLE
+        assert res.schedule is None
+        assert res.original_schedule is None
+
+    def test_timeout_reported(self):
+        s = running_example()
+        res = solve(s, m=2, solver="csp1", time_limit=0.0)
+        assert res.status is Feasibility.UNKNOWN
+
+    def test_seed_reproducibility(self):
+        s = running_example()
+        a = solve(s, m=2, solver="csp1", seed=42, time_limit=20)
+        b = solve(s, m=2, solver="csp1", seed=42, time_limit=20)
+        assert a.is_feasible and b.is_feasible
+        assert a.schedule == b.schedule

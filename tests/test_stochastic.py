@@ -1,0 +1,165 @@
+"""Tests for the probabilistic execution-time extension."""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import Platform
+from repro.schedule import Schedule
+from repro.solvers import solve
+from repro.stochastic import (
+    ExecTimeDistribution,
+    expected_utilization,
+    simulate_actual_usage,
+)
+
+from tests.helpers import RUNNING_EXAMPLE_TABLE, running_example
+
+
+@pytest.fixture
+def sched():
+    return Schedule(running_example(), Platform.identical(2), RUNNING_EXAMPLE_TABLE)
+
+
+class TestDistribution:
+    def test_deterministic(self):
+        d = ExecTimeDistribution.deterministic(3)
+        assert d.mean == 3 and d.variance == 0
+        assert d.wcet == 3
+        assert d.sample(random.Random(0)) == 3
+
+    def test_uniform(self):
+        d = ExecTimeDistribution.uniform(1, 3)
+        assert d.mean == 2
+        assert d.support == (1, 2, 3)
+        assert d.probability(2) == Fraction(1, 3)
+        assert d.probability(9) == 0
+
+    def test_custom_pmf(self):
+        d = ExecTimeDistribution({0: Fraction(1, 4), 2: Fraction(3, 4)})
+        assert d.mean == Fraction(3, 2)
+        assert d.wcet == 2
+
+    def test_zero_mass_dropped(self):
+        d = ExecTimeDistribution({1: Fraction(1), 5: Fraction(0)})
+        assert d.wcet == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            ExecTimeDistribution({1: Fraction(1, 2)})
+        with pytest.raises(ValueError, match=">= 0"):
+            ExecTimeDistribution({-1: Fraction(1)})
+        with pytest.raises(ValueError, match=">= 0"):
+            ExecTimeDistribution({1: Fraction(3, 2), 2: Fraction(-1, 2)})
+        with pytest.raises(ValueError):
+            ExecTimeDistribution({})
+        with pytest.raises(ValueError):
+            ExecTimeDistribution.uniform(3, 1)
+
+    def test_sampling_respects_support(self):
+        d = ExecTimeDistribution.uniform(2, 4)
+        rng = random.Random(7)
+        draws = {d.sample(rng) for _ in range(200)}
+        assert draws <= {2, 3, 4}
+        assert len(draws) == 3  # all values show up
+
+    @given(st.integers(0, 6), st.integers(0, 6), st.integers(0, 1000))
+    def test_uniform_mean_formula(self, a, b, seed):
+        lo, hi = min(a, b), max(a, b)
+        d = ExecTimeDistribution.uniform(lo, hi)
+        assert d.mean == Fraction(lo + hi, 2)
+
+
+class TestExpectedUtilization:
+    def test_wcet_distributions_match_schedule_busy(self, sched):
+        """Deterministic-at-WCET distributions recover the WCET busy rate."""
+        dists = [
+            ExecTimeDistribution.deterministic(t.wcet) for t in sched.system
+        ]
+        expected = expected_utilization(sched, dists)
+        assert expected == Fraction(sched.busy_slots(), sched.m * sched.horizon)
+
+    def test_halved_demand(self, sched):
+        # tau1 always uses 0 of its 1 slot -> lose 6 slots of 23
+        dists = [
+            ExecTimeDistribution.deterministic(0),
+            ExecTimeDistribution.deterministic(3),
+            ExecTimeDistribution.deterministic(2),
+        ]
+        assert expected_utilization(sched, dists) == Fraction(23 - 6, 24)
+
+    def test_validates_length(self, sched):
+        with pytest.raises(ValueError, match="one distribution per task"):
+            expected_utilization(sched, [])
+
+    def test_validates_support(self, sched):
+        dists = [
+            ExecTimeDistribution.deterministic(5),  # > tau1's WCET of 1
+            ExecTimeDistribution.deterministic(3),
+            ExecTimeDistribution.deterministic(2),
+        ]
+        with pytest.raises(ValueError, match="support"):
+            expected_utilization(sched, dists)
+
+
+class TestSimulation:
+    def test_deterministic_wcet_uses_everything(self, sched):
+        dists = [ExecTimeDistribution.deterministic(t.wcet) for t in sched.system]
+        stats = simulate_actual_usage(sched, dists, samples=50, seed=1)
+        assert stats.p_full_usage == 1.0
+        assert stats.mean_busy_fraction == pytest.approx(23 / 24)
+        assert stats.min_busy_fraction == stats.max_busy_fraction
+
+    def test_reproducible(self, sched):
+        dists = [ExecTimeDistribution.uniform(0, t.wcet) for t in sched.system]
+        a = simulate_actual_usage(sched, dists, samples=100, seed=9)
+        b = simulate_actual_usage(sched, dists, samples=100, seed=9)
+        assert a == b
+
+    def test_monte_carlo_converges_to_closed_form(self, sched):
+        dists = [ExecTimeDistribution.uniform(0, t.wcet) for t in sched.system]
+        expected = float(expected_utilization(sched, dists))
+        stats = simulate_actual_usage(sched, dists, samples=4000, seed=3)
+        assert stats.mean_busy_fraction == pytest.approx(expected, abs=0.02)
+
+    def test_unused_accounting(self, sched):
+        # tau2 always uses 1 of its 3 reserved slots
+        dists = [
+            ExecTimeDistribution.deterministic(1),
+            ExecTimeDistribution.deterministic(1),
+            ExecTimeDistribution.deterministic(2),
+        ]
+        stats = simulate_actual_usage(sched, dists, samples=10, seed=0)
+        assert stats.mean_unused_per_job[0] == 0.0
+        assert stats.mean_unused_per_job[1] == 2.0
+        assert stats.mean_unused_per_job[2] == 0.0
+        assert stats.p_full_usage == 0.0
+
+    def test_validates_samples(self, sched):
+        dists = [ExecTimeDistribution.deterministic(t.wcet) for t in sched.system]
+        with pytest.raises(ValueError):
+            simulate_actual_usage(sched, dists, samples=0)
+
+
+@settings(deadline=None, max_examples=10)
+@given(st.integers(0, 10_000))
+def test_end_to_end_with_solver(seed):
+    """Solve an instance, then analyze it stochastically — full pipeline."""
+    system = running_example()
+    res = solve(system, m=2, time_limit=20)
+    assert res.is_feasible
+    rng = random.Random(seed)
+    dists = []
+    for t in system:
+        lo = rng.randint(0, t.wcet)
+        dists.append(ExecTimeDistribution.uniform(lo, t.wcet))
+    exp = expected_utilization(res.schedule, dists)
+    stats = simulate_actual_usage(res.schedule, dists, samples=300, seed=seed)
+    eps = 1e-9  # float accumulation slack in the mean
+    assert 0 <= stats.min_busy_fraction <= stats.mean_busy_fraction + eps
+    assert stats.mean_busy_fraction <= stats.max_busy_fraction + eps
+    assert stats.max_busy_fraction <= 1
+    assert stats.mean_busy_fraction == pytest.approx(float(exp), abs=0.05)

@@ -1,0 +1,148 @@
+"""Unit and property tests for repro.util (math, bitset, timer)."""
+
+import math
+import time
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import (
+    Deadline,
+    bit_indices,
+    ceil_div,
+    first_bit,
+    gcd_all,
+    lcm_all,
+    lcm_pair,
+    mask_of,
+    popcount,
+)
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(12, 4) == 3
+
+    def test_rounds_up(self):
+        assert ceil_div(13, 4) == 4
+
+    def test_one(self):
+        assert ceil_div(1, 7) == 1
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 5) == 0
+
+    def test_negative_numerator(self):
+        # ceil(-3/2) == -1
+        assert ceil_div(-3, 2) == -1
+
+    def test_rejects_nonpositive_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(3, 0)
+        with pytest.raises(ValueError):
+            ceil_div(3, -1)
+
+    @given(st.integers(-10_000, 10_000), st.integers(1, 500))
+    def test_matches_math_ceil(self, a, b):
+        assert ceil_div(a, b) == math.ceil(a / b)
+
+
+class TestLcmGcd:
+    def test_lcm_pair(self):
+        assert lcm_pair(4, 6) == 12
+
+    def test_lcm_all_example(self):
+        # the paper's running example: periods 2, 4, 3 -> hyperperiod 12
+        assert lcm_all([2, 4, 3]) == 12
+
+    def test_lcm_all_single(self):
+        assert lcm_all([7]) == 7
+
+    def test_lcm_all_table4_periods(self):
+        # Table IV: Tmax = 15 -> hyperperiod converges to lcm(1..15) = 360360
+        assert lcm_all(range(1, 16)) == 360360
+
+    def test_lcm_rejects_empty(self):
+        with pytest.raises(ValueError):
+            lcm_all([])
+
+    def test_lcm_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            lcm_pair(0, 3)
+
+    def test_gcd_all(self):
+        assert gcd_all([12, 18, 24]) == 6
+
+    def test_gcd_rejects_empty(self):
+        with pytest.raises(ValueError):
+            gcd_all([])
+
+    @given(st.lists(st.integers(1, 50), min_size=1, max_size=6))
+    def test_lcm_divisible_by_all(self, values):
+        ell = lcm_all(values)
+        assert all(ell % v == 0 for v in values)
+
+    @given(st.lists(st.integers(1, 50), min_size=1, max_size=6))
+    def test_gcd_divides_all(self, values):
+        g = gcd_all(values)
+        assert all(v % g == 0 for v in values)
+
+
+class TestBitset:
+    def test_mask_of(self):
+        assert mask_of([0, 2, 5]) == 0b100101
+
+    def test_mask_of_empty(self):
+        assert mask_of([]) == 0
+
+    def test_mask_of_rejects_negative(self):
+        with pytest.raises(ValueError):
+            mask_of([-1])
+
+    def test_bit_indices_order(self):
+        assert list(bit_indices(0b101100)) == [2, 3, 5]
+
+    def test_first_bit(self):
+        assert first_bit(0b1000) == 3
+
+    def test_first_bit_empty(self):
+        assert first_bit(0) == -1
+
+    def test_popcount(self):
+        assert popcount(0b10110111) == 6
+
+    @given(st.sets(st.integers(0, 200), max_size=40))
+    def test_roundtrip(self, values):
+        mask = mask_of(values)
+        assert set(bit_indices(mask)) == values
+        assert popcount(mask) == len(values)
+        if values:
+            assert first_bit(mask) == min(values)
+
+
+class TestDeadline:
+    def test_unlimited_never_expires(self):
+        d = Deadline(None)
+        assert not d.expired()
+        assert d.remaining() == float("inf")
+
+    def test_zero_expires_immediately(self):
+        d = Deadline(0.0)
+        assert d.expired()
+        assert d.remaining() == 0.0
+
+    def test_elapsed_grows(self):
+        d = Deadline(10.0)
+        a = d.elapsed()
+        time.sleep(0.01)
+        assert d.elapsed() > a
+
+    def test_short_budget_expires(self):
+        d = Deadline(0.005)
+        time.sleep(0.02)
+        assert d.expired()
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Deadline(-1.0)
