@@ -1,0 +1,22 @@
+# Developer entry points.  Everything runs from the repo root with the
+# in-tree sources on PYTHONPATH (no install needed).
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test docs-check bench ci
+
+## tier-1 test suite (the bar every PR must keep green)
+test:
+	$(PYTHON) -m pytest -x -q
+
+## fail if any public module/callable lacks a docstring
+docs-check:
+	$(PYTHON) -m pytest -q tests/test_docstrings.py
+
+## pytest-benchmark suite (REPRO_JOBS=N parallelizes the run matrices)
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+## what CI runs: docs guard first (fast), then the full suite
+ci: docs-check test

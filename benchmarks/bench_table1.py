@@ -9,12 +9,13 @@ ordering must not.
 from repro.experiments.report import format_table1
 from repro.experiments.table1 import Table1Config, run_table1
 
-from conftest import table1_config
+from conftest import CACHE_DIR, JOBS, table1_config
 
 
 def test_table1(benchmark):
     result = benchmark.pedantic(
-        run_table1, args=(table1_config(),), rounds=1, iterations=1
+        run_table1, args=(table1_config(),),
+        kwargs=dict(jobs=JOBS, cache_dir=CACHE_DIR), rounds=1, iterations=1,
     )
     print("\n" + format_table1(result))
 

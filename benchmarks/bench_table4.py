@@ -11,6 +11,8 @@ import os
 from repro.experiments.report import format_table4
 from repro.experiments.table4 import Table4Config, run_table4
 
+from conftest import CACHE_DIR, JOBS
+
 PAPER = os.environ.get("REPRO_PAPER", "") == "1"
 
 
@@ -23,7 +25,10 @@ def _config() -> Table4Config:
 
 
 def test_table4(benchmark):
-    result = benchmark.pedantic(run_table4, args=(_config(),), rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        run_table4, args=(_config(),),
+        kwargs=dict(jobs=JOBS, cache_dir=CACHE_DIR), rounds=1, iterations=1,
+    )
     print("\n" + format_table4(result))
 
     rows = result.rows

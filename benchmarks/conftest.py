@@ -4,6 +4,10 @@ Default scales are chosen so the whole suite finishes in a few minutes of
 pure-Python compute while preserving the paper's qualitative shape; set
 ``REPRO_PAPER=1`` to run the published 500-instance / 30 s protocol
 (hours — use the CLI's ``--paper`` for a single table instead).
+
+All experiment drivers route through :mod:`repro.batch`; set
+``REPRO_JOBS=N`` to fan the run matrices out over N worker processes and
+``REPRO_CACHE_DIR=path`` to reuse cells across benchmark invocations.
 """
 
 import os
@@ -13,9 +17,12 @@ import pytest
 from repro.experiments.table1 import Table1Config, run_table1
 
 PAPER = os.environ.get("REPRO_PAPER", "") == "1"
+JOBS = int(os.environ.get("REPRO_JOBS", "1"))
+CACHE_DIR = os.environ.get("REPRO_CACHE_DIR") or None
 
 
 def table1_config() -> Table1Config:
+    """The suite-wide Table I scale (paper scale under ``REPRO_PAPER=1``)."""
     if PAPER:
         return Table1Config.paper_scale()
     return Table1Config(n_instances=12, time_limit=0.35, seed=2009)
@@ -25,4 +32,4 @@ def table1_config() -> Table1Config:
 def table1_result():
     """One shared Table I run reused by the Table II/III aggregations
     (exactly as the paper reuses the same 500-run records)."""
-    return run_table1(table1_config())
+    return run_table1(table1_config(), jobs=JOBS, cache_dir=CACHE_DIR)

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Minimal CI: docstring guard, then the tier-1 test suite.
+# Usage: sh scripts/ci.sh   (from the repo root; no install required)
+set -eu
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== docs-check: public modules and callables must be documented =="
+python -m pytest -q tests/test_docstrings.py
+
+echo "== tier-1: full test suite =="
+python -m pytest -x -q

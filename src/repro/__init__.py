@@ -13,8 +13,8 @@ Quickstart
 >>> result.is_feasible
 True
 
-See README.md for the architecture tour and DESIGN.md for the paper
-mapping.
+See README.md for the quickstart, docs/ARCHITECTURE.md for the layer
+map and design notes, and docs/SOLVERS.md for choosing a solver.
 """
 
 from repro.model import (

@@ -1,0 +1,35 @@
+"""Parallel batch solving: the (instance x solver) campaign engine.
+
+The paper's experiments (Tables I-IV) are big matrices of independent
+(instance, solver) runs — embarrassingly parallel, expensive, and painful
+to lose to a crash at cell 4,987 of 5,000.  This package turns such
+campaigns into first-class objects:
+
+* :mod:`repro.batch.cells` — the picklable work unit and the single
+  worker function (:func:`solve_cell`) every execution path shares;
+* :mod:`repro.batch.cache` — a content-addressed on-disk cache so any
+  cell ever solved under the same (system, solver, budget, seed) key is
+  never solved again, across campaigns;
+* :mod:`repro.batch.executor` — :func:`run_batch`: process-pool
+  execution with one worker per ``--jobs``, streaming JSONL journaling,
+  and crash-safe ``--resume``.
+
+``repro.experiments.runner.run_instances`` is a thin shim over this
+layer (``jobs=1``, no cache) and every table/benchmark driver and the
+``repro batch`` CLI route through it.
+"""
+
+from repro.batch.cache import ResultCache
+from repro.batch.cells import Cell, cell_key, cells_for_matrix, solve_cell
+from repro.batch.executor import BatchReport, load_journal, run_batch
+
+__all__ = [
+    "Cell",
+    "cell_key",
+    "cells_for_matrix",
+    "solve_cell",
+    "ResultCache",
+    "BatchReport",
+    "load_journal",
+    "run_batch",
+]

@@ -1,0 +1,72 @@
+"""Content-addressed on-disk result cache for batch campaigns.
+
+Layout: one JSON file per solved cell under ``<root>/<key[:2]>/<key>.json``
+(two-level fan-out keeps directories small on big campaigns).  Writes go
+through a same-directory temp file + ``os.replace`` so a crash mid-write
+can never leave a truncated entry — readers see either the old state or
+the complete new one.
+
+The cache is shared freely between concurrent workers and campaigns:
+entries are immutable once written (content-addressed by
+:func:`repro.batch.cells.cell_key`), so the only race is two processes
+computing the same cell, and either's ``os.replace`` wins harmlessly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import asdict
+from pathlib import Path
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Maps :func:`~repro.batch.cells.cell_key` hex digests to records."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str):
+        """The cached :class:`~repro.experiments.runner.RunRecord`, or None.
+
+        Unreadable/corrupt entries (e.g. an out-of-band partial copy) are
+        treated as misses, never errors — the cell is simply recomputed.
+        """
+        from repro.experiments.runner import RunRecord
+
+        path = self._path(key)
+        try:
+            with open(path) as fh:
+                return RunRecord(**json.load(fh))
+        except (OSError, ValueError, TypeError):
+            return None
+
+    def put(self, key: str, record) -> None:
+        """Atomically persist one record under its key."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(asdict(record), fh, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        """Number of cached entries (walks the fan-out directories)."""
+        return sum(1 for _ in self.root.glob("??/*.json"))

@@ -1,0 +1,224 @@
+"""Process-pool executor with caching, journaling and crash-safe resume.
+
+:func:`run_batch` is the one entry point: give it the cells of a campaign
+and it returns their records in canonical cell order, no matter which of
+three sources each record came from —
+
+1. the campaign **journal** (``--resume``): a streaming JSONL file, one
+   completed cell per line, appended and flushed as results arrive, so a
+   killed campaign restarts exactly where it died (a torn final line is
+   ignored);
+2. the shared **cache** (``--cache-dir``): the content-addressed store of
+   :mod:`repro.batch.cache`, which lets *different* campaigns (or a warm
+   re-run) skip any cell ever solved under the same key;
+3. fresh **computation**: remaining cells are deduplicated by key and run
+   through :func:`~repro.batch.cells.solve_cell`, serially for ``jobs=1``
+   (bit-compatible with the historical serial runner) or on a
+   ``ProcessPoolExecutor`` with one worker per job.
+
+Determinism: a cell's outcome depends only on its content (system, solver,
+budgets, seed), never on scheduling, so ``jobs=N`` produces the same
+statuses/node counts as ``jobs=1`` and the same record *order* — only the
+wall-clock ``elapsed`` fields can differ between cold runs.  Cached or
+resumed cells reproduce byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.batch.cache import ResultCache
+from repro.batch.cells import Cell, cell_key, rekey_record, solve_cell
+
+__all__ = ["BatchReport", "run_batch", "load_journal"]
+
+
+@dataclass
+class BatchReport:
+    """Everything a campaign produced, plus where each record came from."""
+
+    #: records in canonical cell order (instance-major, solver-minor)
+    records: list = field(default_factory=list)
+    #: cells answered from the resume journal
+    resumed: int = 0
+    #: cells answered from the content-addressed cache
+    cache_hits: int = 0
+    #: cells actually solved this run
+    computed: int = 0
+    #: wall-clock seconds for the whole batch
+    elapsed: float = 0.0
+
+    @property
+    def total(self) -> int:
+        """Number of cells in the campaign."""
+        return len(self.records)
+
+
+def load_journal(path: str | os.PathLike) -> dict[str, dict]:
+    """Parse a results journal into ``{cell key: record dict}``.
+
+    Tolerates a torn final line (the crash case journaling exists for) and
+    skips any line that does not decode into a well-formed record — resume
+    must never be the thing that fails a campaign.
+    """
+    from repro.experiments.runner import RunRecord
+
+    out: dict[str, dict] = {}
+    try:
+        fh = open(path)
+    except OSError:
+        return out
+    with fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+                RunRecord(**entry["record"])  # shape check, raises TypeError
+                out[entry["key"]] = entry["record"]
+            except (ValueError, KeyError, TypeError):
+                continue  # torn/corrupt/foreign line: recompute that cell
+    return out
+
+
+def run_batch(
+    cells: Sequence[Cell],
+    jobs: int = 1,
+    cache: ResultCache | str | os.PathLike | None = None,
+    journal: str | os.PathLike | None = None,
+    resume: bool = False,
+    progress: Callable[[int, int], None] | None = None,
+) -> BatchReport:
+    """Run a campaign of cells, in parallel, with caching and resume.
+
+    Parameters
+    ----------
+    cells:
+        The campaign, typically :func:`~repro.batch.cells.cells_for_matrix`.
+    jobs:
+        Worker processes; ``1`` runs in-process (no pool, no pickling).
+    cache:
+        A :class:`ResultCache` or a directory path for one; ``None``
+        disables cross-campaign caching.
+    journal:
+        JSONL path streamed to as cells complete; with ``resume=True`` its
+        existing complete lines are honored before anything is scheduled.
+    resume:
+        Re-read ``journal`` and skip cells already recorded there.
+    progress:
+        ``progress(done, total)`` callback, called as each cell resolves
+        (from whichever source).
+
+    Returns
+    -------
+    BatchReport
+        Records in canonical order plus hit/compute accounting.
+    """
+    from repro.experiments.runner import RunRecord
+
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if isinstance(cache, (str, os.PathLike)):
+        cache = ResultCache(cache)
+    t_start = time.monotonic()
+    report = BatchReport(records=[None] * len(cells))
+    keys = [cell_key(c) for c in cells]
+    total = len(cells)
+    done = 0
+
+    def tick() -> None:
+        if progress is not None:
+            progress(done, total)
+
+    # 1. resume from the journal's completed lines
+    journaled: dict[str, dict] = {}
+    if resume and journal is not None:
+        journaled = load_journal(journal)
+    for i, (cell, key) in enumerate(zip(cells, keys)):
+        if key in journaled:
+            record = RunRecord(**journaled[key])
+            report.records[i] = rekey_record(record, cell)
+            report.resumed += 1
+            done += 1
+            if cache is not None and key not in cache:
+                cache.put(key, record)  # warm the shared cache too
+            tick()
+
+    journal_fh = None
+    if journal is not None:
+        path = Path(journal)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if resume and path.exists() and path.stat().st_size > 0:
+            # a crash can leave a torn final line with no newline; cut it
+            # so the finished journal contains only complete JSONL lines
+            with open(path, "rb+") as tail:
+                data = tail.read()
+                if not data.endswith(b"\n"):
+                    tail.truncate(data.rfind(b"\n") + 1)
+        journal_fh = open(path, "a" if resume else "w")
+
+    def record_done(i: int, key: str, record) -> None:
+        nonlocal done
+        rekeyed = rekey_record(record, cells[i])
+        report.records[i] = rekeyed
+        done += 1
+        if journal_fh is not None:
+            # journal the *rekeyed* record: the JSONL is this campaign's
+            # output and must carry this campaign's instance seeds
+            json.dump({"key": key, "record": asdict(rekeyed)}, journal_fh,
+                      separators=(",", ":"))
+            journal_fh.write("\n")
+            journal_fh.flush()
+        tick()
+
+    try:
+        # 2. serve what the shared cache already knows
+        if cache is not None:
+            for i, (cell, key) in enumerate(zip(cells, keys)):
+                if report.records[i] is not None:
+                    continue
+                hit = cache.get(key)
+                if hit is not None:
+                    report.cache_hits += 1
+                    record_done(i, key, hit)
+
+        # 3. compute the rest, one task per *unique* key
+        pending: dict[str, list[int]] = {}
+        for i, key in enumerate(keys):
+            if report.records[i] is None:
+                pending.setdefault(key, []).append(i)
+
+        def finish(key: str, record) -> None:
+            if cache is not None:
+                cache.put(key, record)
+            for i in pending[key]:
+                record_done(i, key, record)
+
+        if pending and jobs == 1:
+            for key, indices in pending.items():
+                record = solve_cell(cells[indices[0]])
+                report.computed += 1
+                finish(key, record)
+        elif pending:
+            from concurrent.futures import ProcessPoolExecutor, as_completed
+
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                futures = {
+                    pool.submit(solve_cell, cells[indices[0]]): key
+                    for key, indices in pending.items()
+                }
+                for fut in as_completed(futures):
+                    report.computed += 1
+                    finish(futures[fut], fut.result())
+    finally:
+        if journal_fh is not None:
+            journal_fh.close()
+
+    report.elapsed = time.monotonic() - t_start
+    return report

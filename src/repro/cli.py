@@ -7,13 +7,16 @@ Subcommands
 ``validate``    re-check a solved schedule JSON against C1-C4
 ``figure1``     print the paper's Figure 1 chart
 ``experiment``  reproduce table1 / table2 / table3 / table4
+``batch``       run an (instance x solver) campaign in parallel with
+                caching and crash-safe ``--resume``
 
 Instance JSON format::
 
     {"tasks": [[O, C, D, T], ...], "m": 2}
 
 Schedule JSON (produced by ``solve --output``) adds ``"table"`` (m x T,
--1 = idle).
+-1 = idle).  ``batch`` streams one JSONL line per completed
+(instance, solver) cell to ``--output``.
 """
 
 from __future__ import annotations
@@ -136,16 +139,98 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _invalid_jobs(args: argparse.Namespace) -> bool:
+    """Report (and reject) a non-positive --jobs value."""
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return True
+    return False
+
+
+def _progress_printer(args: argparse.Namespace, noun: str):
+    """A carriage-return progress callback on stderr (None when --quiet)."""
+    if args.quiet:
+        return None
+
+    def progress(done, total):
+        print(f"\r  {noun} {done}/{total}", end="", file=sys.stderr, flush=True)
+
+    return progress
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    """Run an (instance x solver) campaign through the batch layer."""
+    from repro.batch import cells_for_matrix, run_batch
+    from repro.generator.random_systems import Instance
+
+    if _invalid_jobs(args):
+        return 2
+    solvers = [s.strip() for s in args.solvers.split(",") if s.strip()]
+    if not solvers:
+        print(f"--solvers is empty; pick from {available_solvers()}",
+              file=sys.stderr)
+        return 2
+    unknown = [s for s in solvers if s not in available_solvers()]
+    if unknown:
+        print(f"unknown solver(s) {unknown}; pick from {available_solvers()}",
+              file=sys.stderr)
+        return 2
+    if args.instances_file:
+        with open(args.instances_file) as fh:
+            payload = json.load(fh)
+        if isinstance(payload, dict):
+            payload = [payload]
+        instances = [
+            Instance(
+                system=TaskSystem.from_tuples(d["tasks"]),
+                m=d.get("m", 1),
+                seed=d.get("seed", i),
+            )
+            for i, d in enumerate(payload)
+        ]
+    else:
+        cfg = GeneratorConfig(
+            n=args.n, tmax=args.tmax,
+            m=args.m if args.m is not None else "uniform",
+        )
+        instances = generate_instances(cfg, args.count, seed=args.seed)
+
+    progress = _progress_printer(args, "cell")
+    cells = cells_for_matrix(instances, solvers, args.time_limit)
+    report = run_batch(
+        cells,
+        jobs=args.jobs,
+        cache=args.cache_dir,
+        journal=args.output,
+        resume=args.resume,
+        progress=progress,
+    )
+    if not args.quiet:
+        print(file=sys.stderr)
+
+    by_status: dict[str, int] = {}
+    for r in report.records:
+        by_status[r.status] = by_status.get(r.status, 0) + 1
+    statuses = "  ".join(f"{k}: {v}" for k, v in sorted(by_status.items()))
+    print(f"{report.total} cells ({len(instances)} instances x {len(solvers)} solvers)")
+    print(f"  {statuses}")
+    print(
+        f"  computed: {report.computed}  cache hits: {report.cache_hits}  "
+        f"resumed: {report.resumed}  wall: {report.elapsed:.2f}s  jobs: {args.jobs}"
+    )
+    print(f"records streamed to {args.output}")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.table1 import Table1Config, run_table1
     from repro.experiments.table2 import run_table2
     from repro.experiments.table3 import run_table3
     from repro.experiments.table4 import Table4Config, run_table4
 
-    progress = None
-    if not args.quiet:
-        def progress(done, total):  # noqa: E306
-            print(f"\r  run {done}/{total}", end="", file=sys.stderr, flush=True)
+    if _invalid_jobs(args):
+        return 2
+    progress = _progress_printer(args, "run")
 
     name = args.table
     if name in ("table1", "table2", "table3"):
@@ -155,7 +240,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             cfg = Table1Config(
                 n_instances=args.instances, time_limit=args.time_limit,
             )
-        t1 = run_table1(cfg, progress=progress)
+        t1 = run_table1(cfg, progress=progress, jobs=args.jobs,
+                        cache_dir=args.cache_dir)
         if not args.quiet:
             print(file=sys.stderr)
         if name == "table1":
@@ -176,7 +262,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 instances_per_n=max(2, args.instances // 4),
                 time_limit=args.time_limit,
             )
-        t4 = run_table4(cfg4, progress=progress)
+        t4 = run_table4(cfg4, progress=progress, jobs=args.jobs,
+                        cache_dir=args.cache_dir)
         if not args.quiet:
             print(file=sys.stderr)
         print(format_table4(t4))
@@ -186,6 +273,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The full ``repro-mgrts`` argument parser (one subparser per command)."""
     parser = argparse.ArgumentParser(
         prog="repro-mgrts",
         description="Global multiprocessor real-time scheduling as a CSP "
@@ -233,13 +321,46 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--paper", action="store_true",
                    help="full 500x30s protocol (hours of compute)")
     e.add_argument("--records", default=None, help="dump raw run records JSON")
+    e.add_argument("--jobs", "-j", type=int, default=1,
+                   help="worker processes for the run matrix")
+    e.add_argument("--cache-dir", default=None,
+                   help="content-addressed result cache directory")
     e.add_argument("--quiet", action="store_true")
     e.set_defaults(func=_cmd_experiment)
+
+    b = sub.add_parser(
+        "batch",
+        help="run an (instance x solver) campaign in parallel, with "
+        "caching and crash-safe resume",
+    )
+    b.add_argument("--instances-file", default=None,
+                   help="instance JSON from `generate` (overrides --count/-n/-m)")
+    b.add_argument("--count", type=int, default=40, help="instances to generate")
+    b.add_argument("-n", type=int, default=10, help="tasks per instance")
+    b.add_argument("-m", type=int, default=None,
+                   help="processors (default: U(1..n-1))")
+    b.add_argument("--tmax", type=int, default=7)
+    b.add_argument("--seed", type=int, default=2009, help="generator seed")
+    b.add_argument("--solvers", default="csp1,csp2,csp2+dc",
+                   help="comma-separated registry names")
+    b.add_argument("--time-limit", type=float, default=1.0,
+                   help="per-cell wall budget (seconds)")
+    b.add_argument("--jobs", "-j", type=int, default=1,
+                   help="worker processes (1 = serial, in-process)")
+    b.add_argument("--cache-dir", default=None,
+                   help="content-addressed result cache shared across campaigns")
+    b.add_argument("--output", "-o", default="batch-results.jsonl",
+                   help="streaming JSONL journal (one line per cell)")
+    b.add_argument("--resume", action="store_true",
+                   help="skip cells already completed in --output")
+    b.add_argument("--quiet", action="store_true")
+    b.set_defaults(func=_cmd_batch)
 
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Console entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     return args.func(args)
 

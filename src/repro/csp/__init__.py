@@ -6,7 +6,7 @@ depth-first backtracking search with pluggable variable/value ordering
 heuristics (paper Section III-B lists exactly these ingredients:
 propagation, variable ordering, value ordering, added constraints).
 
-Design notes (see DESIGN.md Section 6): domains are Python-int bitmasks —
+Design notes (see also docs/ARCHITECTURE.md): domains are Python-int bitmasks —
 ``bit v`` set iff value ``v + offset`` is still possible — with a trail for
 O(changed) backtracking; propagators are stateless over the current domains
 and re-run when a watched variable changes, which keeps them trivially

@@ -6,7 +6,7 @@ bounds/value consistency and returns ``False`` on wipe-out.  Propagators are
 *stateless* across calls — they recompute from the current domains — which
 makes them trivially correct under backtracking at the cost of O(k) work
 per call; the CSP1/CSP2 constraint arities here are small enough that this
-is the right trade (DESIGN.md Section 6).
+is the right trade (docs/ARCHITECTURE.md, "Design notes").
 
 The set of propagators is exactly what the paper's encodings need:
 

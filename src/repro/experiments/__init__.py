@@ -13,8 +13,13 @@ One module per table/figure, all sharing :mod:`repro.experiments.runner`:
 * :mod:`repro.experiments.table4`  — scaling n with m = ceil(U), Tmax=15.
 
 Budgets are scaled down by default (pure Python vs the paper's 2009 C++/
-Java; see DESIGN.md Section 2) — ``paper_scale=True`` or the CLI's
+Java; see docs/ARCHITECTURE.md) — ``paper_scale=True`` or the CLI's
 ``--paper`` restores the original 500 instances x 30 s.
+
+Execution is delegated to :mod:`repro.batch`: every table runner accepts
+``jobs=`` (worker processes) and ``cache_dir=`` (content-addressed result
+cache), and the ``repro batch`` CLI runs ad-hoc campaigns with streaming
+JSONL output and crash-safe resume.
 """
 
 from repro.experiments.runner import (

@@ -40,6 +40,7 @@ def _solver_label(name: str) -> str:
 
 
 def format_table1(result: Table1Result, with_paper: bool = True) -> str:
+    """Render Table I as aligned text, optionally with the paper's rows."""
     solvers = list(result.config.solvers)
     headers = ["# overruns"] + [_solver_label(s) for s in solvers] + ["Total"]
     rows = []
@@ -61,6 +62,7 @@ def format_table1(result: Table1Result, with_paper: bool = True) -> str:
 
 
 def format_table2(result: Table2Result, with_paper: bool = True) -> str:
+    """Render Table II plus the provably-unsolvable footer line."""
     solvers = list(result.config.solvers)
     headers = ["# overruns"] + [_solver_label(s) for s in solvers] + ["Total"]
     rows = []
@@ -85,6 +87,7 @@ def format_table2(result: Table2Result, with_paper: bool = True) -> str:
 
 
 def format_table3(result: Table3Result, with_paper: bool = True) -> str:
+    """Render Table III (non-empty utilization-ratio bins only)."""
     headers = ["rmin-rmax", "#instances", "tres [s]"]
     if with_paper:
         headers += ["paper #", "paper tres"]
@@ -108,6 +111,7 @@ def format_table3(result: Table3Result, with_paper: bool = True) -> str:
 
 
 def format_table4(result: Table4Result, with_paper: bool = True) -> str:
+    """Render Table IV (one row per task count n)."""
     solvers = list(result.config.solvers)
     headers = ["n", "r", "m", "T(1000)"]
     for s in solvers:

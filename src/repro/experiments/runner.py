@@ -1,16 +1,19 @@
-"""Instance x solver matrix runner with budgets and JSON-able records."""
+"""Instance x solver matrix runner with budgets and JSON-able records.
+
+The record types (:class:`RunRecord`, :class:`ExperimentRun`) and the
+historical entry point :func:`run_instances` live here; since the batch
+layer landed, ``run_instances`` is a thin compatibility shim over
+:func:`repro.batch.run_batch` — pass ``jobs``/``cache_dir`` to fan a
+campaign out over worker processes and skip already-solved cells.
+"""
 
 from __future__ import annotations
 
 import json
-import time
 from collections.abc import Callable, Sequence
 from dataclasses import asdict, dataclass, field
 
 from repro.generator.random_systems import Instance
-from repro.model.platform import Platform
-from repro.solvers.base import Feasibility
-from repro.solvers.registry import make_solver
 
 __all__ = ["RunRecord", "ExperimentRun", "run_instances", "estimate_csp1_variables"]
 
@@ -54,12 +57,14 @@ class ExperimentRun:
 
     # -- aggregation helpers used by the table modules ----------------------
     def by_instance(self) -> dict[int, list[RunRecord]]:
+        """Group records by generator seed, preserving solver order."""
         out: dict[int, list[RunRecord]] = {}
         for r in self.records:
             out.setdefault(r.instance_seed, []).append(r)
         return out
 
     def solvers(self) -> list[str]:
+        """Solver names in first-appearance order."""
         seen: list[str] = []
         for r in self.records:
             if r.solver not in seen:
@@ -68,6 +73,7 @@ class ExperimentRun:
 
     # -- persistence ----------------------------------------------------------
     def to_json(self) -> str:
+        """Serialize the run (config snapshot + records) as pretty JSON."""
         return json.dumps(
             {
                 "description": self.description,
@@ -79,6 +85,7 @@ class ExperimentRun:
 
     @classmethod
     def from_json(cls, text: str) -> "ExperimentRun":
+        """Inverse of :meth:`to_json`."""
         data = json.loads(text)
         return cls(
             description=data["description"],
@@ -105,6 +112,8 @@ def run_instances(
     seed: int | None = None,
     csp1_variable_limit: int = 2_000_000,
     progress: Callable[[int, int], None] | None = None,
+    jobs: int = 1,
+    cache_dir: str | None = None,
 ) -> ExperimentRun:
     """Run every solver on every instance under a per-run wall budget.
 
@@ -113,46 +122,21 @@ def run_instances(
     ``csp1_variable_limit`` guards generic-engine encodings against
     instances whose model would not fit in memory; those runs are recorded
     as ``skipped-memory``.
+
+    This is a compatibility shim over :func:`repro.batch.run_batch`:
+    ``jobs`` fans the (instance, solver) matrix out over that many worker
+    processes, and ``cache_dir`` points at a content-addressed result
+    cache so previously solved cells are served without recomputation.
+    Records always come back in instance-major, solver-minor order, the
+    order the serial runner has always produced.
     """
-    run = ExperimentRun(description=description, time_limit=time_limit)
-    total = len(instances) * len(solvers)
-    done = 0
-    for inst in instances:
-        platform = Platform.identical(inst.m)
-        for name in solvers:
-            done += 1
-            if progress is not None:
-                progress(done, total)
-            base = dict(
-                instance_seed=inst.seed,
-                n=inst.system.n,
-                m=inst.m,
-                hyperperiod=inst.system.hyperperiod,
-                utilization_ratio=float(inst.utilization_ratio),
-                solver=name,
-            )
-            if name.startswith(("csp1", "csp2-generic", "sat")):
-                if estimate_csp1_variables(inst) > csp1_variable_limit:
-                    run.records.append(
-                        RunRecord(
-                            **base, status="skipped-memory",
-                            elapsed=time_limit, nodes=0,
-                        )
-                    )
-                    continue
-            t0 = time.monotonic()
-            solver = make_solver(name, inst.system, platform, seed=seed)
-            build = time.monotonic() - t0
-            remaining = max(0.0, time_limit - build)
-            result = solver.solve(time_limit=remaining)
-            elapsed = min(build + result.stats.elapsed, time_limit)
-            status = result.status.value
-            if result.status is Feasibility.UNKNOWN:
-                elapsed = time_limit  # an overrun consumed the full budget
-            run.records.append(
-                RunRecord(
-                    **base, status=status, elapsed=elapsed,
-                    nodes=result.stats.nodes,
-                )
-            )
-    return run
+    from repro.batch import cells_for_matrix, run_batch
+
+    cells = cells_for_matrix(
+        instances, solvers, time_limit,
+        csp1_variable_limit=csp1_variable_limit, seed=seed,
+    )
+    report = run_batch(cells, jobs=jobs, cache=cache_dir, progress=progress)
+    return ExperimentRun(
+        description=description, time_limit=time_limit, records=report.records
+    )

@@ -19,7 +19,8 @@ __all__ = ["Table1Config", "Table1Result", "run_table1"]
 
 @dataclass(frozen=True)
 class Table1Config:
-    """Parameters; defaults are scaled down from the paper (see DESIGN.md).
+    """Parameters; defaults are scaled down from the paper (see
+    docs/ARCHITECTURE.md for the scaling rationale).
 
     ``paper_scale()`` restores the published 500 x 30 s protocol.
     """
@@ -34,9 +35,11 @@ class Table1Config:
 
     @classmethod
     def paper_scale(cls) -> "Table1Config":
+        """The published protocol: 500 instances, 30 s per run."""
         return cls(n_instances=500, time_limit=30.0)
 
     def generator(self) -> GeneratorConfig:
+        """The Section VII-A generator these parameters describe."""
         return GeneratorConfig(n=self.n, m=self.m, tmax=self.tmax)
 
 
@@ -71,11 +74,15 @@ def run_table1(
     config: Table1Config | None = None,
     run: ExperimentRun | None = None,
     progress=None,
+    jobs: int = 1,
+    cache_dir: str | None = None,
 ) -> Table1Result:
     """Run (or re-aggregate) the Table I experiment.
 
     Pass ``run`` to re-aggregate existing records (Tables II and III reuse
-    the same records, as in the paper).
+    the same records, as in the paper).  ``jobs`` and ``cache_dir`` are
+    forwarded to the batch layer: the instance x solver matrix fans out
+    over that many worker processes and already-cached cells are skipped.
     """
     config = config or Table1Config()
     if run is None:
@@ -89,6 +96,8 @@ def run_table1(
             description=f"table1: {config.n_instances} instances "
             f"m={config.m} n={config.n} Tmax={config.tmax}",
             progress=progress,
+            jobs=jobs,
+            cache_dir=cache_dir,
         )
 
     by_instance = run.by_instance()

@@ -20,6 +20,8 @@ __all__ = ["Table2Result", "run_table2"]
 
 @dataclass
 class Table2Result:
+    """Overrun counts for unsolved instances, split by the r>1 filter."""
+
     config: Table1Config
     run: ExperimentRun
     #: group -> solver -> overruns; groups "filtered" / "unfiltered"
@@ -30,6 +32,7 @@ class Table2Result:
     provably_unsolvable_unfiltered: int = 0
 
     def rows(self) -> list[tuple[str, list[int], int]]:
+        """(group label, per-solver overruns, group size) rows, paper order."""
         return [
             (
                 "filtered",

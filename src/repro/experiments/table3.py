@@ -26,12 +26,15 @@ PAPER_BINS: list[tuple[float, float]] = (
 
 @dataclass
 class Table3Result:
+    """Instance counts and mean resolution time per utilization-ratio bin."""
+
     config: Table1Config
     run: ExperimentRun
     #: (r_min, r_max, #instances, mean time or None)
     bins: list[tuple[float, float, int, float | None]] = field(default_factory=list)
 
     def nonempty_bins(self) -> list[tuple[float, float, int, float | None]]:
+        """The bins at least one instance landed in (what the report shows)."""
         return [b for b in self.bins if b[2] > 0]
 
 

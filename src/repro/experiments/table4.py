@@ -37,6 +37,7 @@ class Table4Config:
 
     @classmethod
     def paper_scale(cls) -> "Table4Config":
+        """The published protocol: n up to 256, 100 instances per n."""
         return cls(
             task_counts=(4, 8, 16, 32, 64, 128, 256),
             instances_per_n=100,
@@ -58,13 +59,24 @@ class Table4Row:
 
 @dataclass
 class Table4Result:
+    """All rows of Table IV plus the per-n runs they aggregate."""
+
     config: Table4Config
     rows: list[Table4Row] = field(default_factory=list)
     runs: dict[int, ExperimentRun] = field(default_factory=dict)
 
 
-def run_table4(config: Table4Config | None = None, progress=None) -> Table4Result:
-    """Run the scaling experiment."""
+def run_table4(
+    config: Table4Config | None = None,
+    progress=None,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+) -> Table4Result:
+    """Run the scaling experiment.
+
+    ``jobs``/``cache_dir`` are forwarded to the batch layer for each n's
+    instance x solver matrix.
+    """
     config = config or Table4Config()
     result = Table4Result(config=config)
     for n in config.task_counts:
@@ -80,6 +92,8 @@ def run_table4(config: Table4Config | None = None, progress=None) -> Table4Resul
             time_limit=config.time_limit,
             description=f"table4: n={n} Tmax={config.tmax} m=min",
             progress=progress,
+            jobs=jobs,
+            cache_dir=cache_dir,
         )
         result.runs[n] = run
 

@@ -16,7 +16,7 @@ The paper's recipe:
 
 * offsets: the paper leaves ``O_i`` unspecified beyond "independent of
   other parameters"; since only ``O_i mod T_i`` matters for the cyclic
-  pattern (DESIGN.md Section 2) we draw ``O ~ U(0..T-1)`` by default, with
+  pattern (docs/ARCHITECTURE.md, "Design notes") we draw ``O ~ U(0..T-1)`` by default, with
   ``offsets="zero"`` for synchronous systems.
 
 Instances are *not* filtered by utilization (the paper keeps ``r > 1``

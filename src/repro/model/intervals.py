@@ -13,7 +13,7 @@ availability window is the *cyclic* slot set
 
 When ``O_i + D_i > T_i`` the last window of the cycle wraps past slot
 ``T-1``; the wrapped slots at the start of cycle ``c`` serve the final job
-of cycle ``c-1`` (see DESIGN.md Section 5 for why this is exactly
+of cycle ``c-1`` (see docs/ARCHITECTURE.md, "Design notes", for why this is exactly
 feasibility-preserving).  All functions here handle the wrapped case.
 
 With ``D_i <= T_i`` (constrained, which every solver-facing system

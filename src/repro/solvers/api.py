@@ -25,9 +25,12 @@ __all__ = ["solve", "MgrtsResult", "merge_clone_schedule"]
 def merge_clone_schedule(schedule: Schedule, clone_map: CloneMap) -> Schedule:
     """Relabel a cloned system's schedule with original task indices.
 
-    The result is a *display* schedule over the original (possibly
-    arbitrary-deadline) system — two clones of one task may legitimately
-    run in parallel, so only the cloned schedule is validated.
+    The result is an **unvalidated display schedule** over the original
+    (possibly arbitrary-deadline) system: two clones of one task may
+    legitimately run in parallel, which the C1-C4 validator would reject,
+    so never pass the returned schedule to
+    :func:`repro.schedule.validate.validate` — validation happens on the
+    cloned schedule, before merging.
     """
     original = clone_map.original
     table = np.full(schedule.table.shape, IDLE, dtype=np.int32)
@@ -47,10 +50,12 @@ class MgrtsResult:
 
     @property
     def status(self) -> Feasibility:
+        """The underlying solver verdict (feasible/infeasible/unknown)."""
         return self.result.status
 
     @property
     def is_feasible(self) -> bool:
+        """True iff a valid schedule was found within the budget."""
         return self.result.is_feasible
 
     @property
@@ -69,6 +74,7 @@ class MgrtsResult:
 
     @property
     def stats(self):
+        """Search-effort counters of the underlying run."""
         return self.result.stats
 
 

@@ -47,10 +47,12 @@ class SolveResult:
 
     @property
     def is_feasible(self) -> bool:
+        """True iff the solver produced a schedule."""
         return self.status is Feasibility.FEASIBLE
 
     @property
     def timed_out(self) -> bool:
+        """True iff the budget expired without an answer (an overrun)."""
         return self.status is Feasibility.UNKNOWN
 
     def __repr__(self) -> str:

@@ -73,6 +73,7 @@ class Csp1GenericSolver:
     def solve(
         self, time_limit: float | None = None, node_limit: int | None = None
     ) -> SolveResult:
+        """Run the generic engine on encoding #1 under the given budgets."""
         engine = Solver(
             self.encoding.model,
             var_order=_VAR_ORDERS[self.var_heuristic],

@@ -9,8 +9,8 @@ rules are all here:
    order, or task-index order for plain CSP2 (Section V-C-2).
 3. **Added rules** (Section V-C-3):
    * *idle rule*: a processor idles only when no available task remains —
-     sound on identical processors by an exchange argument (DESIGN.md
-     Section 5), so each slot schedules exactly
+     sound on identical processors by an exchange argument (docs/
+     ARCHITECTURE.md, "Design notes"), so each slot schedules exactly
      ``min(m, #available)`` tasks;
    * *symmetry breaking* (10): per slot only task *sets* are enumerated
      (ascending on ascending processor ids), dividing the branching by up
@@ -178,6 +178,12 @@ class Csp2DedicatedSolver:
     def solve(
         self, time_limit: float | None = None, node_limit: int | None = None
     ) -> SolveResult:
+        """Chronological slot-by-slot search (Section V) under the budgets.
+
+        Returns FEASIBLE with a validated cyclic schedule, INFEASIBLE if
+        the space is exhausted, or UNKNOWN (the paper's overrun) when a
+        budget expires first.
+        """
         deadline = Deadline(time_limit)
         stats = SolverStats()
 

@@ -65,6 +65,7 @@ class Csp2GenericSolver:
     def solve(
         self, time_limit: float | None = None, node_limit: int | None = None
     ) -> SolveResult:
+        """Run the generic engine on encoding #2 under the given budgets."""
         engine = Solver(
             self.encoding.model,
             var_order=var_order_input if self.chronological else var_order_min_domain,

@@ -137,6 +137,11 @@ class Csp2LocalSearchSolver:
     def solve(
         self, time_limit: float | None = None, node_limit: int | None = None
     ) -> SolveResult:
+        """Min-conflicts search with restarts; never proves infeasibility.
+
+        Returns FEASIBLE if a zero-cost assignment is reached within the
+        budgets, otherwise UNKNOWN (``node_limit`` counts moves).
+        """
         deadline = Deadline(time_limit)
         rng = random.Random(self.seed)
         stats = SolverStats()

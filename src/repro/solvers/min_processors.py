@@ -43,6 +43,7 @@ class MinProcessorsResult:
 
     @property
     def found(self) -> bool:
+        """Whether any sufficient processor count was found in budget."""
         return self.m is not None
 
 

@@ -35,6 +35,7 @@ class SatEncodingSolver:
     def solve(
         self, time_limit: float | None = None, node_limit: int | None = None
     ) -> SolveResult:
+        """CDCL-solve the CNF encoding (``node_limit`` caps conflicts)."""
         engine = CdclSolver(self.encoding.cnf)
         out = engine.solve(time_limit=time_limit, conflict_limit=node_limit)
         stats = SolverStats(

@@ -1,0 +1,278 @@
+"""Tests for the parallel batch layer (cells, cache, executor, CLI)."""
+
+import json
+import os
+
+import pytest
+
+from repro.batch import (
+    Cell,
+    ResultCache,
+    cell_key,
+    cells_for_matrix,
+    load_journal,
+    run_batch,
+    solve_cell,
+)
+from repro.experiments.runner import RunRecord, run_instances
+from repro.generator.random_systems import GeneratorConfig, generate_instances
+
+SOLVERS = ["csp2+dc", "csp2"]
+TIME_LIMIT = 5.0  # generous: the tiny instances below always decide
+
+
+@pytest.fixture(scope="module")
+def instances():
+    """Six tiny instances every solver decides well within the budget."""
+    return generate_instances(GeneratorConfig(n=4, m=2, tmax=4), 6, seed=11)
+
+
+@pytest.fixture(scope="module")
+def cells(instances):
+    return cells_for_matrix(instances, SOLVERS, TIME_LIMIT)
+
+
+def strip_elapsed(records):
+    """Everything deterministic about a record (elapsed is wall-clock)."""
+    return [
+        (r.instance_seed, r.n, r.m, r.hyperperiod, r.utilization_ratio,
+         r.solver, r.status, r.nodes)
+        for r in records
+    ]
+
+
+class TestCells:
+    def test_matrix_is_instance_major(self, instances, cells):
+        assert len(cells) == len(instances) * len(SOLVERS)
+        assert [c.solver for c in cells[:2]] == SOLVERS
+        assert cells[0].instance_seed == cells[1].instance_seed
+
+    def test_roundtrip_system(self, instances, cells):
+        assert cells[0].system() == instances[0].system
+
+    def test_key_ignores_instance_seed(self, cells):
+        c = cells[0]
+        relabeled = Cell(**{**c.__dict__, "instance_seed": 999})
+        assert cell_key(relabeled) == cell_key(c)
+
+    def test_key_sensitive_to_content(self, cells):
+        c = cells[0]
+        assert cell_key(Cell(**{**c.__dict__, "m": c.m + 1})) != cell_key(c)
+        assert cell_key(Cell(**{**c.__dict__, "solver": "csp1"})) != cell_key(c)
+        assert cell_key(Cell(**{**c.__dict__, "time_limit": 9.0})) != cell_key(c)
+
+    def test_solve_cell_matches_serial_runner(self, instances, cells):
+        run = run_instances(instances[:2], SOLVERS, TIME_LIMIT)
+        records = [solve_cell(c) for c in cells[: 2 * len(SOLVERS)]]
+        assert strip_elapsed(records) == strip_elapsed(run.records)
+
+    def test_memory_guard_in_cell(self):
+        from repro.model.system import TaskSystem
+
+        s = TaskSystem.from_tuples([(0, 1, 13, 13), (0, 1, 11, 11)])
+        cell = Cell(
+            tasks=tuple(t.as_tuple() for t in s), m=1, solver="csp1",
+            time_limit=0.5, csp1_variable_limit=10,
+        )
+        rec = solve_cell(cell)
+        assert rec.status == "skipped-memory"
+        assert rec.elapsed == 0.5 and rec.nodes == 0
+
+
+class TestCache:
+    def test_miss_then_hit_roundtrip(self, tmp_path, cells):
+        cache = ResultCache(tmp_path / "cache")
+        key = cell_key(cells[0])
+        assert cache.get(key) is None and key not in cache
+        record = solve_cell(cells[0])
+        cache.put(key, record)
+        assert key in cache and len(cache) == 1
+        assert cache.get(key) == record  # byte-identical round-trip
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, cells):
+        cache = ResultCache(tmp_path / "cache")
+        key = cell_key(cells[0])
+        cache.put(key, solve_cell(cells[0]))
+        cache._path(key).write_text("{not json")
+        assert cache.get(key) is None
+
+    def test_run_batch_warm_cache_is_byte_identical(self, tmp_path, cells):
+        cache = tmp_path / "cache"
+        cold = run_batch(cells, jobs=1, cache=cache)
+        assert cold.computed == len(cells) and cold.cache_hits == 0
+        warm = run_batch(cells, jobs=1, cache=cache)
+        assert warm.computed == 0 and warm.cache_hits == len(cells)
+        assert warm.records == cold.records  # elapsed included
+
+    def test_cache_shared_across_campaign_seeds(self, tmp_path, instances):
+        """Same system content under a different generator seed still hits,
+        and the served record carries the new campaign's seed."""
+        from dataclasses import replace
+        from repro.generator.random_systems import Instance
+
+        cache = tmp_path / "cache"
+        run_batch(cells_for_matrix(instances[:1], SOLVERS, TIME_LIMIT), cache=cache)
+        relabeled = replace(instances[0], seed=424242)
+        assert isinstance(relabeled, Instance)
+        journal = tmp_path / "b.jsonl"
+        rep = run_batch(
+            cells_for_matrix([relabeled], SOLVERS, TIME_LIMIT),
+            cache=cache, journal=journal,
+        )
+        assert rep.cache_hits == len(SOLVERS)
+        assert all(r.instance_seed == 424242 for r in rep.records)
+        # the journal is campaign B's output: it must carry B's seeds too
+        assert all(
+            rec["instance_seed"] == 424242
+            for rec in load_journal(journal).values()
+        )
+
+
+class TestExecutor:
+    def test_jobs1_matches_jobsN(self, cells):
+        serial = run_batch(cells, jobs=1)
+        parallel = run_batch(cells, jobs=4)
+        assert strip_elapsed(serial.records) == strip_elapsed(parallel.records)
+
+    def test_records_in_canonical_order(self, cells):
+        rep = run_batch(cells, jobs=4)
+        assert [(r.instance_seed, r.solver) for r in rep.records] == [
+            (c.instance_seed, c.solver) for c in cells
+        ]
+
+    def test_journal_streams_every_cell(self, tmp_path, cells):
+        journal = tmp_path / "results.jsonl"
+        rep = run_batch(cells, jobs=1, journal=journal)
+        entries = load_journal(journal)
+        assert set(entries) == {cell_key(c) for c in cells}
+        assert rep.resumed == 0
+
+    def test_resume_after_kill(self, tmp_path, cells):
+        """A journal with some complete lines and one torn line resumes
+        exactly: journaled cells are served, the rest recomputed."""
+        journal = tmp_path / "results.jsonl"
+        full = run_batch(cells, jobs=1, journal=journal)
+        lines = journal.read_text().splitlines(keepends=True)
+        keep = len(cells) // 2
+        # simulate a crash mid-write: half the lines, plus a torn one
+        journal.write_text("".join(lines[:keep]) + lines[keep][: len(lines[keep]) // 2])
+        resumed = run_batch(cells, jobs=1, journal=journal, resume=True)
+        assert resumed.resumed == keep
+        assert resumed.computed == len(cells) - keep
+        assert strip_elapsed(resumed.records) == strip_elapsed(full.records)
+        # the journal is whole again afterwards: every cell present and
+        # every line valid JSON (the torn tail was truncated, not kept)
+        assert set(load_journal(journal)) == {cell_key(c) for c in cells}
+        for line in journal.read_text().splitlines():
+            json.loads(line)
+
+    def test_resume_tolerates_foreign_record_shape(self, tmp_path, cells):
+        """A journal line whose record doesn't match RunRecord's fields is
+        recomputed, never a crash (e.g. written by another version)."""
+        journal = tmp_path / "results.jsonl"
+        run_batch(cells[:2], jobs=1, journal=journal)
+        lines = journal.read_text().splitlines()
+        bad = json.loads(lines[0])
+        bad["record"]["bogus_field"] = 1
+        journal.write_text(json.dumps(bad) + "\n" + lines[1] + "\n")
+        rep = run_batch(cells[:2], jobs=1, journal=journal, resume=True)
+        assert rep.resumed == 1 and rep.computed == 1
+
+    def test_resume_warms_the_cache(self, tmp_path, cells):
+        """Cells served from the journal are also written to --cache-dir."""
+        journal = tmp_path / "results.jsonl"
+        cache = ResultCache(tmp_path / "cache")
+        run_batch(cells, jobs=1, journal=journal)
+        run_batch(cells, jobs=1, journal=journal, resume=True, cache=cache)
+        assert len(cache) == len(cells)
+
+    def test_resume_with_full_journal_computes_nothing(self, tmp_path, cells):
+        journal = tmp_path / "results.jsonl"
+        full = run_batch(cells, jobs=1, journal=journal)
+        again = run_batch(cells, jobs=4, journal=journal, resume=True)
+        assert again.resumed == len(cells) and again.computed == 0
+        assert again.records == full.records
+
+    def test_duplicate_cells_solved_once(self, cells):
+        rep = run_batch([cells[0], cells[0], cells[1]], jobs=1)
+        assert rep.computed == 2
+        assert rep.records[0] == rep.records[1]
+
+    def test_progress_called_per_cell(self, cells):
+        seen = []
+        run_batch(cells, jobs=1, progress=lambda d, t: seen.append((d, t)))
+        assert seen[-1] == (len(cells), len(cells))
+        assert len(seen) == len(cells)
+
+    def test_bad_jobs_rejected(self, cells):
+        with pytest.raises(ValueError):
+            run_batch(cells, jobs=0)
+
+
+class TestRunnerShim:
+    def test_run_instances_still_serial_compatible(self, instances):
+        a = run_instances(instances, SOLVERS, TIME_LIMIT)
+        b = run_instances(instances, SOLVERS, TIME_LIMIT, jobs=2)
+        assert strip_elapsed(a.records) == strip_elapsed(b.records)
+
+    def test_run_instances_uses_cache(self, tmp_path, instances):
+        cache = str(tmp_path / "cache")
+        a = run_instances(instances, SOLVERS, TIME_LIMIT, cache_dir=cache)
+        b = run_instances(instances, SOLVERS, TIME_LIMIT, cache_dir=cache)
+        assert a.records == b.records
+
+
+class TestBatchCli:
+    def run_cli(self, *argv):
+        from repro.cli import main
+
+        return main(list(argv))
+
+    def test_cold_then_resume(self, tmp_path, capsys):
+        out = tmp_path / "r.jsonl"
+        args = [
+            "batch", "--count", "4", "-n", "4", "-m", "2", "--tmax", "4",
+            "--solvers", "csp2+dc", "--time-limit", "5.0",
+            "--jobs", "2", "--cache-dir", str(tmp_path / "cache"),
+            "-o", str(out), "--quiet",
+        ]
+        assert self.run_cli(*args) == 0
+        first = capsys.readouterr().out
+        assert "4 cells" in first and "computed: 4" in first
+        assert self.run_cli(*args, "--resume") == 0
+        second = capsys.readouterr().out
+        assert "computed: 0" in second and "resumed: 4" in second
+        assert len(load_journal(out)) == 4
+
+    def test_instances_file(self, tmp_path, capsys):
+        path = tmp_path / "inst.json"
+        path.write_text(json.dumps(
+            {"tasks": [[0, 1, 2, 2], [1, 3, 4, 4], [0, 2, 2, 3]], "m": 2}
+        ))
+        rc = self.run_cli(
+            "batch", "--instances-file", str(path), "--solvers", "csp2+dc",
+            "--time-limit", "5.0", "-o", str(tmp_path / "r.jsonl"), "--quiet",
+        )
+        assert rc == 0
+        assert "feasible: 1" in capsys.readouterr().out
+
+    def test_unknown_solver_rejected(self, tmp_path, capsys):
+        rc = self.run_cli(
+            "batch", "--count", "1", "--solvers", "nope",
+            "-o", str(tmp_path / "r.jsonl"),
+        )
+        assert rc == 2
+
+
+def test_journal_loader_ignores_garbage(tmp_path):
+    path = tmp_path / "j.jsonl"
+    rec = RunRecord(1, 4, 2, 12, 0.5, "csp2+dc", "feasible", 0.1, 3)
+    good = json.dumps({"key": "k1", "record": rec.__dict__})
+    path.write_text(good + "\n\nnot json\n" + '{"key": "k2"}' + "\n")
+    entries = load_journal(path)
+    assert set(entries) == {"k1"}
+    assert RunRecord(**entries["k1"]) == rec
+
+
+def test_load_journal_missing_file(tmp_path):
+    assert load_journal(tmp_path / "absent.jsonl") == {}

@@ -1,0 +1,64 @@
+"""Documentation guard: public code must say what it is.
+
+Two levels, matching what the docs promise:
+
+* every public module under ``src/repro/`` carries a module docstring
+  (the architecture tour in docs/ARCHITECTURE.md leans on them);
+* every public function, class and method in the user-facing layers —
+  ``solvers/``, ``experiments/``, ``batch/`` and the CLI — carries a
+  docstring.
+
+Run standalone via ``make docs-check``.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: packages whose public callables must all be documented
+DOCUMENTED_LAYERS = ("solvers", "experiments", "batch", "cli.py")
+
+
+def public_modules():
+    """All non-private module paths under src/repro."""
+    return sorted(
+        p for p in SRC.rglob("*.py") if not p.name.startswith("_") or p.name == "__init__.py"
+    )
+
+
+def _callables(tree: ast.Module):
+    """(node, qualname) for module-level defs and methods of public classes."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, node.name
+        elif isinstance(node, ast.ClassDef):
+            yield node, node.name
+            if not node.name.startswith("_"):
+                for sub in node.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        yield sub, f"{node.name}.{sub.name}"
+
+
+@pytest.mark.parametrize("path", public_modules(), ids=lambda p: str(p.relative_to(SRC)))
+def test_module_has_docstring(path):
+    tree = ast.parse(path.read_text())
+    assert ast.get_docstring(tree), f"{path.relative_to(SRC)} lacks a module docstring"
+
+
+def test_public_callables_documented():
+    missing = []
+    for path in public_modules():
+        rel = path.relative_to(SRC)
+        if not str(rel).startswith(DOCUMENTED_LAYERS):
+            continue
+        tree = ast.parse(path.read_text())
+        for node, qualname in _callables(tree):
+            name = qualname.rsplit(".", 1)[-1]
+            if name.startswith("_"):
+                continue
+            if not ast.get_docstring(node):
+                missing.append(f"{rel}:{node.lineno} {qualname}")
+    assert not missing, "public callables lacking docstrings:\n  " + "\n  ".join(missing)
