@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test docs-check bench ci
+.PHONY: test docs-check solvers-check solvers-md bench bench-portfolio ci
 
 ## tier-1 test suite (the bar every PR must keep green)
 test:
@@ -14,9 +14,21 @@ test:
 docs-check:
 	$(PYTHON) -m pytest -q tests/test_docstrings.py
 
+## fail if docs/SOLVERS.md drifted from the solver registry
+solvers-check:
+	$(PYTHON) scripts/solvers_md.py --check
+
+## regenerate docs/SOLVERS.md from the registry
+solvers-md:
+	$(PYTHON) scripts/solvers_md.py --write
+
 ## pytest-benchmark suite (REPRO_JOBS=N parallelizes the run matrices)
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 
-## what CI runs: docs guard first (fast), then the full suite
-ci: docs-check test
+## portfolio-vs-best-single wall-clock comparison
+bench-portfolio:
+	$(PYTHON) -m pytest benchmarks/bench_portfolio.py -q
+
+## what CI runs: doc guards first (fast), then the full suite
+ci: docs-check solvers-check test

@@ -16,7 +16,7 @@ import pytest
 
 from repro.generator import GeneratorConfig, generate_instances
 from repro.model import Platform
-from repro.solvers import make_solver
+from repro.solvers import create_solver
 
 TIME_LIMIT = 0.6
 
@@ -29,7 +29,7 @@ def _solve_batch(name: str, **options):
     decided = 0
     nodes = 0
     for inst in _instances():
-        r = make_solver(name, inst.system, Platform.identical(inst.m), **options).solve(
+        r = create_solver(name, inst.system, Platform.identical(inst.m), **options).solve(
             time_limit=TIME_LIMIT
         )
         nodes += r.stats.nodes

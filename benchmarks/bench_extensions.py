@@ -17,14 +17,14 @@ from repro.baselines import (
 )
 from repro.generator import GeneratorConfig, generate_instances, running_example
 from repro.model import Platform
-from repro.solvers import Feasibility, find_min_processors, make_solver
+from repro.solvers import Feasibility, find_min_processors, create_solver
 
 
 def _feasible_instances():
     """A reproducible batch filtered down to CSP-feasible instances."""
     out = []
     for inst in generate_instances(GeneratorConfig(n=6, m=3, tmax=5), 12, seed=23):
-        r = make_solver("csp2+dc", inst.system, Platform.identical(inst.m)).solve(
+        r = create_solver("csp2+dc", inst.system, Platform.identical(inst.m)).solve(
             time_limit=1.0
         )
         if r.is_feasible:
@@ -40,7 +40,7 @@ def test_feasible_batch(benchmark, name):
     def solve_all():
         found = 0
         for inst in instances:
-            r = make_solver(
+            r = create_solver(
                 name, inst.system, Platform.identical(inst.m), seed=0
             ).solve(time_limit=2.0)
             if r.status is Feasibility.FEASIBLE:
@@ -75,7 +75,7 @@ def test_partitioned_vs_global(benchmark):
                 counts["ff"] += 1
             if exact_partition(inst.system, inst.m, time_limit=5.0).found:
                 counts["exact"] += 1
-            r = make_solver(
+            r = create_solver(
                 "csp2+dc", inst.system, Platform.identical(inst.m)
             ).solve(time_limit=1.0)
             if r.is_feasible:

@@ -1,0 +1,55 @@
+"""Portfolio-vs-best-single wall-clock on a small mixed instance set.
+
+The acceptance bar for the racing meta-solver: with ``jobs >= 2`` the
+portfolio finishes no slower than the *slowest* member run alone on
+every instance (it races, so its wall tracks the winner plus process
+overhead), and its verdict matches the single-solver verdict.  The
+benchmark records both the portfolio wall and each member's solo wall
+in ``extra_info`` so regressions in the cancellation path show up as a
+widening gap.
+"""
+
+import time
+
+import pytest
+
+from repro.generator import GeneratorConfig, generate_instances
+from repro.solvers import Feasibility, solve
+
+MEMBERS = ("csp2+dc", "sat")
+PORTFOLIO = "portfolio:" + ",".join(MEMBERS)
+TIME_LIMIT = 5.0
+
+
+def mixed_instances():
+    """A feasible/infeasible mix from the Section VII-A generator."""
+    return generate_instances(GeneratorConfig(n=5, m=2, tmax=5), 6, seed=77)
+
+
+@pytest.mark.parametrize("inst", mixed_instances(), ids=lambda i: f"seed{i.seed}")
+def test_portfolio_vs_best_single(benchmark, inst):
+    solo_wall = {}
+    solo_status = {}
+    for name in MEMBERS:
+        t0 = time.monotonic()
+        solo_status[name] = solve(
+            inst.system, m=inst.m, solver=name, time_limit=TIME_LIMIT
+        ).status
+        solo_wall[name] = time.monotonic() - t0
+
+    report = benchmark(
+        lambda: solve(
+            inst.system, m=inst.m, solver=PORTFOLIO, time_limit=TIME_LIMIT
+        )
+    )
+    # verdict parity with the reference member
+    assert report.status is solo_status["csp2+dc"]
+    assert report.status is not Feasibility.UNKNOWN
+    benchmark.extra_info["portfolio_elapsed"] = round(report.elapsed, 4)
+    benchmark.extra_info["solo_wall"] = {
+        k: round(v, 4) for k, v in solo_wall.items()
+    }
+    benchmark.extra_info["winner"] = report.winner
+    # no worse than the slowest member run alone (generous overhead margin
+    # for process spawn on tiny instances)
+    assert report.elapsed <= max(solo_wall.values()) + 2.0

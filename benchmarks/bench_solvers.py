@@ -9,7 +9,7 @@ import pytest
 
 from repro.generator import GeneratorConfig, generate_instance, running_example
 from repro.model import Platform
-from repro.solvers import Feasibility, make_solver
+from repro.solvers import Feasibility, create_solver
 
 SOLVERS = [
     "csp1",
@@ -29,7 +29,7 @@ def test_running_example(benchmark, name):
     platform = Platform.identical(2)
 
     def solve():
-        return make_solver(name, system, platform).solve(time_limit=30)
+        return create_solver(name, system, platform).solve(time_limit=30)
 
     result = benchmark(solve)
     assert result.status is Feasibility.FEASIBLE
@@ -46,7 +46,7 @@ def test_infeasible_proof(benchmark, name):
     platform = Platform.identical(2)
 
     def solve():
-        return make_solver(name, system, platform).solve(time_limit=30)
+        return create_solver(name, system, platform).solve(time_limit=30)
 
     result = benchmark(solve)
     assert result.status is Feasibility.INFEASIBLE
@@ -59,7 +59,7 @@ def test_random_feasible_instance(benchmark, name):
     platform = Platform.identical(inst.m)
 
     def solve():
-        return make_solver(name, inst.system, platform).solve(time_limit=30)
+        return create_solver(name, inst.system, platform).solve(time_limit=30)
 
     result = benchmark(solve)
     assert result.status is not Feasibility.UNKNOWN

@@ -11,7 +11,7 @@ dedicated solver orders processors by the paper's quality measure
 Run:  python examples/heterogeneous_platform.py
 """
 
-from repro import Platform, TaskSystem, make_solver, render_gantt, validate
+from repro import Platform, TaskSystem, create_solver, render_gantt, validate
 
 
 def main() -> None:
@@ -44,7 +44,7 @@ def main() -> None:
     print()
 
     for name in ("csp2+dc", "csp1"):
-        solver = make_solver(name, system, platform)
+        solver = create_solver(name, system, platform)
         result = solver.solve(time_limit=30)
         print(f"{name}: {result.status.value} in {result.stats.elapsed * 1000:.1f} ms")
         if result.schedule is not None:
@@ -53,7 +53,7 @@ def main() -> None:
         print()
 
     # sanity: the same system is hopeless on two identical unit-speed cores
-    ident = make_solver("csp2+dc", system, Platform.identical(2)).solve(time_limit=30)
+    ident = create_solver("csp2+dc", system, Platform.identical(2)).solve(time_limit=30)
     print(f"same tasks on 2 identical unit-speed cores: {ident.status.value} "
           "(the filter's C > D makes it impossible)")
 

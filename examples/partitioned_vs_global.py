@@ -21,7 +21,7 @@ This example quantifies the gap on concrete instances:
 Run:  python examples/partitioned_vs_global.py
 """
 
-from repro import Platform, make_solver
+from repro import Platform, create_solver
 from repro.baselines import exact_partition, first_fit_partition
 from repro.generator import GeneratorConfig, generate_instances, running_example
 from repro.solvers import find_min_processors
@@ -30,7 +30,7 @@ from repro.solvers import find_min_processors
 def demo_running_example() -> None:
     system = running_example()
     print("== the running example: migration is essential ==")
-    glob = make_solver("csp2+dc", system, Platform.identical(2)).solve(time_limit=30)
+    glob = create_solver("csp2+dc", system, Platform.identical(2)).solve(time_limit=30)
     print(f"  global CSP on m=2:        {glob.status.value}")
 
     part = exact_partition(system, 2)
@@ -54,7 +54,7 @@ def demo_success_rates(n_instances: int = 25) -> None:
             counts["first-fit"] += 1
         if exact_partition(inst.system, inst.m).found:
             counts["exact partition"] += 1
-        r = make_solver("csp2+dc", inst.system, Platform.identical(inst.m)).solve(
+        r = create_solver("csp2+dc", inst.system, Platform.identical(inst.m)).solve(
             time_limit=2.0
         )
         if r.is_feasible:

@@ -17,7 +17,7 @@ Two demonstrations:
 Run:  python examples/priority_vs_csp.py
 """
 
-from repro import Platform, make_solver
+from repro import Platform, create_solver
 from repro.baselines import (
     exhaustive_priority_search,
     global_edf,
@@ -32,7 +32,7 @@ HEURISTICS = ["dc", "tc", "dm", "rm"]
 def demo_running_example() -> None:
     system = running_example()
     print("== the running example: CSP feasible, priority-unschedulable ==")
-    csp = make_solver("csp2+dc", system, Platform.identical(2)).solve(time_limit=30)
+    csp = create_solver("csp2+dc", system, Platform.identical(2)).solve(time_limit=30)
     print(f"  CSP2+(D-C):          {csp.status.value}")
 
     edf = global_edf(system, 2)
@@ -54,7 +54,7 @@ def demo_dc_conjecture(n_instances: int = 30) -> None:
 
     feasible = []
     for inst in instances:
-        r = make_solver("csp2+dc", inst.system, Platform.identical(inst.m)).solve(
+        r = create_solver("csp2+dc", inst.system, Platform.identical(inst.m)).solve(
             time_limit=2.0
         )
         if r.is_feasible:

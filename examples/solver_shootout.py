@@ -13,7 +13,7 @@ Run:  python examples/solver_shootout.py
 
 from collections import defaultdict
 
-from repro import Platform, make_solver, validate
+from repro import Platform, create_solver, validate
 from repro.generator import GeneratorConfig, generate_instances
 
 SOLVERS = [
@@ -45,7 +45,7 @@ def main() -> None:
     for idx, inst in enumerate(instances):
         platform = Platform.identical(inst.m)
         for name in SOLVERS:
-            result = make_solver(name, inst.system, platform).solve(
+            result = create_solver(name, inst.system, platform).solve(
                 time_limit=TIME_LIMIT
             )
             s = stats[name]

@@ -1,5 +1,6 @@
 #!/bin/sh
-# Minimal CI: docstring guard, then the tier-1 test suite.
+# Minimal CI: docstring guard, registry-docs drift guard, then the
+# tier-1 test suite.
 # Usage: sh scripts/ci.sh   (from the repo root; no install required)
 set -eu
 cd "$(dirname "$0")/.."
@@ -7,6 +8,9 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== docs-check: public modules and callables must be documented =="
 python -m pytest -q tests/test_docstrings.py
+
+echo "== solvers-check: docs/SOLVERS.md must match the solver registry =="
+python scripts/solvers_md.py --check
 
 echo "== tier-1: full test suite =="
 python -m pytest -x -q

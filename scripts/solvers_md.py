@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Generate (or drift-check) docs/SOLVERS.md from the solver registry.
+
+Usage (from the repo root)::
+
+    python scripts/solvers_md.py --write   # regenerate the file
+    python scripts/solvers_md.py --check   # exit 1 if the file drifted
+    python scripts/solvers_md.py           # print the rendering to stdout
+
+``make solvers-check`` and scripts/ci.sh run the ``--check`` mode, so a
+change to any ``@register_solver`` declaration fails CI until the
+checked-in document is regenerated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.solvers.docs import render_solvers_md  # noqa: E402
+
+TARGET = REPO / "docs" / "SOLVERS.md"
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--write", action="store_true", help="rewrite docs/SOLVERS.md")
+    mode.add_argument("--check", action="store_true", help="fail if the file drifted")
+    args = parser.parse_args(argv)
+
+    rendered = render_solvers_md()
+    if args.write:
+        TARGET.write_text(rendered)
+        print(f"wrote {TARGET.relative_to(REPO)}")
+        return 0
+    if args.check:
+        on_disk = TARGET.read_text() if TARGET.exists() else ""
+        if on_disk != rendered:
+            print(
+                "docs/SOLVERS.md is out of date with the solver registry;\n"
+                "regenerate it with: python scripts/solvers_md.py --write",
+                file=sys.stderr,
+            )
+            return 1
+        print("docs/SOLVERS.md matches the registry")
+        return 0
+    print(rendered, end="")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

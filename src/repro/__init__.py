@@ -33,10 +33,16 @@ from repro.schedule import (
 )
 from repro.solvers import (
     Feasibility,
+    Problem,
+    SolveReport,
     SolveResult,
+    SolverSpec,
     available_solvers,
+    create_solver,
     make_solver,
+    register_solver,
     solve,
+    solve_iter,
 )
 
 __version__ = "0.1.0"
@@ -54,7 +60,13 @@ __all__ = [
     "compute_metrics",
     "Feasibility",
     "SolveResult",
+    "SolveReport",
+    "SolverSpec",
+    "Problem",
     "solve",
+    "solve_iter",
+    "create_solver",
+    "register_solver",
     "make_solver",
     "available_solvers",
     "__version__",

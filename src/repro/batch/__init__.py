@@ -12,7 +12,10 @@ campaigns into first-class objects:
   never solved again, across campaigns;
 * :mod:`repro.batch.executor` — :func:`run_batch`: process-pool
   execution with one worker per ``--jobs``, streaming JSONL journaling,
-  and crash-safe ``--resume``.
+  and crash-safe ``--resume``;
+* :mod:`repro.batch.racing` — :func:`race`: the complementary
+  primitive for the ``portfolio:`` meta-solver — several attempts at
+  the *same* cell, first decisive answer wins, losers terminated.
 
 ``repro.experiments.runner.run_instances`` is a thin shim over this
 layer (``jobs=1``, no cache) and every table/benchmark driver and the

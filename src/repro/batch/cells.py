@@ -16,13 +16,11 @@ from __future__ import annotations
 
 import hashlib
 import json
-import time
 from collections.abc import Sequence
 from dataclasses import dataclass, replace
 
 from repro.model.platform import Platform
 from repro.model.system import TaskSystem
-from repro.solvers.base import Feasibility
 
 __all__ = ["Cell", "cell_key", "cells_for_matrix", "solve_cell"]
 
@@ -139,43 +137,37 @@ def cells_for_matrix(
 def solve_cell(cell: Cell):
     """Run one cell and return its :class:`~repro.experiments.runner.RunRecord`.
 
-    Exactly reproduces the serial runner's semantics: the memory guard
-    records ``skipped-memory`` before any model is built, model/encoding
-    construction counts against the wall budget, and an ``unknown``
-    outcome (the paper's *overrun*) is charged the full budget.
+    A thin client of :func:`repro.solvers.problem.solve_problem` (the one
+    engine every execution path shares), preserving the serial runner's
+    exact semantics: the memory guard records ``skipped-memory`` before
+    any model is built, model/encoding construction counts against the
+    wall budget, and an ``unknown`` outcome (the paper's *overrun*) is
+    charged the full budget.
     """
-    from repro.experiments.runner import RunRecord, estimate_csp1_variables
+    from repro.experiments.runner import RunRecord
     from repro.generator.random_systems import Instance
-    from repro.solvers.registry import make_solver
+    from repro.solvers.problem import Problem, solve_problem
 
     system = cell.system()
     instance = Instance(system=system, m=cell.m, seed=cell.instance_seed)
-    base = dict(
+    problem = Problem(
+        system=system,
+        platform=Platform.identical(cell.m),
+        time_limit=cell.time_limit,
+        seed=cell.seed,
+        variable_limit=cell.csp1_variable_limit,
+    )
+    report = solve_problem(problem, cell.solver, check=False)
+    return RunRecord(
         instance_seed=cell.instance_seed,
         n=system.n,
         m=cell.m,
         hyperperiod=system.hyperperiod,
         utilization_ratio=float(instance.utilization_ratio),
         solver=cell.solver,
-    )
-    if cell.solver.startswith(("csp1", "csp2-generic", "sat")):
-        if estimate_csp1_variables(instance) > cell.csp1_variable_limit:
-            return RunRecord(
-                **base, status="skipped-memory",
-                elapsed=cell.time_limit, nodes=0,
-            )
-    platform = Platform.identical(cell.m)
-    t0 = time.monotonic()
-    solver = make_solver(cell.solver, system, platform, seed=cell.seed)
-    build = time.monotonic() - t0
-    remaining = max(0.0, cell.time_limit - build)
-    result = solver.solve(time_limit=remaining)
-    elapsed = min(build + result.stats.elapsed, cell.time_limit)
-    if result.status is Feasibility.UNKNOWN:
-        elapsed = cell.time_limit  # an overrun consumed the full budget
-    return RunRecord(
-        **base, status=result.status.value, elapsed=elapsed,
-        nodes=result.stats.nodes,
+        status=report.status_label,
+        elapsed=report.elapsed,
+        nodes=report.stats.nodes,
     )
 
 

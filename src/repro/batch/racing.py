@@ -1,0 +1,154 @@
+"""First-answer-wins process racing for the portfolio meta-solver.
+
+The batch layer's pool (:mod:`repro.batch.executor`) runs *independent*
+cells to completion; racing is the complementary primitive: run several
+attempts at the *same* question concurrently, accept the first decisive
+answer, and terminate the rest so their budget is not wasted.  Worker
+processes (not threads) are essential — the solvers are CPU-bound pure
+Python, and cancellation means ``Process.terminate()``, which threads
+cannot do.
+
+:func:`race` is solver-agnostic: entries are picklable payloads, the
+worker is a module-level callable, and decisiveness is a caller-supplied
+predicate over ``(entry index, result)``.  Results are reported through a
+queue; an entry that crashes its worker is recorded as a
+:class:`RaceError` value rather than poisoning the race.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+__all__ = ["RaceError", "RaceOutcome", "race"]
+
+#: seconds allowed past the nominal budget for workers to self-report
+#: (covers model-construction overhead before a member's own deadline arms)
+GRACE = 10.0
+
+
+@dataclass(frozen=True)
+class RaceError:
+    """A worker crash, carried as that entry's result value."""
+
+    message: str
+
+
+@dataclass
+class RaceOutcome:
+    """What a race produced.
+
+    ``winner`` is the index of the first entry whose result satisfied the
+    decisive predicate (None when no entry did before the deadline);
+    ``results`` maps entry index -> result for every entry that finished;
+    ``cancelled`` lists entries terminated while still running;
+    ``not_started`` lists entries never launched (``jobs`` below the
+    entry count and the race ended first).
+    """
+
+    winner: int | None
+    results: dict[int, object] = field(default_factory=dict)
+    cancelled: list[int] = field(default_factory=list)
+    not_started: list[int] = field(default_factory=list)
+    elapsed: float = 0.0
+
+
+def _race_entry(worker: Callable, index: int, payload, out: "mp.Queue") -> None:
+    """Process target: run one entry and report (index, result) once."""
+    try:
+        result = worker(payload)
+    except BaseException as exc:  # report, don't die silently
+        result = RaceError(f"{type(exc).__name__}: {exc}")
+    out.put((index, result))
+
+
+def race(
+    payloads: Sequence,
+    worker: Callable,
+    decisive: Callable[[int, object], bool],
+    jobs: int | None = None,
+    time_limit: float | None = None,
+) -> RaceOutcome:
+    """Race ``worker(payload)`` over all payloads; first decisive wins.
+
+    Parameters
+    ----------
+    payloads:
+        One picklable payload per entry, started in order.
+    worker:
+        Module-level callable (picklable for spawn-based platforms).
+    decisive:
+        ``decisive(index, result) -> bool``; the first True ends the race
+        and terminates every other live entry.
+    jobs:
+        Max concurrent processes (default: all entries at once).
+    time_limit:
+        Wall budget; workers that have not reported within
+        ``time_limit + GRACE`` are terminated and listed as cancelled.
+
+    Returns
+    -------
+    RaceOutcome
+        Winner index (or None), per-entry results, cancellations, wall.
+    """
+    t0 = time.monotonic()
+    n = len(payloads)
+    if jobs is None or jobs > n:
+        jobs = n
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    ctx = mp.get_context()
+    out: mp.Queue = ctx.Queue()
+    procs: dict[int, mp.process.BaseProcess] = {}
+    next_index = 0
+    outcome = RaceOutcome(winner=None)
+    deadline = None if time_limit is None else t0 + time_limit + GRACE
+
+    def launch_until_full() -> None:
+        nonlocal next_index
+        while next_index < n and len(procs) < jobs:
+            p = ctx.Process(
+                target=_race_entry,
+                args=(worker, next_index, payloads[next_index], out),
+                daemon=True,
+            )
+            p.start()
+            procs[next_index] = p
+            next_index += 1
+
+    try:
+        launch_until_full()
+        while procs:
+            timeout = None if deadline is None else deadline - time.monotonic()
+            if timeout is not None and timeout <= 0:
+                break
+            try:
+                index, result = out.get(timeout=timeout)
+            except queue_mod.Empty:
+                break  # budget exhausted: survivors get cancelled below
+            proc = procs.pop(index, None)
+            if proc is not None:
+                proc.join()
+            outcome.results[index] = result
+            if decisive(index, result):
+                outcome.winner = index
+                break
+            launch_until_full()
+    finally:
+        for index, proc in procs.items():
+            if proc.is_alive():
+                proc.terminate()
+            outcome.cancelled.append(index)
+        for proc in procs.values():
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - terminate() failed
+                proc.kill()
+                proc.join(timeout=5.0)
+        out.close()
+        out.cancel_join_thread()
+    outcome.not_started.extend(range(next_index, n))
+    outcome.elapsed = time.monotonic() - t0
+    return outcome

@@ -4,11 +4,15 @@ Subcommands
 -----------
 ``generate``    sample random instances (Section VII-A) to a JSON file
 ``solve``       solve one instance (from a JSON file or inline tuples)
+``solvers``     list every registered solver with its metadata
 ``validate``    re-check a solved schedule JSON against C1-C4
 ``figure1``     print the paper's Figure 1 chart
 ``experiment``  reproduce table1 / table2 / table3 / table4
 ``batch``       run an (instance x solver) campaign in parallel with
                 caching and crash-safe ``--resume``
+
+``--solver`` values are registry names (see ``repro-mgrts solvers``),
+including racing portfolios such as ``portfolio:csp2+dc,sat``.
 
 Instance JSON format::
 
@@ -44,7 +48,7 @@ from repro.schedule.io import (
 from repro.schedule.render import render_gantt
 from repro.schedule.validate import validate as validate_schedule
 from repro.solvers.api import solve as api_solve
-from repro.solvers.registry import available_solvers
+from repro.solvers.registry import available_solvers, is_solver_name, iter_solver_info
 
 __all__ = ["main"]
 
@@ -76,7 +80,56 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bad_solver(name: str) -> bool:
+    """Report (and reject) a name the registry cannot resolve."""
+    if not is_solver_name(name):
+        print(
+            f"unknown solver {name!r}; pick from {available_solvers()} "
+            "(or a portfolio:NAME,NAME,... of them)",
+            file=sys.stderr,
+        )
+        return True
+    return False
+
+
+def _cmd_solvers(args: argparse.Namespace) -> int:
+    """List every registered solver family with its registry metadata."""
+    infos = [i for i in iter_solver_info() if i.advertise or args.all]
+    if args.json:
+        payload = [
+            {
+                "names": info.names(),
+                "description": info.description,
+                "paper_section": info.paper_section,
+                "pick_when": info.pick_when,
+                "capabilities": sorted(info.capabilities),
+                "options": list(info.options),
+                "platforms": list(info.platforms),
+            }
+            for info in infos
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
+    for info in infos:
+        caps = ", ".join(sorted(info.capabilities)) or "incomplete (FEASIBLE/UNKNOWN only)"
+        print(f"{' / '.join(info.names())}")
+        print(f"    {info.description}")
+        if info.paper_section:
+            print(f"    paper: {info.paper_section}")
+        print(f"    capabilities: {caps}")
+        print(f"    platforms: {', '.join(info.platforms)}")
+        if info.options:
+            print(f"    options: {', '.join(info.options)}")
+        if info.pick_when:
+            print(f"    pick when: {info.pick_when}")
+        print()
+    print("portfolio:NAME,NAME,...  races any of the above; first definitive answer wins")
+    return 0
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
+    if _bad_solver(args.solver):
+        return 2
     system, platform = _load_instance(args.instance)
     if args.min_processors:
         from repro.solvers.min_processors import find_min_processors
@@ -158,6 +211,24 @@ def _progress_printer(args: argparse.Namespace, noun: str):
     return progress
 
 
+def _split_solver_list(text: str) -> list[str]:
+    """Split a ``--solvers`` value without breaking portfolio names.
+
+    Portfolio names contain commas (``portfolio:csp2+dc,sat``), so a
+    plain comma split would shred them.  Rules: ``;`` — when present —
+    is the top-level separator (``csp1;portfolio:csp2+dc,sat``); a value
+    containing ``portfolio:`` but no ``;`` is one single name; anything
+    else splits on commas as it always has.
+    """
+    if ";" in text:
+        parts = text.split(";")
+    elif "portfolio:" in text:
+        parts = [text]
+    else:
+        parts = text.split(",")
+    return [s.strip() for s in parts if s.strip()]
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     """Run an (instance x solver) campaign through the batch layer."""
     from repro.batch import cells_for_matrix, run_batch
@@ -165,15 +236,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
     if _invalid_jobs(args):
         return 2
-    solvers = [s.strip() for s in args.solvers.split(",") if s.strip()]
+    solvers = _split_solver_list(args.solvers)
     if not solvers:
         print(f"--solvers is empty; pick from {available_solvers()}",
               file=sys.stderr)
         return 2
-    unknown = [s for s in solvers if s not in available_solvers()]
-    if unknown:
-        print(f"unknown solver(s) {unknown}; pick from {available_solvers()}",
-              file=sys.stderr)
+    if any(_bad_solver(s) for s in solvers):
         return 2
     if args.instances_file:
         with open(args.instances_file) as fh:
@@ -294,7 +362,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     s = sub.add_parser("solve", help="solve one instance JSON")
     s.add_argument("instance", help="instance JSON file")
-    s.add_argument("--solver", default="csp2+dc", choices=available_solvers())
+    s.add_argument(
+        "--solver", default="csp2+dc",
+        help="registry name (see `repro-mgrts solvers`), e.g. csp2+dc or "
+        "portfolio:csp2+dc,sat",
+    )
     s.add_argument("--time-limit", type=float, default=30.0)
     s.add_argument("--seed", type=int, default=None)
     s.add_argument("--output", "-o", default=None, help="write schedule JSON here")
@@ -305,6 +377,16 @@ def build_parser() -> argparse.ArgumentParser:
         "sufficient processor count (paper Section VIII)",
     )
     s.set_defaults(func=_cmd_solve)
+
+    ls = sub.add_parser(
+        "solvers", help="list registered solvers with their metadata"
+    )
+    ls.add_argument("--json", action="store_true", help="machine-readable output")
+    ls.add_argument(
+        "--all", action="store_true",
+        help="include non-standalone families (the portfolio meta-solver)",
+    )
+    ls.set_defaults(func=_cmd_solvers)
 
     v = sub.add_parser("validate", help="check a schedule JSON against C1-C4")
     v.add_argument("schedule", help="schedule JSON file (from solve --output)")
@@ -342,7 +424,9 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--tmax", type=int, default=7)
     b.add_argument("--seed", type=int, default=2009, help="generator seed")
     b.add_argument("--solvers", default="csp1,csp2,csp2+dc",
-                   help="comma-separated registry names")
+                   help="comma-separated registry names; use ';' as the "
+                   "separator when listing a portfolio (its name contains "
+                   "commas), e.g. \"csp1;portfolio:csp2+dc,sat\"")
     b.add_argument("--time-limit", type=float, default=1.0,
                    help="per-cell wall budget (seconds)")
     b.add_argument("--jobs", "-j", type=int, default=1,

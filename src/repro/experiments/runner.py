@@ -97,10 +97,18 @@ class ExperimentRun:
 def estimate_csp1_variables(instance: Instance) -> int:
     """Predicted CSP1 model size ``sum_i m * (T/T_i) * D_i`` — used to skip
     builds that would exhaust memory (the paper: CSP1 "runs out of memory
-    on 'large' instances", Table IV)."""
-    s = instance.system
-    return sum(
-        instance.m * s.n_jobs(i) * s[i].deadline for i in range(s.n)
+    on 'large' instances", Table IV).
+
+    Thin wrapper over
+    :func:`repro.solvers.problem.estimate_generic_variables`, which the
+    shared solving engine applies whenever a
+    :class:`~repro.solvers.problem.Problem` carries a ``variable_limit``.
+    """
+    from repro.model.platform import Platform
+    from repro.solvers.problem import estimate_generic_variables
+
+    return estimate_generic_variables(
+        instance.system, Platform.identical(instance.m)
     )
 
 

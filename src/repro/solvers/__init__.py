@@ -1,8 +1,10 @@
 """Solver facade: every way this library can answer an MGRTS instance.
 
 All solvers share one result type (:class:`SolveResult`) and one calling
-convention: ``solver.solve(time_limit=..) -> SolveResult``.  The registry
-exposes the paper's six experimental configurations by name::
+convention: ``solver.solve(time_limit=..) -> SolveResult``.  Solver
+families register themselves in the declarative registry
+(:mod:`repro.solvers.registry`); names are parsed by
+:class:`~repro.solvers.spec.SolverSpec`::
 
     csp1        CSP1 on the generic engine (the paper's Choco run)
     csp2        dedicated chronological solver, task-index value order
@@ -12,25 +14,56 @@ exposes the paper's six experimental configurations by name::
     csp2+dc     ... smallest D-C first (the experimental winner)
 
 plus extras built in this reproduction: ``csp2-generic[+h]`` (encoding #2
-on the generic engine), ``sat`` (CNF + CDCL), and the baselines under
-:mod:`repro.baselines`.
+on the generic engine), ``csp2-local`` (min-conflicts), ``sat[+amo]``
+(CNF + CDCL), the simulation baselines ``edf`` / ``fp[+h]``, and the
+racing meta-solver ``portfolio:NAME,NAME,...``.
 
-Use :func:`repro.solvers.api.solve` (re-exported as ``repro.solve``) for
-the one-call interface that also handles arbitrary-deadline cloning.
+The front door is :mod:`repro.solvers.problem`: build a :class:`Problem`,
+get a :class:`SolveReport` from :func:`solve` (one call) or
+:func:`solve_iter` (streaming matrix).  ``make_solver`` and
+``MgrtsResult`` remain as deprecation shims.
 """
 
 from repro.solvers.base import Feasibility, SolveResult, SolverStats
-from repro.solvers.registry import available_solvers, make_solver
-from repro.solvers.api import solve
+from repro.solvers.spec import SolverSpec
+from repro.solvers.registry import (
+    SolverInfo,
+    available_solvers,
+    create_solver,
+    is_solver_name,
+    iter_solver_info,
+    make_solver,
+    register_solver,
+    solver_info,
+)
+from repro.solvers.problem import (
+    Problem,
+    SolveReport,
+    solve_iter,
+    solve_problem,
+)
+from repro.solvers.api import MgrtsResult, solve
 from repro.solvers.min_processors import MinProcessorsResult, find_min_processors
 
 __all__ = [
     "Feasibility",
     "SolveResult",
     "SolverStats",
+    "SolverSpec",
+    "SolverInfo",
     "available_solvers",
+    "create_solver",
+    "is_solver_name",
+    "iter_solver_info",
     "make_solver",
+    "register_solver",
+    "solver_info",
+    "Problem",
+    "SolveReport",
     "solve",
+    "solve_iter",
+    "solve_problem",
+    "MgrtsResult",
     "MinProcessorsResult",
     "find_min_processors",
 ]

@@ -1,23 +1,28 @@
 """One-call front door: ``repro.solve(system, m=2)``.
 
-Handles the plumbing a downstream user should not have to know about:
-arbitrary-deadline systems are cloned (Section VI-B), the solver is looked
-up by name, and the resulting schedule is validated before being returned.
+Since the API redesign this module is a thin client of
+:mod:`repro.solvers.problem`: :func:`solve` builds one
+:class:`~repro.solvers.problem.Problem` and returns the
+:class:`~repro.solvers.problem.SolveReport` produced by the shared
+engine (cloning, registry lookup, budget accounting, validation all live
+there).  ``MgrtsResult`` — the pre-redesign result type — remains as an
+importable deprecation shim; ``SolveReport`` exposes a superset of its
+surface, so downstream attribute access keeps working unchanged.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.model.platform import Platform
 from repro.model.system import TaskSystem
-from repro.model.transform import CloneMap, clone_for_arbitrary_deadlines
+from repro.model.transform import CloneMap
 from repro.schedule.schedule import IDLE, Schedule
-from repro.schedule.validate import validate
 from repro.solvers.base import Feasibility, SolveResult
-from repro.solvers.registry import make_solver
+from repro.solvers.problem import Problem, SolveReport, solve_problem
 
 __all__ = ["solve", "MgrtsResult", "merge_clone_schedule"]
 
@@ -41,12 +46,23 @@ def merge_clone_schedule(schedule: Schedule, clone_map: CloneMap) -> Schedule:
 
 @dataclass
 class MgrtsResult:
-    """Outcome of :func:`solve` on a (possibly arbitrary-deadline) system."""
+    """Deprecated pre-redesign result type (use
+    :class:`~repro.solvers.problem.SolveReport`, which :func:`solve` now
+    returns and which carries the same attributes and more)."""
 
     result: SolveResult
     system: TaskSystem
     cloned_system: TaskSystem
     clone_map: CloneMap
+
+    def __post_init__(self) -> None:
+        """Emit the deprecation signal on construction."""
+        warnings.warn(
+            "MgrtsResult is deprecated; repro.solve() now returns a "
+            "SolveReport with the same attributes (plus to_dict/from_dict)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
 
     @property
     def status(self) -> Feasibility:
@@ -88,7 +104,7 @@ def solve(
     seed: int | None = None,
     check: bool = True,
     **options,
-) -> MgrtsResult:
+) -> SolveReport:
     """Solve an MGRTS instance end to end.
 
     Parameters
@@ -98,37 +114,31 @@ def solve(
     platform, m:
         Pass a :class:`Platform`, or just ``m`` for identical processors.
     solver:
-        A registry name (default ``csp2+dc``, the paper's best performer).
+        A registry name (default ``csp2+dc``, the paper's best performer);
+        ``portfolio:NAME,NAME,...`` races several and keeps the first
+        definitive answer.
     time_limit, node_limit:
         Search budget (the paper used 30 s).
     seed:
-        Randomized-strategy seed (``csp1``).
+        Randomized-strategy seed (``csp1``, ``csp2-local``).
     check:
         Validate the returned schedule against C1-C4 (cheap insurance;
         raises if a solver ever produced an invalid schedule).
     options:
-        Extra solver-specific flags (``symmetry_breaking=False``, ...).
+        Extra solver-specific flags (``symmetry_breaking=False``, ...);
+        unknown names raise ``ValueError`` listing the accepted ones.
 
     Returns
     -------
-    MgrtsResult
+    SolveReport
         Status, stats, and (if feasible) the cyclic schedule.
     """
-    if platform is None:
-        if m is None:
-            raise ValueError("pass either platform= or m=")
-        platform = Platform.identical(m)
-    elif m is not None and m != platform.m:
-        raise ValueError(f"conflicting processor counts: m={m}, platform.m={platform.m}")
-
-    cloned, cmap = clone_for_arbitrary_deadlines(system)
-    if platform.kind == "heterogeneous" and not cmap.is_identity:
-        raise ValueError(
-            "heterogeneous rate matrices are indexed by task; expand the "
-            "matrix for the cloned system and pass the cloned system directly"
-        )
-    engine = make_solver(solver, cloned, platform, seed=seed, **options)
-    result = engine.solve(time_limit=time_limit, node_limit=node_limit)
-    if check and result.schedule is not None:
-        validate(result.schedule).raise_if_invalid()
-    return MgrtsResult(result=result, system=system, cloned_system=cloned, clone_map=cmap)
+    problem = Problem.of(
+        system,
+        platform=platform,
+        m=m,
+        time_limit=time_limit,
+        node_limit=node_limit,
+        seed=seed,
+    )
+    return solve_problem(problem, solver, check=check, **options)

@@ -20,6 +20,7 @@ from repro.encodings.csp1 import encode_csp1
 from repro.model.platform import Platform
 from repro.model.system import TaskSystem
 from repro.solvers.base import Feasibility, SolveResult, SolverStats
+from repro.solvers.registry import EXACT, PROVES_INFEASIBILITY, register_solver
 
 __all__ = ["Csp1GenericSolver"]
 
@@ -98,3 +99,34 @@ class Csp1GenericSolver:
             stats=stats,
             solver_name=self.name,
         )
+
+
+@register_solver(
+    "csp1",
+    description=(
+        "Encoding #1 (a variable per in-window (task, processor, slot)) on "
+        "the generic CSP engine, min-domain ordering with seeded random "
+        "tie-breaking — the paper's Choco setup"
+    ),
+    paper_section="IV, VII-B",
+    pick_when=(
+        "Reproducing the paper's generic-solver columns; never for "
+        "performance — it overruns and exhausts memory first (Tables I, IV)"
+    ),
+    capabilities=(PROVES_INFEASIBILITY, EXACT),
+    suffixes={
+        "dom_deg": "Same encoding, dom/deg variable ordering (ablation)",
+        "input": "Same encoding, input-order variables (ablation; close to "
+        "naive chronological enumeration)",
+    },
+    options=(),
+    platforms=("identical", "uniform", "heterogeneous"),
+    memory_bound=True,
+    hidden_suffixes=("min_dom",),
+)
+def _build_csp1(system, platform, spec, seed, **options):
+    """Registry factory: ``csp1[+var_heuristic]`` (suffix = variable order)."""
+    return Csp1GenericSolver(
+        system, platform, var_heuristic=spec.suffix or "min_dom", seed=seed,
+        **options,
+    )

@@ -19,6 +19,7 @@ from repro.model.platform import Platform
 from repro.model.system import TaskSystem
 from repro.solvers.base import Feasibility, SolveResult, SolverStats
 from repro.solvers.ordering import task_order
+from repro.solvers.registry import EXACT, PROVES_INFEASIBILITY, register_solver
 
 __all__ = ["Csp2GenericSolver"]
 
@@ -89,3 +90,35 @@ class Csp2GenericSolver:
             stats=stats,
             solver_name=self.name,
         )
+
+
+@register_solver(
+    "csp2-generic",
+    description=(
+        "Encoding #2 on the *generic* engine with the same RM/DM/(T-C)/"
+        "(D-C) value orders as the dedicated solver"
+    ),
+    paper_section="V",
+    pick_when=(
+        "Isolating how much the dedicated machinery (idle rule, symmetry, "
+        "prunings) buys over the bare encoding"
+    ),
+    capabilities=(PROVES_INFEASIBILITY, EXACT),
+    suffixes={
+        "rm": "Generic engine on encoding #2, rate-monotonic value order",
+        "dm": "Generic engine on encoding #2, deadline-monotonic value order",
+        "tc": "Generic engine on encoding #2, smallest T-C value order",
+        "dc": "Generic engine on encoding #2, smallest D-C value order",
+    },
+    options=("symmetry_breaking", "chronological"),
+    platforms=("identical", "uniform", "heterogeneous"),
+    memory_bound=True,
+    hidden_suffixes=("t-c", "(t-c)", "d-c", "(d-c)", "none"),
+)
+def _build_csp2_generic(system, platform, spec, seed, **options):
+    """Registry factory: ``csp2-generic[+heuristic]`` (suffix = value order)."""
+    from repro.solvers.ordering import heuristic_key
+
+    if spec.suffix:
+        heuristic_key(spec.suffix)  # validates / raises
+    return Csp2GenericSolver(system, platform, heuristic=spec.suffix, **options)

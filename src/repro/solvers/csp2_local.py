@@ -32,6 +32,7 @@ from repro.model.platform import Platform
 from repro.model.system import TaskSystem
 from repro.schedule.schedule import IDLE, Schedule
 from repro.solvers.base import Feasibility, SolveResult, SolverStats
+from repro.solvers.registry import register_solver
 from repro.util.timer import Deadline
 
 __all__ = ["Csp2LocalSearchSolver"]
@@ -251,3 +252,26 @@ class Csp2LocalSearchSolver:
             for pos, i in enumerate(sorted(chosen)):
                 table[pos, t] = i
         return Schedule(self.system, self.platform, table)
+
+
+@register_solver(
+    "csp2-local",
+    description=(
+        "Min-conflicts local search over per-slot task selections, with "
+        "noise, sideways moves and random restarts"
+    ),
+    paper_section="VIII (future work)",
+    pick_when=(
+        "Large feasible instances where a quick schedule beats a proof; "
+        "never proves infeasibility"
+    ),
+    capabilities=(),
+    suffixes={},
+    options=("max_steps_per_restart", "noise"),
+    platforms=("identical",),
+)
+def _build_csp2_local(system, platform, spec, seed, **options):
+    """Registry factory: ``csp2-local`` (seed fixes the trajectory)."""
+    return Csp2LocalSearchSolver(
+        system, platform, seed=seed if seed is not None else 0, **options
+    )

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from repro.model.platform import Platform
 from repro.model.system import TaskSystem
 from repro.solvers.base import Feasibility, SolveResult
-from repro.solvers.registry import make_solver
+from repro.solvers.registry import create_solver
 from repro.util.timer import Deadline
 
 __all__ = ["MinProcessorsResult", "find_min_processors"]
@@ -73,7 +73,7 @@ def find_min_processors(
             if remaining <= 0:
                 return MinProcessorsResult(None, False, None, attempts)
             budget = min(budget, remaining) if budget is not None else remaining
-        engine = make_solver(solver, system, Platform.identical(m), **options)
+        engine = create_solver(solver, system, Platform.identical(m), **options)
         res = engine.solve(time_limit=budget)
         attempts[m] = res.status
         if res.status is Feasibility.FEASIBLE:

@@ -1,0 +1,278 @@
+"""Racing portfolio: run several solvers on one instance, keep the first
+definitive answer, cancel the rest.
+
+The paper's shoot-out (Tables I-IV) shows there is no universally best
+configuration: the dedicated ``csp2+dc`` wins most races, SAT's clause
+learning wins some, and local search can be fastest on big feasible
+instances while never proving infeasibility.  ``portfolio:...`` turns
+that observation into a solver: on a mixed workload each instance
+finishes at (about) the speed of its best member.
+
+Semantics:
+
+* a member's FEASIBLE answer is always definitive (the schedule is
+  re-validated in the parent before being trusted);
+* a member's INFEASIBLE answer is definitive only when its registry
+  metadata carries the ``proves_infeasibility`` capability — an
+  incomplete member (``csp2-local``, ``edf``, ``fp``) can win a FEASIBLE
+  race but can never decide INFEASIBLE;
+* when no member is definitive within the budget the portfolio answers
+  UNKNOWN (or INFEASIBLE if some capable member proved it just before
+  the budget ran out — that is decisive and wins immediately).
+
+``jobs`` controls concurrency: the default races all members at once in
+worker processes (:mod:`repro.batch.racing`); ``jobs=1`` degrades to
+running members sequentially in declaration order, which is fully
+deterministic and useful for tests and single-core boxes.  With a fixed
+seed the *verdict* is deterministic either way; under true racing the
+reported winner can depend on machine load whenever two members would
+both answer — the first queue message wins.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.batch.racing import RaceError, race
+from repro.model.platform import Platform
+from repro.model.system import TaskSystem
+from repro.schedule.schedule import Schedule
+from repro.schedule.validate import validate
+from repro.solvers.base import Feasibility, SolveResult, SolverStats
+from repro.solvers.registry import (
+    EXACT,
+    PROVES_INFEASIBILITY,
+    register_solver,
+    solver_info,
+)
+from repro.solvers.spec import SolverSpec
+
+__all__ = ["PortfolioSolver"]
+
+
+def _run_member(payload) -> dict:
+    """Worker: solve one member and return a picklable result dict.
+
+    The schedule travels as a plain int table (not a ``Schedule``) so the
+    payload stays small and version-independent across the process
+    boundary; the parent rebuilds and re-validates it.
+    """
+    from repro.solvers.registry import create_solver
+
+    name, system, platform, seed, time_limit, node_limit = payload
+    engine = create_solver(name, system, platform, seed=seed)
+    result = engine.solve(time_limit=time_limit, node_limit=node_limit)
+    return {
+        "status": result.status.value,
+        "solver_name": result.solver_name,
+        "table": None if result.schedule is None else result.schedule.table.tolist(),
+        "stats": {
+            "nodes": result.stats.nodes,
+            "fails": result.stats.fails,
+            "propagations": result.stats.propagations,
+            "max_depth": result.stats.max_depth,
+            "elapsed": result.stats.elapsed,
+            "extra": result.stats.extra,
+        },
+    }
+
+
+class PortfolioSolver:
+    """Race member solvers; first definitive answer wins.
+
+    Parameters
+    ----------
+    members:
+        Member names or specs (at least one), raced in declaration order.
+    seed:
+        Forwarded to every member (fixed seed = fixed member behavior).
+    jobs:
+        Concurrent member processes; ``None`` races all members at once,
+        ``1`` runs them sequentially in order (deterministic winner).
+    """
+
+    def __init__(
+        self,
+        system: TaskSystem,
+        platform: Platform,
+        members,
+        seed: int | None = None,
+        jobs: int | None = None,
+    ) -> None:
+        specs = tuple(SolverSpec.parse(m) for m in members)
+        if not specs:
+            raise ValueError("portfolio needs at least one member")
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.system = system
+        self.platform = platform
+        self.seed = seed
+        self.jobs = jobs
+        self.members = specs
+        #: resolved up front: unknown member names fail at construction
+        self._infos = [solver_info(s) for s in specs]
+        self.name = "portfolio:" + ",".join(s.canonical for s in specs)
+
+    # -- answer classification -------------------------------------------------
+    def _definitive(self, member_index: int, value) -> bool:
+        """Whether a member's result ends the race."""
+        if isinstance(value, RaceError) or not isinstance(value, dict):
+            return False
+        status = value["status"]
+        if status == Feasibility.FEASIBLE.value:
+            return True
+        if status == Feasibility.INFEASIBLE.value:
+            return self._infos[member_index].proves_infeasibility
+        return False
+
+    def _to_result(self, value: dict, elapsed: float, meta: dict) -> SolveResult:
+        """Rebuild a member's result dict into a validated SolveResult."""
+        status = Feasibility(value["status"])
+        if (
+            status is Feasibility.INFEASIBLE
+            and not meta["winner_proves_infeasibility"]
+        ):
+            # an incomplete member may never decide INFEASIBLE
+            status = Feasibility.UNKNOWN
+        schedule = None
+        if value["table"] is not None and status is Feasibility.FEASIBLE:
+            schedule = Schedule(
+                self.system,
+                self.platform,
+                np.array(value["table"], dtype=np.int32),
+            )
+            validate(schedule).raise_if_invalid()
+        s = value["stats"]
+        stats = SolverStats(
+            nodes=s["nodes"],
+            fails=s["fails"],
+            propagations=s["propagations"],
+            max_depth=s["max_depth"],
+            elapsed=elapsed,
+            extra=dict(s["extra"], portfolio=meta),
+        )
+        return SolveResult(
+            status=status,
+            schedule=schedule,
+            stats=stats,
+            solver_name=value["solver_name"],
+        )
+
+    # -- public API ------------------------------------------------------------
+    def solve(
+        self, time_limit: float | None = None, node_limit: int | None = None
+    ) -> SolveResult:
+        """Race the members under a shared budget; losers are cancelled."""
+        if self.jobs == 1:
+            return self._solve_sequential(time_limit, node_limit)
+        payloads = [
+            (spec.canonical, self.system, self.platform, self.seed,
+             time_limit, node_limit)
+            for spec in self.members
+        ]
+        outcome = race(
+            payloads,
+            _run_member,
+            decisive=self._definitive,
+            jobs=self.jobs,
+            time_limit=time_limit,
+        )
+        statuses = {
+            self.members[i].canonical: (
+                v["status"] if isinstance(v, dict) else f"error: {v.message}"
+            )
+            for i, v in outcome.results.items()
+        }
+        meta = {
+            "members": [s.canonical for s in self.members],
+            "statuses": statuses,
+            "cancelled": [self.members[i].canonical for i in outcome.cancelled],
+            "not_started": [
+                self.members[i].canonical for i in outcome.not_started
+            ],
+            "mode": "race",
+        }
+        if outcome.winner is not None:
+            value = outcome.results[outcome.winner]
+            meta["winner"] = self.members[outcome.winner].canonical
+            meta["winner_proves_infeasibility"] = self._infos[
+                outcome.winner
+            ].proves_infeasibility
+            return self._to_result(value, outcome.elapsed, meta)
+        return self._no_winner(outcome.elapsed, meta)
+
+    def _solve_sequential(
+        self, time_limit: float | None, node_limit: int | None
+    ) -> SolveResult:
+        """jobs=1 fallback: members in order, remaining budget each."""
+        t0 = time.monotonic()
+        statuses: dict[str, str] = {}
+        meta = {
+            "members": [s.canonical for s in self.members],
+            "statuses": statuses,
+            "cancelled": [],
+            "not_started": [],
+            "mode": "sequential",
+        }
+
+        def finalize() -> None:
+            meta["not_started"] = [
+                s.canonical for s in self.members if s.canonical not in statuses
+            ]
+
+        for index, spec in enumerate(self.members):
+            remaining = None
+            if time_limit is not None:
+                remaining = time_limit - (time.monotonic() - t0)
+                if remaining <= 0:
+                    break
+            value = _run_member(
+                (spec.canonical, self.system, self.platform, self.seed,
+                 remaining, node_limit)
+            )
+            statuses[spec.canonical] = value["status"]
+            if self._definitive(index, value):
+                meta["winner"] = spec.canonical
+                meta["winner_proves_infeasibility"] = self._infos[
+                    index
+                ].proves_infeasibility
+                finalize()
+                return self._to_result(value, time.monotonic() - t0, meta)
+        finalize()
+        return self._no_winner(time.monotonic() - t0, meta)
+
+    def _no_winner(self, elapsed: float, meta: dict) -> SolveResult:
+        """Aggregate UNKNOWN when no member was definitive in budget."""
+        stats = SolverStats(elapsed=elapsed, extra={"portfolio": meta})
+        return SolveResult(
+            status=Feasibility.UNKNOWN,
+            schedule=None,
+            stats=stats,
+            solver_name=self.name,
+        )
+
+
+@register_solver(
+    "portfolio",
+    description=(
+        "Racing meta-solver: runs member solvers concurrently in worker "
+        "processes, keeps the first definitive answer, cancels the rest "
+        "(incomplete members may win FEASIBLE races but never decide "
+        "INFEASIBLE)"
+    ),
+    paper_section="VII (the shoot-out, turned into a solver)",
+    pick_when=(
+        "Mixed workloads where no single configuration dominates: each "
+        "instance finishes at about the speed of its best member"
+    ),
+    capabilities=(PROVES_INFEASIBILITY, EXACT),
+    suffixes={},
+    options=("jobs",),
+    platforms=("identical", "uniform", "heterogeneous"),
+    advertise=False,
+)
+def _build_portfolio(system, platform, spec, seed, **options):
+    """Registry factory: ``portfolio:NAME,NAME,...``."""
+    return PortfolioSolver(system, platform, spec.members, seed=seed, **options)

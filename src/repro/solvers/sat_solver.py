@@ -7,6 +7,7 @@ from repro.model.platform import Platform
 from repro.model.system import TaskSystem
 from repro.sat.solver import CdclSolver, SatStatus
 from repro.solvers.base import Feasibility, SolveResult, SolverStats
+from repro.solvers.registry import EXACT, PROVES_INFEASIBILITY, register_solver
 
 __all__ = ["SatEncodingSolver"]
 
@@ -58,3 +59,31 @@ class SatEncodingSolver:
             stats=stats,
             solver_name=self.name,
         )
+
+
+@register_solver(
+    "sat",
+    description=(
+        "CNF translation of encoding #1 (sequential at-most-one) on the "
+        "built-in CDCL solver"
+    ),
+    paper_section="IV (SAT remark)",
+    pick_when=(
+        "Cross-checking the CSP verdicts; instances where clause learning "
+        "shines. Identical platforms only"
+    ),
+    capabilities=(PROVES_INFEASIBILITY, EXACT),
+    suffixes={
+        "pairwise": "Same CNF route, pairwise at-most-one clauses (small "
+        "instances only: pairwise blows up quadratically)",
+    },
+    options=(),
+    platforms=("identical",),
+    memory_bound=True,
+    hidden_suffixes=("sequential",),
+)
+def _build_sat(system, platform, spec, seed, **options):
+    """Registry factory: ``sat[+amo]`` (suffix = at-most-one encoding)."""
+    return SatEncodingSolver(
+        system, platform, amo=spec.suffix or "sequential", **options
+    )

@@ -1,0 +1,98 @@
+"""Structured solver names: parse once, pass around, never re-split.
+
+Every solver in this library is addressed by a short string — ``"csp2+dc"``,
+``"sat+pairwise"``, ``"portfolio:csp2+dc,sat"`` — typed at the CLI, stored
+in batch cells and cache keys, and printed in the tables.  This module is
+the single grammar for those strings:
+
+    name      ::=  simple | portfolio
+    simple    ::=  base [ "+" suffix ]
+    portfolio ::=  "portfolio:" simple ( "," simple )*
+
+:class:`SolverSpec` is the parsed form.  The registry resolves a spec's
+``base`` to a registered plugin and hands the spec to its factory, so a
+plugin decides what its suffix means (value-ordering heuristic, variable
+heuristic, at-most-one encoding, ...) while the parse stays uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SolverSpec", "PORTFOLIO_BASE"]
+
+#: the reserved base name of the racing meta-solver
+PORTFOLIO_BASE = "portfolio"
+
+
+@dataclass(frozen=True)
+class SolverSpec:
+    """One parsed solver name.
+
+    Attributes
+    ----------
+    base:
+        The registry key: ``"csp2"`` in ``"csp2+dc"``, ``"portfolio"``
+        for a portfolio name.
+    suffix:
+        The part after ``+`` (``None`` when absent).  Meaning is
+        plugin-defined: heuristic for ``csp1``/``csp2*``, at-most-one
+        encoding for ``sat``.
+    members:
+        For portfolios only: the member specs, in declaration order.
+    """
+
+    base: str
+    suffix: str | None = None
+    members: tuple["SolverSpec", ...] = field(default=())
+
+    @classmethod
+    def parse(cls, name: "str | SolverSpec") -> "SolverSpec":
+        """Parse a solver name string (idempotent on an existing spec).
+
+        Raises ``ValueError`` on an empty name, an empty portfolio member
+        list, or a portfolio nested inside a portfolio.
+        """
+        if isinstance(name, cls):
+            return name
+        key = str(name).strip().lower()
+        if not key:
+            raise ValueError("empty solver name")
+        if key.startswith(PORTFOLIO_BASE + ":"):
+            body = key[len(PORTFOLIO_BASE) + 1 :]
+            members = tuple(
+                cls.parse(part) for part in body.split(",") if part.strip()
+            )
+            if not members:
+                raise ValueError(
+                    f"portfolio needs at least one member, got {name!r} "
+                    "(expected e.g. 'portfolio:csp2+dc,sat')"
+                )
+            if any(m.is_portfolio for m in members):
+                raise ValueError(f"portfolios cannot nest: {name!r}")
+            return cls(base=PORTFOLIO_BASE, members=members)
+        if key == PORTFOLIO_BASE:
+            raise ValueError(
+                "a portfolio needs members: 'portfolio:<name>,<name>,...'"
+            )
+        base, _, suffix = key.partition("+")
+        if not base:
+            raise ValueError(f"solver name {name!r} has no base")
+        return cls(base=base, suffix=suffix or None)
+
+    @property
+    def is_portfolio(self) -> bool:
+        """True for ``portfolio:...`` specs."""
+        return self.base == PORTFOLIO_BASE
+
+    @property
+    def canonical(self) -> str:
+        """The normalized name string; ``parse(canonical)`` round-trips."""
+        if self.is_portfolio:
+            return PORTFOLIO_BASE + ":" + ",".join(
+                m.canonical for m in self.members
+            )
+        return self.base + (f"+{self.suffix}" if self.suffix else "")
+
+    def __str__(self) -> str:
+        return self.canonical

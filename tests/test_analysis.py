@@ -10,7 +10,7 @@ from repro.analysis import (
     passes_utilization_filter,
 )
 from repro.model import Platform, Task, TaskSystem
-from repro.solvers import make_solver
+from repro.solvers import create_solver
 
 from tests.helpers import running_example
 
@@ -110,5 +110,5 @@ def test_necessary_conditions_are_necessary(system, m):
     checks = necessary_conditions(system, m)
     if all(c.ok for c in checks):
         return
-    r = make_solver("csp2+dc", system, Platform.identical(m)).solve(time_limit=20)
+    r = create_solver("csp2+dc", system, Platform.identical(m)).solve(time_limit=20)
     assert not r.is_feasible, (system, m, [str(c) for c in checks])

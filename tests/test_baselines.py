@@ -15,7 +15,7 @@ from repro.baselines import (
 )
 from repro.model import Platform, Task, TaskSystem
 from repro.schedule import validate
-from repro.solvers import make_solver
+from repro.solvers import create_solver
 
 from tests.helpers import running_example
 
@@ -78,7 +78,7 @@ class TestDhallEffect:
         rm = priority_order_from_heuristic(s, "rm")
         sim_rm = global_fixed_priority(s, 2, rm)
         # whichever order RM picked, the CSP solver knows it's feasible:
-        exact = make_solver("csp2+dc", s, Platform.identical(2)).solve(time_limit=20)
+        exact = create_solver("csp2+dc", s, Platform.identical(2)).solve(time_limit=20)
         assert exact.is_feasible
         # and some fixed-priority order does schedule it
         search = exhaustive_priority_search(s, 2)
@@ -129,7 +129,7 @@ class TestSimulatedSchedulesAreFeasible:
         sim = global_edf(system, m)
         if sim.schedulable:
             assert validate(sim.schedule).ok
-            exact = make_solver("csp2+dc", system, Platform.identical(m)).solve(
+            exact = create_solver("csp2+dc", system, Platform.identical(m)).solve(
                 time_limit=20
             )
             assert exact.is_feasible
@@ -155,7 +155,7 @@ class TestCspBeatsPriorityPolicies:
         assert sim.schedulable is False
 
     def test_but_csp_schedules_it(self):
-        r = make_solver("csp2+dc", running_example(), Platform.identical(2)).solve(
+        r = create_solver("csp2+dc", running_example(), Platform.identical(2)).solve(
             time_limit=20
         )
         assert r.is_feasible
@@ -213,7 +213,7 @@ class TestPrioritySearch:
         m = data.draw(st.integers(1, 2))
         res = exhaustive_priority_search(system, m)
         if res.found:
-            exact = make_solver("csp2+dc", system, Platform.identical(m)).solve(
+            exact = create_solver("csp2+dc", system, Platform.identical(m)).solve(
                 time_limit=20
             )
             assert exact.is_feasible

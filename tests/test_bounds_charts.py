@@ -8,7 +8,7 @@ from repro.analysis import density_bound, gfb_utilization_bound
 from repro.baselines import global_edf
 from repro.experiments.charts import bar_chart, table3_chart
 from repro.model import Platform, Task, TaskSystem
-from repro.solvers import make_solver
+from repro.solvers import create_solver
 
 
 class TestGfbBound:
@@ -111,7 +111,7 @@ def test_density_bound_is_sound(system, m):
     if v.schedulable:
         sim = global_edf(system, m)
         assert sim.schedulable is True, (system, m, v.detail)
-        exact = make_solver("csp2+dc", system, Platform.identical(m)).solve(
+        exact = create_solver("csp2+dc", system, Platform.identical(m)).solve(
             time_limit=20
         )
         assert exact.is_feasible

@@ -20,7 +20,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.model import Platform, Task, TaskSystem
-from repro.solvers import Feasibility, make_solver
+from repro.solvers import Feasibility, create_solver
 
 
 def small_systems():
@@ -47,7 +47,7 @@ def small_systems():
 
 
 def feasible(system: TaskSystem, m: int) -> bool:
-    r = make_solver("csp2+dc", system, Platform.identical(m)).solve(time_limit=20)
+    r = create_solver("csp2+dc", system, Platform.identical(m)).solve(time_limit=20)
     assert r.status is not Feasibility.UNKNOWN
     return r.is_feasible
 

@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.model import Platform, Task, TaskSystem
 from repro.schedule import validate
-from repro.solvers import Feasibility, make_solver
+from repro.solvers import Feasibility, create_solver
 from repro.solvers.csp2_local import Csp2LocalSearchSolver
 
 from tests.helpers import running_example
@@ -15,7 +15,7 @@ from tests.helpers import running_example
 class TestConstruction:
     def test_registry_name(self):
         s = running_example()
-        solver = make_solver("csp2-local", s, Platform.identical(2))
+        solver = create_solver("csp2-local", s, Platform.identical(2))
         assert solver.name == "csp2-local"
 
     def test_rejects_arbitrary_deadlines(self):
@@ -95,7 +95,7 @@ def test_local_search_agrees_with_exact_when_it_answers(data):
     m = data.draw(st.integers(1, 3))
     platform = Platform.identical(m)
 
-    exact = make_solver("csp2+dc", system, platform).solve(time_limit=20)
+    exact = create_solver("csp2+dc", system, platform).solve(time_limit=20)
     local = Csp2LocalSearchSolver(system, platform, seed=3).solve(time_limit=3)
     if local.status is Feasibility.FEASIBLE:
         assert validate(local.schedule).ok

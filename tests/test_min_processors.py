@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.model import Platform, Task, TaskSystem
-from repro.solvers import Feasibility, find_min_processors, make_solver
+from repro.solvers import Feasibility, find_min_processors, create_solver
 
 from tests.helpers import running_example
 
@@ -73,13 +73,13 @@ def test_min_m_is_minimal_and_feasible(data):
     assert res.found, "every C<=D<=T system fits on n processors"
     assert res.exact
     # feasible at m
-    check = make_solver("csp2+dc", system, Platform.identical(res.m)).solve(
+    check = create_solver("csp2+dc", system, Platform.identical(res.m)).solve(
         time_limit=20
     )
     assert check.is_feasible
     # infeasible at m-1 (when m-1 >= 1)
     if res.m > 1:
-        below = make_solver(
+        below = create_solver(
             "csp2+dc", system, Platform.identical(res.m - 1)
         ).solve(time_limit=20)
         assert below.status is Feasibility.INFEASIBLE

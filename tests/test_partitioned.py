@@ -10,7 +10,7 @@ from repro.baselines import (
     uniprocessor_edf_feasible,
 )
 from repro.model import Platform, Task, TaskSystem
-from repro.solvers import Feasibility, make_solver
+from repro.solvers import Feasibility, create_solver
 
 from tests.helpers import running_example
 
@@ -33,7 +33,7 @@ class TestUniprocessorTest:
             [(0, 1, 1, 2), (1, 1, 1, 2)],
         ]:
             s = TaskSystem.from_tuples(tuples)
-            csp = make_solver("csp2+dc", s, Platform.identical(1)).solve(time_limit=20)
+            csp = create_solver("csp2+dc", s, Platform.identical(1)).solve(time_limit=20)
             assert uniprocessor_edf_feasible(list(s.tasks)) == csp.is_feasible, tuples
 
 
@@ -93,7 +93,7 @@ class TestExactPartition:
         res = exact_partition(running_example(), 2)
         assert not res.found and res.exact
         # while the global CSP schedules it
-        glob = make_solver("csp2+dc", running_example(), Platform.identical(2)).solve(
+        glob = create_solver("csp2+dc", running_example(), Platform.identical(2)).solve(
             time_limit=20
         )
         assert glob.is_feasible
@@ -124,7 +124,7 @@ def test_partitioned_implies_global_feasible(data):
     m = data.draw(st.integers(1, 3))
     res = exact_partition(system, m)
     if res.found:
-        glob = make_solver("csp2+dc", system, Platform.identical(m)).solve(
+        glob = create_solver("csp2+dc", system, Platform.identical(m)).solve(
             time_limit=20
         )
         assert glob.is_feasible

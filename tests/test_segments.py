@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 from repro.model import Platform, Task, TaskSystem
 from repro.schedule import Schedule, compute_metrics
 from repro.schedule.segments import JobTrace, Segment, extract_traces
-from repro.solvers import make_solver
+from repro.solvers import create_solver
 
 from tests.helpers import RUNNING_EXAMPLE_TABLE, running_example
 
@@ -103,7 +103,7 @@ def test_traces_agree_with_metrics(data):
         tasks.append(Task(o, c, d, t))
     system = TaskSystem(tasks)
     m = data.draw(st.integers(1, 2))
-    r = make_solver("csp2+dc", system, Platform.identical(m)).solve(time_limit=20)
+    r = create_solver("csp2+dc", system, Platform.identical(m)).solve(time_limit=20)
     if not r.is_feasible:
         return
     traces = extract_traces(r.schedule)

@@ -9,7 +9,7 @@ from hypothesis import strategies as st
 
 from repro.model import Platform, Task, TaskSystem
 from repro.schedule import IDLE, Schedule, validate
-from repro.solvers import Feasibility, available_solvers, make_solver, solve
+from repro.solvers import Feasibility, available_solvers, create_solver, solve
 
 from tests.helpers import running_example
 
@@ -68,7 +68,7 @@ def test_all_solvers_match_brute_force(system, m):
     expected = brute_force_feasible(system, m)
     platform = Platform.identical(m)
     for name in ALL_SOLVERS:
-        r = make_solver(name, system, platform).solve(time_limit=20)
+        r = create_solver(name, system, platform).solve(time_limit=20)
         assert r.status is not Feasibility.UNKNOWN, (name, system)
         assert r.is_feasible == expected, (name, system, m)
         if r.is_feasible:
@@ -103,7 +103,7 @@ def test_solver_agreement_medium(system, m):
     platform = Platform.identical(m)
     answers = {}
     for name in ["csp1", "csp2", "csp2+dc", "csp2-generic", "sat"]:
-        r = make_solver(name, system, platform).solve(time_limit=20)
+        r = create_solver(name, system, platform).solve(time_limit=20)
         assert r.status is not Feasibility.UNKNOWN, (name, system)
         answers[name] = r.is_feasible
         if r.schedule is not None:
@@ -121,7 +121,7 @@ def test_dedicated_flag_ablations_agree(system):
         for idle in (True, False):
             for demand in (True, False):
                 for energetic in (True, False):
-                    r = make_solver(
+                    r = create_solver(
                         "csp2+dc",
                         system,
                         platform,
@@ -172,7 +172,7 @@ def test_heterogeneous_solver_agreement(system, data):
     platform = Platform.heterogeneous(rates)
     answers = {}
     for name in ["csp1", "csp2", "csp2+dc", "csp2-generic"]:
-        r = make_solver(name, system, platform).solve(time_limit=20)
+        r = create_solver(name, system, platform).solve(time_limit=20)
         assert r.status is not Feasibility.UNKNOWN, (name, system, rates)
         answers[name] = r.is_feasible
         if r.schedule is not None:
@@ -185,16 +185,16 @@ class TestRegistry:
         s = running_example()
         p = Platform.identical(2)
         for name in available_solvers():
-            solver = make_solver(name, s, p)
+            solver = create_solver(name, s, p)
             assert hasattr(solver, "solve")
 
     def test_unknown_name(self):
         with pytest.raises(ValueError, match="unknown solver"):
-            make_solver("magic", running_example(), Platform.identical(2))
+            create_solver("magic", running_example(), Platform.identical(2))
 
     def test_unknown_heuristic(self):
-        with pytest.raises(ValueError, match="heuristic"):
-            make_solver("csp2+xyz", running_example(), Platform.identical(2))
+        with pytest.raises(ValueError, match="unknown suffix"):
+            create_solver("csp2+xyz", running_example(), Platform.identical(2))
 
     def test_paper_solver_names(self):
         from repro.solvers.registry import PAPER_SOLVERS
