@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test docs-check solvers-check solvers-md bench bench-portfolio ci
+.PHONY: test docs-check solvers-check solvers-md bench bench-portfolio bench-engine ci
 
 ## tier-1 test suite (the bar every PR must keep green)
 test:
@@ -29,6 +29,11 @@ bench:
 ## portfolio-vs-best-single wall-clock comparison
 bench-portfolio:
 	$(PYTHON) -m pytest benchmarks/bench_portfolio.py -q
+
+## CSP engine perf baseline: fixed deterministic grid -> BENCH_engine.json
+## (compare against benchmarks/BENCH_engine.{before,after}.json)
+bench-engine:
+	$(PYTHON) benchmarks/bench_engine.py --out BENCH_engine.json
 
 ## what CI runs: doc guards first (fast), then the full suite
 ci: docs-check solvers-check test

@@ -1,0 +1,312 @@
+"""CSP propagation-engine benchmark: the tracked perf baseline.
+
+Runs a fixed, fully deterministic scenario grid — CSP1, CSP2, CSP2+dc and
+sat — over pinned-seed generated instances plus the paper's running
+example, and emits a machine-readable ``BENCH_engine.json`` with
+wall-time, nodes/s, propagations/s and the share of wall-time spent
+inside propagator code.  Two snapshots are checked in next to this file:
+
+* ``BENCH_engine.before.json`` — the stateless-rescan engine (pre
+  incremental-propagation refactor);
+* ``BENCH_engine.after.json`` — the incremental event-driven engine.
+
+Budgets are *node* limits, never time limits, so statuses and node
+counts are machine-independent: any two runs of this grid must agree on
+every status and every node count, only the wall-clock fields may move.
+That is what makes the JSON diffable across PRs — a perf regression
+shows up as a wall-time change against identical work.
+
+Usage::
+
+    python benchmarks/bench_engine.py --out BENCH_engine.json
+    python benchmarks/bench_engine.py --smoke --out /tmp/smoke.json
+    python benchmarks/bench_engine.py --check-schema BENCH_engine.json
+
+``--smoke`` shrinks the grid to seconds of compute for CI
+(``scripts/ci.sh`` runs it and then ``--check-schema`` so the baseline
+file format cannot silently rot).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform as py_platform
+import sys
+import time
+from dataclasses import dataclass
+
+from repro.generator import GeneratorConfig, generate_instance
+from repro.generator.named import running_example, running_example_platform
+from repro.model.platform import Platform
+from repro.solvers.registry import create_solver
+
+SCHEMA = "bench-engine/v1"
+
+#: top-level keys every BENCH_engine.json must carry (CI schema guard)
+REQUIRED_TOP_KEYS = ("schema", "scale", "engine", "python", "scenarios", "totals")
+#: per-scenario keys (CI schema guard)
+REQUIRED_SCENARIO_KEYS = (
+    "name",
+    "solver",
+    "instances",
+    "statuses",
+    "wall_time_s",
+    "nodes",
+    "fails",
+    "propagations",
+    "nodes_per_s",
+    "propagations_per_s",
+    "propagator_share",
+)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One grid cell: a solver name over a pinned instance family."""
+
+    name: str
+    solver: str
+    #: (n, tmax, m, seed) tuples for the generator; None = running example
+    specs: tuple[tuple[int, int, int, int] | None, ...]
+    node_limit: int
+
+
+def _grid(smoke: bool) -> list[Scenario]:
+    """The fixed scenario grid (a much smaller one under ``--smoke``).
+
+    Seeds are pinned; instances are drawn with ``d-first`` order (the
+    paper's choice).  The mix deliberately contains FEASIBLE,
+    INFEASIBLE and budget-limited cells so the engine is measured on
+    solution finding, exhaustion proofs and deep search alike.
+    """
+    if smoke:
+        specs = ((4, 4, 2, 11), (4, 4, 2, 12))
+        return [
+            Scenario("csp1", "csp1", (None,) + specs, node_limit=20_000),
+            Scenario("csp2", "csp2-generic", (None,) + specs, node_limit=20_000),
+            Scenario("csp2+dc", "csp2-generic+dc", (None,) + specs, node_limit=20_000),
+            Scenario("sat", "sat", (None,) + specs, node_limit=20_000),
+        ]
+    # small/medium cells shared by every scenario; the paper's protocol
+    # goes well past these (n up to 14, Tmax 15), so the CSP2 scenarios
+    # additionally carry paper-scale cells with hyperperiods in the
+    # hundreds — that is where constraint arities (and therefore the
+    # propagation engine) actually get exercised
+    base: tuple[tuple[int, int, int, int] | None, ...] = (
+        None,  # the paper's running example (n=3, m=2, T=12)
+        (4, 4, 2, 11),
+        (4, 4, 2, 12),
+        (4, 5, 2, 17),
+        (5, 4, 2, 23),
+        (5, 5, 2, 31),
+        (5, 5, 3, 32),
+        (6, 4, 2, 41),
+        (6, 4, 3, 44),
+        (6, 5, 3, 47),
+    )
+    large = ((8, 6, 3, 101), (8, 8, 3, 103), (10, 10, 4, 109))
+    return [
+        Scenario("csp1", "csp1", base + large[:1], node_limit=60_000),
+        Scenario("csp2", "csp2-generic", base + large, node_limit=60_000),
+        Scenario("csp2+dc", "csp2-generic+dc", base + large, node_limit=60_000),
+        Scenario("sat", "sat", base + large[:1], node_limit=60_000),
+    ]
+
+
+def _instances(scenario: Scenario):
+    """Materialize the pinned instances of one scenario."""
+    out = []
+    for spec in scenario.specs:
+        if spec is None:
+            out.append((running_example(), running_example_platform()))
+        else:
+            n, tmax, m, seed = spec
+            inst = generate_instance(GeneratorConfig(n=n, tmax=tmax, m=m), seed)
+            out.append((inst.system, Platform.identical(inst.m)))
+    return out
+
+
+class _PropagatorTimer:
+    """Context manager: wrap every concrete propagator's hot methods so
+    time spent inside propagator code can be reported as a share of the
+    end-to-end wall time.  Instrumentation is only active during the
+    second (share-measuring) pass, never during the timed pass."""
+
+    #: methods that count as propagator work when present on a class
+    METHODS = ("propagate", "on_event")
+
+    def __init__(self) -> None:
+        self.spent = 0.0
+        self._patched: list[tuple[type, str, object]] = []
+
+    def __enter__(self) -> "_PropagatorTimer":
+        import repro.csp.propagators as props_mod
+
+        seen: set[type] = set()
+        for name in props_mod.__all__:
+            cls = getattr(props_mod, name)
+            if not isinstance(cls, type) or cls in seen:
+                continue
+            seen.add(cls)
+            for meth in self.METHODS:
+                fn = cls.__dict__.get(meth)
+                if fn is None or not callable(fn):
+                    continue
+                self._patched.append((cls, meth, fn))
+                setattr(cls, meth, self._wrap(fn))
+        return self
+
+    def _wrap(self, fn):
+        timer = self
+
+        def timed(*args, **kwargs):
+            t0 = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                timer.spent += time.perf_counter() - t0
+
+        return timed
+
+    def __exit__(self, *exc) -> None:
+        for cls, meth, fn in self._patched:
+            setattr(cls, meth, fn)
+
+
+def _run_scenario(scenario: Scenario, seed: int = 2009) -> dict:
+    """Run one grid cell and return its JSON record."""
+    instances = _instances(scenario)
+    statuses: list[str] = []
+    nodes = fails = propagations = 0
+
+    # pass 1 — timed, uninstrumented; per instance the minimum of three
+    # runs is recorded (the work is deterministic, so the min damps
+    # scheduler noise without changing what is measured)
+    wall = 0.0
+    for system, plat in instances:
+        best = None
+        for _ in range(3):
+            solver = create_solver(scenario.solver, system, plat, seed=seed)
+            t0 = time.perf_counter()
+            result = solver.solve(node_limit=scenario.node_limit)
+            elapsed = time.perf_counter() - t0
+            best = elapsed if best is None else min(best, elapsed)
+        wall += best
+        statuses.append(result.status.value)
+        nodes += result.stats.nodes
+        fails += result.stats.fails
+        propagations += result.stats.propagations
+
+    # pass 2 — instrumented, measures the propagator wall-time share
+    with _PropagatorTimer() as timer:
+        t0 = time.perf_counter()
+        for system, plat in instances:
+            solver = create_solver(scenario.solver, system, plat, seed=seed)
+            solver.solve(node_limit=scenario.node_limit)
+        instrumented_wall = time.perf_counter() - t0
+    share = timer.spent / instrumented_wall if instrumented_wall > 0 else 0.0
+
+    counts = {s: statuses.count(s) for s in ("feasible", "infeasible", "unknown")}
+    return {
+        "name": scenario.name,
+        "solver": scenario.solver,
+        "instances": len(instances),
+        "node_limit": scenario.node_limit,
+        "statuses": statuses,
+        "status_counts": counts,
+        "wall_time_s": round(wall, 4),
+        "nodes": nodes,
+        "fails": fails,
+        "propagations": propagations,
+        "nodes_per_s": round(nodes / wall) if wall > 0 else 0,
+        "propagations_per_s": round(propagations / wall) if wall > 0 else 0,
+        "propagator_share": round(share, 4),
+    }
+
+
+def run_grid(smoke: bool = False) -> dict:
+    """Run the full grid and return the BENCH_engine document."""
+    import repro.csp.search as search_mod
+
+    scenarios = [_run_scenario(s) for s in _grid(smoke)]
+    wall = sum(s["wall_time_s"] for s in scenarios)
+    nodes = sum(s["nodes"] for s in scenarios)
+    props = sum(s["propagations"] for s in scenarios)
+    return {
+        "schema": SCHEMA,
+        "scale": "smoke" if smoke else "default",
+        "engine": getattr(search_mod, "PROPAGATION_ENGINE", "stateless-rescan"),
+        "python": py_platform.python_version(),
+        "scenarios": scenarios,
+        "totals": {
+            "wall_time_s": round(wall, 4),
+            "nodes": nodes,
+            "propagations": props,
+            "nodes_per_s": round(nodes / wall) if wall > 0 else 0,
+            "propagations_per_s": round(props / wall) if wall > 0 else 0,
+        },
+    }
+
+
+def check_schema(path: str) -> list[str]:
+    """Validate a BENCH_engine.json document; return problems (empty = ok)."""
+    problems: list[str] = []
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return [f"cannot read {path}: {exc}"]
+    for key in REQUIRED_TOP_KEYS:
+        if key not in doc:
+            problems.append(f"missing top-level key {key!r}")
+    if doc.get("schema") != SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    for i, sc in enumerate(doc.get("scenarios", [])):
+        for key in REQUIRED_SCENARIO_KEYS:
+            if key not in sc:
+                problems.append(f"scenario {i} missing key {key!r}")
+    if not doc.get("scenarios"):
+        problems.append("no scenarios recorded")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default="BENCH_engine.json", help="output JSON path")
+    ap.add_argument(
+        "--smoke", action="store_true", help="tiny grid for CI (seconds, not minutes)"
+    )
+    ap.add_argument(
+        "--check-schema",
+        metavar="PATH",
+        help="validate an existing JSON file instead of running the grid",
+    )
+    args = ap.parse_args(argv)
+
+    if args.check_schema:
+        problems = check_schema(args.check_schema)
+        for p in problems:
+            print(f"bench-engine schema: {p}", file=sys.stderr)
+        if not problems:
+            print(f"{args.check_schema}: schema ok ({SCHEMA})")
+        return 1 if problems else 0
+
+    doc = run_grid(smoke=args.smoke)
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=False)
+        fh.write("\n")
+    for sc in doc["scenarios"]:
+        print(
+            f"{sc['name']:<8} {sc['wall_time_s']:>8.3f}s  "
+            f"{sc['nodes']:>8} nodes  {sc['nodes_per_s']:>9} nodes/s  "
+            f"{sc['propagations_per_s']:>10} props/s  "
+            f"share={sc['propagator_share']:.0%}  {sc['status_counts']}"
+        )
+    print(f"total    {doc['totals']['wall_time_s']:>8.3f}s  -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

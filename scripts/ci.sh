@@ -12,5 +12,11 @@ python -m pytest -q tests/test_docstrings.py
 echo "== solvers-check: docs/SOLVERS.md must match the solver registry =="
 python scripts/solvers_md.py --check
 
+echo "== perf-smoke: bench-engine tiny grid completes, JSON schema stable =="
+python benchmarks/bench_engine.py --smoke --out "${TMPDIR:-/tmp}/bench_engine_smoke.json"
+python benchmarks/bench_engine.py --check-schema "${TMPDIR:-/tmp}/bench_engine_smoke.json"
+python benchmarks/bench_engine.py --check-schema benchmarks/BENCH_engine.before.json
+python benchmarks/bench_engine.py --check-schema benchmarks/BENCH_engine.after.json
+
 echo "== tier-1: full test suite =="
 python -m pytest -x -q

@@ -7,10 +7,14 @@ heuristics (paper Section III-B lists exactly these ingredients:
 propagation, variable ordering, value ordering, added constraints).
 
 Design notes (see also docs/ARCHITECTURE.md): domains are Python-int bitmasks —
-``bit v`` set iff value ``v + offset`` is still possible — with a trail for
-O(changed) backtracking; propagators are stateless over the current domains
-and re-run when a watched variable changes, which keeps them trivially
-correct under backtracking.
+``bit v`` set iff value ``v + offset`` is still possible — with a generic
+trail for O(changed) backtracking of domains *and* propagator-owned
+counters.  Propagation is incremental and event-driven: every mutation is
+a typed event (ASSIGN / BOUNDS / REMOVE), propagators subscribe per event
+type and absorb deltas through ``on_event`` in O(1), report entailment to
+be deactivated for the rest of the subtree, and drain through a
+priority-tiered queue (cheap counter checks before linear passes before
+table filtering).
 
 Example
 -------
@@ -26,8 +30,17 @@ Example
 """
 
 from repro.csp.core import Model, Variable
-from repro.csp.state import DomainState
+from repro.csp.state import (
+    EVT_ANY,
+    EVT_ASSIGN,
+    EVT_BOUNDS,
+    EVT_REMOVE,
+    DomainState,
+)
 from repro.csp.propagators import (
+    PROP_ENTAILED,
+    PROP_FAIL,
+    PROP_OK,
     AllDifferentExceptValue,
     AtMostOneTrue,
     CountEq,
@@ -48,12 +61,26 @@ from repro.csp.heuristics import (
     var_order_min_domain,
     var_order_random,
 )
-from repro.csp.search import SearchStats, Solver, SolveOutcome, Status
+from repro.csp.search import (
+    PROPAGATION_ENGINE,
+    SearchStats,
+    Solver,
+    SolveOutcome,
+    Status,
+)
 
 __all__ = [
     "Model",
     "Variable",
     "DomainState",
+    "EVT_REMOVE",
+    "EVT_BOUNDS",
+    "EVT_ASSIGN",
+    "EVT_ANY",
+    "PROP_FAIL",
+    "PROP_OK",
+    "PROP_ENTAILED",
+    "PROPAGATION_ENGINE",
     "Propagator",
     "AtMostOneTrue",
     "ExactSumBool",

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
-from repro.util.bitset import mask_of
+from repro.util.bitset import mask_of, values_from_mask
 
 __all__ = ["Variable", "Model"]
 
@@ -35,13 +35,7 @@ class Variable:
 
     def initial_values(self) -> list[int]:
         """Initial domain as a sorted list of integers."""
-        out = []
-        mask, base = self.initial_mask, self.offset
-        while mask:
-            low = mask & -mask
-            out.append(base + low.bit_length() - 1)
-            mask ^= low
-        return out
+        return values_from_mask(self.initial_mask, self.offset)
 
     def __repr__(self) -> str:
         return f"Variable({self.name!r}, dom={self.initial_values()!r})"

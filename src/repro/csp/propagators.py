@@ -1,12 +1,57 @@
-"""Constraint propagators.
+"""Constraint propagators — incremental, event-typed, entailment-aware.
 
-Each propagator exposes the variables it watches (``vars``) and a
-``propagate(state) -> bool`` method that prunes domains towards (at least)
-bounds/value consistency and returns ``False`` on wipe-out.  Propagators are
-*stateless* across calls — they recompute from the current domains — which
-makes them trivially correct under backtracking at the cost of O(k) work
-per call; the CSP1/CSP2 constraint arities here are small enough that this
-is the right trade (docs/ARCHITECTURE.md, "Design notes").
+Each propagator exposes the variables it watches and a
+``propagate(state)`` method that prunes domains towards (at least)
+bounds/value consistency.  ``propagate`` returns one of
+
+* :data:`PROP_FAIL` (``0``, falsy) — wipe-out, the subtree is dead;
+* :data:`PROP_OK` (``1``) — pruned to a local fixpoint, stay active;
+* :data:`PROP_ENTAILED` (``2``) — the constraint now holds for *every*
+  remaining assignment; the engine deactivates the propagator for the
+  rest of the subtree (and the trail reactivates it on backtrack).
+
+Truthiness is preserved on purpose: legacy ``True``/``False`` returns
+still mean OK/FAIL, so external propagators keep working unchanged.
+
+Unlike the first-generation engine — whose propagators were *stateless*
+and rescanned all ``k`` variables on every call — the counting
+propagators here own **reversible counters** (fixed/free tallies,
+weighted lower bounds, validity bitmasks) that the engine keeps current
+through :meth:`Propagator.on_event` deltas: O(1) bookkeeping per domain
+change, O(1) bound checks on wake, and an O(k) pruning scan only on the
+rare wake that actually prunes (which then usually entails).  Counters
+are trailed through :meth:`DomainState.save` /
+:meth:`DomainState.save_all`, so backtracking restores them together
+with the domains.
+
+Writing an incremental propagator
+---------------------------------
+1. Declare ``priority`` (0 = cheap counter checks, drained first;
+   1 = linear passes; 2 = expensive, e.g. table filtering) and a
+   ``wake_on`` event mask (or override :meth:`Propagator.watches` for
+   per-variable masks) from :data:`~repro.csp.state.EVT_REMOVE` /
+   ``EVT_BOUNDS`` / ``EVT_ASSIGN``.
+2. Initialize the counters from the current domains in ``reset(state)``
+   (the engine calls it once per search; after any out-of-engine domain
+   mutation, call it yourself before ``propagate``).
+3. In ``on_event(state, idx, old_mask, new_mask)``, update the counters
+   from the delta.  Trail them first, at most once per node::
+
+       if self._stamp != state.stamp:
+           self._stamp = state.stamp
+           state.save_all(self._c)
+
+   (The built-in propagators inline the equivalent private-attribute
+   form ``state._undo.append((c, None, tuple(c)))`` because this runs
+   once per event on the hottest path; external propagators should use
+   the public ``stamp`` + ``save_all`` spelling above.)  ``on_event``
+   must **never** mutate domains; all pruning belongs in ``propagate``.  Return ``False`` when
+   the updated counters prove the wake would be a no-op (no failure, no
+   pruning, no entailment possible) and the engine skips the enqueue;
+   any other return value schedules ``propagate`` as usual.
+4. Only report :data:`PROP_ENTAILED` when no future domain change could
+   make the constraint prune or fail again in this subtree — a
+   too-eager entailment silently weakens propagation.
 
 The set of propagators is exactly what the paper's encodings need:
 
@@ -30,10 +75,14 @@ from __future__ import annotations
 from collections.abc import Iterable, Sequence
 
 from repro.csp.core import Variable
-from repro.csp.state import DomainState
+from repro.csp.state import EVT_ANY, EVT_ASSIGN, EVT_BOUNDS, EVT_REMOVE, DomainState
 
 __all__ = [
     "Propagator",
+    "PROP_FAIL",
+    "PROP_OK",
+    "PROP_ENTAILED",
+    "INCREMENTAL_ARITY_THRESHOLD",
     "AtMostOneTrue",
     "ExactSumBool",
     "WeightedExactSumBool",
@@ -44,26 +93,76 @@ __all__ = [
     "Table",
 ]
 
+#: propagate() verdict: domain wipe-out (falsy, like the legacy ``False``)
+PROP_FAIL = 0
+#: propagate() verdict: local fixpoint reached, constraint stays active
+PROP_OK = 1
+#: propagate() verdict: satisfied for every remaining assignment —
+#: the engine deactivates the propagator until backtracking
+PROP_ENTAILED = 2
+
+#: arity at which the counting propagators switch from tally-on-wake to
+#: delta-fed counters.  Below it a fresh O(k) tally on the (filtered,
+#: deduplicated) wakes is cheaper than per-event counter bookkeeping —
+#: CSP1's at-most-one rows sit well under this; CSP2's per-window count
+#: constraints sit well over it.  Instances expose the decision as the
+#: writable ``incremental`` attribute.
+INCREMENTAL_ARITY_THRESHOLD = 8
+
 _TRUE = 0b10  # singleton {1} mask of a boolean variable
 _FALSE = 0b01  # singleton {0}
+_BOTH = 0b11  # undecided boolean
 
 
 def _check_bools(vars: Sequence[Variable]) -> tuple[Variable, ...]:
     vs = tuple(vars)
     for v in vs:
-        if v.offset != 0 or v.initial_mask & ~0b11:
+        if v.offset != 0 or v.initial_mask & ~_BOTH:
             raise ValueError(f"{v.name} is not a boolean variable")
     return vs
 
 
+def _check_unique(vars: tuple[Variable, ...], who: str) -> None:
+    if len({v.index for v in vars}) != len(vars):
+        raise ValueError(f"{who} does not support duplicate variables")
+
+
 class Propagator:
-    """Base class; subclasses set ``vars`` and implement ``propagate``."""
+    """Base class; subclasses set ``vars`` and implement ``propagate``.
+
+    Class attributes ``priority`` (queue tier) and ``wake_on`` (event
+    subscription mask) drive the engine's scheduling; stateful
+    subclasses additionally implement ``reset`` and ``on_event`` (see
+    the module docstring for the full contract).
+    """
 
     __slots__ = ("vars",)
 
     vars: tuple[Variable, ...]
+    #: queue tier: 0 = cheapest (drained first), 2 = most expensive
+    priority = 1
+    #: event types that wake this propagator (see ``watches``)
+    wake_on = EVT_ANY
 
-    def propagate(self, state: DomainState) -> bool:  # pragma: no cover - abstract
+    def watches(self) -> list[tuple[Variable, int, int | None]]:
+        """``(variable, wake_mask, relevance)`` subscriptions; default:
+        every variable with the class-level ``wake_on`` mask.
+
+        ``relevance`` is an optional value bitmask (in the variable's
+        local bit positions): when set, the engine only wakes the
+        propagator for events that remove one of those values or assign
+        the variable to one of them — the dispatch-level form of "I only
+        care about value ``v``".  ``None`` means every matching event is
+        relevant."""
+        return [(v, self.wake_on, None) for v in self.vars]
+
+    def reset(self, state: DomainState) -> None:
+        """(Re)initialize owned counters from the current domains.
+
+        The engine calls this once at the start of every search run;
+        stateless propagators inherit the no-op."""
+
+    def propagate(self, state: DomainState) -> int:  # pragma: no cover - abstract
         raise NotImplementedError
 
     def __repr__(self) -> str:
@@ -73,62 +172,139 @@ class Propagator:
 
 
 class AtMostOneTrue(Propagator):
-    """At most one of the boolean variables is 1 (paper (3)/(4))."""
+    """At most one of the boolean variables is 1 (paper (3)/(4)).
 
-    __slots__ = ()
+    Counters: ``[n_true, n_undecided]``; wakes on ASSIGN only (boolean
+    domains have no other transition)."""
+
+    __slots__ = ("incremental", "_c", "_stamp")
+
+    priority = 0
+    wake_on = EVT_ASSIGN
 
     def __init__(self, bools: Sequence[Variable]) -> None:
         self.vars = _check_bools(bools)
+        self.incremental = len(self.vars) >= INCREMENTAL_ARITY_THRESHOLD
+        self._c: list[int] | None = None
+        self._stamp = -1
 
-    def propagate(self, state: DomainState) -> bool:
+    def _tally(self, state: DomainState) -> list[int]:
         masks = state.masks
-        first_true: Variable | None = None
+        n_true = n_und = 0
         for v in self.vars:
-            if masks[v.index] == _TRUE:
-                if first_true is not None:
-                    return False
-                first_true = v
-        if first_true is None:
-            return True
-        for v in self.vars:
-            if v is not first_true and masks[v.index] != _FALSE:
-                if not state.assign(v, 0):
-                    return False
-        return True
+            m = masks[v.index]
+            if m == _TRUE:
+                n_true += 1
+            elif m == _BOTH:
+                n_und += 1
+        return [n_true, n_und]
+
+    def reset(self, state: DomainState) -> None:
+        """Count TRUE / undecided booleans from the current domains."""
+        self._c = self._tally(state)
+        self._stamp = -1
+
+    def on_event(self, state: DomainState, idx: int, old: int, new: int):
+        """A watched boolean was assigned: retally in O(1)."""
+        c = self._c
+        if self._stamp != state._stamp:  # trail the counters once per node
+            self._stamp = state._stamp
+            state._undo.append((c, None, tuple(c)))
+        if new == _TRUE:
+            c[0] += 1
+            c[1] -= 1
+            return None  # a new TRUE always forces, fails or entails
+        c[1] -= 1
+        if c[0] == 0 and c[1] > 1:
+            return False  # nothing to do while no var is TRUE
+        return None
+
+    def propagate(self, state: DomainState) -> int:
+        """O(1) verdict; an O(k) forcing scan only when one var is TRUE."""
+        n_true, n_und = self._c if self.incremental else self._tally(state)
+        if n_true > 1:
+            return PROP_FAIL
+        if n_true == 0:
+            # 0/1 undecided vars cannot violate at-most-one anymore
+            return PROP_ENTAILED if n_und <= 1 else PROP_OK
+        if n_und:
+            masks = state.masks
+            for v in self.vars:
+                if masks[v.index] == _BOTH:
+                    state.assign(v, 0)
+        return PROP_ENTAILED
 
 
 class ExactSumBool(Propagator):
-    """Exactly ``total`` of the booleans are 1 (paper (5))."""
+    """Exactly ``total`` of the booleans are 1 (paper (5)).
 
-    __slots__ = ("total",)
+    Counters: ``[n_true, n_undecided]``; wakes on ASSIGN only."""
+
+    __slots__ = ("total", "incremental", "_c", "_stamp")
+
+    priority = 0
+    wake_on = EVT_ASSIGN
 
     def __init__(self, bools: Sequence[Variable], total: int) -> None:
         self.vars = _check_bools(bools)
         if total < 0:
             raise ValueError(f"total must be >= 0, got {total}")
         self.total = total
+        self.incremental = len(self.vars) >= INCREMENTAL_ARITY_THRESHOLD
+        self._c: list[int] | None = None
+        self._stamp = -1
 
-    def propagate(self, state: DomainState) -> bool:
+    def _tally(self, state: DomainState) -> list[int]:
         masks = state.masks
-        ones = 0
-        free: list[Variable] = []
+        ones = und = 0
         for v in self.vars:
             m = masks[v.index]
             if m == _TRUE:
                 ones += 1
-            elif m != _FALSE:
-                free.append(v)
-        if ones > self.total or ones + len(free) < self.total:
-            return False
-        if ones == self.total:
-            for v in free:
-                if not state.assign(v, 0):
-                    return False
-        elif ones + len(free) == self.total:
-            for v in free:
-                if not state.assign(v, 1):
-                    return False
-        return True
+            elif m == _BOTH:
+                und += 1
+        return [ones, und]
+
+    def reset(self, state: DomainState) -> None:
+        """Count TRUE / undecided booleans from the current domains."""
+        self._c = self._tally(state)
+        self._stamp = -1
+
+    def on_event(self, state: DomainState, idx: int, old: int, new: int):
+        """A watched boolean was assigned: retally in O(1)."""
+        c = self._c
+        if self._stamp != state._stamp:  # trail the counters once per node
+            self._stamp = state._stamp
+            state._undo.append((c, None, tuple(c)))
+        if new == _TRUE:
+            c[0] += 1
+        c[1] -= 1
+        if c[0] < self.total < c[0] + c[1]:
+            return False  # strictly between the bounds: no forcing yet
+        return None
+
+    def propagate(self, state: DomainState) -> int:
+        """O(1) bound checks; an O(k) forcing scan only when saturated
+        or tight (after which the constraint is entailed)."""
+        ones, und = self._c if self.incremental else self._tally(state)
+        total = self.total
+        if ones > total or ones + und < total:
+            return PROP_FAIL
+        if und == 0:
+            return PROP_ENTAILED
+        if ones == total:  # saturated: every undecided var must be 0
+            masks = state.masks
+            for v in self.vars:
+                if masks[v.index] == _BOTH:
+                    state.assign(v, 0)
+            return PROP_ENTAILED
+        if ones + und == total:  # tight: every undecided var must be 1
+            masks = state.masks
+            for v in self.vars:
+                if masks[v.index] == _BOTH:
+                    state.assign(v, 1)
+            return PROP_ENTAILED
+        return PROP_OK
 
 
 class WeightedExactSumBool(Propagator):
@@ -136,14 +312,23 @@ class WeightedExactSumBool(Propagator):
 
     Zero-rate pairs must be excluded by the encoding (their variable's
     domain is {0} in the paper; here they are simply not created).
-    """
 
-    __slots__ = ("coefs", "total")
+    Counters: ``[lb, free_sum, free_count]`` where ``lb`` is the sum of
+    coefficients of TRUE variables and ``free_*`` aggregate the
+    undecided ones.  A static max-coefficient test skips the O(k)
+    pruning scan whenever no individual variable can overshoot or be
+    required, which is the common wake."""
+
+    __slots__ = ("coefs", "total", "incremental", "_coef_of", "_cmax", "_c", "_stamp")
+
+    priority = 0
+    wake_on = EVT_ASSIGN
 
     def __init__(
         self, bools: Sequence[Variable], coefs: Sequence[int], total: int
     ) -> None:
         self.vars = _check_bools(bools)
+        _check_unique(self.vars, "WeightedExactSumBool")
         self.coefs = tuple(int(c) for c in coefs)
         if len(self.coefs) != len(self.vars):
             raise ValueError("one coefficient per variable required")
@@ -152,44 +337,101 @@ class WeightedExactSumBool(Propagator):
         if total < 0:
             raise ValueError(f"total must be >= 0, got {total}")
         self.total = total
+        self.incremental = len(self.vars) >= INCREMENTAL_ARITY_THRESHOLD
+        self._coef_of = {v.index: c for v, c in zip(self.vars, self.coefs)}
+        self._cmax = max(self.coefs)
+        self._c: list[int] | None = None
+        self._stamp = -1
 
-    def propagate(self, state: DomainState) -> bool:
-        # iterate to an internal fixpoint: assigning one variable tightens
-        # the bounds for the others within the same call
+    def _tally(self, state: DomainState) -> list[int]:
         masks = state.masks
+        lb = free_sum = free_count = 0
+        for v, c in zip(self.vars, self.coefs):
+            m = masks[v.index]
+            if m == _TRUE:
+                lb += c
+            elif m == _BOTH:
+                free_sum += c
+                free_count += 1
+        return [lb, free_sum, free_count]
+
+    def reset(self, state: DomainState) -> None:
+        """Tally the weighted lower bound and free aggregates."""
+        self._c = self._tally(state)
+        self._stamp = -1
+
+    def on_event(self, state: DomainState, idx: int, old: int, new: int):
+        """A watched boolean was assigned: move its coefficient."""
+        c = self._c
+        if self._stamp != state._stamp:  # trail the counters once per node
+            self._stamp = state._stamp
+            state._undo.append((c, None, tuple(c)))
+        coef = self._coef_of[idx]
+        if new == _TRUE:
+            c[0] += coef
+        c[1] -= coef
+        c[2] -= 1
+        lb = c[0]
+        total = self.total
+        if c[2] and self._cmax <= total - lb and self._cmax <= lb + c[1] - total:
+            return False  # no variable can be forced either way yet
+        return None
+
+    def propagate(self, state: DomainState) -> int:
+        """O(1) bound checks; the per-variable scan runs only when some
+        coefficient could overshoot ``total`` or be required to reach it."""
+        lb, free_sum, free_count = (
+            self._c if self.incremental else self._tally(state)
+        )
+        total = self.total
+        if lb > total or lb + free_sum < total:
+            return PROP_FAIL
+        if free_count == 0:
+            return PROP_ENTAILED
+        if self._cmax <= total - lb and self._cmax <= lb + free_sum - total:
+            return PROP_OK  # no single variable can be forced either way
+        # pruning scan + local fixpoint over the free variables; counters
+        # are tracked locally — the engine's event dispatch updates
+        # self._c afterwards, so writing them back here would double-count
+        masks = state.masks
+        free = [
+            (v, c) for v, c in zip(self.vars, self.coefs) if masks[v.index] == _BOTH
+        ]
         while True:
-            lb = 0
-            free: list[tuple[Variable, int]] = []
-            free_sum = 0
-            for v, c in zip(self.vars, self.coefs):
-                m = masks[v.index]
-                if m == _TRUE:
-                    lb += c
-                elif m != _FALSE:
-                    free.append((v, c))
-                    free_sum += c
-            if lb > self.total or lb + free_sum < self.total:
-                return False
             changed = False
             for v, c in free:
-                if lb + c > self.total:
-                    # taking v would overshoot
-                    if not state.assign(v, 0):
-                        return False
+                if masks[v.index] != _BOTH:
+                    continue
+                if lb + c > total:  # taking v would overshoot
+                    state.assign(v, 0)
+                    free_sum -= c
+                    free_count -= 1
                     changed = True
-                elif lb + free_sum - c < self.total:
-                    # dropping v would undershoot
-                    if not state.assign(v, 1):
-                        return False
+                elif lb + free_sum - c < total:  # dropping v would undershoot
+                    state.assign(v, 1)
+                    lb += c
+                    free_sum -= c
+                    free_count -= 1
                     changed = True
+            if lb > total or lb + free_sum < total:
+                return PROP_FAIL
             if not changed:
-                return True
+                return PROP_ENTAILED if free_count == 0 else PROP_OK
 
 
 class CountEq(Propagator):
-    """Exactly ``total`` variables take ``value`` (paper (9))."""
+    """Exactly ``total`` variables take ``value`` (paper (9)).
 
-    __slots__ = ("value", "total")
+    Counters: ``[n_fixed, n_candidates]`` — variables assigned to
+    ``value`` vs. unassigned variables whose domain still contains it.
+    Only variables whose initial domain contains ``value`` are watched,
+    and the wake filter is REMOVE (every event carries it; the
+    ``on_event`` delta test is a pair of bit probes)."""
+
+    __slots__ = ("value", "total", "incremental", "_bits", "_watched", "_c", "_stamp")
+
+    priority = 0
+    wake_on = EVT_REMOVE
 
     def __init__(self, vars: Sequence[Variable], value: int, total: int) -> None:
         self.vars = tuple(vars)
@@ -199,40 +441,126 @@ class CountEq(Propagator):
             raise ValueError(f"total must be >= 0, got {total}")
         self.value = value
         self.total = total
+        # only variables that can ever take `value` matter (occurrences kept)
+        self._bits: dict[int, int] = {}
+        self._watched: tuple[Variable, ...] = tuple(
+            v for v in self.vars if self._can_take(v)
+        )
+        self.incremental = len(self._watched) >= INCREMENTAL_ARITY_THRESHOLD
+        self._c: list[int] | None = None
+        self._stamp = -1
 
-    def propagate(self, state: DomainState) -> bool:
-        value = self.value
-        fixed = 0
-        candidates: list[Variable] = []
-        for v in self.vars:
-            b = value - v.offset
-            if b < 0:
-                continue
-            m = state.masks[v.index]
-            bit = 1 << b
-            if not m & bit:
-                continue
-            if m == bit:
-                fixed += 1
-            else:
-                candidates.append(v)
-        if fixed > self.total or fixed + len(candidates) < self.total:
+    def _can_take(self, v: Variable) -> bool:
+        b = self.value - v.offset
+        if b < 0 or not v.initial_mask >> b & 1:
             return False
-        if fixed == self.total:
-            for v in candidates:
-                if not state.remove_value(v, value):
-                    return False
-        elif fixed + len(candidates) == self.total:
-            for v in candidates:
-                if not state.assign(v, value):
-                    return False
+        self._bits[v.index] = 1 << b
         return True
+
+    def watches(self) -> list[tuple[Variable, int, int | None]]:
+        """Subscribe only the variables that can ever take ``value``,
+        and only for events that touch its bit (or assign to it)."""
+        return [(v, EVT_REMOVE, self._bits[v.index]) for v in self._watched]
+
+    def _tally(self, state: DomainState) -> list[int]:
+        masks = state.masks
+        bits = self._bits
+        fixed = cand = 0
+        for v in self._watched:
+            m = masks[v.index]
+            bit = bits[v.index]
+            if m & bit:
+                if m == bit:
+                    fixed += 1
+                else:
+                    cand += 1
+        return [fixed, cand]
+
+    def reset(self, state: DomainState) -> None:
+        """Tally fixed / candidate variables from the current domains."""
+        self._c = self._tally(state)
+        self._stamp = -1
+
+    def on_event(self, state: DomainState, idx: int, old: int, new: int):
+        """Classify the delta with two bit probes; O(1)."""
+        bit = self._bits[idx]
+        if not old & bit:
+            return False  # `value` was already gone — nothing we track changed
+        if new == bit:  # candidate became fixed to `value`
+            c = self._c
+            if self._stamp != state._stamp:
+                self._stamp = state._stamp
+                state._undo.append((c, None, tuple(c)))
+            c[0] += 1
+            c[1] -= 1
+        elif not new & bit:  # candidate lost `value`
+            c = self._c
+            if self._stamp != state._stamp:
+                self._stamp = state._stamp
+                state._undo.append((c, None, tuple(c)))
+            c[1] -= 1
+        else:
+            return False  # still an open candidate: nothing we track changed
+        c = self._c
+        if c[0] < self.total < c[0] + c[1]:
+            return False  # strictly between the bounds: no forcing yet
+        return None
+
+    def propagate(self, state: DomainState) -> int:
+        """O(1) bound checks; one O(k) forcing scan when saturated or
+        tight, after which the count is decided and the constraint
+        entailed."""
+        fixed, cand = self._c if self.incremental else self._tally(state)
+        total = self.total
+        if fixed > total or fixed + cand < total:
+            return PROP_FAIL
+        if cand == 0:
+            return PROP_ENTAILED
+        value = self.value
+        masks = state.masks
+        bits = self._bits
+        if fixed == total:  # saturated: no candidate may take `value`
+            for v in self._watched:
+                m = masks[v.index]
+                bit = bits[v.index]
+                if m & bit and m != bit:
+                    if not state.remove_value(v, value):
+                        return PROP_FAIL
+            return PROP_ENTAILED
+        if fixed + cand == total:  # tight: every candidate must take it
+            for v in self._watched:
+                m = masks[v.index]
+                bit = bits[v.index]
+                if m & bit and m != bit:
+                    if not state.assign(v, value):
+                        return PROP_FAIL
+            return PROP_ENTAILED
+        return PROP_OK
 
 
 class WeightedCountEq(Propagator):
-    """``sum_k c_k [x_k == value] == total`` with ``c_k >= 1`` (paper (12))."""
+    """``sum_k c_k [x_k == value] == total`` with ``c_k >= 1`` (paper (12)).
 
-    __slots__ = ("coefs", "value", "total")
+    Counters: ``[lb, free_sum, free_count]`` over the variables that can
+    still take ``value`` (``lb`` sums the coefficients of those fixed to
+    it), with the same static max-coefficient scan filter as
+    :class:`WeightedExactSumBool`."""
+
+    __slots__ = (
+        "coefs",
+        "value",
+        "total",
+        "incremental",
+        "_bits",
+        "_coef_of",
+        "_watched",
+        "_cmax",
+        "_c",
+        "_stamp",
+    )
+
+    priority = 0
+    wake_on = EVT_REMOVE
 
     def __init__(
         self,
@@ -242,6 +570,7 @@ class WeightedCountEq(Propagator):
         total: int,
     ) -> None:
         self.vars = tuple(vars)
+        _check_unique(self.vars, "WeightedCountEq")
         self.coefs = tuple(int(c) for c in coefs)
         if len(self.coefs) != len(self.vars):
             raise ValueError("one coefficient per variable required")
@@ -251,41 +580,123 @@ class WeightedCountEq(Propagator):
             raise ValueError(f"total must be >= 0, got {total}")
         self.value = value
         self.total = total
+        self._bits: dict[int, int] = {}
+        watched = []
+        coef_of = {}
+        for v, c in zip(self.vars, self.coefs):
+            b = value - v.offset
+            if b >= 0 and v.initial_mask >> b & 1:
+                self._bits[v.index] = 1 << b
+                coef_of[v.index] = c
+                watched.append(v)
+        self._watched: tuple[Variable, ...] = tuple(watched)
+        self._coef_of = coef_of
+        self._cmax = max(coef_of.values(), default=0)
+        self.incremental = len(self._watched) >= INCREMENTAL_ARITY_THRESHOLD
+        self._c: list[int] | None = None
+        self._stamp = -1
 
-    def propagate(self, state: DomainState) -> bool:
-        # internal fixpoint, same reasoning as WeightedExactSumBool
-        value = self.value
-        while True:
-            lb = 0
-            free: list[tuple[Variable, int]] = []
-            free_sum = 0
-            for v, c in zip(self.vars, self.coefs):
-                b = value - v.offset
-                if b < 0:
-                    continue
-                m = state.masks[v.index]
-                bit = 1 << b
-                if not m & bit:
-                    continue
+    def watches(self) -> list[tuple[Variable, int, int | None]]:
+        """Subscribe only the variables that can ever take ``value``,
+        and only for events that touch its bit (or assign to it)."""
+        return [(v, EVT_REMOVE, self._bits[v.index]) for v in self._watched]
+
+    def _tally(self, state: DomainState) -> list[int]:
+        masks = state.masks
+        bits = self._bits
+        coef_of = self._coef_of
+        lb = free_sum = free_count = 0
+        for v in self._watched:
+            m = masks[v.index]
+            bit = bits[v.index]
+            if m & bit:
                 if m == bit:
-                    lb += c
+                    lb += coef_of[v.index]
                 else:
-                    free.append((v, c))
-                    free_sum += c
-            if lb > self.total or lb + free_sum < self.total:
-                return False
+                    free_sum += coef_of[v.index]
+                    free_count += 1
+        return [lb, free_sum, free_count]
+
+    def reset(self, state: DomainState) -> None:
+        """Tally the weighted fixed / free aggregates."""
+        self._c = self._tally(state)
+        self._stamp = -1
+
+    def on_event(self, state: DomainState, idx: int, old: int, new: int):
+        """Classify the delta with two bit probes; O(1)."""
+        bit = self._bits[idx]
+        if not old & bit:
+            return False
+        if new == bit:
+            c = self._c
+            if self._stamp != state._stamp:
+                self._stamp = state._stamp
+                state._undo.append((c, None, tuple(c)))
+            coef = self._coef_of[idx]
+            c[0] += coef
+            c[1] -= coef
+            c[2] -= 1
+        elif not new & bit:
+            c = self._c
+            if self._stamp != state._stamp:
+                self._stamp = state._stamp
+                state._undo.append((c, None, tuple(c)))
+            c[1] -= self._coef_of[idx]
+            c[2] -= 1
+        else:
+            return False  # still an open candidate: nothing we track changed
+        lb = c[0]
+        total = self.total
+        if c[2] and self._cmax <= total - lb and self._cmax <= lb + c[1] - total:
+            return False  # no variable can be forced either way yet
+        return None
+
+    def propagate(self, state: DomainState) -> int:
+        """O(1) bound checks; per-variable scan + local fixpoint only
+        when some coefficient could overshoot or be required."""
+        lb, free_sum, free_count = (
+            self._c if self.incremental else self._tally(state)
+        )
+        total = self.total
+        if lb > total or lb + free_sum < total:
+            return PROP_FAIL
+        if free_count == 0:
+            return PROP_ENTAILED
+        if self._cmax <= total - lb and self._cmax <= lb + free_sum - total:
+            return PROP_OK
+        value = self.value
+        masks = state.masks
+        bits = self._bits
+        free = []
+        for v in self._watched:
+            m = masks[v.index]
+            bit = bits[v.index]
+            if m & bit and m != bit:
+                free.append((v, self._coef_of[v.index], bit))
+        # local fixpoint; self._c is updated by the engine's event dispatch
+        while True:
             changed = False
-            for v, c in free:
-                if lb + c > self.total:
+            for v, c, bit in free:
+                m = masks[v.index]
+                if not m & bit or m == bit:
+                    continue
+                if lb + c > total:  # taking `value` would overshoot
                     if not state.remove_value(v, value):
-                        return False
+                        return PROP_FAIL
+                    free_sum -= c
+                    free_count -= 1
                     changed = True
-                elif lb + free_sum - c < self.total:
+                elif lb + free_sum - c < total:  # dropping it would undershoot
                     if not state.assign(v, value):
-                        return False
+                        return PROP_FAIL
+                    lb += c
+                    free_sum -= c
+                    free_count -= 1
                     changed = True
+            if lb > total or lb + free_sum < total:
+                return PROP_FAIL
             if not changed:
-                return True
+                return PROP_ENTAILED if free_count == 0 else PROP_OK
 
 
 class AllDifferentExceptValue(Propagator):
@@ -294,17 +705,40 @@ class AllDifferentExceptValue(Propagator):
     never run the same task unless both are idle).
 
     ``except_value=None`` gives plain value-consistency alldifferent.
-    """
 
-    __slots__ = ("except_value",)
+    Stateless by design — its pruning depends only on which variables
+    are *assigned*, so it subscribes to ASSIGN events alone (interior
+    removals and bounds moves never re-run it), skips wakes for
+    assignments *to* the exception value (they never extend the taken
+    set — in CSP2 that is every idle slot), and reports entailment once
+    at most one variable remains open."""
+
+    __slots__ = ("except_value", "_except_bits")
+
+    priority = 1
+    wake_on = EVT_ASSIGN
 
     def __init__(self, vars: Sequence[Variable], except_value: int | None) -> None:
         self.vars = tuple(vars)
         if len(self.vars) < 2:
             raise ValueError("AllDifferent needs at least two variables")
         self.except_value = except_value
+        #: var index -> singleton mask of the exception value (0 if unreachable)
+        self._except_bits: dict[int, int] = {}
+        if except_value is not None:
+            for v in self.vars:
+                b = except_value - v.offset
+                self._except_bits[v.index] = 1 << b if b >= 0 else 0
 
-    def propagate(self, state: DomainState) -> bool:
+    def on_event(self, state: DomainState, idx: int, old: int, new: int):
+        """Skip the wake when a variable was assigned the exception
+        value: the taken set (and hence any pruning) is unchanged."""
+        if new == self._except_bits.get(idx, 0):
+            return False
+        return None
+
+    def propagate(self, state: DomainState) -> int:
+        """Value consistency over the assigned variables."""
         taken: set[int] = set()
         unassigned: list[Variable] = []
         for v in self.vars:
@@ -316,15 +750,28 @@ class AllDifferentExceptValue(Propagator):
             if val == self.except_value:
                 continue
             if val in taken:
-                return False
+                return PROP_FAIL
             taken.add(val)
-        if not taken:
-            return True
-        for v in unassigned:
-            for val in taken:
-                if not state.remove_value(v, val):
-                    return False
-        return True
+        pruned = False
+        if taken:
+            before = len(state.events)
+            for v in unassigned:
+                off = v.offset
+                kill = 0
+                for val in taken:
+                    b = val - off
+                    if b >= 0:
+                        kill |= 1 << b
+                # all taken values leave in one event (delta-batched so
+                # watchers are dispatched once per variable, not per value)
+                if kill and not state.intersect_mask(v, ~kill):
+                    return PROP_FAIL
+            pruned = len(state.events) != before
+        if pruned:
+            # a removal may have assigned a variable; its ASSIGN event
+            # re-wakes us, and entailment is decided on that clean call
+            return PROP_OK
+        return PROP_ENTAILED if len(unassigned) <= 1 else PROP_OK
 
 
 class NonDecreasing(Propagator):
@@ -333,36 +780,72 @@ class NonDecreasing(Propagator):
     Used for symmetry breaking across (groups of) identical processors;
     the CSP2 encoding ranks the idle value *above* every task id so the
     plain ordering matches the paper's "tasks ascending, idles last".
-    """
+
+    Stateless; subscribes to BOUNDS events only (interior removals can
+    never change its pruning) and reports entailment once every adjacent
+    pair satisfies ``max(x_i) <= min(x_{i+1})``."""
 
     __slots__ = ()
+
+    priority = 1
+    wake_on = EVT_BOUNDS
 
     def __init__(self, vars: Sequence[Variable]) -> None:
         self.vars = tuple(vars)
         if len(self.vars) < 2:
             raise ValueError("NonDecreasing needs at least two variables")
 
-    def propagate(self, state: DomainState) -> bool:
+    def propagate(self, state: DomainState) -> int:
+        """Ripple lower bounds right, upper bounds left.
+
+        Bounds are read straight off the masks (lowest/highest set bit);
+        the final pass checks ``max(x_i) <= min(x_{i+1})`` pairwise for
+        entailment."""
         vs = self.vars
+        masks = state.masks
         # forward pass: lower bounds ripple right
-        for a, b in zip(vs, vs[1:]):
-            if not state.remove_below(b, state.min_value(a)):
-                return False
+        m = masks[vs[0].index]
+        lo = vs[0].offset + ((m & -m).bit_length() - 1)
+        for b in vs[1:]:
+            if not state.remove_below(b, lo):
+                return PROP_FAIL
+            m = masks[b.index]
+            lo = b.offset + ((m & -m).bit_length() - 1)
         # backward pass: upper bounds ripple left
-        for a, b in zip(reversed(vs[:-1]), reversed(vs)):
-            if not state.remove_above(a, state.max_value(b)):
-                return False
-        return True
+        hi = vs[-1].offset + masks[vs[-1].index].bit_length() - 1
+        for a in vs[-2::-1]:
+            if not state.remove_above(a, hi):
+                return PROP_FAIL
+            hi = a.offset + masks[a.index].bit_length() - 1
+        # entailed once the chains of bounds can no longer cross
+        prev_max = None
+        for v in vs:
+            m = masks[v.index]
+            if prev_max is not None and prev_max > v.offset + (
+                (m & -m).bit_length() - 1
+            ):
+                return PROP_OK
+            prev_max = v.offset + m.bit_length() - 1
+        return PROP_ENTAILED
 
 
 class Table(Propagator):
     """Positive table constraint: the value tuple must be one of ``tuples``.
 
-    Straightforward generalized-arc-consistent filtering by support
-    counting; provided for extensions and as a brute-force oracle in tests.
-    """
+    Generalized-arc-consistent filtering in the style of simple tabular
+    reduction: a trailed **validity bitmask** over tuple indices is
+    narrowed incrementally — ``on_event`` ANDs out the tuples that
+    mention a removed value (via per-(position, value) support masks
+    precomputed at construction) — and the pruning scan keeps a value
+    iff it still has a valid support, consulting a **residual support**
+    (the last tuple index that worked, an O(1) recheck) before paying
+    for a mask intersection.  Residues are deliberately not trailed:
+    a stale residue is a hint that misses, never an unsound keep."""
 
-    __slots__ = ("tuples",)
+    __slots__ = ("tuples", "_supports", "_positions", "_residue", "_valid", "_stamp")
+
+    priority = 2
+    wake_on = EVT_REMOVE
 
     def __init__(self, vars: Sequence[Variable], tuples: Iterable[Sequence[int]]) -> None:
         self.vars = tuple(vars)
@@ -372,19 +855,98 @@ class Table(Propagator):
         if any(len(t) != len(self.vars) for t in tups):
             raise ValueError("every tuple must match the variable count")
         self.tuples = tups
+        # support mask per (position, value): which tuples mention it
+        self._supports: list[dict[int, int]] = [{} for _ in self.vars]
+        for ti, tup in enumerate(tups):
+            bit = 1 << ti
+            for p, val in enumerate(tup):
+                sup = self._supports[p]
+                sup[val] = sup.get(val, 0) | bit
+        # positions of each distinct variable (a var may appear twice)
+        self._positions: dict[int, list[int]] = {}
+        for p, v in enumerate(self.vars):
+            self._positions.setdefault(v.index, []).append(p)
+        self._residue: dict[tuple[int, int], int] = {}
+        self._valid: list[int] | None = None
+        self._stamp = -1
 
-    def propagate(self, state: DomainState) -> bool:
-        supported: list[set[int]] = [set() for _ in self.vars]
-        for tup in self.tuples:
-            if all(state.contains(v, val) for v, val in zip(self.vars, tup)):
-                for s, val in zip(supported, tup):
-                    s.add(val)
-        for v, support in zip(self.vars, supported):
-            if not support:
-                return False
-            mask = 0
-            for val in support:
-                mask |= 1 << (val - v.offset)
-            if not state.intersect_mask(v, mask):
-                return False
-        return True
+    def watches(self) -> list[tuple[Variable, int, int | None]]:
+        """Each distinct variable once (duplicates share one watcher),
+        relevant only to the values its tuples actually mention."""
+        rel_of: dict[int, int] = {}
+        order: list[Variable] = []
+        for p, v in enumerate(self.vars):
+            if v.index not in rel_of:
+                rel_of[v.index] = 0
+                order.append(v)
+            for val in self._supports[p]:
+                b = val - v.offset
+                if b >= 0:
+                    rel_of[v.index] |= 1 << b
+        return [(v, EVT_REMOVE, rel_of[v.index]) for v in order]
+
+    def reset(self, state: DomainState) -> None:
+        """Recompute the validity mask from the current domains."""
+        valid = (1 << len(self.tuples)) - 1
+        for p, v in enumerate(self.vars):
+            union = 0
+            sup = self._supports[p]
+            for val in state.values(v):
+                union |= sup.get(val, 0)
+            valid &= union
+        self._valid = [valid]
+        self._stamp = -1
+
+    def on_event(self, state: DomainState, idx: int, old: int, new: int) -> None:
+        """Invalidate every tuple that mentions a removed value."""
+        removed = old & ~new
+        offset = None
+        kill = 0
+        for p in self._positions[idx]:
+            sup = self._supports[p]
+            if offset is None:
+                offset = self.vars[p].offset
+            m = removed
+            while m:
+                low = m & -m
+                m ^= low
+                kill |= sup.get(offset + low.bit_length() - 1, 0)
+        valid = self._valid[0]
+        if kill & valid:
+            if self._stamp != state._stamp:
+                self._stamp = state._stamp
+                state.save(self._valid, 0)
+            self._valid[0] = valid & ~kill
+
+    def propagate(self, state: DomainState) -> int:
+        """Keep exactly the values with a valid supporting tuple."""
+        valid = self._valid[0]
+        if valid == 0:
+            return PROP_FAIL
+        residue = self._residue
+        all_assigned = True
+        for p, v in enumerate(self.vars):
+            sup = self._supports[p]
+            offset = v.offset
+            dm = state.masks[v.index]
+            keep = 0
+            m = dm
+            while m:
+                low = m & -m
+                m ^= low
+                val = offset + low.bit_length() - 1
+                r = residue.get((p, val))
+                if r is not None and valid >> r & 1:
+                    keep |= low
+                    continue
+                s = sup.get(val, 0) & valid
+                if s:
+                    residue[(p, val)] = (s & -s).bit_length() - 1
+                    keep |= low
+            if keep == 0:
+                return PROP_FAIL
+            if keep != dm and not state.intersect_mask(v, keep):
+                return PROP_FAIL
+            if keep & (keep - 1):
+                all_assigned = False
+        return PROP_ENTAILED if all_assigned else PROP_OK

@@ -6,6 +6,22 @@ values in heuristic order, propagate constraints to a fixpoint after every
 assignment, backtrack on wipe-out.  The search is *complete*: it terminates
 with SAT (a solution), UNSAT (exhausted the space) or UNKNOWN (hit the
 time/node budget, the paper's "overrun").
+
+Propagation is **incremental and event-driven** (see
+:mod:`repro.csp.state` and :mod:`repro.csp.propagators`):
+
+* every domain mutation is a typed event (ASSIGN / BOUNDS / REMOVE) and
+  propagators subscribe per variable *and* per event type, so e.g. a
+  symmetry chain only wakes when a bound moves;
+* before a woken propagator runs, its ``on_event`` hook is fed the exact
+  domain delta so owned counters stay current in O(1) per change;
+* the propagation queue is priority-tiered — cheap counter-check
+  propagators (tier 0) drain before linear passes (tier 1) before
+  table filtering (tier 2) — which keeps expensive propagators from
+  running against half-settled domains;
+* a propagator that reports entailment (:data:`~repro.csp.propagators.
+  PROP_ENTAILED`) is deactivated for the rest of the subtree; the
+  deactivation lives on the trail, so backtracking reactivates it.
 """
 
 from __future__ import annotations
@@ -21,10 +37,20 @@ from repro.csp.heuristics import (
     value_order_ascending,
     var_order_min_domain,
 )
-from repro.csp.state import DomainState
+from repro.csp.propagators import PROP_ENTAILED
+from repro.csp.state import EVT_ANY, EVT_ASSIGN, DomainState
 from repro.util.timer import Deadline
 
-__all__ = ["Status", "SearchStats", "SolveOutcome", "Solver"]
+_EVT_ASSIGN = EVT_ASSIGN  # module-local alias, bound once for the hot loop
+
+__all__ = ["Status", "SearchStats", "SolveOutcome", "Solver", "PROPAGATION_ENGINE"]
+
+#: engine flavor tag, recorded by benchmarks (the pre-refactor engine
+#: rescanned every propagator's whole scope on each wake)
+PROPAGATION_ENGINE = "incremental-events"
+
+#: number of propagation-queue tiers (Propagator.priority is clamped into it)
+_N_TIERS = 3
 
 
 class Status(Enum):
@@ -42,6 +68,8 @@ class SearchStats:
     nodes: int = 0          # value-assignment attempts
     fails: int = 0          # attempts refuted by propagation
     propagations: int = 0   # propagator executions
+    events: int = 0         # typed domain-change events dispatched
+    entailments: int = 0    # propagators deactivated as entailed
     solutions: int = 0
     max_depth: int = 0
     restarts: int = 0       # geometric restarts taken (restart_nodes mode)
@@ -117,59 +145,163 @@ class Solver:
             degrees=model.degrees(),
             rng=None if seed is None else random.Random(seed),
         )
-        # event-driven propagation wiring
+        # Event-driven propagation wiring, built once per Solver: for
+        # every variable, a per-event-class jump table.  An event's mask
+        # is always one of REMOVE (1), REMOVE|BOUNDS (3) or
+        # REMOVE|BOUNDS|ASSIGN (7), so ``self._watchers[idx][mask]`` is
+        # the pre-filtered tuple of ``(pid, on_event-or-None, relevance)``
+        # subscriptions to wake — no per-entry wake-mask test in the hot
+        # dispatch loop.
         self._props = list(model.constraints)
-        self._watchers: list[list[int]] = [[] for _ in model.variables]
+        raw: list[list[tuple]] = [[] for _ in model.variables]
+        self._tiers: list[int] = []
         for pid, prop in enumerate(self._props):
-            for v in prop.vars:
-                self._watchers[v.index].append(pid)
-        self._queue: deque[int] = deque()
+            tier = min(_N_TIERS - 1, max(0, getattr(prop, "priority", 1)))
+            self._tiers.append(tier)
+            handler = getattr(prop, "on_event", None)
+            if handler is not None and not getattr(prop, "incremental", True):
+                handler = None  # tally-on-wake mode: no delta bookkeeping
+            watches = getattr(prop, "watches", None)
+            entries = (
+                watches() if watches is not None
+                else [(v, EVT_ANY, None) for v in prop.vars]
+            )
+            for entry in entries:
+                if len(entry) == 2:  # legacy (var, wake_mask) subscription
+                    var, wake_mask = entry
+                    relevance = None
+                else:
+                    var, wake_mask, relevance = entry
+                raw[var.index].append((pid, wake_mask, handler, relevance))
+        self._watchers: list[tuple] = [
+            tuple(
+                tuple(
+                    (pid, handler, relevance)
+                    for pid, wake_mask, handler, relevance in entries
+                    if wake_mask & event_class
+                )
+                if event_class in (1, 3, 7)
+                else ()
+                for event_class in range(8)
+            )
+            for entries in raw
+        ]
+        self._queues: tuple[deque[int], ...] = tuple(
+            deque() for _ in range(_N_TIERS)
+        )
         self._on_queue = [False] * len(self._props)
+        #: per-propagator liveness; entailment flips a slot to False with
+        #: a trail record, so backtracking reactivates the propagator
+        self._active = [True] * len(self._props)
         self._deadline: Deadline | None = None
         self._prop_budget_check = 0
         self._cutoff_hit = False
         self.stats = SearchStats()
 
     # -- propagation -----------------------------------------------------------
-    def _enqueue_watchers(self, state: DomainState) -> None:
-        for idx in state.drain_changed():
-            for pid in self._watchers[idx]:
-                if not self._on_queue[pid]:
-                    self._on_queue[pid] = True
-                    self._queue.append(pid)
-
     def _enqueue_all(self) -> None:
-        for pid in range(len(self._props)):
-            if not self._on_queue[pid]:
-                self._on_queue[pid] = True
-                self._queue.append(pid)
+        queues = self._queues
+        tiers = self._tiers
+        on_queue = self._on_queue
+        for pid, is_active in enumerate(self._active):
+            if is_active and not on_queue[pid]:
+                on_queue[pid] = True
+                queues[tiers[pid]].append(pid)
 
     def _reset_queue(self, state: DomainState) -> None:
-        while self._queue:
-            self._on_queue[self._queue.popleft()] = False
-        state.changed.clear()
+        on_queue = self._on_queue
+        for queue in self._queues:
+            while queue:
+                on_queue[queue.popleft()] = False
+        # undispatched events belong to the failed/abandoned level; the
+        # caller's pop_level truncates them (root-level callers return)
+
+    def _reset_propagators(self, state: DomainState) -> None:
+        """Fresh run: reactivate everything, rebuild owned counters."""
+        active = self._active
+        for pid in range(len(active)):
+            active[pid] = True
+        self._reset_queue(state)
+        for prop in self._props:
+            reset = getattr(prop, "reset", None)
+            if reset is not None:
+                reset(state)
 
     def _fixpoint(self, state: DomainState) -> bool:
-        """Run queued propagators to a fixpoint; False on conflict."""
-        queue = self._queue
+        """Dispatch pending events and run woken propagators to a
+        fixpoint; False on conflict.
+
+        Event dispatch (inlined here — this is the hottest loop in the
+        repo): for every typed event, each watching propagator whose
+        wake mask matches gets its ``on_event`` counter update exactly
+        once (queued or not), then is enqueued on its priority tier.
+        Deactivated (entailed) propagators are skipped entirely — their
+        counters are trail-consistent with the domains at entailment
+        time, see propagators.py.  Queue tiers drain cheapest-first: a
+        tier-1 propagator only runs when tier 0 is empty, tier 2 when
+        0 and 1 are."""
+        q0, q1, q2 = self._queues
         props = self._props
+        active = self._active
         on_queue = self._on_queue
-        self._enqueue_watchers(state)
-        while queue:
-            pid = queue.popleft()
+        watchers = self._watchers
+        queues = self._queues
+        tiers = self._tiers
+        stats = self.stats
+        events = state.events
+        while True:
+            # -- dispatch everything that happened since the last pop
+            i = state.dispatched
+            n = len(events)
+            if i < n:
+                stats.events += n - i
+                while i < n:
+                    idx, old, new, event_mask = events[i]
+                    i += 1
+                    for pid, handler, relevance in watchers[idx][event_mask]:
+                        if not active[pid]:
+                            continue
+                        if relevance is not None and not (
+                            relevance & (old ^ new)
+                            or event_mask & _EVT_ASSIGN and relevance & new
+                        ):
+                            continue  # event can't affect this propagator
+                        if (
+                            handler is not None
+                            and handler(state, idx, old, new) is False
+                        ):
+                            continue  # counters updated; wake provably a no-op
+                        if not on_queue[pid]:
+                            on_queue[pid] = True
+                            queues[tiers[pid]].append(pid)
+                state.dispatched = i
+            # -- run the cheapest woken propagator
+            if q0:
+                pid = q0.popleft()
+            elif q1:
+                pid = q1.popleft()
+            elif q2:
+                pid = q2.popleft()
+            else:
+                return True
             on_queue[pid] = False
-            self.stats.propagations += 1
+            if not active[pid]:
+                continue
+            stats.propagations += 1
             self._prop_budget_check += 1
             if self._prop_budget_check >= 1024:
                 self._prop_budget_check = 0
                 if self._deadline is not None and self._deadline.expired():
                     self._reset_queue(state)
                     raise _Timeout
-            if not props[pid].propagate(state):
+            verdict = props[pid].propagate(state)
+            if not verdict:
                 self._reset_queue(state)
                 return False
-            self._enqueue_watchers(state)
-        return True
+            if verdict == PROP_ENTAILED:
+                state.save(active, pid)
+                active[pid] = False
+                stats.entailments += 1
 
     # -- search -------------------------------------------------------------------
     def solve(
@@ -204,6 +336,8 @@ class Solver:
             total.nodes += out.stats.nodes
             total.fails += out.stats.fails
             total.propagations += out.stats.propagations
+            total.events += out.stats.events
+            total.entailments += out.stats.entailments
             total.max_depth = max(total.max_depth, out.stats.max_depth)
             total.solutions = out.stats.solutions
             total.elapsed = deadline.elapsed()
@@ -243,6 +377,7 @@ class Solver:
         self.stats = SearchStats()
         stats = self.stats
         state = DomainState(self.model)
+        self._reset_propagators(state)
         self._deadline = deadline = Deadline(time_limit)
         solutions: list[dict[Variable, int]] = []
 
@@ -272,12 +407,15 @@ class Solver:
         stack: list[tuple[Variable, object]] = [
             (first, iter(self.value_order(state, first)))
         ]
+        check_time = time_limit is not None
+        check_nodes = node_limit is not None
+        check_cutoff = node_cutoff is not None
         while stack:
-            if deadline.expired() or (
-                node_limit is not None and stats.nodes >= node_limit
+            if (check_time and deadline.expired()) or (
+                check_nodes and stats.nodes >= node_limit
             ):
                 return outcome(Status.UNKNOWN)
-            if node_cutoff is not None and stats.nodes >= node_cutoff:
+            if check_cutoff and stats.nodes >= node_cutoff:
                 self._cutoff_hit = True
                 return outcome(Status.UNKNOWN)
             var, it = stack[-1]

@@ -1,34 +1,104 @@
-"""Trail-based domain state for backtracking search.
+"""Trail-based domain state with a typed, level-aware event log.
 
 Current domains live in a flat ``list[int]`` of bitmasks indexed by
-variable index.  Every mutation pushes ``(index, old_mask)`` onto a trail;
-:meth:`DomainState.push_level` / :meth:`pop_level` bracket decision levels
-so the search undoes exactly the changes of a failed subtree — O(#changes),
-never a full copy.
+variable index.  Every mutation pushes a generic undo record onto a
+trail; :meth:`DomainState.push_level` / :meth:`pop_level` bracket decision
+levels so the search undoes exactly the changes of a failed subtree —
+O(#changes), never a full copy.
 
-The state also keeps a *changed* log that the propagation engine drains to
-schedule watching propagators (event-driven propagation).
+Two things make the state *event-driven*:
+
+**Typed events.**  Every domain mutation appends ``(index, old_mask,
+new_mask, event_mask)`` to :attr:`DomainState.events`, where
+``event_mask`` is an OR of
+
+* :data:`EVT_REMOVE` — at least one value left the domain (set on every
+  event, since domains only ever shrink);
+* :data:`EVT_BOUNDS` — the domain minimum or maximum moved;
+* :data:`EVT_ASSIGN` — the domain became a singleton.
+
+The propagation engine drains the log and wakes only propagators
+subscribed to a matching event type (``Propagator.watches()``), handing
+them the exact ``old/new`` masks so incremental propagators can update
+their counters from the delta in O(1) instead of rescanning.
+
+The log is **level-aware**: ``push_level`` records the event mark along
+with the trail mark, and ``pop_level`` truncates only the events
+recorded inside the popped level.  Events recorded *before* the push —
+pending but not yet drained — survive the pop, so no wake is ever lost
+to backtracking.
+
+**A generic trail.**  Undo records are ``(container, key, old_value)``
+triples restored as ``container[key] = old_value``.  Domain masks use it
+with ``container is self.masks``; propagators use :meth:`save` (or the
+once-per-node :meth:`save_all`) to give their *owned* counters — fixed/
+free counts, entailment flags, validity bitmasks — exactly the same
+backtracking guarantee as the domains themselves.  :attr:`stamp` is a
+never-reused id of the current search node, letting a propagator trail a
+counter snapshot at most once per node.
 """
 
 from __future__ import annotations
 
 from repro.csp.core import Model, Variable
+from repro.util.bitset import values_from_mask
 
-__all__ = ["DomainState"]
+__all__ = [
+    "DomainState",
+    "EVT_REMOVE",
+    "EVT_BOUNDS",
+    "EVT_ASSIGN",
+    "EVT_ANY",
+]
+
+#: event type: one or more values were removed (set on every event)
+EVT_REMOVE = 0b001
+#: event type: the domain minimum or maximum changed
+EVT_BOUNDS = 0b010
+#: event type: the domain collapsed to a singleton
+EVT_ASSIGN = 0b100
+#: subscribe-to-everything wake mask
+EVT_ANY = EVT_REMOVE | EVT_BOUNDS | EVT_ASSIGN
+
+#: event mask of a collapse to singleton (a bound always moves too;
+#: wipe-outs are refused before any event is recorded)
+_EV_SINGLETON = EVT_REMOVE | EVT_BOUNDS | EVT_ASSIGN
 
 
 class DomainState:
     """Mutable domains of one search over a :class:`Model`."""
 
-    __slots__ = ("model", "masks", "_trail", "_levels", "changed")
+    __slots__ = (
+        "model",
+        "masks",
+        "events",
+        "dispatched",
+        "_trail",
+        "_undo",
+        "_levels",
+        "_stamp",
+    )
 
     def __init__(self, model: Model) -> None:
         self.model = model
         self.masks: list[int] = [v.initial_mask for v in model.variables]
+        #: typed change log consumed by the engine:
+        #: ``(var_index, old_mask, new_mask, event_mask)`` tuples.  The
+        #: list is level-truncated on backtrack, so consumers read it
+        #: through the :attr:`dispatched` cursor rather than draining it.
+        self.events: list[tuple[int, int, int, int]] = []
+        #: cursor into :attr:`events`: entries below it have been handed
+        #: to the engine already (clamped by :meth:`pop_level`)
+        self.dispatched = 0
+        #: mask trail of ``(var_index, old_mask)`` records (the hot one)
         self._trail: list[tuple[int, int]] = []
-        self._levels: list[int] = []
-        #: variable indices whose domain changed since last drained
-        self.changed: list[int] = []
+        #: generic undo log of ``(container, key, old_value)`` records
+        #: for propagator-owned state (key ``None`` = whole-list snapshot)
+        self._undo: list[tuple] = []
+        #: per open level: (trail mark, undo mark, event mark)
+        self._levels: list[tuple[int, int, int]] = []
+        #: never-reused id of the current search node (see :attr:`stamp`)
+        self._stamp = 0
 
     # -- queries ------------------------------------------------------------
     def mask(self, var: Variable) -> int:
@@ -72,23 +142,15 @@ class DomainState:
 
     def values(self, var: Variable) -> list[int]:
         """Current domain as a sorted list."""
-        out = []
-        m, base = self.masks[var.index], var.offset
-        while m:
-            low = m & -m
-            out.append(base + low.bit_length() - 1)
-            m ^= low
-        return out
+        return values_from_mask(self.masks[var.index], var.offset)
 
     def solution(self) -> dict[Variable, int]:
         """Mapping of every variable to its value (all must be assigned)."""
         return {v: self.value(v) for v in self.model.variables}
 
     # -- mutations ------------------------------------------------------------
-    def _set_mask(self, idx: int, new_mask: int) -> None:
-        self._trail.append((idx, self.masks[idx]))
-        self.masks[idx] = new_mask
-        self.changed.append(idx)
+    # The mutators record the undo and the typed event inline (these are
+    # the hottest writes in the engine; assign's event mask is constant).
 
     def assign(self, var: Variable, value: int) -> bool:
         """Reduce the domain to ``{value}``; False if value not in domain."""
@@ -96,11 +158,15 @@ class DomainState:
         if b < 0:
             return False
         bit = 1 << b
-        old = self.masks[var.index]
+        idx = var.index
+        masks = self.masks
+        old = masks[idx]
         if not old & bit:
             return False
         if old != bit:
-            self._set_mask(var.index, bit)
+            self._trail.append((idx, old))
+            self.events.append((idx, old, bit, _EV_SINGLETON))
+            masks[idx] = bit
         return True
 
     def remove_value(self, var: Variable, value: int) -> bool:
@@ -109,25 +175,45 @@ class DomainState:
         if b < 0:
             return True  # value was never in the domain
         bit = 1 << b
-        old = self.masks[var.index]
+        idx = var.index
+        masks = self.masks
+        old = masks[idx]
         if not old & bit:
             return True
         new = old & ~bit
         if new == 0:
             return False
-        self._set_mask(var.index, new)
+        self._trail.append((idx, old))
+        if not new & (new - 1):
+            ev = _EV_SINGLETON
+        elif bit == old & -old or new < bit:  # dropped the min or the max
+            ev = EVT_REMOVE | EVT_BOUNDS
+        else:
+            ev = EVT_REMOVE
+        self.events.append((idx, old, new, ev))
+        masks[idx] = new
         return True
 
     def intersect_mask(self, var: Variable, mask: int) -> bool:
         """Keep only values whose bits are set in ``mask`` (same offset);
         False if the domain becomes empty."""
-        old = self.masks[var.index]
+        idx = var.index
+        masks = self.masks
+        old = masks[idx]
         new = old & mask
         if new == old:
             return True
         if new == 0:
             return False
-        self._set_mask(var.index, new)
+        self._trail.append((idx, old))
+        if not new & (new - 1):
+            ev = _EV_SINGLETON
+        elif old & -old != new & -new or old.bit_length() != new.bit_length():
+            ev = EVT_REMOVE | EVT_BOUNDS
+        else:
+            ev = EVT_REMOVE
+        self.events.append((idx, old, new, ev))
+        masks[idx] = new
         return True
 
     def remove_above(self, var: Variable, bound: int) -> bool:
@@ -144,6 +230,27 @@ class DomainState:
             return True
         return self.intersect_mask(var, ~((1 << b) - 1))
 
+    # -- generic trail (propagator-owned reversible data) ---------------------
+    @property
+    def stamp(self) -> int:
+        """Never-reused identifier of the current search node.
+
+        Increases on every :meth:`push_level` and is never reused after a
+        pop, so ``my_stamp != state.stamp`` is a safe "have I trailed my
+        counters at this node yet?" test for propagators."""
+        return self._stamp
+
+    def save(self, container, key) -> None:
+        """Trail one slot of any mutable container so :meth:`pop_level`
+        restores it: the undo replays ``container[key] = old_value``."""
+        self._undo.append((container, key, container[key]))
+
+    def save_all(self, container: list) -> None:
+        """Trail a (small) list wholesale in one undo record — the idiom
+        for a propagator snapshotting its counters once per node.  The
+        record's key is ``None`` and the undo replays a slice assign."""
+        self._undo.append((container, None, tuple(container)))
+
     # -- trail ---------------------------------------------------------------
     @property
     def level(self) -> int:
@@ -152,22 +259,44 @@ class DomainState:
 
     def push_level(self) -> None:
         """Open a new decision level."""
-        self._levels.append(len(self._trail))
+        self._levels.append((len(self._trail), len(self._undo), len(self.events)))
+        self._stamp += 1
 
     def pop_level(self) -> None:
-        """Undo every change made since the matching :meth:`push_level`."""
+        """Undo every change made since the matching :meth:`push_level`.
+
+        Domain masks *and* any propagator-owned slots trailed via
+        :meth:`save` / :meth:`save_all` are restored; events recorded
+        inside the popped level are discarded, while events recorded
+        before the push (pending, not yet drained) survive."""
         if not self._levels:
             raise RuntimeError("pop_level without matching push_level")
-        mark = self._levels.pop()
-        masks = self.masks
+        mark, undo_mark, event_mark = self._levels.pop()
         trail = self._trail
+        masks = self.masks
         while len(trail) > mark:
             idx, old = trail.pop()
             masks[idx] = old
-        self.changed.clear()
+        undo = self._undo
+        while len(undo) > undo_mark:
+            container, key, old = undo.pop()
+            if key is None:  # wholesale list snapshot (save_all)
+                container[:] = old
+            else:
+                container[key] = old
+        del self.events[event_mark:]
+        if self.dispatched > event_mark:
+            self.dispatched = event_mark
+
+    def drain_events(self) -> list[tuple[int, int, int, int]]:
+        """Return the not-yet-consumed events and advance the cursor."""
+        out = self.events[self.dispatched:]
+        self.dispatched = len(self.events)
+        return out
 
     def drain_changed(self) -> list[int]:
-        """Return and clear the changed-variable log."""
-        out = self.changed
-        self.changed = []
-        return out
+        """Return and consume the changed-variable log (indices only).
+
+        Compatibility surface over :meth:`drain_events` for callers that
+        only need *which* variables moved, not the typed deltas."""
+        return [e[0] for e in self.drain_events()]

@@ -10,6 +10,7 @@ from repro.util.bitset import (
     first_bit,
     mask_of,
     popcount,
+    values_from_mask,
 )
 from repro.util.timer import Deadline
 
@@ -22,5 +23,6 @@ __all__ = [
     "first_bit",
     "mask_of",
     "popcount",
+    "values_from_mask",
     "Deadline",
 ]

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
 
-__all__ = ["mask_of", "bit_indices", "first_bit", "popcount"]
+__all__ = ["mask_of", "bit_indices", "first_bit", "popcount", "values_from_mask"]
 
 
 def mask_of(values: Iterable[int]) -> int:
@@ -42,3 +42,20 @@ def first_bit(mask: int) -> int:
 def popcount(mask: int) -> int:
     """Number of set bits (domain size)."""
     return mask.bit_count()
+
+
+def values_from_mask(mask: int, offset: int = 0) -> list[int]:
+    """Decode a domain bitmask into its sorted value list.
+
+    Bit ``b`` of ``mask`` represents value ``offset + b`` — the one
+    decoding used by every domain reader (``DomainState.values``,
+    ``Variable.initial_values``), kept here so the bit-twiddling loop
+    exists exactly once.  Hand-unrolled rather than wrapping
+    :func:`bit_indices`: this runs once per search node in the value-
+    ordering heuristics, where the generator protocol would dominate."""
+    out = []
+    while mask:
+        low = mask & -mask
+        out.append(offset + low.bit_length() - 1)
+        mask ^= low
+    return out

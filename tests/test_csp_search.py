@@ -183,6 +183,16 @@ class TestHeuristics:
         out = Solver(m, value_order=value_order_custom([1, 2, 0])).solve()
         assert out.value(x) == 1 and out.value(y) == 1
 
+    def test_custom_value_order_duplicates_keep_leftovers(self):
+        # a duplicated preferred value must not mask the leftover values
+        # (search stays complete: every domain value is still tried)
+        m = Model()
+        x = m.int_var(0, 2, "x")
+        order = value_order_custom([1, 1, 2])
+        from repro.csp.state import DomainState
+
+        assert order(DomainState(m), x) == [1, 2, 0]
+
     def test_input_order_branches_in_creation_order(self):
         m = Model()
         x = m.int_var(0, 1, "x")

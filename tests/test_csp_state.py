@@ -1,11 +1,11 @@
-"""Tests for the trail-based domain state."""
+"""Tests for the trail-based domain state and its typed event log."""
 
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.csp import Model
-from repro.csp.state import DomainState
+from repro.csp.state import EVT_ASSIGN, EVT_BOUNDS, EVT_REMOVE, DomainState
 
 
 @pytest.fixture
@@ -127,6 +127,107 @@ class TestTrail:
         s.assign(x, 2)
         s.pop_level()
         assert s.drain_changed() == []
+
+    def test_pop_keeps_pending_events_from_before_the_push(self, setup):
+        """The event log is level-aware: events recorded before a
+        push_level survive the pop (the old engine dropped them)."""
+        m, x, y, b = setup
+        s = DomainState(m)
+        s.remove_value(x, 5)  # pending, not yet drained
+        s.push_level()
+        s.assign(y, 3)  # level-local: discarded by the pop
+        s.pop_level()
+        assert s.drain_changed() == [x.index]
+
+    def test_pop_discards_only_the_popped_level(self, setup):
+        m, x, y, b = setup
+        s = DomainState(m)
+        s.push_level()
+        s.assign(x, 2)  # level 1: survives
+        s.push_level()
+        s.assign(y, 3)  # level 2: discarded
+        s.pop_level()
+        assert s.drain_changed() == [x.index]
+
+    def test_dispatched_cursor_clamped_on_pop(self, setup):
+        m, x, y, b = setup
+        s = DomainState(m)
+        s.push_level()
+        s.assign(x, 2)
+        assert s.drain_changed() == [x.index]  # cursor now past the event
+        s.pop_level()
+        s.assign(y, 3)
+        assert s.drain_changed() == [y.index]  # clamp: new event not skipped
+
+
+class TestTypedEvents:
+    def test_event_masks(self, setup):
+        m, x, y, b = setup
+        s = DomainState(m)
+        s.remove_value(x, 3)  # interior: REMOVE only
+        s.remove_value(x, 2)  # min moves: REMOVE|BOUNDS
+        s.assign(x, 4)  # singleton: REMOVE|BOUNDS|ASSIGN
+        kinds = [e[3] for e in s.events]
+        assert kinds == [
+            EVT_REMOVE,
+            EVT_REMOVE | EVT_BOUNDS,
+            EVT_REMOVE | EVT_BOUNDS | EVT_ASSIGN,
+        ]
+
+    def test_events_carry_old_and_new_masks(self, setup):
+        m, x, *_ = setup
+        s = DomainState(m)
+        old = s.mask(x)
+        s.remove_value(x, 4)
+        idx, got_old, got_new, _ = s.events[-1]
+        assert idx == x.index
+        assert got_old == old and got_new == s.mask(x)
+
+    def test_noop_mutations_record_no_event(self, setup):
+        m, x, *_ = setup
+        s = DomainState(m)
+        s.remove_value(x, 99)  # absent value
+        s.intersect_mask(x, s.mask(x))  # no change
+        assert s.events == []
+
+
+class TestGenericTrail:
+    def test_save_restores_slot(self, setup):
+        m, x, *_ = setup
+        s = DomainState(m)
+        counters = [7, 9]
+        s.push_level()
+        s.save(counters, 0)
+        counters[0] = 42
+        s.pop_level()
+        assert counters == [7, 9]
+
+    def test_save_all_restores_snapshot(self, setup):
+        m, x, *_ = setup
+        s = DomainState(m)
+        counters = [1, 2, 3]
+        s.push_level()
+        s.save_all(counters)
+        counters[:] = [9, 9, 9]
+        s.pop_level()
+        assert counters == [1, 2, 3]
+
+    def test_root_saves_are_permanent(self, setup):
+        m, x, *_ = setup
+        s = DomainState(m)
+        counters = [5]
+        s.save(counters, 0)  # root level: never popped
+        counters[0] = 6
+        assert s.level == 0
+
+    def test_stamp_is_never_reused(self, setup):
+        m, *_ = setup
+        s = DomainState(m)
+        s.push_level()
+        first = s.stamp
+        s.pop_level()
+        s.push_level()
+        assert s.stamp != first  # a sibling node gets a fresh stamp
 
 
 @given(

@@ -17,6 +17,7 @@ from repro.util import (
     lcm_pair,
     mask_of,
     popcount,
+    values_from_mask,
 )
 
 
@@ -119,6 +120,25 @@ class TestBitset:
         assert popcount(mask) == len(values)
         if values:
             assert first_bit(mask) == min(values)
+
+    def test_values_from_mask(self):
+        assert values_from_mask(0b101100) == [2, 3, 5]
+
+    def test_values_from_mask_empty(self):
+        assert values_from_mask(0) == []
+
+    def test_values_from_mask_offset(self):
+        # bit b represents value offset + b — the domain decoding used by
+        # DomainState.values and Variable.initial_values
+        assert values_from_mask(0b101, offset=7) == [7, 9]
+        assert values_from_mask(0b11, offset=-3) == [-3, -2]
+
+    @given(st.sets(st.integers(0, 120), max_size=30), st.integers(-50, 50))
+    def test_values_from_mask_matches_bit_indices(self, bits, offset):
+        mask = mask_of(bits)
+        assert values_from_mask(mask, offset) == [
+            offset + b for b in bit_indices(mask)
+        ]
 
 
 class TestDeadline:
