@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test docs-check solvers-check solvers-md bench bench-portfolio bench-engine ci
+.PHONY: test docs-check solvers-check solvers-md bench bench-portfolio bench-engine bench-analysis ci
 
 ## tier-1 test suite (the bar every PR must keep green)
 test:
@@ -34,6 +34,11 @@ bench-portfolio:
 ## (compare against benchmarks/BENCH_engine.{before,after}.json)
 bench-engine:
 	$(PYTHON) benchmarks/bench_engine.py --out BENCH_engine.json
+
+## screening-cascade benchmark: decided fraction + plain-vs-screened wall
+## time on the d-first grid (compare against benchmarks/BENCH_analysis.full.json)
+bench-analysis:
+	$(PYTHON) benchmarks/bench_analysis.py --out BENCH_analysis.json
 
 ## what CI runs: doc guards first (fast), then the full suite
 ci: docs-check solvers-check test

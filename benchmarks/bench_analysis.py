@@ -1,0 +1,258 @@
+"""Screening-cascade benchmark: decided fraction and end-to-end speedup.
+
+Runs the paper's ``d-first`` generator grid (200 seeded instances at the
+full scale) through three measurements per instance:
+
+* the bare cascade (``repro.analysis.run_cascade``) — which test, if
+  any, decides the instance and how long the screen itself takes;
+* the plain exact pipeline (``csp2+dc``) — the *before* number;
+* the screened pipeline (``screen+csp2+dc``) — the *after* number: the
+  cascade answers directly or the exact engine sees the instance with
+  the cascade's overhead on top.
+
+Budgets are *node* limits, never time limits, so the statuses, the
+decided-by-test counts and the agreement figures are machine-independent
+— only the wall-clock fields may move between machines.  The checked-in
+snapshots next to this file record the before/after comparison:
+
+* ``BENCH_analysis.full.json`` — the 200-instance acceptance grid;
+* ``BENCH_analysis.smoke.json`` — the tiny CI grid.
+
+``agreement`` cross-checks every cascade verdict against the exact
+``csp2+dc`` answer on the same instance: ``disagreements`` must be 0
+(certificates may abstain, never contradict) and CI re-runs the smoke
+grid to keep it that way.
+
+Usage::
+
+    python benchmarks/bench_analysis.py --out BENCH_analysis.json
+    python benchmarks/bench_analysis.py --smoke --out /tmp/smoke.json
+    python benchmarks/bench_analysis.py --check-schema BENCH_analysis.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform as py_platform
+import sys
+import time
+
+from repro.analysis import run_cascade
+from repro.generator import GeneratorConfig, generate_instances
+from repro.model.platform import Platform
+from repro.solvers.registry import create_solver
+
+SCHEMA = "bench-analysis/v1"
+
+#: top-level keys every BENCH_analysis.json must carry (CI schema guard)
+REQUIRED_TOP_KEYS = (
+    "schema",
+    "scale",
+    "python",
+    "grid",
+    "screen",
+    "plain",
+    "screened",
+    "agreement",
+    "totals",
+)
+#: keys of the per-pipeline sections (CI schema guard)
+REQUIRED_PIPELINE_KEYS = ("solver", "wall_time_s", "status_counts", "nodes")
+
+#: the exact engine both pipelines bottom out in
+EXACT = "csp2+dc"
+SCREENED = "screen+csp2+dc"
+
+
+def _grid(smoke: bool) -> dict:
+    """The pinned generator grid (the paper's d-first recipe)."""
+    if smoke:
+        return {"count": 16, "n": 6, "tmax": 5, "m": "uniform",
+                "order": "d-first", "seed": 2009, "node_limit": 10_000}
+    return {"count": 200, "n": 10, "tmax": 7, "m": "uniform",
+            "order": "d-first", "seed": 2009, "node_limit": 50_000}
+
+
+def _instances(grid: dict):
+    """Materialize the grid's instances deterministically."""
+    cfg = GeneratorConfig(
+        n=grid["n"], tmax=grid["tmax"], m=grid["m"], order=grid["order"]
+    )
+    return generate_instances(cfg, grid["count"], seed=grid["seed"])
+
+
+def _solve_timed(solver: str, system, m: int, node_limit: int):
+    """One pipeline run: (status, wall seconds, search nodes)."""
+    engine = create_solver(solver, system, Platform.identical(m))
+    t0 = time.perf_counter()
+    result = engine.solve(node_limit=node_limit)
+    return result.status.value, time.perf_counter() - t0, result.stats.nodes
+
+
+def run_bench(smoke: bool = False) -> dict:
+    """Run the grid and return the BENCH_analysis document."""
+    grid = _grid(smoke)
+    instances = _instances(grid)
+    node_limit = grid["node_limit"]
+
+    decided_by: dict[str, int] = {}
+    screen_wall = 0.0
+    decided = 0
+    cascade_verdicts: list[str] = []
+    pipelines = {
+        EXACT: {"wall": 0.0, "nodes": 0, "statuses": []},
+        SCREENED: {"wall": 0.0, "nodes": 0, "statuses": []},
+    }
+    compared = 0
+    disagreements: list[dict] = []
+
+    for inst in instances:
+        outcome = run_cascade(inst.system, inst.m)
+        screen_wall += outcome.elapsed
+        cascade_verdicts.append(outcome.verdict.value)
+        if outcome.decided is not None:
+            decided += 1
+            name = outcome.decided.test_name
+            decided_by[name] = decided_by.get(name, 0) + 1
+
+        for solver in (EXACT, SCREENED):
+            status, wall, nodes = _solve_timed(
+                solver, inst.system, inst.m, node_limit
+            )
+            pipelines[solver]["wall"] += wall
+            pipelines[solver]["nodes"] += nodes
+            pipelines[solver]["statuses"].append(status)
+
+        exact_status = pipelines[EXACT]["statuses"][-1]
+        cascade_status = cascade_verdicts[-1]
+        if cascade_status != "unknown" and exact_status != "unknown":
+            compared += 1
+            if cascade_status != exact_status:
+                disagreements.append(
+                    {"seed": inst.seed, "cascade": cascade_status,
+                     "exact": exact_status}
+                )
+
+    def _section(solver: str) -> dict:
+        data = pipelines[solver]
+        statuses = data["statuses"]
+        return {
+            "solver": solver,
+            "wall_time_s": round(data["wall"], 4),
+            "status_counts": {
+                s: statuses.count(s)
+                for s in ("feasible", "infeasible", "unknown")
+            },
+            "nodes": data["nodes"],
+        }
+
+    plain = _section(EXACT)
+    screened = _section(SCREENED)
+    speedup = (
+        plain["wall_time_s"] / screened["wall_time_s"]
+        if screened["wall_time_s"] > 0
+        else 0.0
+    )
+    return {
+        "schema": SCHEMA,
+        "scale": "smoke" if smoke else "full",
+        "python": py_platform.python_version(),
+        "grid": grid,
+        "screen": {
+            "decided": decided,
+            "decided_fraction": round(decided / len(instances), 4),
+            "by_test": dict(sorted(decided_by.items())),
+            "wall_time_s": round(screen_wall, 4),
+        },
+        "plain": plain,
+        "screened": screened,
+        "agreement": {
+            "compared": compared,
+            "disagreements": len(disagreements),
+            "details": disagreements,
+        },
+        "totals": {
+            "instances": len(instances),
+            "speedup": round(speedup, 3),
+            "nodes_saved": plain["nodes"] - screened["nodes"],
+        },
+    }
+
+
+def check_schema(path: str) -> list[str]:
+    """Validate a BENCH_analysis.json document; return problems (empty = ok)."""
+    problems: list[str] = []
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return [f"cannot read {path}: {exc}"]
+    for key in REQUIRED_TOP_KEYS:
+        if key not in doc:
+            problems.append(f"missing top-level key {key!r}")
+    if doc.get("schema") != SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    for section in ("plain", "screened"):
+        for key in REQUIRED_PIPELINE_KEYS:
+            if key not in doc.get(section, {}):
+                problems.append(f"section {section!r} missing key {key!r}")
+    agreement = doc.get("agreement", {})
+    if agreement.get("disagreements", 1) != 0:
+        problems.append(
+            f"cascade/exact disagreements recorded: "
+            f"{agreement.get('disagreements')!r} (soundness bug)"
+        )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--out", default="BENCH_analysis.json", help="output JSON path"
+    )
+    ap.add_argument(
+        "--smoke", action="store_true",
+        help="tiny grid for CI (seconds, not minutes)",
+    )
+    ap.add_argument(
+        "--check-schema", metavar="PATH", default=None,
+        help="validate an existing document instead of running the grid",
+    )
+    args = ap.parse_args(argv)
+
+    if args.check_schema:
+        problems = check_schema(args.check_schema)
+        for p in problems:
+            print(f"{args.check_schema}: {p}", file=sys.stderr)
+        if not problems:
+            print(f"{args.check_schema}: schema ok")
+        return 1 if problems else 0
+
+    doc = run_bench(smoke=args.smoke)
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    screen = doc["screen"]
+    print(
+        f"{doc['totals']['instances']} instances: screen decided "
+        f"{screen['decided']} ({screen['decided_fraction'] * 100:.1f}%) "
+        f"in {screen['wall_time_s']:.3f}s"
+    )
+    print(
+        f"  plain {doc['plain']['solver']}: {doc['plain']['wall_time_s']:.3f}s"
+        f"  screened {doc['screened']['solver']}: "
+        f"{doc['screened']['wall_time_s']:.3f}s"
+        f"  speedup: {doc['totals']['speedup']:.2f}x"
+    )
+    print(
+        f"  agreement: {doc['agreement']['compared']} compared, "
+        f"{doc['agreement']['disagreements']} disagreements"
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

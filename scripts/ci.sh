@@ -18,5 +18,11 @@ python benchmarks/bench_engine.py --check-schema "${TMPDIR:-/tmp}/bench_engine_s
 python benchmarks/bench_engine.py --check-schema benchmarks/BENCH_engine.before.json
 python benchmarks/bench_engine.py --check-schema benchmarks/BENCH_engine.after.json
 
+echo "== perf-smoke: screening cascade tiny grid, zero cascade/exact disagreements =="
+python benchmarks/bench_analysis.py --smoke --out "${TMPDIR:-/tmp}/bench_analysis_smoke.json"
+python benchmarks/bench_analysis.py --check-schema "${TMPDIR:-/tmp}/bench_analysis_smoke.json"
+python benchmarks/bench_analysis.py --check-schema benchmarks/BENCH_analysis.full.json
+python benchmarks/bench_analysis.py --check-schema benchmarks/BENCH_analysis.smoke.json
+
 echo "== tier-1: full test suite =="
 python -m pytest -x -q

@@ -1,0 +1,119 @@
+"""Structured verdicts for the polynomial-time schedulability tests.
+
+Every test in :mod:`repro.analysis.necessary` and
+:mod:`repro.analysis.sufficient` answers with a :class:`Certificate`: a
+verdict (FEASIBLE / INFEASIBLE / UNKNOWN-abstain), the test's name, and
+a JSON-able *witness* substantiating the claim — the over-demanded
+interval, the violated bound with its numbers, the partition assignment,
+the missed deadline.  Certificates are proofs, not heuristics:
+
+* an INFEASIBLE certificate means *no* schedule exists (the test is a
+  necessary condition and it failed);
+* a FEASIBLE certificate means a schedule *does* exist (the test is a
+  sufficient condition and it fired), optionally carrying the witness
+  schedule itself;
+* UNKNOWN means the test abstains — it proves nothing either way and the
+  next test (or the exact solver) must take over.
+
+The cascade (:mod:`repro.analysis.cascade`) chains tests cheapest-first
+and stops at the first non-abstaining certificate, which is what the
+``screen`` meta-solver records as the answer's ``decided_by``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.schedule.schedule import Schedule
+from repro.solvers.base import Feasibility
+
+__all__ = ["Certificate"]
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """One polynomial-time test's verdict with its supporting evidence.
+
+    Attributes
+    ----------
+    verdict:
+        ``FEASIBLE`` (sufficient test fired), ``INFEASIBLE`` (necessary
+        test failed) or ``UNKNOWN`` (the test abstains).
+    test_name:
+        Qualified test name, e.g. ``"necessary:utilization"`` — the
+        string recorded as ``decided_by`` when this certificate decides.
+    witness:
+        JSON-able evidence for the verdict (numbers of the violated
+        bound, the over-demanded interval, a partition assignment, ...).
+    detail:
+        One human-readable line (printed by ``repro-mgrts analyze``).
+    schedule:
+        For feasibility certificates whose witness *is* a schedule (EDF
+        simulation): one validated cyclic hyperperiod; ``None`` when the
+        proof is by bound or packing argument.
+    """
+
+    verdict: Feasibility
+    test_name: str
+    witness: dict[str, Any] = field(default_factory=dict)
+    detail: str = ""
+    schedule: Schedule | None = field(default=None, compare=False)
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def infeasible(
+        cls, test_name: str, witness: dict | None = None, detail: str = ""
+    ) -> "Certificate":
+        """An infeasibility proof from a failed necessary condition."""
+        return cls(Feasibility.INFEASIBLE, test_name, witness or {}, detail)
+
+    @classmethod
+    def feasible(
+        cls,
+        test_name: str,
+        witness: dict | None = None,
+        detail: str = "",
+        schedule: Schedule | None = None,
+    ) -> "Certificate":
+        """A feasibility proof from a fired sufficient condition."""
+        return cls(
+            Feasibility.FEASIBLE, test_name, witness or {}, detail, schedule
+        )
+
+    @classmethod
+    def abstain(cls, test_name: str, detail: str = "") -> "Certificate":
+        """The test proves nothing on this instance (not a verdict)."""
+        return cls(Feasibility.UNKNOWN, test_name, {}, detail)
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def decided(self) -> bool:
+        """True iff this certificate settles the instance."""
+        return self.verdict is not Feasibility.UNKNOWN
+
+    @property
+    def proves_infeasible(self) -> bool:
+        """True for infeasibility proofs."""
+        return self.verdict is Feasibility.INFEASIBLE
+
+    @property
+    def proves_feasible(self) -> bool:
+        """True for feasibility proofs."""
+        return self.verdict is Feasibility.FEASIBLE
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able form (the witness schedule is elided, its existence
+        flagged, so cascade reports stay one-line-per-test small)."""
+        return {
+            "test": self.test_name,
+            "verdict": self.verdict.value,
+            "witness": self.witness,
+            "detail": self.detail,
+            "has_schedule": self.schedule is not None,
+        }
+
+    def __str__(self) -> str:
+        mark = self.verdict.value if self.decided else "abstain"
+        tail = f": {self.detail}" if self.detail else ""
+        return f"[{mark}] {self.test_name}{tail}"

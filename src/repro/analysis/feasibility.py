@@ -1,28 +1,29 @@
-"""Necessary feasibility conditions on identical multiprocessors.
+"""Legacy necessary-condition API over :mod:`repro.analysis.necessary`.
 
-The paper uses exactly one filter: ``U <= m`` ("we do not filter out
-problems which, obviously, cannot be solved because there are not enough
-processors", and Table II counts the unsolved instances that the filter
-*would* have caught, i.e. those with utilization ratio ``r > 1``).
+Historically this module implemented the paper's ``r > 1`` filter and
+the extra necessary conditions itself; the certificate-based subsystem
+(:mod:`repro.analysis.necessary`) is now the single implementation and
+this module keeps the original, check-list-shaped surface on top of it:
 
-This module provides that filter plus two strictly stronger necessary
-conditions this reproduction adds (both are cheap and both are *necessary*,
-so an instance failing any of them is provably infeasible — useful as a
-solver pre-pass and for sanity-checking UNSAT answers):
+* :func:`passes_utilization_filter` — the paper's Table II predicate;
+* :func:`demand_over_capacity_witness` — re-exported from ``necessary``;
+* :func:`necessary_conditions` — the named pass/FAIL check list.
 
-* per-task ``C_i <= D_i`` — a job gets at most one unit per slot;
-* interval demand: for any scan interval ``[a, b]`` of slots, the jobs
-  whose windows lie fully inside it need at most ``m * (b - a + 1)`` units.
-  Checked over all (window start, window end) pairs, which is where the
-  bound is tight.
+New code should call the certificate functions directly (they carry
+machine-readable witnesses and compose into the ``screen`` cascade).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from fractions import Fraction
 
-from repro.model import intervals
+from repro.analysis.necessary import (
+    demand_over_capacity_witness,
+    interval_load_certificate,
+    utilization_certificate,
+    utilization_exceeds,
+    wcet_slack_certificate,
+)
 from repro.model.system import TaskSystem
 
 __all__ = [
@@ -35,7 +36,7 @@ __all__ = [
 
 def passes_utilization_filter(system: TaskSystem, m: int) -> bool:
     """The paper's filter: True iff ``r = U/m <= 1`` (may still be infeasible)."""
-    return system.utilization_ratio(m) <= 1
+    return not utilization_exceeds(system.utilization_ratio(m))
 
 
 @dataclass(frozen=True)
@@ -51,101 +52,43 @@ class NecessaryCheck:
         return f"[{mark}] {self.name}: {self.detail}"
 
 
-def _window_spans(system: TaskSystem) -> list[tuple[int, int, int]]:
-    """(start, end, wcet) scan-order spans of every window; wrapped windows
-    contribute their two fragments' hull conservatively via both pieces."""
-    spans = []
-    T = system.hyperperiod
-    for i, task in enumerate(system):
-        if task.wcet == 0:
-            continue
-        for job in range(system.n_jobs(i)):
-            r = intervals.job_release(task, job)
-            end = r + task.deadline - 1
-            if end < T:
-                spans.append((r, end, task.wcet))
-            else:
-                # a wrapped window never fits inside a scan interval; skip
-                # (the unwrapped windows already make the bound useful)
-                continue
-    return spans
-
-
-def demand_over_capacity_witness(
-    system: TaskSystem, m: int, max_pairs: int = 250_000
-) -> tuple[int, int, int] | None:
-    """A scan interval ``[a, b]`` whose enclosed demand exceeds ``m`` slots
-    of capacity, or None.
-
-    Returns ``(a, b, demand)`` for the first violated pair found.  The
-    search enumerates (window start, window end) candidate pairs; when
-    there are more than ``max_pairs`` it degrades to the full-hyperperiod
-    check only (equivalent to ``U <= m``).
-    """
-    if m < 1:
-        raise ValueError(f"m must be >= 1, got {m}")
-    T = system.hyperperiod
-    if system.total_demand() > m * T:
-        return (0, T - 1, system.total_demand())
-    spans = _window_spans(system)
-    starts = sorted({s for s, _, _ in spans})
-    ends = sorted({e for _, e, _ in spans})
-    if len(starts) * len(ends) > max_pairs:
-        return None
-    for a in starts:
-        # demand of windows fully inside [a, b], accumulated over b
-        inside = [(e, c) for s, e, c in spans if s >= a]
-        inside.sort()
-        demand = 0
-        k = 0
-        for b in ends:
-            if b < a:
-                continue
-            while k < len(inside) and inside[k][0] <= b:
-                demand += inside[k][1]
-                k += 1
-            if demand > m * (b - a + 1):
-                return (a, b, demand)
-    return None
-
-
 def necessary_conditions(system: TaskSystem, m: int) -> list[NecessaryCheck]:
     """All implemented necessary conditions, most basic first.
 
     Any failing check proves the instance infeasible on ``m`` identical
     processors; all passing proves nothing (the conditions are necessary,
-    not sufficient).
+    not sufficient).  Thin adapter over the certificate tests, keeping
+    the historical check names and detail phrasing.
     """
-    checks: list[NecessaryCheck] = []
-
     u = system.utilization
     r = system.utilization_ratio(m)
-    checks.append(
+    util = utilization_certificate(system, m)
+    checks = [
         NecessaryCheck(
             "utilization",
-            r <= 1,
+            not util.proves_infeasible,
             f"U = {u} = {float(u):.3f}, r = U/m = {float(r):.3f}",
         )
-    )
+    ]
 
+    wcet = wcet_slack_certificate(system, m)
     bad = [i for i, t in enumerate(system) if t.wcet > t.deadline]
     checks.append(
         NecessaryCheck(
             "wcet-within-deadline",
-            not bad,
+            not wcet.proves_infeasible,
             "every task has C <= D" if not bad else f"tasks {bad} have C > D",
         )
     )
 
-    witness = demand_over_capacity_witness(system, m)
+    load = interval_load_certificate(system, m)
     checks.append(
         NecessaryCheck(
             "interval-demand",
-            witness is None,
+            not load.proves_infeasible,
             "no over-demanded scan interval found"
-            if witness is None
-            else f"slots [{witness[0]}, {witness[1]}] enclose demand {witness[2]} "
-            f"> capacity {m * (witness[1] - witness[0] + 1)}",
+            if not load.proves_infeasible
+            else load.detail,
         )
     )
     return checks

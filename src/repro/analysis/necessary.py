@@ -1,0 +1,454 @@
+"""Necessary conditions: polynomial-time *infeasibility* certificates.
+
+The paper uses exactly one such filter — the utilization ratio ``r = U/m``
+(Table II counts the unsolved instances with ``r > 1`` that the filter
+would have pruned without any search).  This module turns that filter and
+three strictly stronger necessary conditions into
+:class:`~repro.analysis.certificates.Certificate`-producing tests, each a
+proof of infeasibility when it fires and an abstention otherwise:
+
+* ``necessary:utilization`` — ``U > m`` (the paper's ``r > 1``);
+* ``necessary:wcet-slack`` — some task has ``C_i > D_i`` (a job receives
+  at most one execution unit per slot on identical processors);
+* ``necessary:interval-load`` — some scan interval ``[a, b]`` wholly
+  contains job windows demanding more than ``m (b - a + 1)`` units
+  (computed for *all* slot pairs at once via a 2-D prefix-sum table);
+* ``necessary:forced-demand`` — the partial-overlap strengthening: a job
+  whose window merely *overlaps* ``[a, b]`` is still forced to execute at
+  least ``C - |window \\ [a, b]|`` units inside it, so summing those
+  forced loads can exceed capacity even when no window is enclosed.
+
+All tests assume ``m`` *identical* processors (the cascade only applies
+them there) and operate on constrained-deadline systems —
+arbitrary-deadline systems are cloned first, which is exactly
+feasibility-preserving (paper Section VI-B).
+
+The same interval table yields :func:`processor_lower_bound`: the
+smallest ``m`` not excluded by any interval-load argument, which is at
+least ``ceil(U)`` and often strictly better — ``find_min_processors``
+starts there instead of searching counts that are provably too small.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import numpy as np
+
+from repro.analysis.certificates import Certificate
+from repro.model import intervals
+from repro.model.system import TaskSystem
+from repro.model.transform import clone_for_arbitrary_deadlines
+
+__all__ = [
+    "utilization_exceeds",
+    "utilization_certificate",
+    "wcet_slack_certificate",
+    "interval_load_certificate",
+    "forced_demand_certificate",
+    "necessary_certificates",
+    "prove_infeasible",
+    "processor_lower_bound",
+    "demand_over_capacity_witness",
+]
+
+#: default cap on the interval table size (slots squared); hyperperiods
+#: past ``sqrt(4M) = 2000`` slots make the test abstain rather than churn
+MAX_TABLE_CELLS = 4_000_000
+
+#: default cap on candidate (start, end) pairs for the forced-demand scan
+MAX_FORCED_PAIRS = 4_096
+
+
+def _constrained(system: TaskSystem) -> TaskSystem:
+    """The system itself, or its constrained-deadline clone (VI-B)."""
+    if system.is_constrained:
+        return system
+    cloned, _ = clone_for_arbitrary_deadlines(system)
+    return cloned
+
+
+def _check_m(m: int) -> None:
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+
+
+# ---------------------------------------------------------------------------
+# utilization (the paper's r > 1 filter)
+# ---------------------------------------------------------------------------
+
+def utilization_exceeds(ratio: "Fraction | float") -> bool:
+    """The paper's Table II filter predicate: True iff ``r = U/m > 1``.
+
+    The *single* implementation of that comparison — the utilization
+    certificate, ``passes_utilization_filter`` and Table II's
+    filtered/unfiltered split all call this, so they can never disagree.
+    """
+    return ratio > 1
+
+
+def utilization_certificate(system: TaskSystem, m: int) -> Certificate:
+    """``U > m`` proves infeasibility on ``m`` identical processors."""
+    _check_m(m)
+    u = system.utilization
+    r = system.utilization_ratio(m)
+    if utilization_exceeds(r):
+        return Certificate.infeasible(
+            "necessary:utilization",
+            witness={"utilization": str(u), "m": m, "ratio": float(r)},
+            detail=f"U = {float(u):.3f} > m = {m} (r = {float(r):.3f})",
+        )
+    return Certificate.abstain(
+        "necessary:utilization", detail=f"r = U/m = {float(r):.3f} <= 1"
+    )
+
+
+# ---------------------------------------------------------------------------
+# per-task slack (C <= D)
+# ---------------------------------------------------------------------------
+
+def wcet_slack_certificate(system: TaskSystem, m: int) -> Certificate:
+    """``C_i > D_i`` proves infeasibility: one unit per slot per job."""
+    _check_m(m)
+    bad = [
+        (i, t.wcet, t.deadline)
+        for i, t in enumerate(system)
+        if t.wcet > t.deadline
+    ]
+    if bad:
+        i, c, d = bad[0]
+        return Certificate.infeasible(
+            "necessary:wcet-slack",
+            witness={"tasks": [list(b) for b in bad]},
+            detail=f"task {i} has C = {c} > D = {d} "
+            f"({len(bad)} such task(s); no m helps)",
+        )
+    return Certificate.abstain(
+        "necessary:wcet-slack", detail="every task has C <= D"
+    )
+
+
+# ---------------------------------------------------------------------------
+# interval load (enclosed windows, all slot pairs at once)
+# ---------------------------------------------------------------------------
+
+def _window_spans(system: TaskSystem) -> list[tuple[int, int, int]]:
+    """(start, end, wcet) scan-order spans of every non-wrapped window.
+
+    A window wrapping past ``T - 1`` never lies wholly inside a linear
+    scan interval, so wrapped windows are skipped here (the global
+    total-demand check still accounts for them).
+    """
+    spans = []
+    T = system.hyperperiod
+    for i, task in enumerate(system):
+        if task.wcet == 0:
+            continue
+        for job in range(system.n_jobs(i)):
+            r = intervals.job_release(task, job)
+            end = r + task.deadline - 1
+            if end < T:
+                spans.append((r, end, task.wcet))
+    return spans
+
+
+def _enclosed_demand_table(
+    system: TaskSystem, max_cells: int = MAX_TABLE_CELLS
+) -> "np.ndarray | None":
+    """``D[a, b]`` = total demand of windows wholly inside ``[a, b]``.
+
+    Built by one 2-D prefix sum over a (start, end) histogram — O(T^2)
+    time and memory, abstaining (None) past ``max_cells``.
+    """
+    T = system.hyperperiod
+    if T * T > max_cells:
+        return None
+    hist = np.zeros((T, T), dtype=np.int64)
+    for s, e, c in _window_spans(system):
+        hist[s, e] += c
+    # suffix-sum over starts (s >= a), prefix-sum over ends (e <= b)
+    table = np.flip(np.cumsum(np.flip(hist, axis=0), axis=0), axis=0)
+    np.cumsum(table, axis=1, out=table)
+    return table
+
+
+def _interval_lengths(T: int) -> np.ndarray:
+    """``L[a, b] = b - a + 1`` (non-positive above the diagonal's left)."""
+    return np.arange(T)[None, :] - np.arange(T)[:, None] + 1
+
+
+def _enclosed_witness_pairs(
+    system: TaskSystem, m: int, max_pairs: int
+) -> "tuple[int, int, int] | None":
+    """Pair-enumeration fallback for hyperperiods too large to table.
+
+    Enumerates (window start, window end) candidate pairs — where the
+    enclosed-demand bound is tight — accumulating demand per start with
+    a sorted sweep; returns the first violated pair.  Assumes the caller
+    already verified ``len(starts) * len(ends) <= max_pairs``.
+    """
+    spans = _window_spans(system)
+    starts = sorted({s for s, _, _ in spans})
+    ends = sorted({e for _, e, _ in spans})
+    if len(starts) * len(ends) > max_pairs:
+        return None
+    for a in starts:
+        inside = sorted((e, c) for s, e, c in spans if s >= a)
+        demand = 0
+        k = 0
+        for b in ends:
+            if b < a:
+                continue
+            while k < len(inside) and inside[k][0] <= b:
+                demand += inside[k][1]
+                k += 1
+            if demand > m * (b - a + 1):
+                return (a, b, demand)
+    return None
+
+
+def _enclosed_over_capacity(
+    system: TaskSystem, m: int, max_cells: int, max_pairs: int
+) -> "tuple[tuple[int, int, int] | None, bool]":
+    """The shared interval-load scan: ``(witness, checked)``.
+
+    ``witness`` is ``(a, b, demand)`` of an over-demanded interval (the
+    full-cycle total-demand check, wrapped windows included, comes
+    first); ``checked`` is False when *both* strategies — the all-pairs
+    prefix-sum table (``T^2 <= max_cells``) and the candidate-pair
+    enumeration (``starts x ends <= max_pairs``) — were over budget, so
+    the caller must abstain rather than conclude "no violation".
+    """
+    T = system.hyperperiod
+    total = system.total_demand()
+    if total > m * T:
+        return (0, T - 1, total), True
+    table = _enclosed_demand_table(system, max_cells=max_cells)
+    if table is None:
+        spans = _window_spans(system)
+        starts = {s for s, _, _ in spans}
+        ends = {e for _, e, _ in spans}
+        if len(starts) * len(ends) > max_pairs:
+            return None, False
+        return _enclosed_witness_pairs(system, m, max_pairs), True
+    lengths = _interval_lengths(T)
+    excess = np.where(lengths > 0, table - m * lengths, np.int64(-1))
+    flat = int(np.argmax(excess))
+    a, b = divmod(flat, T)
+    if excess[a, b] > 0:
+        return (int(a), int(b), int(table[a, b])), True
+    return None, True
+
+
+def demand_over_capacity_witness(
+    system: TaskSystem, m: int, max_pairs: int = 250_000
+) -> tuple[int, int, int] | None:
+    """A scan interval ``[a, b]`` whose enclosed demand exceeds ``m`` slots
+    of capacity, or None.
+
+    Small hyperperiods are checked for *every* slot pair via the
+    prefix-sum table; larger ones fall back to enumerating (window
+    start, window end) candidate pairs — where the bound is tight — up
+    to ``max_pairs``, past which the check degrades to the
+    full-hyperperiod test only (equivalent to ``U <= m``).
+    """
+    _check_m(m)
+    system = _constrained(system)
+    witness, _ = _enclosed_over_capacity(
+        system, m, max_cells=MAX_TABLE_CELLS, max_pairs=max_pairs
+    )
+    return witness
+
+
+def interval_load_certificate(
+    system: TaskSystem,
+    m: int,
+    max_cells: int = MAX_TABLE_CELLS,
+    max_pairs: int = 250_000,
+) -> Certificate:
+    """Enclosed-window interval load: demand in ``[a, b]`` vs ``m`` slots.
+
+    Sound for cyclic schedules because every non-wrapped window's ``C``
+    units must fall inside the window, hence inside any interval
+    enclosing it; the full-cycle check (wrapped windows included) is the
+    classical ``total demand <= m T``.  Abstains only when both the
+    table (``max_cells``) and pair-enumeration (``max_pairs``) budgets
+    are exceeded.
+    """
+    _check_m(m)
+    system = _constrained(system)
+    witness, checked = _enclosed_over_capacity(
+        system, m, max_cells=max_cells, max_pairs=max_pairs
+    )
+    if witness is not None:
+        a, b, demand = witness
+        return Certificate.infeasible(
+            "necessary:interval-load",
+            witness={"interval": [a, b], "demand": demand,
+                     "capacity": m * (b - a + 1)},
+            detail=f"slots [{a}, {b}] enclose demand {demand} > "
+            f"capacity {m * (b - a + 1)}",
+        )
+    if not checked:
+        return Certificate.abstain(
+            "necessary:interval-load",
+            detail=f"hyperperiod {system.hyperperiod} past the "
+            "interval-table and candidate-pair budgets",
+        )
+    return Certificate.abstain(
+        "necessary:interval-load", detail="no over-demanded scan interval"
+    )
+
+
+# ---------------------------------------------------------------------------
+# forced demand (partial-overlap strengthening)
+# ---------------------------------------------------------------------------
+
+def _job_fragments(system: TaskSystem):
+    """Per job: linear window fragments plus wcet and window length.
+
+    Returns parallel numpy arrays ``(f_start, f_end, f_job)`` over
+    fragments (a wrapped window contributes two) and ``(wcet, wlen)``
+    over jobs, for vectorized overlap arithmetic.
+    """
+    T = system.hyperperiod
+    f_start, f_end, f_job = [], [], []
+    wcet, wlen = [], []
+    jid = 0
+    for i, task in enumerate(system):
+        if task.wcet == 0:
+            continue
+        for job in range(system.n_jobs(i)):
+            r = intervals.job_release(task, job)
+            end = r + task.deadline - 1
+            if end < T:
+                f_start.append(r), f_end.append(end), f_job.append(jid)
+            else:
+                f_start.append(r), f_end.append(T - 1), f_job.append(jid)
+                f_start.append(0), f_end.append(end - T), f_job.append(jid)
+            wcet.append(task.wcet)
+            wlen.append(task.deadline)
+            jid += 1
+    return (
+        np.array(f_start, dtype=np.int64),
+        np.array(f_end, dtype=np.int64),
+        np.array(f_job, dtype=np.int64),
+        np.array(wcet, dtype=np.int64),
+        np.array(wlen, dtype=np.int64),
+    )
+
+
+def forced_demand_certificate(
+    system: TaskSystem, m: int, max_pairs: int = MAX_FORCED_PAIRS
+) -> Certificate:
+    """Forced load: jobs overlapping ``[a, b]`` must still run
+    ``max(0, C - |window outside [a, b]|)`` units inside it.
+
+    Strictly stronger than the enclosed-window argument (an enclosed
+    window is forced for its full ``C``); candidate intervals are
+    (window-start, window-end) pairs, abstaining past ``max_pairs``.
+    """
+    _check_m(m)
+    system = _constrained(system)
+    fs, fe, fj, wc, wl = _job_fragments(system)
+    if len(wc) == 0:
+        return Certificate.abstain(
+            "necessary:forced-demand", detail="no positive-wcet jobs"
+        )
+    starts = np.unique(fs)
+    ends = np.unique(fe)
+    if len(starts) * len(ends) > max_pairs:
+        return Certificate.abstain(
+            "necessary:forced-demand",
+            detail=f"{len(starts)}x{len(ends)} candidate intervals past "
+            f"the pair budget {max_pairs}",
+        )
+    for a in starts.tolist():
+        for b in ends.tolist():
+            if b < a:
+                continue
+            overlap_f = np.clip(
+                np.minimum(fe, b) - np.maximum(fs, a) + 1, 0, None
+            )
+            overlap = np.zeros(len(wc), dtype=np.int64)
+            np.add.at(overlap, fj, overlap_f)
+            forced = np.clip(wc - (wl - overlap), 0, None)
+            demand = int(forced.sum())
+            capacity = m * (b - a + 1)
+            if demand > capacity:
+                return Certificate.infeasible(
+                    "necessary:forced-demand",
+                    witness={"interval": [int(a), int(b)], "demand": demand,
+                             "capacity": capacity},
+                    detail=f"slots [{a}, {b}] force demand {demand} > "
+                    f"capacity {capacity}",
+                )
+    return Certificate.abstain(
+        "necessary:forced-demand", detail="no over-forced interval"
+    )
+
+
+# ---------------------------------------------------------------------------
+# aggregation + the processor-count lower bound
+# ---------------------------------------------------------------------------
+
+def necessary_certificates(system: TaskSystem, m: int) -> list[Certificate]:
+    """All necessary-condition certificates, cheapest first.
+
+    Any INFEASIBLE entry proves the instance unschedulable on ``m``
+    identical processors; all-abstain proves nothing (the conditions are
+    necessary, not sufficient).
+    """
+    return [
+        utilization_certificate(system, m),
+        wcet_slack_certificate(system, m),
+        interval_load_certificate(system, m),
+        forced_demand_certificate(system, m),
+    ]
+
+
+def prove_infeasible(system: TaskSystem, m: int) -> Certificate | None:
+    """The first infeasibility proof found, or None (tests abstained).
+
+    Runs the necessary tests cheapest-first and stops at the first
+    failure — the certificate-producing analogue of the paper's ``r > 1``
+    pre-filter, for use anywhere a cheap "is this m hopeless?" answer
+    avoids an exact search (``find_min_processors`` in particular).
+    """
+    for test in (
+        utilization_certificate,
+        wcet_slack_certificate,
+        interval_load_certificate,
+        forced_demand_certificate,
+    ):
+        cert = test(system, m)
+        if cert.proves_infeasible:
+            return cert
+    return None
+
+
+def processor_lower_bound(
+    system: TaskSystem, max_cells: int = MAX_TABLE_CELLS
+) -> int:
+    """The smallest ``m`` no interval-load argument excludes.
+
+    At least ``max(1, ceil(U))``; the interval table sharpens it to
+    ``max ceil(demand(a, b) / (b - a + 1))`` over all scan intervals
+    (e.g. two synchronous ``D = 1`` jobs force ``m >= 2`` even at tiny
+    utilization).  Every count below the returned value is *provably*
+    infeasible, so minimum-processor searches may start here without
+    losing exactness.
+    """
+    system = _constrained(system)
+    bound = max(1, system.min_processors)
+    T = system.hyperperiod
+    bound = max(bound, math.ceil(system.total_demand() / T))
+    table = _enclosed_demand_table(system, max_cells=max_cells)
+    if table is not None and table.size:
+        lengths = _interval_lengths(T)
+        valid = lengths > 0
+        need = -(-table[valid] // lengths[valid])  # ceil division
+        if need.size:
+            bound = max(bound, int(need.max()))
+    return bound

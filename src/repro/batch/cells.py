@@ -168,6 +168,7 @@ def solve_cell(cell: Cell):
         status=report.status_label,
         elapsed=report.elapsed,
         nodes=report.stats.nodes,
+        decided_by=report.decided_by,
     )
 
 

@@ -4,6 +4,7 @@ Subcommands
 -----------
 ``generate``    sample random instances (Section VII-A) to a JSON file
 ``solve``       solve one instance (from a JSON file or inline tuples)
+``analyze``     run the polynomial-time screening cascade (no search)
 ``solvers``     list every registered solver with its metadata
 ``validate``    re-check a solved schedule JSON against C1-C4
 ``figure1``     print the paper's Figure 1 chart
@@ -12,7 +13,8 @@ Subcommands
                 caching and crash-safe ``--resume``
 
 ``--solver`` values are registry names (see ``repro-mgrts solvers``),
-including racing portfolios such as ``portfolio:csp2+dc,sat``.
+including racing portfolios such as ``portfolio:csp2+dc,sat`` and
+screened pipelines such as ``screen+csp2+dc``.
 
 Instance JSON format::
 
@@ -138,7 +140,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             system, solver=args.solver, time_limit_per_m=args.time_limit
         )
         for tried_m, status in res_min.attempts.items():
-            print(f"m={tried_m}: {status.value}")
+            provenance = res_min.decided_by.get(tried_m)
+            tail = f"  (decided by {provenance})" if provenance else ""
+            print(f"m={tried_m}: {status.value}{tail}")
         if res_min.found:
             kind = "exact minimum" if res_min.exact else "upper bound"
             print(f"smallest sufficient m = {res_min.m} ({kind})")
@@ -166,6 +170,62 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                 fh.write(dump_json(schedule_to_dict(res.schedule)))
             print(f"wrote schedule to {args.output}")
     return 0 if res.status.value != "unknown" else 2
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Run the polynomial-time screening cascade on one instance.
+
+    Prints each certificate in cascade order and the overall verdict
+    with its provenance; never invokes exact search.  Arbitrary-deadline
+    instances are cloned up front (Section VI-B, feasibility-preserving)
+    and flagged, so the witnesses' task indices are unambiguous: they
+    refer to the printed clone count.  Exit code 0 when a certificate
+    decided the instance, 2 when every test abstained (the exact solvers
+    are needed), mirroring ``solve``'s unknown-exit.
+    """
+    from repro.analysis import run_cascade
+    from repro.model.transform import clone_for_arbitrary_deadlines
+
+    system, platform = _load_instance(args.instance)
+    m = args.m if args.m is not None else platform.m
+    if m < 1:
+        print(f"-m must be >= 1, got {m}", file=sys.stderr)
+        return 2
+    cloned = False
+    if not system.is_constrained:
+        original_n = system.n
+        system, _ = clone_for_arbitrary_deadlines(system)
+        cloned = True
+        if not args.json:
+            print(
+                f"note: arbitrary deadlines; analyzing the constrained "
+                f"clone ({original_n} tasks -> {system.n} clones, "
+                "Section VI-B) — witness task indices refer to clones"
+            )
+    outcome = run_cascade(system, m, simulate=not args.no_simulate)
+    if args.json:
+        payload = outcome.to_dict()
+        payload["cloned"] = cloned
+        print(json.dumps(payload, indent=2))
+        return 0 if outcome.decided is not None else 2
+    for cert in outcome.certificates:
+        print(str(cert))
+    if outcome.decided is not None:
+        print(
+            f"verdict: {outcome.verdict.value} "
+            f"(decided by {outcome.decided.test_name}, "
+            f"{len(outcome.certificates)} test(s), "
+            f"{outcome.elapsed * 1e3:.2f} ms)"
+        )
+        if args.show_schedule and outcome.decided.schedule is not None:
+            print(render_gantt(outcome.decided.schedule))
+        return 0
+    print(
+        f"verdict: unknown — every test abstained "
+        f"({len(outcome.certificates)} run, {outcome.elapsed * 1e3:.2f} ms); "
+        "use `solve` (or the screen+NAME solver) for an exact answer"
+    )
+    return 2
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -377,6 +437,26 @@ def build_parser() -> argparse.ArgumentParser:
         "sufficient processor count (paper Section VIII)",
     )
     s.set_defaults(func=_cmd_solve)
+
+    an = sub.add_parser(
+        "analyze",
+        help="run the polynomial-time screening cascade (no exact search)",
+    )
+    an.add_argument("instance", help="instance JSON file")
+    an.add_argument(
+        "-m", type=int, default=None,
+        help="processor count (default: the instance's m)",
+    )
+    an.add_argument(
+        "--no-simulate", action="store_true",
+        help="closed-form tests only (skip the simulation witnesses)",
+    )
+    an.add_argument(
+        "--show-schedule", action="store_true",
+        help="print the witness schedule when a simulation test decides",
+    )
+    an.add_argument("--json", action="store_true", help="machine-readable output")
+    an.set_defaults(func=_cmd_analyze)
 
     ls = sub.add_parser(
         "solvers", help="list registered solvers with their metadata"

@@ -20,7 +20,14 @@ __all__ = ["RunRecord", "ExperimentRun", "run_instances", "estimate_csp1_variabl
 
 @dataclass(frozen=True)
 class RunRecord:
-    """One (instance, solver) outcome — the unit all tables aggregate."""
+    """One (instance, solver) outcome — the unit all tables aggregate.
+
+    ``decided_by`` carries the verdict's provenance (which screening test
+    or engine actually answered — e.g. ``"necessary:utilization"`` for a
+    cell pruned by the cascade, a member name for a portfolio win); it is
+    ``None`` for cells that never ran and for journals written before the
+    field existed.
+    """
 
     instance_seed: int | None
     n: int
@@ -31,6 +38,7 @@ class RunRecord:
     status: str  # feasible | infeasible | unknown | skipped-memory
     elapsed: float
     nodes: int
+    decided_by: str | None = None
 
     @property
     def overrun(self) -> bool:

@@ -6,12 +6,19 @@ condition without any search) and *unfiltered*; overruns are counted per
 solver within each group, and the paper additionally reports how many
 unfiltered unsolved instances are *provably* infeasible (some solver
 terminated with UNSAT inside the budget).
+
+The filter predicate itself lives in
+:func:`repro.analysis.necessary.utilization_exceeds` — the same
+implementation the ``screen`` cascade's utilization certificate applies,
+so this table and the screening layer can never disagree about which
+instances the filter catches.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis.necessary import utilization_exceeds
 from repro.experiments.runner import ExperimentRun
 from repro.experiments.table1 import Table1Config, Table1Result, run_table1
 
@@ -68,8 +75,10 @@ def run_table2(
     for records in run.by_instance().values():
         if any(r.solved for r in records):
             continue  # Table II looks at unsolved instances only
+        # the same predicate the analysis cascade's utilization
+        # certificate applies — Table II and `screen` cannot disagree
         r_ratio = records[0].utilization_ratio
-        group = "filtered" if r_ratio > 1 else "unfiltered"
+        group = "filtered" if utilization_exceeds(r_ratio) else "unfiltered"
         if group == "filtered":
             n_filtered += 1
         else:

@@ -15,8 +15,10 @@ families register themselves in the declarative registry
 
 plus extras built in this reproduction: ``csp2-generic[+h]`` (encoding #2
 on the generic engine), ``csp2-local`` (min-conflicts), ``sat[+amo]``
-(CNF + CDCL), the simulation baselines ``edf`` / ``fp[+h]``, and the
-racing meta-solver ``portfolio:NAME,NAME,...``.
+(CNF + CDCL), the simulation baselines ``edf`` / ``fp[+h]``, the racing
+meta-solver ``portfolio:NAME,NAME,...`` and the screening-cascade
+meta-solver ``screen[+NAME]`` (certified polynomial-time tests first,
+the wrapped engine only on abstention).
 
 The front door is :mod:`repro.solvers.problem`: build a :class:`Problem`,
 get a :class:`SolveReport` from :func:`solve` (one call) or

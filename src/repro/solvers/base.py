@@ -38,12 +38,22 @@ class SolverStats:
 
 @dataclass
 class SolveResult:
-    """Outcome of one solver on one instance."""
+    """Outcome of one solver on one instance.
+
+    ``decided_by`` is the answer's provenance: which analysis test or
+    engine actually produced the verdict.  Plain solvers leave it
+    ``None`` (the consumer falls back to ``solver_name``); the meta
+    solvers fill it in — a screening cascade records the deciding
+    polynomial test (``"necessary:utilization"``, ...), a portfolio the
+    winning member — so screened/raced answers stay attributable after
+    JSONL round-trips.
+    """
 
     status: Feasibility
     schedule: Schedule | None
     stats: SolverStats
     solver_name: str
+    decided_by: str | None = None
 
     @property
     def is_feasible(self) -> bool:

@@ -35,10 +35,14 @@ Every name below is accepted by `repro.solve(..., solver=NAME)`,
 canonical list at runtime, and `repro-mgrts solvers` prints this
 catalog from the live registry.
 
-Racing portfolios compose any of them: `portfolio:csp2+dc,sat` runs the
+Two meta names compose any of them. `portfolio:csp2+dc,sat` races the
 members concurrently in worker processes and keeps the first definitive
 answer (an incomplete member such as `csp2-local` can win a FEASIBLE
-race but never decides INFEASIBLE).
+race but never decides INFEASIBLE). `screen+csp2+dc` runs the certified
+polynomial-time screening cascade first — utilization and density
+bounds, interval-load arguments, packing and simulation witnesses — and
+only hands the instance to the wrapped engine when every test abstains;
+the answer's `decided_by` records which test or engine settled it.
 
 ## Registered solvers
 """
@@ -50,9 +54,13 @@ Arbitrary-deadline systems are handled one layer up:
 
 ## Related entry points (not registry names)
 
+* `repro.analysis.run_cascade` — the bare screening cascade behind the
+  `screen` name: an ordered list of certificates with per-test timings;
+  CLI: `repro-mgrts analyze`.
 * `repro.solvers.min_processors.find_min_processors` — incrementally
-  searches the smallest sufficient `m` (Section VIII); CLI:
-  `solve --min-processors`.
+  searches the smallest sufficient `m` (Section VIII), starting from the
+  analysis lower bound and letting certificates exclude hopeless counts
+  without search; CLI: `solve --min-processors`.
 * `repro.baselines.partitioned` — partitioned scheduling (first-fit and
   exact partitioning), the paradigm the paper argues against (Section I).
 * `repro.baselines.simulator` + `priorities` — the machinery behind the
@@ -64,13 +72,17 @@ Arbitrary-deadline systems are handled one layer up:
 ## Rules of thumb
 
 1. Want an answer? `csp2+dc`.
-2. Mixed or unknown workload? `portfolio:csp2+dc,sat,csp2-local` — each
+2. Many instances? `screen+csp2+dc` — the cascade decides most of them
+   in microseconds-to-milliseconds and only the hard core reaches the
+   exact engine (see `benchmarks/BENCH_analysis.full.json`).
+3. Mixed or unknown workload? `portfolio:csp2+dc,sat,csp2-local` — each
    instance finishes at about the speed of its best member.
-3. Want a proof the paper's comparisons hold on your machine?
+4. Want a proof the paper's comparisons hold on your machine?
    `python -m repro.cli experiment table1`.
-4. Huge and probably feasible? `csp2-local`, fall back to `csp2+dc`.
-5. Doubt a verdict? Cross-check with `sat` (identical platforms).
-6. Publishing numbers? Run the matrix through `repro batch --jobs N`
+5. Huge and probably feasible? `csp2-local`, fall back to `csp2+dc`.
+6. Doubt a verdict? Cross-check with `sat` (identical platforms), or
+   run `repro-mgrts analyze` for a certificate-level second opinion.
+7. Publishing numbers? Run the matrix through `repro batch --jobs N`
    with a `--cache-dir` so re-runs are free.
 """
 
@@ -122,8 +134,10 @@ def render_solvers_md() -> str:
     lines.append(
         "Suffix rules: `csp1+X` picks the variable heuristic, `csp2*+X` and "
         "`fp+X` the task-ordering heuristic, `sat+X` the at-most-one "
-        "encoding.  Unknown keyword options raise a `ValueError` naming "
-        "the accepted ones (no silent swallowing)."
+        "encoding, and `screen+NAME` wraps any other name (portfolios "
+        "included) behind the screening cascade.  Unknown keyword options "
+        "raise a `ValueError` naming the accepted ones (no silent "
+        "swallowing)."
     )
     lines.append("")
     lines.append(_OUTRO)

@@ -2,14 +2,25 @@
 
 Paper, Section VII-E: "It would be interesting to use an algorithm which
 incrementally searches for the smallest number of processors m required to
-schedule a given set of tasks."  This module is that algorithm: starting
-from the utilization lower bound ``m_min = max(1, ceil(U))``, solve with
-``m, m+1, ...`` until FEASIBLE, carrying exactness guarantees along:
+schedule a given set of tasks."  This module is that algorithm, sharpened
+by the analysis subsystem: starting from the utilization lower bound
+``m_min = max(1, ceil(U))``, try ``m, m+1, ...`` until FEASIBLE, but
 
-* every ``m`` answered INFEASIBLE is a *proof* that ``m`` is not enough;
-* the first FEASIBLE ``m`` together with those proofs pins the optimum;
-* any UNKNOWN (overrun) makes the final answer a (reported) upper bound
-  only.
+* every ``m`` below :func:`repro.analysis.necessary.processor_lower_bound`
+  is marked INFEASIBLE outright — the interval-load table (built once,
+  it is m-independent) is a proof, no search needed;
+* each remaining ``m`` is screened by the certificates the lower bound
+  does not subsume: the m-independent ``C > D`` check (evaluated once)
+  and the per-m forced-demand argument; a firing certificate proves
+  ``m`` hopeless in polynomial time and the exact engine is never
+  invoked for it;
+* only counts the analysis cannot exclude reach the exact solver.
+
+Exactness guarantees carry along unchanged: every ``m`` answered
+INFEASIBLE — by certificate or by search — is a *proof* that ``m`` is not
+enough; the first FEASIBLE ``m`` together with those proofs pins the
+optimum; any UNKNOWN (overrun) makes the final answer a (reported) upper
+bound only.  ``decided_by`` records who settled each count.
 """
 
 from __future__ import annotations
@@ -24,6 +35,9 @@ from repro.util.timer import Deadline
 
 __all__ = ["MinProcessorsResult", "find_min_processors"]
 
+#: provenance label for counts excluded by the interval-load lower bound
+LOWER_BOUND = "analysis:processor-lower-bound"
+
 
 @dataclass
 class MinProcessorsResult:
@@ -33,6 +47,9 @@ class MinProcessorsResult:
     search ran out of budget or hit ``max_m`` before any FEASIBLE answer);
     ``exact`` is True when every count below ``m`` was *proven*
     infeasible, i.e. ``m`` is the true optimum rather than an upper bound.
+    ``decided_by`` maps each attempted count to what settled it — a
+    certificate name for counts the analysis excluded without search,
+    the solver name otherwise.
     """
 
     m: int | None
@@ -40,6 +57,8 @@ class MinProcessorsResult:
     result: SolveResult | None
     #: m -> status for every count attempted, in order
     attempts: dict[int, Feasibility] = field(default_factory=dict)
+    #: m -> provenance (certificate test name or solver name)
+    decided_by: dict[int, str] = field(default_factory=dict)
 
     @property
     def found(self) -> bool:
@@ -53,31 +72,67 @@ def find_min_processors(
     time_limit_per_m: float | None = None,
     total_time_limit: float | None = None,
     max_m: int | None = None,
+    use_analysis: bool = True,
     **options,
 ) -> MinProcessorsResult:
     """Find the minimum identical-processor count for ``system``.
 
     ``max_m`` defaults to ``n`` (with ``m = n`` every task can have a
     processor to itself at every instant, so only per-task ``C <= D``
-    failures can remain infeasible beyond it).
+    failures can remain infeasible beyond it).  ``use_analysis=False``
+    disables the polynomial pre-passes and searches every count exactly
+    (the pre-redesign behavior); the answer is the same either way, the
+    analysis only removes exact-search invocations that were doomed.
     """
     deadline = Deadline(total_time_limit)
     start = max(1, system.min_processors)
     cap = max_m if max_m is not None else max(start, system.n)
+    lower = start
+    wcet_cert = None
+    if use_analysis:
+        from repro.analysis.necessary import (
+            forced_demand_certificate,
+            processor_lower_bound,
+            wcet_slack_certificate,
+        )
+
+        # m-independent analysis, computed once: the interval-load table
+        # behind the lower bound (interval-load can never fire at
+        # m >= lower, by the bound's definition) and the C > D check
+        lower = max(start, processor_lower_bound(system))
+        cert = wcet_slack_certificate(system, 1)
+        wcet_cert = cert if cert.proves_infeasible else None
     attempts: dict[int, Feasibility] = {}
+    decided_by: dict[int, str] = {}
     exact = True
     for m in range(start, cap + 1):
+        if total_time_limit is not None and deadline.remaining() <= 0:
+            return MinProcessorsResult(None, False, None, attempts, decided_by)
+        if use_analysis:
+            if m < lower:
+                # below the interval-load lower bound: proven infeasible
+                # without running any certificate or search for this m
+                attempts[m] = Feasibility.INFEASIBLE
+                decided_by[m] = LOWER_BOUND
+                continue
+            cert = wcet_cert
+            if cert is None:
+                forced = forced_demand_certificate(system, m)
+                cert = forced if forced.proves_infeasible else None
+            if cert is not None:
+                attempts[m] = Feasibility.INFEASIBLE
+                decided_by[m] = cert.test_name
+                continue
         budget = time_limit_per_m
         if total_time_limit is not None:
             remaining = deadline.remaining()
-            if remaining <= 0:
-                return MinProcessorsResult(None, False, None, attempts)
             budget = min(budget, remaining) if budget is not None else remaining
         engine = create_solver(solver, system, Platform.identical(m), **options)
         res = engine.solve(time_limit=budget)
         attempts[m] = res.status
+        decided_by[m] = res.decided_by or res.solver_name
         if res.status is Feasibility.FEASIBLE:
-            return MinProcessorsResult(m, exact, res, attempts)
+            return MinProcessorsResult(m, exact, res, attempts, decided_by)
         if res.status is Feasibility.UNKNOWN:
             exact = False  # this m might have been feasible
-    return MinProcessorsResult(None, False, None, attempts)
+    return MinProcessorsResult(None, False, None, attempts, decided_by)

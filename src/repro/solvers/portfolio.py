@@ -67,6 +67,7 @@ def _run_member(payload) -> dict:
     return {
         "status": result.status.value,
         "solver_name": result.solver_name,
+        "decided_by": result.decided_by,
         "table": None if result.schedule is None else result.schedule.table.tolist(),
         "stats": {
             "nodes": result.stats.nodes,
@@ -158,6 +159,7 @@ class PortfolioSolver:
             schedule=schedule,
             stats=stats,
             solver_name=value["solver_name"],
+            decided_by=value.get("decided_by") or value["solver_name"],
         )
 
     # -- public API ------------------------------------------------------------

@@ -148,6 +148,37 @@ def _merge_clone_schedule(schedule: Schedule, clone_map: CloneMap) -> Schedule:
     return merge_clone_schedule(schedule, clone_map)
 
 
+def _memory_guarded_spec(spec: SolverSpec) -> SolverSpec | None:
+    """``spec`` with memory-bound parts stripped; None if nothing remains.
+
+    Applied when the predicted model size exceeds the problem's
+    ``variable_limit``: a memory-bound simple solver is dropped entirely,
+    a portfolio keeps racing with its memory-safe members, and a screen
+    keeps screening (the cascade itself is memory-light) but loses a
+    memory-bound fall-through engine — an abstaining cascade then
+    reports UNKNOWN instead of building a model that cannot fit.
+    """
+    if spec.is_portfolio:
+        kept = tuple(
+            g for m in spec.members
+            if (g := _memory_guarded_spec(m)) is not None
+        )
+        if kept == spec.members:
+            return spec
+        return SolverSpec(base=spec.base, members=kept) if kept else None
+    if spec.is_screen:
+        inner = spec.screened
+        if inner is None:
+            return spec
+        guarded = _memory_guarded_spec(inner)
+        if guarded is inner:
+            return spec
+        return SolverSpec(
+            base=spec.base, members=(guarded,) if guarded is not None else ()
+        )
+    return None if solver_info(spec).memory_bound else spec
+
+
 @dataclass
 class SolveReport:
     """One (problem, solver) outcome, rich enough to need nothing else.
@@ -228,6 +259,15 @@ class SolveReport:
             return self.solver
         return self.result.solver_name
 
+    @property
+    def decided_by(self) -> str | None:
+        """Provenance of the verdict: the analysis test (``screen``'s
+        cascade), winning member (portfolio) or engine that decided this
+        cell; ``None`` for cells that never ran."""
+        if self.result is None:
+            return None
+        return self.result.decided_by or self.winner
+
     # -- persistence ----------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
         """JSONL-ready form; :meth:`from_dict` round-trips it."""
@@ -237,6 +277,7 @@ class SolveReport:
             "solver": self.solver,
             "status": self.status_label,
             "winner": self.winner,
+            "decided_by": self.decided_by,
             "elapsed": self.elapsed,
             "index": self.index,
             "stats": {
@@ -283,6 +324,7 @@ class SolveReport:
                 schedule=schedule,
                 stats=stats,
                 solver_name=data["winner"],
+                decided_by=data.get("decided_by"),
             )
         return cls(
             problem=problem,
@@ -312,7 +354,7 @@ def solve_problem(
     the solver after registry validation.
     """
     spec = SolverSpec.parse(solver)
-    info = solver_info(spec)
+    solver_info(spec)  # fail fast on unknown base names
     cloned, cmap = clone_for_arbitrary_deadlines(problem.system)
     if problem.platform.kind == "heterogeneous" and not cmap.is_identity:
         raise ValueError(
@@ -325,26 +367,22 @@ def solve_problem(
             estimate_generic_variables(cloned, problem.platform)
             > problem.variable_limit
         )
-        if over_limit and spec.is_portfolio:
-            # drop the members that would not fit in memory; the race
-            # proceeds with the rest (the winner's metadata lists who ran)
-            kept = tuple(
-                m for m in spec.members if not solver_info(m).memory_bound
-            )
-            if kept != spec.members:
-                spec = SolverSpec(base=spec.base, members=kept)
-        if over_limit and (
-            info.memory_bound or (spec.is_portfolio and not spec.members)
-        ):
-            return SolveReport(
-                problem=problem,
-                solver=requested,
-                result=None,
-                cloned_system=cloned,
-                clone_map=cmap,
-                elapsed=problem.time_limit or 0.0,
-                skipped="memory",
-            )
+        if over_limit:
+            # strip whatever would not fit: a memory-bound solver skips,
+            # a portfolio races on with its memory-safe members, a screen
+            # still screens but loses a memory-bound fall-through
+            guarded = _memory_guarded_spec(spec)
+            if guarded is None:
+                return SolveReport(
+                    problem=problem,
+                    solver=requested,
+                    result=None,
+                    cloned_system=cloned,
+                    clone_map=cmap,
+                    elapsed=problem.time_limit or 0.0,
+                    skipped="memory",
+                )
+            spec = guarded
     t0 = time.monotonic()
     engine = create_solver(
         spec, cloned, problem.platform, seed=problem.seed, **options

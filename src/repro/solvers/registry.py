@@ -157,6 +157,7 @@ _CANONICAL_ORDER = (
     "csp2-local",
     "sat",
     "portfolio",
+    "screen",
     "edf",
     "fp",
 )
@@ -178,6 +179,7 @@ _BUILTIN_PLUGINS = (
     "repro.solvers.csp2_local",
     "repro.solvers.sat_solver",
     "repro.solvers.portfolio",
+    "repro.analysis.cascade",
     "repro.baselines.registered",
 )
 _loaded_builtins = False
@@ -275,12 +277,20 @@ def _check_suffix(info: SolverInfo, spec: SolverSpec) -> None:
         )
 
 
+def _walk_spec(spec: SolverSpec):
+    """The spec and every nested member (portfolio members, a screen's
+    inner solver, a screened portfolio's members, ...)."""
+    yield spec
+    for member in spec.members:
+        yield from _walk_spec(member)
+
+
 def is_solver_name(name: str) -> bool:
     """Whether ``name`` parses and fully resolves — base *and* suffix,
-    portfolio members included."""
+    portfolio/screen members included."""
     try:
         spec = SolverSpec.parse(name)
-        for part in (spec, *spec.members):
+        for part in _walk_spec(spec):
             _check_suffix(solver_info(part), part)
     except ValueError:
         return False
@@ -307,6 +317,8 @@ def create_solver(
         edf / fp[+rm|+dm|+tc|+dc]        priority-simulation baselines
         portfolio:NAME,NAME,...          race members, first definitive
                                          answer wins (cancels the rest)
+        screen[+NAME]                    polynomial screening cascade;
+                                         abstentions fall through to NAME
 
     ``seed`` feeds randomized strategies (``csp1`` tie-breaking,
     ``csp2-local`` restarts); solvers without randomness ignore it.
@@ -316,9 +328,8 @@ def create_solver(
     """
     spec = SolverSpec.parse(name)
     info = solver_info(spec)
-    _check_suffix(info, spec)
-    for member in spec.members:
-        _check_suffix(solver_info(member), member)
+    for part in _walk_spec(spec):
+        _check_suffix(solver_info(part), part)
     unknown = sorted(set(options) - set(info.options))
     if unknown:
         accepted = ", ".join(info.options) if info.options else "none"

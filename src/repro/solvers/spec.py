@@ -1,28 +1,40 @@
 """Structured solver names: parse once, pass around, never re-split.
 
 Every solver in this library is addressed by a short string — ``"csp2+dc"``,
-``"sat+pairwise"``, ``"portfolio:csp2+dc,sat"`` — typed at the CLI, stored
-in batch cells and cache keys, and printed in the tables.  This module is
-the single grammar for those strings:
+``"sat+pairwise"``, ``"portfolio:csp2+dc,sat"``, ``"screen+csp2+dc"`` —
+typed at the CLI, stored in batch cells and cache keys, and printed in the
+tables.  This module is the single grammar for those strings:
 
-    name      ::=  simple | portfolio
+    name      ::=  simple | portfolio | screen
     simple    ::=  base [ "+" suffix ]
-    portfolio ::=  "portfolio:" simple ( "," simple )*
+    portfolio ::=  "portfolio:" member ( "," member )*
+    member    ::=  simple | screen
+    screen    ::=  "screen" [ "+" ( simple | portfolio ) ]
 
 :class:`SolverSpec` is the parsed form.  The registry resolves a spec's
 ``base`` to a registered plugin and hands the spec to its factory, so a
 plugin decides what its suffix means (value-ordering heuristic, variable
 heuristic, at-most-one encoding, ...) while the parse stays uniform.
+
+Two base names are reserved for the meta-solvers and carry *member*
+specs instead of a suffix: ``portfolio`` (race the members) and
+``screen`` (run the polynomial-time analysis cascade first, fall through
+to the single wrapped member only when every test abstains).  Meta
+names never nest themselves — ``screen+screen+x`` and a portfolio
+inside a portfolio (even via a screen member) are parse errors.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["SolverSpec", "PORTFOLIO_BASE"]
+__all__ = ["SolverSpec", "PORTFOLIO_BASE", "SCREEN_BASE"]
 
 #: the reserved base name of the racing meta-solver
 PORTFOLIO_BASE = "portfolio"
+
+#: the reserved base name of the screening-cascade meta-solver
+SCREEN_BASE = "screen"
 
 
 @dataclass(frozen=True)
@@ -33,13 +45,17 @@ class SolverSpec:
     ----------
     base:
         The registry key: ``"csp2"`` in ``"csp2+dc"``, ``"portfolio"``
-        for a portfolio name.
+        for a portfolio name, ``"screen"`` for a screening cascade.
     suffix:
         The part after ``+`` (``None`` when absent).  Meaning is
         plugin-defined: heuristic for ``csp1``/``csp2*``, at-most-one
-        encoding for ``sat``.
+        encoding for ``sat``.  Always ``None`` for meta names, whose
+        ``+``/``:`` payload parses into ``members`` instead.
     members:
-        For portfolios only: the member specs, in declaration order.
+        For meta names only: the member specs, in declaration order.  A
+        portfolio has one or more; a screen has zero (bare cascade —
+        abstaining answers UNKNOWN) or exactly one (the solver that runs
+        when every polynomial test abstains).
     """
 
     base: str
@@ -51,7 +67,8 @@ class SolverSpec:
         """Parse a solver name string (idempotent on an existing spec).
 
         Raises ``ValueError`` on an empty name, an empty portfolio member
-        list, or a portfolio nested inside a portfolio.
+        list, a portfolio nested inside a portfolio (directly or via a
+        screen member), or a screen nested inside a screen.
         """
         if isinstance(name, cls):
             return name
@@ -68,13 +85,20 @@ class SolverSpec:
                     f"portfolio needs at least one member, got {name!r} "
                     "(expected e.g. 'portfolio:csp2+dc,sat')"
                 )
-            if any(m.is_portfolio for m in members):
+            if any(m.has_portfolio for m in members):
                 raise ValueError(f"portfolios cannot nest: {name!r}")
             return cls(base=PORTFOLIO_BASE, members=members)
         if key == PORTFOLIO_BASE:
             raise ValueError(
                 "a portfolio needs members: 'portfolio:<name>,<name>,...'"
             )
+        if key == SCREEN_BASE:
+            return cls(base=SCREEN_BASE)
+        if key.startswith(SCREEN_BASE + "+"):
+            inner = cls.parse(key[len(SCREEN_BASE) + 1 :])
+            if inner.is_screen:
+                raise ValueError(f"screens cannot nest: {name!r}")
+            return cls(base=SCREEN_BASE, members=(inner,))
         base, _, suffix = key.partition("+")
         if not base:
             raise ValueError(f"solver name {name!r} has no base")
@@ -86,12 +110,32 @@ class SolverSpec:
         return self.base == PORTFOLIO_BASE
 
     @property
+    def is_screen(self) -> bool:
+        """True for ``screen`` / ``screen+inner`` specs."""
+        return self.base == SCREEN_BASE
+
+    @property
+    def has_portfolio(self) -> bool:
+        """Whether this spec is, or wraps, a portfolio (nesting guard)."""
+        return self.is_portfolio or any(m.has_portfolio for m in self.members)
+
+    @property
+    def screened(self) -> "SolverSpec | None":
+        """A screen's fall-through member spec (None for a bare cascade)."""
+        if self.is_screen and self.members:
+            return self.members[0]
+        return None
+
+    @property
     def canonical(self) -> str:
         """The normalized name string; ``parse(canonical)`` round-trips."""
         if self.is_portfolio:
             return PORTFOLIO_BASE + ":" + ",".join(
                 m.canonical for m in self.members
             )
+        if self.is_screen:
+            inner = self.screened
+            return SCREEN_BASE + (f"+{inner.canonical}" if inner else "")
         return self.base + (f"+{self.suffix}" if self.suffix else "")
 
     def __str__(self) -> str:

@@ -112,3 +112,35 @@ def test_necessary_conditions_are_necessary(system, m):
         return
     r = create_solver("csp2+dc", system, Platform.identical(m)).solve(time_limit=20)
     assert not r.is_feasible, (system, m, [str(c) for c in checks])
+
+
+@settings(deadline=None, max_examples=40)
+@given(small_systems(), st.integers(1, 3))
+def test_certificates_never_contradict_exact(system, m):
+    """Certificate soundness both ways: an infeasibility certificate
+    must match an exact INFEASIBLE, a feasibility certificate an exact
+    FEASIBLE (the cascade may abstain, never lie)."""
+    from repro.analysis import prove_feasible, prove_infeasible
+    from repro.solvers import Feasibility
+
+    infeasible_cert = prove_infeasible(system, m)
+    feasible_cert = prove_feasible(system, m)
+    if infeasible_cert is None and feasible_cert is None:
+        return
+    assert infeasible_cert is None or feasible_cert is None, (
+        "contradictory certificates",
+        str(infeasible_cert),
+        str(feasible_cert),
+    )
+    r = create_solver("csp2+dc", system, Platform.identical(m)).solve(
+        time_limit=20
+    )
+    assert r.status is not Feasibility.UNKNOWN
+    if infeasible_cert is not None:
+        assert r.status is Feasibility.INFEASIBLE, (
+            system, m, str(infeasible_cert),
+        )
+    else:
+        assert r.status is Feasibility.FEASIBLE, (
+            system, m, str(feasible_cert),
+        )
