@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test docs-check solvers-check solvers-md bench bench-portfolio bench-engine bench-analysis ci
+.PHONY: test docs-check solvers-check solvers-md bench bench-portfolio bench-engine bench-analysis bench-learning bench-trajectory ci
 
 ## tier-1 test suite (the bar every PR must keep green)
 test:
@@ -39,6 +39,21 @@ bench-engine:
 ## time on the d-first grid (compare against benchmarks/BENCH_analysis.full.json)
 bench-analysis:
 	$(PYTHON) benchmarks/bench_analysis.py --out BENCH_analysis.json
+
+## conflict-directed learning benchmark: before/after node + wall-time
+## comparison on the UNSAT-heavy boundary grid.  Writes fresh snapshots
+## to the repo root (compare against the checked-in
+## benchmarks/BENCH_learning.{before,after}.json; copy them over and run
+## bench-trajectory when updating the baselines)
+bench-learning:
+	$(PYTHON) benchmarks/bench_learning.py --role before --out BENCH_learning.before.json
+	$(PYTHON) benchmarks/bench_learning.py --role after --out BENCH_learning.after.json
+	$(PYTHON) benchmarks/bench_learning.py --compare BENCH_learning.before.json BENCH_learning.after.json
+
+## regenerate benchmarks/BENCH_trajectory.json from the checked-in
+## engine/analysis/learning snapshots
+bench-trajectory:
+	$(PYTHON) benchmarks/bench_learning.py --trajectory benchmarks/BENCH_trajectory.json
 
 ## what CI runs: doc guards first (fast), then the full suite
 ci: docs-check solvers-check test

@@ -1,0 +1,439 @@
+"""Conflict-directed learning benchmark: the tracked learning baseline.
+
+Runs a fixed, fully deterministic grid of **boundary-utilization,
+UNSAT-heavy** cells — instances whose total utilization sits near the
+processor count, exactly the region where the screening cascade
+abstains and chronological search thrashes — once with the
+chronological solvers (``--role before``) and once with their
+conflict-directed ``+learn`` variants (``--role after``).  Two
+snapshots are checked in next to this file:
+
+* ``BENCH_learning.before.json`` — chronological engine (learning off);
+* ``BENCH_learning.after.json`` — conflict-directed engine
+  (``csp1+learn`` / ``csp2+learn``).
+
+Budgets are *node* limits, so statuses and node counts are
+machine-independent; only wall-clock fields move between machines.
+``--compare BEFORE AFTER`` checks the learning acceptance criteria:
+
+* **agreement** — zero SAT/UNSAT disagreements (a budget-limited
+  ``unknown`` may be *decided* by the stronger engine, never flipped);
+* **nodes** — the learning engine needs >= 1.3x fewer nodes in
+  aggregate (the checked-in snapshots show far more);
+* **wall time** — reported for information; CI only asserts the
+  machine-independent counters.
+
+Usage::
+
+    python benchmarks/bench_learning.py --role before --out BENCH_learning.before.json
+    python benchmarks/bench_learning.py --role after  --out BENCH_learning.after.json
+    python benchmarks/bench_learning.py --smoke --role after --out /tmp/s.json
+    python benchmarks/bench_learning.py --check-schema BENCH_learning.after.json
+    python benchmarks/bench_learning.py --compare BENCH_learning.before.json BENCH_learning.after.json
+    python benchmarks/bench_learning.py --trajectory BENCH_trajectory.json
+
+``--trajectory`` consolidates the engine / analysis / learning
+baselines (their checked-in JSONs) into one ``BENCH_trajectory.json``
+so the perf trend across PRs lives in a single tracked file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform as py_platform
+import sys
+import time
+from dataclasses import dataclass
+
+from repro.generator import GeneratorConfig, generate_instance
+from repro.model.platform import Platform
+from repro.solvers.registry import create_solver
+
+SCHEMA = "bench-learning/v1"
+TRAJECTORY_SCHEMA = "bench-trajectory/v1"
+
+#: top-level keys every BENCH_learning.json must carry (CI schema guard)
+REQUIRED_TOP_KEYS = ("schema", "scale", "role", "python", "scenarios", "totals")
+#: per-scenario keys (CI schema guard)
+REQUIRED_SCENARIO_KEYS = (
+    "name",
+    "solver",
+    "instances",
+    "statuses",
+    "wall_time_s",
+    "nodes",
+    "fails",
+    "conflicts",
+    "learned",
+    "backjumps",
+    "nodes_per_s",
+)
+
+#: minimum aggregate before/after node ratio --compare enforces
+MIN_NODE_RATIO = 1.3
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One grid row: a before/after solver pair over pinned instances."""
+
+    name: str
+    before: str
+    after: str
+    #: (n, tmax, m, seed) generator tuples (d-first order, identical m)
+    specs: tuple[tuple[int, int, int, int], ...]
+    node_limit: int
+
+    def solver(self, role: str) -> str:
+        """The registry name this scenario runs under ``role``."""
+        return self.before if role == "before" else self.after
+
+
+def _grid(smoke: bool) -> list[Scenario]:
+    """The fixed scenario grid (a tiny one under ``--smoke``).
+
+    Seeds were picked by scanning the d-first generator for cells whose
+    utilization sits within ~0.4 of the processor count and whose
+    chronological proof needs thousands of nodes (or overruns) — the
+    boundary region the ROADMAP's hard core lives in.  The mix is
+    UNSAT-heavy on purpose: refutation is where nogood learning pays.
+    """
+    if smoke:
+        return [
+            Scenario(
+                "csp2-boundary", "csp2-generic+dc", "csp2+learn",
+                ((4, 4, 2, 16), (4, 4, 2, 27)), node_limit=20_000,
+            ),
+            Scenario(
+                "csp1-boundary", "csp1", "csp1+learn",
+                ((4, 4, 2, 16),), node_limit=20_000,
+            ),
+        ]
+    return [
+        Scenario(
+            "csp2-boundary", "csp2-generic+dc", "csp2+learn",
+            (
+                (4, 4, 2, 16), (4, 4, 2, 27),
+                (5, 4, 2, 9), (5, 4, 2, 18), (5, 4, 2, 40),
+                (5, 5, 2, 9), (5, 5, 2, 11), (5, 5, 2, 51),
+                (6, 5, 2, 26), (6, 5, 2, 58),
+            ),
+            node_limit=60_000,
+        ),
+        Scenario(
+            "csp2-boundary-overrun", "csp2-generic+dc", "csp2+learn",
+            # the chronological engine overruns these; learning decides
+            ((5, 5, 2, 14), (6, 5, 2, 37), (6, 5, 3, 2), (6, 5, 3, 10),
+             (6, 6, 3, 1), (6, 6, 3, 14)),
+            node_limit=60_000,
+        ),
+        Scenario(
+            "csp1-boundary", "csp1", "csp1+learn",
+            ((4, 4, 2, 16), (4, 4, 2, 27), (4, 4, 2, 11), (5, 4, 2, 18),
+             (5, 4, 2, 59)),
+            node_limit=60_000,
+        ),
+    ]
+
+
+def _instances(scenario: Scenario):
+    """Materialize the pinned instances of one scenario."""
+    out = []
+    for n, tmax, m, seed in scenario.specs:
+        inst = generate_instance(GeneratorConfig(n=n, tmax=tmax, m=m), seed)
+        out.append((inst.system, Platform.identical(inst.m)))
+    return out
+
+
+def _run_scenario(scenario: Scenario, role: str) -> dict:
+    """Run one grid row under ``role`` and return its JSON record."""
+    solver_name = scenario.solver(role)
+    instances = _instances(scenario)
+    statuses: list[str] = []
+    nodes = fails = conflicts = learned = forgotten = backjumps = 0
+    wall = 0.0
+    for system, plat in instances:
+        best = None
+        for _ in range(3):  # min-of-3: deterministic work, damped noise
+            engine = create_solver(solver_name, system, plat)
+            t0 = time.perf_counter()
+            result = engine.solve(node_limit=scenario.node_limit)
+            elapsed = time.perf_counter() - t0
+            best = elapsed if best is None else min(best, elapsed)
+        wall += best
+        statuses.append(result.status.value)
+        nodes += result.stats.nodes
+        fails += result.stats.fails
+        extra = result.stats.extra
+        conflicts += extra.get("conflicts", 0)
+        learned += extra.get("learned", 0)
+        forgotten += extra.get("forgotten", 0)
+        backjumps += extra.get("backjumps", 0)
+    counts = {s: statuses.count(s) for s in ("feasible", "infeasible", "unknown")}
+    return {
+        "name": scenario.name,
+        "solver": solver_name,
+        "instances": len(instances),
+        "node_limit": scenario.node_limit,
+        "statuses": statuses,
+        "status_counts": counts,
+        "wall_time_s": round(wall, 4),
+        "nodes": nodes,
+        "fails": fails,
+        "conflicts": conflicts,
+        "learned": learned,
+        "forgotten": forgotten,
+        "backjumps": backjumps,
+        "nodes_per_s": round(nodes / wall) if wall > 0 else 0,
+    }
+
+
+def run_grid(role: str, smoke: bool = False) -> dict:
+    """Run the full grid under ``role`` and return the document."""
+    scenarios = [_run_scenario(s, role) for s in _grid(smoke)]
+    wall = sum(s["wall_time_s"] for s in scenarios)
+    nodes = sum(s["nodes"] for s in scenarios)
+    return {
+        "schema": SCHEMA,
+        "scale": "smoke" if smoke else "default",
+        "role": role,
+        "python": py_platform.python_version(),
+        "scenarios": scenarios,
+        "totals": {
+            "wall_time_s": round(wall, 4),
+            "nodes": nodes,
+            "conflicts": sum(s["conflicts"] for s in scenarios),
+            "learned": sum(s["learned"] for s in scenarios),
+            "nodes_per_s": round(nodes / wall) if wall > 0 else 0,
+        },
+    }
+
+
+def check_schema(path: str) -> list[str]:
+    """Validate a BENCH_learning.json document; empty list = ok."""
+    problems: list[str] = []
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return [f"cannot read {path}: {exc}"]
+    for key in REQUIRED_TOP_KEYS:
+        if key not in doc:
+            problems.append(f"missing top-level key {key!r}")
+    if doc.get("schema") != SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    if doc.get("role") not in ("before", "after"):
+        problems.append(f"role is {doc.get('role')!r}, expected before/after")
+    for i, sc in enumerate(doc.get("scenarios", [])):
+        for key in REQUIRED_SCENARIO_KEYS:
+            if key not in sc:
+                problems.append(f"scenario {i} missing key {key!r}")
+    if not doc.get("scenarios"):
+        problems.append("no scenarios recorded")
+    return problems
+
+
+def compare(before_path: str, after_path: str) -> list[str]:
+    """Check the learning acceptance criteria between two snapshots.
+
+    Returns a list of problems (empty = pass): scenario mismatch, any
+    SAT/UNSAT flip, or an aggregate node ratio under
+    :data:`MIN_NODE_RATIO`.  Wall-clock is reported by the CLI but not
+    judged here — node counts are the machine-independent signal.
+    """
+    problems: list[str] = []
+    with open(before_path) as fh:
+        before = json.load(fh)
+    with open(after_path) as fh:
+        after = json.load(fh)
+    b_sc = {s["name"]: s for s in before.get("scenarios", [])}
+    a_sc = {s["name"]: s for s in after.get("scenarios", [])}
+    if set(b_sc) != set(a_sc):
+        return [f"scenario sets differ: {sorted(set(b_sc) ^ set(a_sc))}"]
+    for name, b in b_sc.items():
+        a = a_sc[name]
+        if b["instances"] != a["instances"]:
+            problems.append(f"{name}: instance counts differ")
+            continue
+        for i, (sb, sa) in enumerate(zip(b["statuses"], a["statuses"])):
+            if "unknown" in (sb, sa):
+                continue  # a decided cell vs an overrun is an improvement
+            if sb != sa:
+                problems.append(
+                    f"{name}[{i}]: SAT/UNSAT disagreement ({sb} vs {sa})"
+                )
+    b_nodes = sum(s["nodes"] for s in b_sc.values())
+    a_nodes = sum(s["nodes"] for s in a_sc.values())
+    ratio = b_nodes / a_nodes if a_nodes else float("inf")
+    if ratio < MIN_NODE_RATIO:
+        problems.append(
+            f"node ratio {ratio:.2f}x below the {MIN_NODE_RATIO}x bar "
+            f"({b_nodes} -> {a_nodes})"
+        )
+    return problems
+
+
+def build_trajectory(bench_dir: str) -> dict:
+    """Summarize the engine / analysis / learning baselines in one doc.
+
+    Reads the checked-in snapshot JSONs next to this file and distills
+    each into the handful of numbers the ROADMAP tracks across PRs.
+    """
+    def load(name):
+        path = os.path.join(bench_dir, name)
+        try:
+            with open(path) as fh:
+                return json.load(fh)
+        except (OSError, ValueError):
+            return None
+
+    out = {"schema": TRAJECTORY_SCHEMA, "baselines": {}}
+    eng_before = load("BENCH_engine.before.json")
+    eng_after = load("BENCH_engine.after.json")
+    if eng_before and eng_after:
+        b, a = eng_before["totals"], eng_after["totals"]
+        out["baselines"]["engine"] = {
+            "pr": 3,
+            "what": "stateless-rescan -> incremental event-driven propagation",
+            "wall_time_s": {"before": b["wall_time_s"], "after": a["wall_time_s"]},
+            "speedup": round(b["wall_time_s"] / a["wall_time_s"], 2)
+            if a["wall_time_s"] else None,
+            "nodes_identical": b["nodes"] == a["nodes"],
+        }
+    analysis = load("BENCH_analysis.full.json")
+    if analysis:
+        out["baselines"]["analysis"] = {
+            "pr": 4,
+            "what": "polynomial screening cascade ahead of exact search",
+            "decided_fraction": analysis.get("screen", {}).get("decided_fraction"),
+            "screened_speedup": analysis.get("totals", {}).get("speedup"),
+            "disagreements": analysis.get("agreement", {}).get("disagreements"),
+        }
+    lrn_before = load("BENCH_learning.before.json")
+    lrn_after = load("BENCH_learning.after.json")
+    if lrn_before and lrn_after:
+        b, a = lrn_before["totals"], lrn_after["totals"]
+        out["baselines"]["learning"] = {
+            "pr": 5,
+            "what": "chronological -> conflict-directed search (+learn)",
+            "nodes": {"before": b["nodes"], "after": a["nodes"]},
+            "node_ratio": round(b["nodes"] / a["nodes"], 2) if a["nodes"] else None,
+            "wall_time_s": {"before": b["wall_time_s"], "after": a["wall_time_s"]},
+            "wall_ratio": round(b["wall_time_s"] / a["wall_time_s"], 2)
+            if a["wall_time_s"] else None,
+            "nogoods_learned": a.get("learned"),
+        }
+    return out
+
+
+def check_trajectory(path: str) -> list[str]:
+    """Validate a BENCH_trajectory.json document; empty list = ok."""
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return [f"cannot read {path}: {exc}"]
+    problems = []
+    if doc.get("schema") != TRAJECTORY_SCHEMA:
+        problems.append(
+            f"schema is {doc.get('schema')!r}, expected {TRAJECTORY_SCHEMA!r}"
+        )
+    for key in ("engine", "analysis", "learning"):
+        if key not in doc.get("baselines", {}):
+            problems.append(f"missing baseline {key!r}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default="BENCH_learning.json", help="output JSON path")
+    ap.add_argument(
+        "--role", choices=("before", "after"), default="after",
+        help="run the chronological (before) or learning (after) solvers",
+    )
+    ap.add_argument(
+        "--smoke", action="store_true", help="tiny grid for CI (seconds)"
+    )
+    ap.add_argument(
+        "--check-schema", metavar="PATH",
+        help="validate an existing JSON file instead of running the grid",
+    )
+    ap.add_argument(
+        "--compare", nargs=2, metavar=("BEFORE", "AFTER"),
+        help="check agreement + node-ratio acceptance between two snapshots",
+    )
+    ap.add_argument(
+        "--trajectory", metavar="OUT",
+        help="write the consolidated BENCH_trajectory.json and exit",
+    )
+    ap.add_argument(
+        "--check-trajectory", metavar="PATH",
+        help="validate an existing trajectory JSON and exit",
+    )
+    args = ap.parse_args(argv)
+    bench_dir = os.path.dirname(os.path.abspath(__file__))
+
+    if args.check_schema:
+        problems = check_schema(args.check_schema)
+        for p in problems:
+            print(f"bench-learning schema: {p}", file=sys.stderr)
+        if not problems:
+            print(f"{args.check_schema}: schema ok ({SCHEMA})")
+        return 1 if problems else 0
+
+    if args.check_trajectory:
+        problems = check_trajectory(args.check_trajectory)
+        for p in problems:
+            print(f"bench-trajectory: {p}", file=sys.stderr)
+        if not problems:
+            print(f"{args.check_trajectory}: trajectory ok")
+        return 1 if problems else 0
+
+    if args.compare:
+        problems = compare(*args.compare)
+        for p in problems:
+            print(f"bench-learning compare: {p}", file=sys.stderr)
+        if not problems:
+            with open(args.compare[0]) as fh:
+                b = json.load(fh)["totals"]
+            with open(args.compare[1]) as fh:
+                a = json.load(fh)["totals"]
+            ratio = b["nodes"] / a["nodes"] if a["nodes"] else float("inf")
+            wall = (
+                b["wall_time_s"] / a["wall_time_s"]
+                if a["wall_time_s"] else float("inf")
+            )
+            print(
+                f"agreement ok; nodes {b['nodes']} -> {a['nodes']} "
+                f"({ratio:.1f}x fewer), wall {b['wall_time_s']:.2f}s -> "
+                f"{a['wall_time_s']:.2f}s ({wall:.1f}x)"
+            )
+        return 1 if problems else 0
+
+    if args.trajectory:
+        doc = build_trajectory(bench_dir)
+        with open(args.trajectory, "w") as fh:
+            json.dump(doc, fh, indent=1)
+            fh.write("\n")
+        print(f"wrote {args.trajectory}")
+        return 0
+
+    doc = run_grid(args.role, smoke=args.smoke)
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+    for sc in doc["scenarios"]:
+        print(
+            f"{sc['name']:<24} {sc['solver']:<18} {sc['wall_time_s']:>8.3f}s  "
+            f"{sc['nodes']:>8} nodes  conflicts={sc['conflicts']:<6} "
+            f"{sc['status_counts']}"
+        )
+    print(f"total ({doc['role']})  {doc['totals']['wall_time_s']:>8.3f}s  -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,5 +24,16 @@ python benchmarks/bench_analysis.py --check-schema "${TMPDIR:-/tmp}/bench_analys
 python benchmarks/bench_analysis.py --check-schema benchmarks/BENCH_analysis.full.json
 python benchmarks/bench_analysis.py --check-schema benchmarks/BENCH_analysis.smoke.json
 
+echo "== perf-smoke: conflict-directed learning grid, agreement + node-ratio bar =="
+python benchmarks/bench_learning.py --smoke --role before --out "${TMPDIR:-/tmp}/bench_learning_smoke_before.json"
+python benchmarks/bench_learning.py --smoke --role after --out "${TMPDIR:-/tmp}/bench_learning_smoke_after.json"
+python benchmarks/bench_learning.py --check-schema "${TMPDIR:-/tmp}/bench_learning_smoke_before.json"
+python benchmarks/bench_learning.py --check-schema "${TMPDIR:-/tmp}/bench_learning_smoke_after.json"
+python benchmarks/bench_learning.py --compare "${TMPDIR:-/tmp}/bench_learning_smoke_before.json" "${TMPDIR:-/tmp}/bench_learning_smoke_after.json"
+python benchmarks/bench_learning.py --check-schema benchmarks/BENCH_learning.before.json
+python benchmarks/bench_learning.py --check-schema benchmarks/BENCH_learning.after.json
+python benchmarks/bench_learning.py --compare benchmarks/BENCH_learning.before.json benchmarks/BENCH_learning.after.json
+python benchmarks/bench_learning.py --check-trajectory benchmarks/BENCH_trajectory.json
+
 echo "== tier-1: full test suite =="
 python -m pytest -x -q

@@ -39,7 +39,6 @@ from repro.solvers import (
     SolverSpec,
     available_solvers,
     create_solver,
-    make_solver,
     register_solver,
     solve,
     solve_iter,
@@ -67,7 +66,6 @@ __all__ = [
     "solve_iter",
     "create_solver",
     "register_solver",
-    "make_solver",
     "available_solvers",
     "__version__",
 ]

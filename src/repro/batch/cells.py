@@ -41,7 +41,7 @@ class Cell:
     m:
         Number of identical processors.
     solver:
-        A :func:`repro.solvers.registry.make_solver` name.
+        A :func:`repro.solvers.registry.create_solver` name.
     time_limit:
         Per-cell wall budget in seconds (model construction included).
     csp1_variable_limit:

@@ -14,7 +14,10 @@ a typed event (ASSIGN / BOUNDS / REMOVE), propagators subscribe per event
 type and absorb deltas through ``on_event`` in O(1), report entailment to
 be deactivated for the rest of the subtree, and drain through a
 priority-tiered queue (cheap counter checks before linear passes before
-table filtering).
+table filtering).  ``Solver(learn=True)`` switches to conflict-directed
+search: an implication trail, propagator-supplied explanations, 1-UIP
+nogood learning with backjumping, and adaptive (dom/wdeg, last-conflict,
+phase-saving) heuristics — see :mod:`repro.csp.learning`.
 
 Example
 -------
@@ -31,11 +34,17 @@ Example
 
 from repro.csp.core import Model, Variable
 from repro.csp.state import (
+    CAUSE_DECISION,
     EVT_ANY,
     EVT_ASSIGN,
     EVT_BOUNDS,
     EVT_REMOVE,
     DomainState,
+)
+from repro.csp.learning import (
+    NogoodStore,
+    Trail,
+    analyze_conflict,
 )
 from repro.csp.propagators import (
     PROP_ENTAILED,
@@ -52,11 +61,14 @@ from repro.csp.propagators import (
     WeightedExactSumBool,
 )
 from repro.csp.heuristics import (
+    make_value_order_phase_saving,
+    make_var_order_last_conflict,
     value_order_ascending,
     value_order_custom,
     value_order_descending,
     value_order_random,
     var_order_dom_deg,
+    var_order_dom_wdeg,
     var_order_input,
     var_order_min_domain,
     var_order_random,
@@ -94,12 +106,19 @@ __all__ = [
     "SolveOutcome",
     "SearchStats",
     "Status",
+    "CAUSE_DECISION",
+    "NogoodStore",
+    "Trail",
+    "analyze_conflict",
     "var_order_input",
     "var_order_min_domain",
     "var_order_dom_deg",
+    "var_order_dom_wdeg",
     "var_order_random",
+    "make_var_order_last_conflict",
     "value_order_ascending",
     "value_order_descending",
     "value_order_random",
     "value_order_custom",
+    "make_value_order_phase_saving",
 ]

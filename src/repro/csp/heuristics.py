@@ -11,6 +11,21 @@ reproducing Choco's randomized default-search behaviour observed in
 Section VII-B); the generic CSP2 solver uses ``input`` order over
 chronologically created variables plus custom per-variable value orders
 for the RM/DM/(T-C)/(D-C) task heuristics.
+
+Three *adaptive* heuristics feed on the conflict statistics the learning
+search (``Solver(learn=True)``) maintains in the shared
+:class:`SearchContext`:
+
+* :func:`var_order_dom_wdeg` — dom/wdeg weighted degree: every conflict
+  bumps the weight of the failing constraint's variables, and the
+  heuristic minimizes ``domain size / (static degree + learned weight)``
+  so branching drifts toward the variables that keep causing trouble;
+* :func:`make_var_order_last_conflict` — last-conflict reasoning: the
+  variable whose assignment most recently conflicted is retried first
+  until it assigns cleanly, testing whether it is the culprit;
+* :func:`make_value_order_phase_saving` — phase saving: a variable first
+  retries the value it last held, so backjumps and restarts do not
+  un-learn a partial assignment that was working.
 """
 
 from __future__ import annotations
@@ -27,22 +42,38 @@ __all__ = [
     "var_order_input",
     "var_order_min_domain",
     "var_order_dom_deg",
+    "var_order_dom_wdeg",
     "var_order_random",
+    "make_var_order_last_conflict",
     "value_order_ascending",
     "value_order_descending",
     "value_order_random",
     "value_order_custom",
+    "make_value_order_phase_saving",
 ]
 
 
 @dataclass
 class SearchContext:
-    """Static data shared by heuristics during one solve."""
+    """Static data shared by heuristics during one solve.
+
+    The last three fields are *conflict statistics* maintained by the
+    learning search (``Solver(learn=True)``) and consumed by the
+    adaptive heuristics; they stay ``None``/empty on non-learning runs.
+    """
 
     degrees: Sequence[int]
     rng: random.Random | None = None
     #: scratch: index of the first possibly-unassigned variable (input order)
     first_unassigned_hint: int = field(default=0)
+    #: per-variable accumulated conflict weight (dom/wdeg); lazily
+    #: initialized by the search or by :func:`var_order_dom_wdeg`
+    weights: list | None = None
+    #: last value each variable held (``var.index -> value``, phase saving)
+    phases: dict | None = None
+    #: variables of the most recent conflicts, most recent first
+    #: (last-conflict reasoning reads the head)
+    last_conflicts: list = field(default_factory=list)
 
 
 # -- variable orders ----------------------------------------------------------
@@ -135,6 +166,50 @@ def var_order_dom_deg(state: DomainState, ctx: SearchContext) -> Variable | None
     return best
 
 
+def var_order_dom_wdeg(state: DomainState, ctx: SearchContext) -> Variable | None:
+    """Minimize domain-size / (static degree + conflict weight).
+
+    The weighted-degree heuristic of Boussemart et al.: the search bumps
+    ``ctx.weights`` for every variable of a failing constraint, so
+    repeatedly conflicting variables are branched on earlier.  Before
+    the first conflict this coincides with :func:`var_order_dom_deg`;
+    ties break by variable index."""
+    weights = ctx.weights
+    if weights is None:
+        weights = ctx.weights = [0.0] * len(state.masks)
+    best = None
+    best_key = None
+    for v, m in zip(state.model.variables, state.masks):
+        if not m & (m - 1):
+            continue
+        i = v.index
+        denom = ctx.degrees[i] + weights[i]
+        key = (m.bit_count() / denom if denom else float("inf"), i)
+        if best_key is None or key < best_key:
+            best_key = key
+            best = v
+    return best
+
+
+def make_var_order_last_conflict(base):
+    """Factory: last-conflict reasoning layered over ``base``.
+
+    If a variable from a recent conflict (``ctx.last_conflicts``) is
+    still unassigned, branch on it first — if it is the real culprit the
+    refutation happens near the top of the subtree instead of after
+    re-exploring everything below it.  Otherwise defer to ``base``."""
+
+    def order(state: DomainState, ctx: SearchContext) -> Variable | None:
+        masks = state.masks
+        for idx in ctx.last_conflicts:
+            m = masks[idx]
+            if m & (m - 1):
+                return state.model.variables[idx]
+        return base(state, ctx)
+
+    return order
+
+
 def var_order_random(state: DomainState, ctx: SearchContext) -> Variable | None:
     """Uniformly random unassigned variable (requires ``ctx.rng``)."""
     if ctx.rng is None:
@@ -175,6 +250,29 @@ def make_value_order_random(rng: random.Random):
 # kept as a named symbol so callers can pass it like the other orders;
 # they must construct it through make_value_order_random for seeding.
 value_order_random = make_value_order_random
+
+
+def make_value_order_phase_saving(base, phases: Mapping[int, int]):
+    """Factory: try each variable's previously-held value first.
+
+    ``phases`` is the shared ``var.index -> last value`` mapping the
+    learning search maintains (``SearchContext.phases``); values the
+    variable no longer has — or never had recorded — leave the ``base``
+    order untouched."""
+
+    def order(state: DomainState, var: Variable) -> list[int]:
+        vals = base(state, var)
+        saved = phases.get(var.index)
+        if saved is None or not vals or vals[0] == saved:
+            return vals
+        b = saved - var.offset
+        if b < 0 or not state.masks[var.index] >> b & 1:
+            return vals  # saved value no longer available
+        out = [saved]
+        out.extend(v for v in vals if v != saved)
+        return out
+
+    return order
 
 
 def value_order_custom(ranks: Mapping[int, Sequence[int]] | Sequence[int]):

@@ -1,0 +1,524 @@
+"""Conflict-directed learning: literal trail, nogood store, 1-UIP analysis.
+
+This module turns the implication trail recorded by
+:class:`~repro.csp.state.DomainState` (``record_causes=True``) into the
+three ingredients of conflict-directed search:
+
+**Literals.**  A literal is a ``(var_index, value, sign)`` triple:
+``sign=True`` reads "the variable *is assigned* ``value``", ``sign=False``
+reads "``value`` has been *removed* from the variable's domain".  Every
+typed domain event makes one or more literals true — an event that
+collapses a domain to a singleton makes the positive literal true, every
+removed value makes a negative literal true.
+
+**The literal trail** (:class:`Trail`) is an incremental index over the
+state's event log: for each literal it records the event *position* at
+which the literal first became true, and per decision level the event
+mark at which the level opened, so ``level_of(position)`` answers "which
+decision is this literal younger than".  The search keeps the trail
+synced after every propagation fixpoint and truncates it together with
+the domains on backtracking.
+
+**Nogoods** are conjunctions of literals that cannot all hold (the CSP
+analogue of a learned SAT clause: the nogood ``l1 ∧ … ∧ lk`` *is* the
+clause ``¬l1 ∨ … ∨ ¬lk``).  The :class:`NogoodStore` propagates them
+with two watched literals per nogood — a nogood only wakes when one of
+its two watches becomes true, and when every literal but one is true it
+forces the negation of the last (removing a value, or assigning one).
+The store is bounded: when it outgrows its capacity, the lowest-activity
+nogoods are forgotten, except short ones (≤ 2 literals) and nogoods that
+are the recorded reason of a current trail event.
+
+**Conflict analysis** (:func:`analyze_conflict`) resolves a failure back
+to the *first unique implication point*: starting from the failing
+propagator's explanation, literals of the conflict level are replaced by
+their reasons — asking the causing propagator to
+:meth:`~repro.csp.propagators.Propagator.explain_event`, expanding a
+nogood forcing into the nogood's other literals, or falling back to the
+sound decision-prefix reason — until a single conflict-level literal
+remains.  The result is an *asserting* nogood: after backjumping to the
+second-deepest level in it, every literal but the UIP holds, so the
+store immediately forces the UIP's negation and the search continues
+without re-exploring the refuted region.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_right
+
+from repro.csp.state import CAUSE_DECISION, DomainState
+
+__all__ = [
+    "Lit",
+    "lit_is_true",
+    "lit_is_false",
+    "apply_negation",
+    "Trail",
+    "Nogood",
+    "NogoodStore",
+    "analyze_conflict",
+]
+
+#: a literal: ``(var_index, value, sign)`` — sign True = "var == value",
+#: sign False = "value removed from var" (type alias for documentation)
+Lit = tuple
+
+#: forgetting keeps nogoods at or under this many literals unconditionally
+_KEEP_LEN = 2
+
+#: activity rescale threshold (MiniSat-style exponential decay)
+_ACT_CAP = 1e100
+
+
+def lit_is_true(state: DomainState, lit) -> bool:
+    """Whether the literal currently holds in ``state``."""
+    idx, val, sign = lit
+    b = val - state.model.variables[idx].offset
+    m = state.masks[idx]
+    if b < 0 or not m >> b & 1:
+        return not sign  # value not in the domain: x==v false, x!=v true
+    if sign:
+        return m == 1 << b
+    return False
+
+
+def lit_is_false(state: DomainState, lit) -> bool:
+    """Whether the literal's negation currently holds in ``state``."""
+    idx, val, sign = lit
+    b = val - state.model.variables[idx].offset
+    m = state.masks[idx]
+    if b < 0 or not m >> b & 1:
+        return sign  # value gone: x==v is false, x!=v is (true, not false)
+    if sign:
+        return False  # v still present and domain not singleton-checked
+    return m == 1 << b  # x assigned v falsifies x!=v
+
+
+def apply_negation(state: DomainState, lit) -> bool:
+    """Enforce the *negation* of ``lit``; False if the domain wipes out.
+
+    The caller sets :attr:`DomainState.cause` first so the resulting
+    event is attributed to the forcing nogood.
+    """
+    idx, val, sign = lit
+    var = state.model.variables[idx]
+    if sign:
+        return state.remove_value(var, val)  # ¬(x==v) ⇒ remove v
+    return state.assign(var, val)  # ¬(x!=v) ⇒ x := v
+
+
+class Trail:
+    """Incremental literal index over a state's event log.
+
+    ``pos_of[lit]`` is the event position at which ``lit`` first became
+    true in the current search branch; ``log`` lists the literals in
+    position order (the nogood store consumes it as its wake queue);
+    ``marks`` holds the event count at which each open decision level
+    started, so :meth:`level_of` maps a position to its decision level.
+    """
+
+    __slots__ = ("state", "pos_of", "log", "marks", "synced", "_offsets")
+
+    def __init__(self, state: DomainState) -> None:
+        self.state = state
+        self.pos_of: dict[tuple, int] = {}
+        self.log: list[tuple] = []
+        self.marks: list[int] = []
+        self.synced = 0
+        self._offsets = [v.offset for v in state.model.variables]
+
+    def sync(self) -> None:
+        """Index every event recorded since the last sync."""
+        events = self.state.events
+        n = len(events)
+        i = self.synced
+        if i >= n:
+            return
+        pos_of = self.pos_of
+        log = self.log
+        offsets = self._offsets
+        while i < n:
+            idx, old, new, _ev = events[i]
+            off = offsets[idx]
+            removed = old & ~new
+            while removed:
+                low = removed & -removed
+                removed ^= low
+                lit = (idx, off + low.bit_length() - 1, False)
+                if lit not in pos_of:
+                    pos_of[lit] = i
+                    log.append(lit)
+            if not new & (new - 1):  # collapsed to a singleton
+                lit = (idx, off + new.bit_length() - 1, True)
+                if lit not in pos_of:
+                    pos_of[lit] = i
+                    log.append(lit)
+            i += 1
+        self.synced = n
+
+    def truncate(self) -> None:
+        """Drop index entries for events undone by backtracking."""
+        n = len(self.state.events)
+        pos_of = self.pos_of
+        log = self.log
+        while log and pos_of[log[-1]] >= n:
+            del pos_of[log.pop()]
+        if self.synced > n:
+            self.synced = n
+
+    def push_mark(self) -> None:
+        """Record the event mark of a newly opened decision level."""
+        self.marks.append(len(self.state.events))
+
+    def pop_marks(self, level: int) -> None:
+        """Forget the marks of every level above ``level``."""
+        del self.marks[level:]
+
+    def level_of(self, pos: int) -> int:
+        """Decision level of the event at ``pos`` (0 = root)."""
+        return bisect_right(self.marks, pos)
+
+
+class Nogood:
+    """One learned nogood: a forbidden conjunction of literals.
+
+    ``w1``/``w2`` are the two watched literals (None for unary nogoods,
+    which are enforced once at the root instead of being watched)."""
+
+    __slots__ = ("id", "lits", "activity", "w1", "w2")
+
+    def __init__(self, nid: int, lits: tuple) -> None:
+        self.id = nid
+        self.lits = lits
+        self.activity = 0.0
+        self.w1 = None
+        self.w2 = None
+
+    def __repr__(self) -> str:
+        return f"Nogood#{self.id}({len(self.lits)} lits)"
+
+
+class NogoodStore:
+    """Bounded learned-nogood database with watched-literal propagation.
+
+    Parameters
+    ----------
+    capacity:
+        Soft bound on the number of stored nogoods; exceeding it triggers
+        :meth:`reduce`, which forgets the lowest-activity half (never
+        nogoods of ≤ 2 literals, never nogoods locked as the reason of a
+        current trail event).
+    """
+
+    def __init__(self, capacity: int = 10_000) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.by_id: dict[int, Nogood] = {}
+        self.watches: dict[tuple, list[Nogood]] = {}
+        #: cursor into the trail's literal log (wake queue position)
+        self.seen = 0
+        self._next_id = 0
+        self._act_inc = 1.0
+
+    def __len__(self) -> int:
+        return len(self.by_id)
+
+    # -- bookkeeping ----------------------------------------------------------
+    def add(self, lits, state: DomainState, trail: Trail) -> Nogood:
+        """Register a learned nogood and set up its watches.
+
+        For an asserting nogood the caller passes the UIP literal *first*
+        — it is watched together with the deepest of the remaining
+        (currently true) literals, so the nogood wakes exactly when it
+        can force again after backtracking.
+        """
+        ng = Nogood(self._next_id, tuple(lits))
+        self._next_id += 1
+        self.by_id[ng.id] = ng
+        ng.activity = self._act_inc
+        if len(ng.lits) >= 2:
+            pos_of = trail.pos_of
+            rest = ng.lits[1:]
+            deepest = max(rest, key=lambda l: pos_of.get(l, -1))
+            ng.w1 = ng.lits[0]
+            ng.w2 = deepest
+            self.watches.setdefault(ng.w1, []).append(ng)
+            self.watches.setdefault(ng.w2, []).append(ng)
+        return ng
+
+    def bump(self, ng: Nogood) -> None:
+        """Raise a nogood's activity (it took part in a conflict)."""
+        ng.activity += self._act_inc
+        if ng.activity > _ACT_CAP:
+            for other in self.by_id.values():
+                other.activity /= _ACT_CAP
+            self._act_inc /= _ACT_CAP
+
+    def decay(self) -> None:
+        """Exponentially decay all activities (one step per conflict)."""
+        self._act_inc /= 0.95
+
+    def locked_ids(self, state: DomainState) -> set[int]:
+        """Ids of nogoods recorded as the reason of a live trail event."""
+        causes = state.causes or ()
+        return {-2 - c for c in causes if c <= -2}
+
+    def reduce(self, state: DomainState) -> int:
+        """Forget the lowest-activity half; returns how many were dropped.
+
+        Nogoods of ≤ 2 literals and nogoods locked as reasons survive
+        unconditionally (forgetting a locked reason would break conflict
+        analysis of the events it produced).
+        """
+        locked = self.locked_ids(state)
+        candidates = [
+            ng
+            for ng in self.by_id.values()
+            if len(ng.lits) > _KEEP_LEN and ng.id not in locked
+        ]
+        if not candidates:
+            return 0
+        candidates.sort(key=lambda ng: ng.activity)
+        drop = candidates[: max(1, len(candidates) // 2)]
+        for ng in drop:
+            del self.by_id[ng.id]
+        dropped = set(drop)
+        for lit, row in list(self.watches.items()):
+            kept = [ng for ng in row if ng not in dropped]
+            if kept:
+                self.watches[lit] = kept
+            else:
+                del self.watches[lit]
+        return len(drop)
+
+    # -- propagation ----------------------------------------------------------
+    def on_true(self, lit, state: DomainState) -> Nogood | None:
+        """A literal just became true: service the nogoods watching it.
+
+        Each watcher either moves its watch to another non-true literal,
+        stays inert (some literal is already false), forces the negation
+        of its last non-true literal (attributing the event to itself via
+        :attr:`DomainState.cause`), or reports itself as the conflict.
+        Returns the conflicting nogood, or None.
+        """
+        row = self.watches.get(lit)
+        if not row:
+            return None
+        keep: list[Nogood] = []
+        conflict: Nogood | None = None
+        i = 0
+        for i, ng in enumerate(row):
+            other = ng.w2 if ng.w1 == lit else ng.w1
+            # try to move this watch to a literal that is not (yet) true
+            moved = False
+            for cand in ng.lits:
+                if cand == lit or cand == other:
+                    continue
+                if not lit_is_true(state, cand):
+                    if ng.w1 == lit:
+                        ng.w1 = cand
+                    else:
+                        ng.w2 = cand
+                    self.watches.setdefault(cand, []).append(ng)
+                    moved = True
+                    break
+            if moved:
+                continue
+            keep.append(ng)
+            if lit_is_false(state, other):
+                continue  # some literal is false: the nogood is inert here
+            if lit_is_true(state, other):
+                conflict = ng  # every literal holds: the nogood is violated
+                break
+            prev = state.cause
+            state.cause = -2 - ng.id
+            ok = apply_negation(state, other)
+            state.cause = prev
+            if not ok:
+                conflict = ng
+                break
+        if conflict is not None:
+            keep.extend(row[i + 1 :])
+        if keep:
+            self.watches[lit] = keep
+        else:
+            self.watches.pop(lit, None)
+        return conflict
+
+
+class _Fallback(Exception):
+    """Internal: a reason could not be validated; use the decision nogood."""
+
+
+def _reason_of(lit, pos, state, trail, props, store, decisions):
+    """Literals (true before ``pos``) that forced the event at ``pos``.
+
+    Dispatches on the recorded cause: a forcing nogood explains with its
+    other literals, a propagator with
+    :meth:`~repro.csp.propagators.Propagator.explain_event` (checked for
+    soundness: every returned literal must have become true strictly
+    before ``pos``), and anything unexplained falls back to the decision
+    prefix of the event's level — sound because every event is a
+    deterministic consequence of the decisions above it.
+
+    Raises :class:`_Fallback` when even the dispatch is inconsistent
+    (e.g. a decision literal asked to explain itself), telling
+    :func:`analyze_conflict` to fall back to the plain decision nogood.
+    """
+    cause = state.causes[pos]
+    pos_of = trail.pos_of
+    if cause <= -2:
+        ng = store.by_id.get(-2 - cause)
+        if ng is None:
+            raise _Fallback  # reason forgotten (must not happen: locked)
+        store.bump(ng)
+        return [l for l in ng.lits if pos_of.get(l, pos) < pos]
+    if cause == CAUSE_DECISION:
+        # only removal spellings of a decision assignment land here (the
+        # canonical decision literal is the UIP by construction); they
+        # are implied by the canonical literal
+        raise _Fallback
+    reason = props[cause].explain_event(state, trail, pos)
+    if reason is None:
+        return decisions[: trail.level_of(pos)]
+    out = []
+    for l in reason:
+        p = pos_of.get(l)
+        if p is None:
+            if not lit_is_true(state, l):
+                raise _Fallback  # not even true: the explanation is bogus
+            continue  # true since the root: contributes nothing
+        if p >= pos:
+            raise _Fallback  # "reason" younger than the consequence
+        out.append(l)
+    return out
+
+
+def analyze_conflict(conflict_lits, state, trail, props, store, decisions):
+    """Resolve a conflict to an asserting 1-UIP nogood.
+
+    Parameters
+    ----------
+    conflict_lits:
+        Literals (all currently true) whose conjunction is the failure's
+        reason — a failing propagator's explanation or a violated
+        nogood's literals.
+    state, trail:
+        The domain state (with causes) and the synced literal trail.
+    props:
+        The solver's propagator list (cause ids index into it).
+    store:
+        The nogood store (forcing causes resolve through it; activities
+        of involved nogoods are bumped).
+    decisions:
+        The canonical decision literal of each open level, in order.
+
+    Returns
+    -------
+    ``(nogood_lits, uip_lit, backjump_level)`` where ``nogood_lits``
+    ends with the UIP literal, or ``None`` when the conflict holds at
+    the root — the instance is unsatisfiable.
+    """
+    events = state.events
+    variables = state.model.variables
+    pos_of = trail.pos_of
+    level_of = trail.level_of
+
+    def canonical(lit):
+        """Collapse assignment-event spellings onto the positive literal."""
+        p = pos_of.get(lit)
+        if p is None:
+            return lit, None
+        idx, _old, new, _ev = events[p]
+        if not new & (new - 1):  # the event assigned the variable
+            clit = (idx, variables[idx].offset + new.bit_length() - 1, True)
+            if clit != lit:
+                p2 = pos_of.get(clit, p)
+                return clit, p2
+        return lit, p
+
+    try:
+        # seed with the conflict reason; the conflict level is the
+        # deepest level represented in it
+        seed = []
+        conflict_level = 0
+        for lit in conflict_lits:
+            lit, p = canonical(lit)
+            if p is None:
+                continue  # root fact
+            lvl = level_of(p)
+            if lvl == 0:
+                continue
+            seed.append((lit, p, lvl))
+            if lvl > conflict_level:
+                conflict_level = lvl
+        if conflict_level == 0:
+            return None  # conflict already implied at the root: UNSAT
+
+        seen: set = set()
+        heap: list = []  # max-heap by position over conflict-level lits
+        learned: list = []  # literals from earlier levels
+        counter = 0
+
+        def add_lit(lit):
+            nonlocal counter
+            lit, p = canonical(lit)
+            if p is None or lit in seen:
+                return
+            lvl = level_of(p)
+            if lvl == 0:
+                return
+            seen.add(lit)
+            if lvl == conflict_level:
+                heapq.heappush(heap, (-p, lit))
+                counter += 1
+            else:
+                learned.append(lit)
+
+        for lit, _p, _lvl in seed:
+            add_lit(lit)
+
+        while counter > 1:
+            negp, lit = heapq.heappop(heap)
+            counter -= 1
+            for l in _reason_of(
+                lit, -negp, state, trail, props, store, decisions
+            ):
+                add_lit(l)
+
+        if counter == 0:
+            # the conflict-level literals all resolved into earlier
+            # levels: the earlier-level set is itself a violated nogood —
+            # analyze it at *its* deepest level
+            if not learned:
+                return None
+            return analyze_conflict(
+                learned, state, trail, props, store, decisions
+            )
+
+        uip = heapq.heappop(heap)[1]
+    except _Fallback:
+        # sound fallback: the decisions alone imply this conflict
+        prefix = decisions[: max(1, _deepest_level(conflict_lits, trail))]
+        return list(prefix), prefix[-1], len(prefix) - 1
+
+    backjump = 0
+    for l in learned:
+        lvl = level_of(pos_of[l])
+        if lvl > backjump:
+            backjump = lvl
+    return learned + [uip], uip, backjump
+
+
+def _deepest_level(lits, trail: Trail) -> int:
+    """Deepest decision level among the (recorded) literals."""
+    deepest = 0
+    for lit in lits:
+        p = trail.pos_of.get(lit)
+        if p is not None:
+            lvl = trail.level_of(p)
+            if lvl > deepest:
+                deepest = lvl
+    return deepest

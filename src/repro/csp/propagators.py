@@ -53,6 +53,33 @@ Writing an incremental propagator
    make the constraint prune or fail again in this subtree — a
    too-eager entailment silently weakens propagation.
 
+Explaining propagations (conflict-directed search)
+--------------------------------------------------
+When the solver runs with learning enabled (see
+:mod:`repro.csp.learning`), propagators may additionally *explain*
+themselves.  A literal is a ``(var_index, value, sign)`` triple —
+``sign=True`` means "the variable is assigned ``value``", ``sign=False``
+means "``value`` was removed".
+
+* :meth:`Propagator.explain_event` ``(state, trail, pos)`` returns a
+  list of literals, **all true strictly before event position** ``pos``,
+  whose conjunction forced the event this propagator recorded at ``pos``
+  (``state.events[pos]``); literals that have been true since the root
+  may be included or dropped freely (they carry no information).  Return
+  ``None`` to decline: the analyzer then falls back to the sound
+  decision-prefix reason (every event is a deterministic consequence of
+  the decisions above it), which is always correct but maximally coarse.
+* :meth:`Propagator.explain_failure` ``(state, trail)`` returns literals
+  (all currently true) whose conjunction is sufficient for the wipe-out
+  this propagator just reported, or ``None`` for the same fallback.
+
+The hot counting/table propagators implement both for real —
+:class:`AtMostOneTrue` blames the TRUE variable, the exact-sum family
+blames the TRUE set (overshoot) or the FALSE set (undershoot), and
+:class:`Table` blames the removals that invalidated the supports — so
+learned nogoods stay short and reusable instead of degenerating into
+full decision prefixes.
+
 The set of propagators is exactly what the paper's encodings need:
 
 ================  ============================================  ==========
@@ -165,6 +192,21 @@ class Propagator:
     def propagate(self, state: DomainState) -> int:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    def explain_event(self, state: DomainState, trail, pos: int):
+        """Literals (true strictly before ``pos``) that forced the event
+        this propagator recorded at ``state.events[pos]``.
+
+        Default ``None``: the conflict analyzer falls back to the sound
+        decision-prefix reason.  See the module docstring for the full
+        contract."""
+        return None
+
+    def explain_failure(self, state: DomainState, trail):
+        """Literals (currently true) sufficient for the wipe-out this
+        propagator just reported; ``None`` for the decision-prefix
+        fallback."""
+        return None
+
     def __repr__(self) -> str:
         names = ",".join(v.name for v in self.vars[:4])
         more = "" if len(self.vars) <= 4 else f",..{len(self.vars)}"
@@ -218,6 +260,31 @@ class AtMostOneTrue(Propagator):
         if c[0] == 0 and c[1] > 1:
             return False  # nothing to do while no var is TRUE
         return None
+
+    def explain_event(self, state: DomainState, trail, pos: int):
+        """A forced 0 is explained by the variable that was TRUE."""
+        idx, _old, new, _ev = state.events[pos]
+        if new != _FALSE:
+            return None
+        pos_of = trail.pos_of
+        for v in self.vars:
+            if v.index == idx:
+                continue
+            if v.initial_mask == _TRUE:
+                return []  # forced by a root-fixed TRUE: a root fact
+            p = pos_of.get((v.index, 1, True))
+            if p is not None and p < pos:
+                return [(v.index, 1, True)]
+        return None
+
+    def explain_failure(self, state: DomainState, trail):
+        """Two TRUE variables violate at-most-one: blame them."""
+        out = []
+        masks = state.masks
+        for v in self.vars:
+            if masks[v.index] == _TRUE and v.initial_mask != _TRUE:
+                out.append((v.index, 1, True))
+        return out
 
     def propagate(self, state: DomainState) -> int:
         """O(1) verdict; an O(k) forcing scan only when one var is TRUE."""
@@ -282,6 +349,51 @@ class ExactSumBool(Propagator):
         if c[0] < self.total < c[0] + c[1]:
             return False  # strictly between the bounds: no forcing yet
         return None
+
+    def explain_event(self, state: DomainState, trail, pos: int):
+        """A forced 0 is explained by the TRUE set (the sum saturated);
+        a forced 1 by the FALSE set (the remaining candidates got tight).
+        Root-fixed variables carry no event and are dropped (root facts)."""
+        idx, _old, new, _ev = state.events[pos]
+        if new == _FALSE:
+            val = 1  # saturated: blame every variable assigned 1 earlier
+        elif new == _TRUE:
+            val = 0  # tight: blame every variable assigned 0 earlier
+        else:
+            return None
+        pos_of = trail.pos_of
+        out = []
+        for v in self.vars:
+            if v.index == idx:
+                continue
+            p = pos_of.get((v.index, val, True))
+            if p is not None and p < pos:
+                out.append((v.index, val, True))
+        return out
+
+    def explain_failure(self, state: DomainState, trail):
+        """Overshoot blames the TRUE set, undershoot the FALSE set."""
+        masks = state.masks
+        ones = falses = 0
+        for v in self.vars:
+            m = masks[v.index]
+            if m == _TRUE:
+                ones += 1
+            elif m == _FALSE:
+                falses += 1
+        if ones > self.total:
+            val = 1
+        elif len(self.vars) - falses < self.total:
+            val = 0
+        else:
+            return None
+        want = _TRUE if val else _FALSE
+        pos_of = trail.pos_of
+        return [
+            (v.index, val, True)
+            for v in self.vars
+            if masks[v.index] == want and (v.index, val, True) in pos_of
+        ]
 
     def propagate(self, state: DomainState) -> int:
         """O(1) bound checks; an O(k) forcing scan only when saturated
@@ -376,6 +488,53 @@ class WeightedExactSumBool(Propagator):
         if c[2] and self._cmax <= total - lb and self._cmax <= lb + c[1] - total:
             return False  # no variable can be forced either way yet
         return None
+
+    def explain_event(self, state: DomainState, trail, pos: int):
+        """A forced 0 is explained by the TRUE set (its coefficient sum
+        leaves no room); a forced 1 by the FALSE set (without this
+        variable the reachable sum falls short)."""
+        idx, _old, new, _ev = state.events[pos]
+        if new == _FALSE:
+            val = 1
+        elif new == _TRUE:
+            val = 0
+        else:
+            return None
+        pos_of = trail.pos_of
+        out = []
+        for v in self.vars:
+            if v.index == idx:
+                continue
+            p = pos_of.get((v.index, val, True))
+            if p is not None and p < pos:
+                out.append((v.index, val, True))
+        return out
+
+    def explain_failure(self, state: DomainState, trail):
+        """Overshoot blames the TRUE set, undershoot the FALSE set
+        (recomputed from the masks: a scan may fail mid-update)."""
+        masks = state.masks
+        lb = false_sum = 0
+        for v, c in zip(self.vars, self.coefs):
+            m = masks[v.index]
+            if m == _TRUE:
+                lb += c
+            elif m == _FALSE:
+                false_sum += c
+        if lb > self.total:
+            val = 1
+            want = _TRUE
+        elif sum(self.coefs) - false_sum < self.total:
+            val = 0
+            want = _FALSE
+        else:
+            return None
+        pos_of = trail.pos_of
+        return [
+            (v.index, val, True)
+            for v in self.vars
+            if masks[v.index] == want and (v.index, val, True) in pos_of
+        ]
 
     def propagate(self, state: DomainState) -> int:
         """O(1) bound checks; the per-variable scan runs only when some
@@ -505,6 +664,64 @@ class CountEq(Propagator):
         if c[0] < self.total < c[0] + c[1]:
             return False  # strictly between the bounds: no forcing yet
         return None
+
+    def explain_event(self, state: DomainState, trail, pos: int):
+        """A var forced *to* ``value`` is explained by the set that lost
+        it (the count got tight); a var that lost ``value`` by the set
+        fixed to it (the count saturated)."""
+        idx, _old, new, _ev = state.events[pos]
+        bit = self._bits.get(idx)
+        if bit is None:
+            return None
+        pos_of = trail.pos_of
+        out = []
+        if new == bit:  # tight: blame every watched var that lost `value`
+            lost = (self.value, False)
+            for v in self._watched:
+                if v.index == idx:
+                    continue
+                p = pos_of.get((v.index,) + lost)
+                if p is not None and p < pos:
+                    out.append((v.index,) + lost)
+            return out
+        if not new & bit:  # saturated: blame the vars fixed to `value`
+            fixed = (self.value, True)
+            for v in self._watched:
+                if v.index == idx:
+                    continue
+                p = pos_of.get((v.index,) + fixed)
+                if p is not None and p < pos:
+                    out.append((v.index,) + fixed)
+            return out
+        return None
+
+    def explain_failure(self, state: DomainState, trail):
+        """Overshoot blames the fixed set, undershoot the lost set."""
+        masks = state.masks
+        bits = self._bits
+        pos_of = trail.pos_of
+        n_fixed = cand = 0
+        for v in self._watched:
+            m = masks[v.index]
+            bit = bits[v.index]
+            if m == bit:
+                n_fixed += 1
+            elif m & bit:
+                cand += 1
+        if n_fixed > self.total:
+            want = lambda m, bit: m == bit  # noqa: E731 - tiny local pred
+            tail = (self.value, True)
+        elif n_fixed + cand < self.total:
+            want = lambda m, bit: not m & bit  # noqa: E731
+            tail = (self.value, False)
+        else:
+            return None
+        return [
+            (v.index,) + tail
+            for v in self._watched
+            if want(masks[v.index], bits[v.index])
+            and ((v.index,) + tail) in pos_of
+        ]
 
     def propagate(self, state: DomainState) -> int:
         """O(1) bound checks; one O(k) forcing scan when saturated or
@@ -651,6 +868,59 @@ class WeightedCountEq(Propagator):
             return False  # no variable can be forced either way yet
         return None
 
+    def explain_event(self, state: DomainState, trail, pos: int):
+        """Same shape as :meth:`CountEq.explain_event`: tight forcings
+        blame the lost set, saturated removals the fixed set."""
+        idx, _old, new, _ev = state.events[pos]
+        bit = self._bits.get(idx)
+        if bit is None:
+            return None
+        pos_of = trail.pos_of
+        tail = (self.value, False) if new == bit else (
+            (self.value, True) if not new & bit else None
+        )
+        if tail is None:
+            return None
+        out = []
+        for v in self._watched:
+            if v.index == idx:
+                continue
+            lit = (v.index,) + tail
+            p = pos_of.get(lit)
+            if p is not None and p < pos:
+                out.append(lit)
+        return out
+
+    def explain_failure(self, state: DomainState, trail):
+        """Overshoot blames the fixed set, undershoot the lost set."""
+        masks = state.masks
+        bits = self._bits
+        coef_of = self._coef_of
+        lb = lost_sum = 0
+        for v in self._watched:
+            m = masks[v.index]
+            bit = bits[v.index]
+            if m == bit:
+                lb += coef_of[v.index]
+            elif not m & bit:
+                lost_sum += coef_of[v.index]
+        allsum = sum(coef_of.values())
+        if lb > self.total:
+            keep = lambda m, bit: m == bit  # noqa: E731 - tiny local pred
+            tail = (self.value, True)
+        elif allsum - lost_sum < self.total:
+            keep = lambda m, bit: not m & bit  # noqa: E731
+            tail = (self.value, False)
+        else:
+            return None
+        pos_of = trail.pos_of
+        return [
+            (v.index,) + tail
+            for v in self._watched
+            if keep(masks[v.index], bits[v.index])
+            and ((v.index,) + tail) in pos_of
+        ]
+
     def propagate(self, state: DomainState) -> int:
         """O(1) bound checks; per-variable scan + local fixpoint only
         when some coefficient could overshoot or be required."""
@@ -737,6 +1007,51 @@ class AllDifferentExceptValue(Propagator):
             return False
         return None
 
+    def explain_event(self, state: DomainState, trail, pos: int):
+        """Each removed value is blamed on the variable assigned to it."""
+        idx, old, new, _ev = state.events[pos]
+        removed = old & ~new
+        offset = state.model.variables[idx].offset
+        pos_of = trail.pos_of
+        out = []
+        while removed:
+            low = removed & -removed
+            removed ^= low
+            val = offset + low.bit_length() - 1
+            found = None
+            for x in self.vars:
+                if x.index == idx:
+                    continue
+                p = pos_of.get((x.index, val, True))
+                if p is not None and p < pos:
+                    found = (x.index, val, True)
+                    break
+            if found is None:
+                return None  # taker not on the trail (root-fixed): punt
+            out.append(found)
+        return out
+
+    def explain_failure(self, state: DomainState, trail):
+        """Blame the two variables assigned the same (non-idle) value."""
+        masks = state.masks
+        seen: dict[int, Variable] = {}
+        for v in self.vars:
+            m = masks[v.index]
+            if m & (m - 1):
+                continue
+            val = v.offset + m.bit_length() - 1
+            if val == self.except_value:
+                continue
+            if val in seen:
+                pos_of = trail.pos_of
+                return [
+                    (x.index, val, True)
+                    for x in (seen[val], v)
+                    if (x.index, val, True) in pos_of
+                ]
+            seen[val] = v
+        return None
+
     def propagate(self, state: DomainState) -> int:
         """Value consistency over the assigned variables."""
         taken: set[int] = set()
@@ -785,7 +1100,7 @@ class NonDecreasing(Propagator):
     never change its pruning) and reports entailment once every adjacent
     pair satisfies ``max(x_i) <= min(x_{i+1})``."""
 
-    __slots__ = ()
+    __slots__ = ("_chain_pos",)
 
     priority = 1
     wake_on = EVT_BOUNDS
@@ -794,6 +1109,56 @@ class NonDecreasing(Propagator):
         self.vars = tuple(vars)
         if len(self.vars) < 2:
             raise ValueError("NonDecreasing needs at least two variables")
+        self._chain_pos = {v.index: i for i, v in enumerate(self.vars)}
+
+    def _neighbour_removals(self, neigh: Variable, trail, pos: int):
+        """Every recorded removal on ``neigh`` before ``pos`` — enough to
+        pin its bound, hence the ripple it caused."""
+        pos_of = trail.pos_of
+        out = []
+        off = neigh.offset
+        m = neigh.initial_mask
+        while m:
+            low = m & -m
+            m ^= low
+            lit = (neigh.index, off + low.bit_length() - 1, False)
+            p = pos_of.get(lit)
+            if p is not None and p < pos:
+                out.append(lit)
+        return out
+
+    def explain_event(self, state: DomainState, trail, pos: int):
+        """A raised lower bound is blamed on the left neighbour's
+        removals, a lowered upper bound on the right neighbour's (the
+        bound ripples come from exactly one side per event)."""
+        idx, old, new, _ev = state.events[pos]
+        i = self._chain_pos.get(idx)
+        if i is None:
+            return None
+        min_moved = (old & -old) != (new & -new)
+        if min_moved and i > 0:
+            neigh = self.vars[i - 1]
+        elif not min_moved and i + 1 < len(self.vars):
+            neigh = self.vars[i + 1]
+        else:
+            return None
+        return self._neighbour_removals(neigh, trail, pos)
+
+    def explain_failure(self, state: DomainState, trail):
+        """A wiped-out ripple is blamed on both neighbours' removals."""
+        masks = state.masks
+        vs = self.vars
+        # find a crossing pair: max(left) > max possible of right chain
+        for i in range(len(vs) - 1):
+            a, b = vs[i], vs[i + 1]
+            lo_a = a.offset + ((masks[a.index] & -masks[a.index]).bit_length() - 1)
+            hi_b = b.offset + masks[b.index].bit_length() - 1
+            if lo_a > hi_b:
+                inf = float("inf")
+                return self._neighbour_removals(
+                    a, trail, inf
+                ) + self._neighbour_removals(b, trail, inf)
+        return None
 
     def propagate(self, state: DomainState) -> int:
         """Ripple lower bounds right, upper bounds left.
@@ -917,6 +1282,36 @@ class Table(Propagator):
                 self._stamp = state._stamp
                 state.save(self._valid, 0)
             self._valid[0] = valid & ~kill
+
+    def _removal_reason(self, trail, limit):
+        """Removal literals (before ``limit``) of mentioned values: the
+        validity mask — and hence any pruning or wipe-out — is a pure
+        function of which mentioned values have been removed."""
+        pos_of = trail.pos_of
+        out = []
+        seen: set[int] = set()
+        for v in self.vars:
+            if v.index in seen:
+                continue
+            seen.add(v.index)
+            vals: set[int] = set()
+            for q in self._positions[v.index]:
+                vals.update(self._supports[q])
+            for val in vals:
+                lit = (v.index, val, False)
+                p = pos_of.get(lit)
+                if p is not None and p < limit:
+                    out.append(lit)
+        return out
+
+    def explain_event(self, state: DomainState, trail, pos: int):
+        """Blame every earlier removal of a mentioned value (they fixed
+        the validity mask that left the pruned values supportless)."""
+        return self._removal_reason(trail, pos)
+
+    def explain_failure(self, state: DomainState, trail):
+        """Blame the removals that invalidated the last tuples."""
+        return self._removal_reason(trail, float("inf"))
 
     def propagate(self, state: DomainState) -> int:
         """Keep exactly the values with a valid supporting tuple."""

@@ -22,23 +22,56 @@ Propagation is **incremental and event-driven** (see
 * a propagator that reports entailment (:data:`~repro.csp.propagators.
   PROP_ENTAILED`) is deactivated for the rest of the subtree; the
   deactivation lives on the trail, so backtracking reactivates it.
+
+**Conflict-directed search** (``Solver(learn=True)``) replaces the
+chronological value iteration with CDCL-style learning built on
+:mod:`repro.csp.learning`:
+
+* the state records an implication trail (which propagator, decision or
+  nogood caused every domain event);
+* on conflict, 1-UIP analysis resolves the failing propagator's
+  explanation back to an *asserting nogood*, the search backjumps
+  straight to the nogood's second-deepest level (skipping the levels the
+  conflict never depended on), and the nogood store immediately forces
+  the UIP's negation there — refuted regions are never re-explored, so
+  there are no explicit "remaining values" to iterate;
+* learned nogoods propagate through two watched literals per nogood and
+  are forgotten lowest-activity-first when the bounded store fills
+  (short nogoods and nogoods locked as live reasons always survive);
+* with ``restart_nodes``, the store **persists across the geometric
+  restarts** — the frontier of learned refutations carries over, so a
+  restart no longer throws away everything the previous run derived;
+* termination does not depend on retention: every conflict strictly
+  grows the trail at the backjump level (the classic CDCL argument), so
+  the search is complete even with aggressive forgetting, and UNSAT is
+  reported exactly when a conflict is analyzed back to the root.
+
+Learning is opt-in: the default configuration runs the chronological
+search below, byte-identical to the pre-learning engine.
 """
 
 from __future__ import annotations
 
 import random
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from enum import Enum
 
 from repro.csp.core import Model, Variable
 from repro.csp.heuristics import (
     SearchContext,
+    make_value_order_phase_saving,
     value_order_ascending,
     var_order_min_domain,
 )
+from repro.csp.learning import (
+    NogoodStore,
+    Trail,
+    analyze_conflict,
+    apply_negation,
+)
 from repro.csp.propagators import PROP_ENTAILED
-from repro.csp.state import EVT_ANY, EVT_ASSIGN, DomainState
+from repro.csp.state import CAUSE_DECISION, EVT_ANY, EVT_ASSIGN, DomainState
 from repro.util.timer import Deadline
 
 _EVT_ASSIGN = EVT_ASSIGN  # module-local alias, bound once for the hot loop
@@ -73,7 +106,45 @@ class SearchStats:
     solutions: int = 0
     max_depth: int = 0
     restarts: int = 0       # geometric restarts taken (restart_nodes mode)
+    conflicts: int = 0      # conflicts analyzed (learning search only)
+    learned: int = 0        # nogoods learned
+    forgotten: int = 0      # nogoods dropped by store reduction
+    backjumps: int = 0      # non-chronological jumps (> 1 level)
+    max_backjump: int = 0   # deepest jump, in levels skipped
     elapsed: float = 0.0
+
+
+#: restart-merge groups: every SearchStats field must appear in exactly
+#: one, so a future counter cannot silently be dropped by the restart
+#: wrapper (see :func:`_merge_restart_stats`)
+_MERGE_SUM = (
+    "nodes", "fails", "propagations", "events", "entailments",
+    "conflicts", "learned", "forgotten", "backjumps",
+)
+_MERGE_MAX = ("max_depth", "max_backjump")
+_MERGE_OWNED = ("solutions", "restarts", "elapsed")
+
+
+def _merge_restart_stats(total: SearchStats, run: SearchStats) -> None:
+    """Accumulate one restart attempt's counters into the running total.
+
+    Additive counters sum, high-water marks take the max, and the
+    wrapper-owned fields (``solutions``/``restarts``/``elapsed``) are
+    left to the caller.  Guarded: a ``SearchStats`` field not covered by
+    exactly one merge group raises immediately, so pre-restart attempts
+    can never silently drop a counter again.
+    """
+    names = {f.name for f in fields(SearchStats)}
+    covered = set(_MERGE_SUM) | set(_MERGE_MAX) | set(_MERGE_OWNED)
+    if names != covered:
+        raise AssertionError(
+            f"SearchStats fields not covered by the restart merge: "
+            f"{sorted(names ^ covered)}"
+        )
+    for name in _MERGE_SUM:
+        setattr(total, name, getattr(total, name) + getattr(run, name))
+    for name in _MERGE_MAX:
+        setattr(total, name, max(getattr(total, name), getattr(run, name)))
 
 
 @dataclass
@@ -124,7 +195,22 @@ class Solver:
         procedure stays complete: UNSAT is only reported when a run
         exhausts the space *without* hitting its cutoff, and the growing
         cutoff guarantees some run eventually does.  Pointless without a
-        randomized heuristic (every run would explore the same prefix).
+        randomized heuristic (every run would explore the same prefix) —
+        unless learning is on, where the persistent nogood store makes
+        every run after a restart strictly better informed.
+    learn:
+        Opt into conflict-directed search: implication-trail recording,
+        1-UIP nogood learning, conflict-driven backjumping, and a
+        bounded watched-literal nogood store (see the module docstring).
+        Default off — the default configuration is byte-identical to the
+        chronological engine.
+    nogood_limit:
+        Soft capacity of the learned-nogood store (learning only);
+        exceeding it forgets the lowest-activity half.
+    phase_saving:
+        Wrap the value order so each variable retries the value it last
+        held first (adaptive value ordering; most useful with learning
+        or restarts).
     """
 
     def __init__(
@@ -134,6 +220,9 @@ class Solver:
         value_order=None,
         seed: int | None = None,
         restart_nodes: int | None = None,
+        learn: bool = False,
+        nogood_limit: int = 10_000,
+        phase_saving: bool = False,
     ) -> None:
         self.model = model
         self.var_order = var_order or var_order_min_domain
@@ -141,10 +230,20 @@ class Solver:
         if restart_nodes is not None and restart_nodes < 1:
             raise ValueError(f"restart_nodes must be >= 1, got {restart_nodes}")
         self.restart_nodes = restart_nodes
+        self.learn = bool(learn)
+        if nogood_limit < 1:
+            raise ValueError(f"nogood_limit must be >= 1, got {nogood_limit}")
+        self.nogood_limit = nogood_limit
+        self._store: NogoodStore | None = None
         self.ctx = SearchContext(
             degrees=model.degrees(),
             rng=None if seed is None else random.Random(seed),
         )
+        if phase_saving:
+            self.ctx.phases = {}
+            self.value_order = make_value_order_phase_saving(
+                self.value_order, self.ctx.phases
+            )
         # Event-driven propagation wiring, built once per Solver: for
         # every variable, a per-event-class jump table.  An event's mask
         # is always one of REMOVE (1), REMOVE|BOUNDS (3) or
@@ -310,6 +409,10 @@ class Solver:
         node_limit: int | None = None,
     ) -> SolveOutcome:
         """Find one solution (or prove none exists, or run out of budget)."""
+        if self.learn:
+            # one store per solve, shared by every restart attempt: the
+            # learned refutations survive the geometric restarts
+            self._store = NogoodStore(self.nogood_limit)
         if self.restart_nodes is None:
             return self._search(time_limit, node_limit, max_solutions=1)
         return self._solve_with_restarts(time_limit, node_limit)
@@ -333,12 +436,7 @@ class Solver:
             out = self._search(
                 run_budget, remaining_nodes, max_solutions=1, node_cutoff=cutoff
             )
-            total.nodes += out.stats.nodes
-            total.fails += out.stats.fails
-            total.propagations += out.stats.propagations
-            total.events += out.stats.events
-            total.entailments += out.stats.entailments
-            total.max_depth = max(total.max_depth, out.stats.max_depth)
+            _merge_restart_stats(total, out.stats)
             total.solutions = out.stats.solutions
             total.elapsed = deadline.elapsed()
             if out.status is not Status.UNKNOWN or not self._cutoff_hit:
@@ -364,6 +462,11 @@ class Solver:
         """
         if self.restart_nodes is not None:
             raise ValueError("solve_all cannot be combined with restart_nodes")
+        if self.learn:
+            raise ValueError(
+                "solve_all cannot be combined with learn=True (backjumping "
+                "abandons the value iterators enumeration relies on)"
+            )
         cap = max_solutions if max_solutions is not None else float("inf")
         return self._search(time_limit, node_limit, max_solutions=cap)
 
@@ -374,6 +477,10 @@ class Solver:
         max_solutions: float,
         node_cutoff: int | None = None,
     ) -> SolveOutcome:
+        if self.learn:
+            if max_solutions > 1:
+                raise ValueError("the learning search finds one solution")
+            return self._search_learning(time_limit, node_limit, node_cutoff)
         self.stats = SearchStats()
         stats = self.stats
         state = DomainState(self.model)
@@ -410,6 +517,7 @@ class Solver:
         check_time = time_limit is not None
         check_nodes = node_limit is not None
         check_cutoff = node_cutoff is not None
+        phases = self.ctx.phases
         while stack:
             if (check_time and deadline.expired()) or (
                 check_nodes and stats.nodes >= node_limit
@@ -429,6 +537,8 @@ class Solver:
             stats.nodes += 1
             if len(stack) > stats.max_depth:
                 stats.max_depth = len(stack)
+            if phases is not None:
+                phases[var.index] = val
             state.push_level()
             try:
                 ok = state.assign(var, val) and self._fixpoint(state)
@@ -449,3 +559,247 @@ class Solver:
 
         # space exhausted
         return outcome(Status.SAT if solutions else Status.UNSAT)
+
+    # -- conflict-directed search ---------------------------------------------
+    def _fixpoint_learning(self, state: DomainState, trail: Trail, store):
+        """The learning twin of :meth:`_fixpoint`.
+
+        Same event dispatch and priority-tiered queue, with three
+        additions: every propagator run is bracketed by
+        :attr:`DomainState.cause` so its events land on the implication
+        trail; newly-true literals (drained through the trail's log) are
+        unit-propagated through the nogood store *before* any propagator
+        runs (watched-literal checks are the cheapest tier of all); and
+        a failure is returned as its conflict reason — ``(literals,
+        failing_pid)`` where ``literals`` is the propagator's
+        explanation, the violated nogood's literals, or ``None`` for
+        "use the decision-prefix fallback".  Returns ``None`` at a
+        conflict-free fixpoint."""
+        q0, q1, q2 = self._queues
+        props = self._props
+        active = self._active
+        on_queue = self._on_queue
+        watchers = self._watchers
+        queues = self._queues
+        tiers = self._tiers
+        stats = self.stats
+        events = state.events
+        log = trail.log
+        while True:
+            # -- dispatch everything that happened since the last pop
+            i = state.dispatched
+            n = len(events)
+            if i < n:
+                stats.events += n - i
+                while i < n:
+                    idx, old, new, event_mask = events[i]
+                    i += 1
+                    for pid, handler, relevance in watchers[idx][event_mask]:
+                        if not active[pid]:
+                            continue
+                        if relevance is not None and not (
+                            relevance & (old ^ new)
+                            or event_mask & _EVT_ASSIGN and relevance & new
+                        ):
+                            continue
+                        if (
+                            handler is not None
+                            and handler(state, idx, old, new) is False
+                        ):
+                            continue
+                        if not on_queue[pid]:
+                            on_queue[pid] = True
+                            queues[tiers[pid]].append(pid)
+                state.dispatched = i
+            # -- unit-propagate learned nogoods on newly-true literals
+            trail.sync()
+            if store.seen < len(log):
+                lit = log[store.seen]
+                store.seen += 1
+                violated = store.on_true(lit, state)
+                if violated is not None:
+                    self._reset_queue(state)
+                    return (list(violated.lits), None)
+                continue
+            # -- run the cheapest woken propagator
+            if q0:
+                pid = q0.popleft()
+            elif q1:
+                pid = q1.popleft()
+            elif q2:
+                pid = q2.popleft()
+            else:
+                return None
+            on_queue[pid] = False
+            if not active[pid]:
+                continue
+            stats.propagations += 1
+            self._prop_budget_check += 1
+            if self._prop_budget_check >= 1024:
+                self._prop_budget_check = 0
+                if self._deadline is not None and self._deadline.expired():
+                    self._reset_queue(state)
+                    raise _Timeout
+            state.cause = pid
+            verdict = props[pid].propagate(state)
+            state.cause = CAUSE_DECISION
+            if not verdict:
+                self._reset_queue(state)
+                trail.sync()  # index the failing run's partial pruning
+                return (props[pid].explain_failure(state, trail), pid)
+            if verdict == PROP_ENTAILED:
+                state.save(active, pid)
+                active[pid] = False
+                stats.entailments += 1
+
+    def _search_learning(
+        self,
+        time_limit: float | None,
+        node_limit: int | None,
+        node_cutoff: int | None = None,
+    ) -> SolveOutcome:
+        """Conflict-directed search: decide, propagate, learn, backjump.
+
+        CDCL-style control loop — there is no per-node value iterator:
+        a refuted decision is captured by the learned asserting nogood,
+        whose forced UIP negation (applied right after the backjump)
+        plays the role of the "next value" while also pruning every
+        other subtree the conflict did not depend on.  Completeness
+        follows from the assertion step strictly growing the trail at
+        the backjump level; UNSAT is reported when a conflict resolves
+        to the root."""
+        self.stats = stats = SearchStats()
+        state = DomainState(self.model, record_causes=True)
+        self._reset_propagators(state)
+        self._deadline = deadline = Deadline(time_limit)
+        trail = Trail(state)
+        store = self._store
+        if store is None:  # direct _search calls (tests); solve() presets it
+            store = self._store = NogoodStore(self.nogood_limit)
+        store.seen = 0
+        ctx = self.ctx
+        if ctx.weights is None:
+            ctx.weights = [0.0] * len(self.model.variables)
+        props = self._props
+        decisions: list[tuple[int, int, bool]] = []  # canonical literal/level
+        solutions: list[dict[Variable, int]] = []
+
+        def outcome(status: Status) -> SolveOutcome:
+            stats.elapsed = deadline.elapsed()
+            stats.solutions = len(solutions)
+            return SolveOutcome(
+                status=status,
+                solution=solutions[0] if solutions else None,
+                stats=stats,
+                solutions=solutions,
+            )
+
+        # unary nogoods from a previous restart run are root facts of this
+        # one: re-assert them before the root fixpoint
+        for ng in store.by_id.values():
+            if len(ng.lits) == 1:
+                state.cause = -2 - ng.id
+                ok = apply_negation(state, ng.lits[0])
+                state.cause = CAUSE_DECISION
+                if not ok:
+                    return outcome(Status.UNSAT)
+
+        self._enqueue_all()
+        try:
+            conflict = self._fixpoint_learning(state, trail, store)
+        except _Timeout:
+            return outcome(Status.UNKNOWN)
+        if conflict is not None:
+            return outcome(Status.UNSAT)
+
+        check_time = time_limit is not None
+        check_nodes = node_limit is not None
+        check_cutoff = node_cutoff is not None
+        phases = ctx.phases
+        while True:
+            if (check_time and deadline.expired()) or (
+                check_nodes and stats.nodes >= node_limit
+            ):
+                return outcome(Status.UNKNOWN)
+            if check_cutoff and stats.nodes >= node_cutoff:
+                self._cutoff_hit = True
+                return outcome(Status.UNKNOWN)
+            var = self.var_order(state, ctx)
+            if var is None:
+                solutions.append(state.solution())
+                return outcome(Status.SAT)
+            val = self.value_order(state, var)[0]
+            stats.nodes += 1
+            if len(decisions) + 1 > stats.max_depth:
+                stats.max_depth = len(decisions) + 1
+            if phases is not None:
+                phases[var.index] = val
+            state.push_level()
+            trail.push_mark()
+            decisions.append((var.index, val, True))
+            state.cause = CAUSE_DECISION
+            state.assign(var, val)
+            try:
+                conflict = self._fixpoint_learning(state, trail, store)
+            except _Timeout:
+                return outcome(Status.UNKNOWN)
+            while conflict is not None:
+                stats.fails += 1
+                stats.conflicts += 1
+                lits, pid = conflict
+                # adaptive-heuristic feedback: weigh the failing
+                # constraint's variables, remember the culprit decision
+                if pid is not None:
+                    weights = ctx.weights
+                    for v in props[pid].vars:
+                        weights[v.index] += 1.0
+                if decisions:
+                    culprit = decisions[-1][0]
+                    lc = ctx.last_conflicts
+                    if culprit in lc:
+                        lc.remove(culprit)
+                    lc.insert(0, culprit)
+                    del lc[2:]
+                if not decisions:
+                    return outcome(Status.UNSAT)
+                store.decay()
+                if lits is None:
+                    lits = list(decisions)  # decision-prefix fallback
+                trail.sync()
+                result = analyze_conflict(
+                    lits, state, trail, props, store, decisions
+                )
+                if result is None:
+                    return outcome(Status.UNSAT)
+                nogood, uip, backjump_level = result
+                jumped = len(decisions) - backjump_level
+                if jumped > 1:
+                    stats.backjumps += 1
+                    if jumped > stats.max_backjump:
+                        stats.max_backjump = jumped
+                while state.level > backjump_level:
+                    state.pop_level()
+                state.refresh_stamp()  # post-backjump deltas must re-trail
+                del decisions[backjump_level:]
+                trail.pop_marks(backjump_level)
+                trail.truncate()
+                if store.seen > len(trail.log):
+                    store.seen = len(trail.log)
+                ng = store.add(
+                    [uip] + [l for l in nogood if l != uip], state, trail
+                )
+                stats.learned += 1
+                if len(store) > store.capacity:
+                    stats.forgotten += store.reduce(state)
+                # assert the UIP's negation at the backjump level; the
+                # strict domain reduction here is what guarantees progress
+                state.cause = -2 - ng.id
+                ok = apply_negation(state, uip)
+                state.cause = CAUSE_DECISION
+                if not ok:
+                    conflict = (list(ng.lits), None)
+                    continue
+                try:
+                    conflict = self._fixpoint_learning(state, trail, store)
+                except _Timeout:
+                    return outcome(Status.UNKNOWN)

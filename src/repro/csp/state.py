@@ -36,6 +36,20 @@ free counts, entailment flags, validity bitmasks — exactly the same
 backtracking guarantee as the domains themselves.  :attr:`stamp` is a
 never-reused id of the current search node, letting a propagator trail a
 counter snapshot at most once per node.
+
+**An implication trail (opt-in).**  Constructed with
+``record_causes=True``, the state additionally records *who wrote each
+event*: :attr:`causes` is a list parallel to :attr:`events` whose entry
+for event ``p`` is the value :attr:`cause` held when the mutation was
+made — the engine sets it to the running propagator's id before calling
+``propagate`` (:data:`CAUSE_DECISION` marks search decisions and any
+other out-of-engine writer; learned-nogood forcings use ``-2 - nogood_id``,
+see :mod:`repro.csp.learning`).  The conflict analyzer walks this trail
+backwards to resolve a failure into the literals that caused it.  The
+list is level-truncated together with the events, and the default
+(``record_causes=False``) leaves :attr:`causes` as ``None`` so the
+non-learning hot path pays one predictable branch per event and nothing
+more.
 """
 
 from __future__ import annotations
@@ -49,7 +63,12 @@ __all__ = [
     "EVT_BOUNDS",
     "EVT_ASSIGN",
     "EVT_ANY",
+    "CAUSE_DECISION",
 ]
+
+#: :attr:`DomainState.cause` value for events written by a search
+#: decision (or any writer outside the propagation engine)
+CAUSE_DECISION = -1
 
 #: event type: one or more values were removed (set on every event)
 EVT_REMOVE = 0b001
@@ -72,6 +91,8 @@ class DomainState:
         "model",
         "masks",
         "events",
+        "causes",
+        "cause",
         "dispatched",
         "_trail",
         "_undo",
@@ -79,7 +100,7 @@ class DomainState:
         "_stamp",
     )
 
-    def __init__(self, model: Model) -> None:
+    def __init__(self, model: Model, record_causes: bool = False) -> None:
         self.model = model
         self.masks: list[int] = [v.initial_mask for v in model.variables]
         #: typed change log consumed by the engine:
@@ -87,6 +108,13 @@ class DomainState:
         #: list is level-truncated on backtrack, so consumers read it
         #: through the :attr:`dispatched` cursor rather than draining it.
         self.events: list[tuple[int, int, int, int]] = []
+        #: implication trail: ``causes[p]`` is who wrote ``events[p]``
+        #: (a propagator id, :data:`CAUSE_DECISION`, or ``-2 - nogood_id``);
+        #: ``None`` unless constructed with ``record_causes=True``
+        self.causes: list[int] | None = [] if record_causes else None
+        #: id the next recorded event is attributed to (the engine sets it
+        #: around each propagator run; meaningless when ``causes`` is None)
+        self.cause = CAUSE_DECISION
         #: cursor into :attr:`events`: entries below it have been handed
         #: to the engine already (clamped by :meth:`pop_level`)
         self.dispatched = 0
@@ -166,6 +194,8 @@ class DomainState:
         if old != bit:
             self._trail.append((idx, old))
             self.events.append((idx, old, bit, _EV_SINGLETON))
+            if self.causes is not None:
+                self.causes.append(self.cause)
             masks[idx] = bit
         return True
 
@@ -191,6 +221,8 @@ class DomainState:
         else:
             ev = EVT_REMOVE
         self.events.append((idx, old, new, ev))
+        if self.causes is not None:
+            self.causes.append(self.cause)
         masks[idx] = new
         return True
 
@@ -213,6 +245,8 @@ class DomainState:
         else:
             ev = EVT_REMOVE
         self.events.append((idx, old, new, ev))
+        if self.causes is not None:
+            self.causes.append(self.cause)
         masks[idx] = new
         return True
 
@@ -239,6 +273,17 @@ class DomainState:
         pop, so ``my_stamp != state.stamp`` is a safe "have I trailed my
         counters at this node yet?" test for propagators."""
         return self._stamp
+
+    def refresh_stamp(self) -> None:
+        """Give the current node a fresh stamp.
+
+        The learning search calls this after a conflict-driven backjump:
+        the assertion (and its propagation) happens at the surviving
+        level *without* a new ``push_level``, and a propagator that last
+        trailed its counters inside the popped subtree would otherwise
+        see a matching stamp and skip re-trailing — leaving the new
+        deltas unprotected against the next pop."""
+        self._stamp += 1
 
     def save(self, container, key) -> None:
         """Trail one slot of any mutable container so :meth:`pop_level`
@@ -285,6 +330,8 @@ class DomainState:
             else:
                 container[key] = old
         del self.events[event_mark:]
+        if self.causes is not None:
+            del self.causes[event_mark:]
         if self.dispatched > event_mark:
             self.dispatched = event_mark
 

@@ -22,8 +22,10 @@ the wrapped engine only on abstention).
 
 The front door is :mod:`repro.solvers.problem`: build a :class:`Problem`,
 get a :class:`SolveReport` from :func:`solve` (one call) or
-:func:`solve_iter` (streaming matrix).  ``make_solver`` and
-``MgrtsResult`` remain as deprecation shims.
+:func:`solve_iter` (streaming matrix).  The PR 2 deprecation shims
+(``make_solver``, ``MgrtsResult``) were removed in PR 5 after warning
+for three releases; :func:`create_solver` and :class:`SolveReport` are
+their drop-in successors.
 """
 
 from repro.solvers.base import Feasibility, SolveResult, SolverStats
@@ -34,7 +36,6 @@ from repro.solvers.registry import (
     create_solver,
     is_solver_name,
     iter_solver_info,
-    make_solver,
     register_solver,
     solver_info,
 )
@@ -44,7 +45,7 @@ from repro.solvers.problem import (
     solve_iter,
     solve_problem,
 )
-from repro.solvers.api import MgrtsResult, solve
+from repro.solvers.api import solve
 from repro.solvers.min_processors import MinProcessorsResult, find_min_processors
 
 __all__ = [
@@ -57,7 +58,6 @@ __all__ = [
     "create_solver",
     "is_solver_name",
     "iter_solver_info",
-    "make_solver",
     "register_solver",
     "solver_info",
     "Problem",
@@ -65,7 +65,6 @@ __all__ = [
     "solve",
     "solve_iter",
     "solve_problem",
-    "MgrtsResult",
     "MinProcessorsResult",
     "find_min_processors",
 ]

@@ -5,15 +5,12 @@ Since the API redesign this module is a thin client of
 :class:`~repro.solvers.problem.Problem` and returns the
 :class:`~repro.solvers.problem.SolveReport` produced by the shared
 engine (cloning, registry lookup, budget accounting, validation all live
-there).  ``MgrtsResult`` — the pre-redesign result type — remains as an
-importable deprecation shim; ``SolveReport`` exposes a superset of its
-surface, so downstream attribute access keeps working unchanged.
+there).  The pre-redesign ``MgrtsResult`` shim is gone (PR 5):
+:class:`~repro.solvers.problem.SolveReport` has carried a superset of
+its surface since PR 2, so migration is attribute-compatible.
 """
 
 from __future__ import annotations
-
-import warnings
-from dataclasses import dataclass
 
 import numpy as np
 
@@ -21,10 +18,9 @@ from repro.model.platform import Platform
 from repro.model.system import TaskSystem
 from repro.model.transform import CloneMap
 from repro.schedule.schedule import IDLE, Schedule
-from repro.solvers.base import Feasibility, SolveResult
 from repro.solvers.problem import Problem, SolveReport, solve_problem
 
-__all__ = ["solve", "MgrtsResult", "merge_clone_schedule"]
+__all__ = ["solve", "merge_clone_schedule"]
 
 
 def merge_clone_schedule(schedule: Schedule, clone_map: CloneMap) -> Schedule:
@@ -42,56 +38,6 @@ def merge_clone_schedule(schedule: Schedule, clone_map: CloneMap) -> Schedule:
     for c, origin in enumerate(clone_map.origin_of):
         table[schedule.table == c] = origin
     return Schedule(original, schedule.platform, table)
-
-
-@dataclass
-class MgrtsResult:
-    """Deprecated pre-redesign result type (use
-    :class:`~repro.solvers.problem.SolveReport`, which :func:`solve` now
-    returns and which carries the same attributes and more)."""
-
-    result: SolveResult
-    system: TaskSystem
-    cloned_system: TaskSystem
-    clone_map: CloneMap
-
-    def __post_init__(self) -> None:
-        """Emit the deprecation signal on construction."""
-        warnings.warn(
-            "MgrtsResult is deprecated; repro.solve() now returns a "
-            "SolveReport with the same attributes (plus to_dict/from_dict)",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-
-    @property
-    def status(self) -> Feasibility:
-        """The underlying solver verdict (feasible/infeasible/unknown)."""
-        return self.result.status
-
-    @property
-    def is_feasible(self) -> bool:
-        """True iff a valid schedule was found within the budget."""
-        return self.result.is_feasible
-
-    @property
-    def schedule(self) -> Schedule | None:
-        """The validated schedule over the (cloned) constrained system."""
-        return self.result.schedule
-
-    @property
-    def original_schedule(self) -> Schedule | None:
-        """Schedule relabeled with the original task indices (for display)."""
-        if self.result.schedule is None:
-            return None
-        if self.clone_map.is_identity:
-            return self.result.schedule
-        return merge_clone_schedule(self.result.schedule, self.clone_map)
-
-    @property
-    def stats(self):
-        """Search-effort counters of the underlying run."""
-        return self.result.stats
 
 
 def solve(

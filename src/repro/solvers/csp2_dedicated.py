@@ -516,15 +516,39 @@ class Csp2DedicatedSolver:
         "tc": "Dedicated solver, largest-laxity-last order (smallest T-C first)",
         "dc": "Dedicated solver, smallest D-C first — the experimental "
         "winner (fewest overruns, Table I) and this repo's fastest exact solver",
+        "learn": "Encoding #2 on the conflict-directed engine: 1-UIP nogood "
+        "learning + backjumping over the (D-C)-ordered chronological search "
+        "— the strongest exact option on UNSAT-heavy boundary instances",
     },
     options=(
         "symmetry_breaking", "idle_rule", "demand_pruning", "energetic_pruning",
+        "nogood_limit",
     ),
     platforms=("identical", "uniform", "heterogeneous"),
     hidden_suffixes=("t-c", "(t-c)", "d-c", "(d-c)", "none"),
 )
 def _build_csp2(system, platform, spec, seed, **options):
-    """Registry factory: ``csp2[+heuristic]`` (suffix = value order)."""
+    """Registry factory: ``csp2[+heuristic|+learn]`` (suffix = value order,
+    or the conflict-directed learning variant on the generic engine)."""
+    if spec.suffix == "learn":
+        from repro.solvers.csp2_generic import Csp2GenericSolver
+
+        for opt in ("idle_rule", "demand_pruning", "energetic_pruning"):
+            if opt in options:
+                raise ValueError(
+                    f"option {opt!r} belongs to the dedicated chronological "
+                    "solver; 'csp2+learn' runs encoding #2 on the learning "
+                    "engine and accepts symmetry_breaking/nogood_limit"
+                )
+        solver = Csp2GenericSolver(
+            system, platform, heuristic="dc", learn=True, **options
+        )
+        solver.name = "csp2+learn"
+        return solver
+    if "nogood_limit" in options:
+        raise ValueError(
+            "nogood_limit only applies to the learning variant; use 'csp2+learn'"
+        )
     heuristic = _checked_heuristic(spec.suffix) if spec.suffix else None
     return Csp2DedicatedSolver(system, platform, heuristic=heuristic, **options)
 

@@ -23,13 +23,13 @@ Everything downstream — :func:`available_solvers`, the ``repro-mgrts
 solvers`` subcommand, and docs/SOLVERS.md (via
 :mod:`repro.solvers.docs`) — derives from the same metadata.
 
-The historical entry point :func:`make_solver` remains as a deprecation
-shim over :func:`create_solver`.
+The historical ``make_solver`` deprecation shim was removed in PR 5
+(it had warned since PR 2); :func:`create_solver` is a drop-in
+replacement with the same call shape.
 """
 
 from __future__ import annotations
 
-import warnings
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 from types import MappingProxyType
@@ -46,7 +46,6 @@ __all__ = [
     "solver_info",
     "iter_solver_info",
     "create_solver",
-    "make_solver",
     "available_solvers",
     "is_solver_name",
     "PAPER_SOLVERS",
@@ -338,28 +337,6 @@ def create_solver(
             f"accepted options: {accepted}"
         )
     return info.factory(system, platform, spec, seed, **options)
-
-
-def make_solver(
-    name: str,
-    system: TaskSystem,
-    platform: Platform,
-    seed: int | None = None,
-    **options,
-):
-    """Deprecated alias of :func:`create_solver` (same behavior).
-
-    Kept so pre-registry call sites keep working; new code should call
-    :func:`create_solver` (or better, :func:`repro.solve` /
-    :func:`repro.solve_iter`).
-    """
-    warnings.warn(
-        "make_solver() is deprecated; use repro.solvers.create_solver() "
-        "(or the repro.solve/solve_iter front door)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return create_solver(name, system, platform, seed=seed, **options)
 
 
 def available_solvers() -> list[str]:

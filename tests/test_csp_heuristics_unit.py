@@ -7,11 +7,14 @@ import pytest
 from repro.csp import Model
 from repro.csp.heuristics import (
     SearchContext,
+    make_value_order_phase_saving,
     make_value_order_random,
+    make_var_order_last_conflict,
     value_order_ascending,
     value_order_custom,
     value_order_descending,
     var_order_dom_deg,
+    var_order_dom_wdeg,
     var_order_input,
     var_order_min_domain,
 )
@@ -74,6 +77,42 @@ class TestVarOrders:
         x = m.int_var(0, 1, "x")  # no constraints at all
         ctx = SearchContext(degrees=m.degrees())
         assert var_order_dom_deg(DomainState(m), ctx) is x
+
+
+class TestAdaptiveOrders:
+    def test_dom_wdeg_matches_dom_deg_before_conflicts(self, setup):
+        m, (a, b, c), ctx = setup
+        s = DomainState(m)
+        assert var_order_dom_wdeg(s, ctx) is var_order_dom_deg(s, ctx)
+        assert ctx.weights is not None  # lazily initialized
+
+    def test_dom_wdeg_prefers_conflict_heavy_vars(self, setup):
+        m, (a, b, c), ctx = setup
+        s = DomainState(m)
+        ctx.weights = [0.0] * m.n_variables
+        ctx.weights[c.index] = 50.0  # c keeps conflicting
+        assert var_order_dom_wdeg(s, ctx) is c
+
+    def test_last_conflict_retries_culprit_first(self, setup):
+        m, (a, b, c), ctx = setup
+        s = DomainState(m)
+        order = make_var_order_last_conflict(var_order_min_domain)
+        assert order(s, ctx) is b  # no conflicts yet: base order
+        ctx.last_conflicts[:] = [c.index]
+        assert order(s, ctx) is c
+        s.assign(c, 3)  # culprit assigned: fall back to base
+        assert order(s, ctx) is b
+
+    def test_phase_saving_reorders_to_saved_value(self, setup):
+        m, (a, b, c), _ = setup
+        s = DomainState(m)
+        phases = {}
+        order = make_value_order_phase_saving(value_order_ascending, phases)
+        assert order(s, c) == [1, 3, 9]  # nothing saved: base order
+        phases[c.index] = 3
+        assert order(s, c) == [3, 1, 9]
+        s.remove_value(c, 3)  # saved value gone: base order again
+        assert order(s, c) == [1, 9]
 
 
 class TestValueOrders:

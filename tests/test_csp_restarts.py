@@ -1,10 +1,13 @@
 """Tests for geometric restarts in the generic CSP engine."""
 
+import random
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.csp import Model, Solver, Status, var_order_random
+from repro.csp.heuristics import make_value_order_random
 
 
 def pigeonhole(n_pigeons, n_holes):
@@ -65,6 +68,63 @@ class TestRestarts:
         out = Solver(m).solve()
         assert out.status is Status.UNSAT
         assert out.stats.restarts == 0
+
+
+class TestRestartDeterminism:
+    """Seeded randomized heuristics under restarts must replay exactly:
+    same statuses, same node/fail/restart counters on every run."""
+
+    def _run(self, p, h, seed, cutoff, with_value_order=False):
+        m, _ = pigeonhole(p, h)
+        value_order = (
+            make_value_order_random(random.Random(seed * 977 + 1))
+            if with_value_order
+            else None
+        )
+        out = Solver(
+            m,
+            var_order=var_order_random,
+            value_order=value_order,
+            seed=seed,
+            restart_nodes=cutoff,
+        ).solve(time_limit=30)
+        return (
+            out.status,
+            out.stats.nodes,
+            out.stats.fails,
+            out.stats.restarts,
+            out.stats.max_depth,
+        )
+
+    @pytest.mark.parametrize("seed", [0, 7, 42])
+    @pytest.mark.parametrize("cutoff", [1, 3, 8])
+    def test_var_order_random_reproduces(self, seed, cutoff):
+        runs = {self._run(6, 5, seed, cutoff) for _ in range(3)}
+        assert len(runs) == 1
+        assert next(iter(runs))[0] is Status.UNSAT
+
+    @pytest.mark.parametrize("seed", [1, 13])
+    def test_value_order_random_reproduces(self, seed):
+        runs = {
+            self._run(5, 5, seed, 4, with_value_order=True) for _ in range(3)
+        }
+        assert len(runs) == 1
+        assert next(iter(runs))[0] is Status.SAT
+
+    def test_learning_restarts_reproduce(self):
+        runs = set()
+        for _ in range(3):
+            m, _ = pigeonhole(6, 5)
+            out = Solver(
+                m, var_order=var_order_random, seed=5,
+                restart_nodes=3, learn=True,
+            ).solve(time_limit=30)
+            runs.add(
+                (out.status, out.stats.nodes, out.stats.conflicts,
+                 out.stats.learned, out.stats.restarts)
+            )
+        assert len(runs) == 1
+        assert next(iter(runs))[0] is Status.UNSAT
 
 
 @settings(deadline=None, max_examples=30)

@@ -1,8 +1,8 @@
 """The redesigned solving API: spec parsing, registry metadata, option
-validation, the Problem/SolveReport front door, and the deprecation shims."""
+validation, the Problem/SolveReport front door, and the removal of the
+PR 2 deprecation shims."""
 
 import json
-import warnings
 
 import pytest
 
@@ -17,7 +17,6 @@ from repro.solvers import (
     create_solver,
     is_solver_name,
     iter_solver_info,
-    make_solver,
     register_solver,
     solve,
     solve_iter,
@@ -177,11 +176,27 @@ class TestRegistryRoundTrip:
             assert result.status is not Feasibility.INFEASIBLE, name
 
 
-class TestDeprecationShims:
-    def test_make_solver_warns_and_works(self):
-        with pytest.warns(DeprecationWarning, match="make_solver"):
-            engine = make_solver("csp2+dc", running_example(), Platform.identical(2))
-        assert engine.solve(time_limit=10).is_feasible
+class TestDeprecationShimsRemoved:
+    """The PR 2 shims warned for three PRs and are now gone (PR 5)."""
+
+    def test_make_solver_gone(self):
+        import repro
+        import repro.solvers
+        import repro.solvers.registry as registry
+
+        for namespace in (repro, repro.solvers, registry):
+            assert not hasattr(namespace, "make_solver")
+        with pytest.raises(ImportError):
+            from repro.solvers.registry import make_solver  # noqa: F401
+
+    def test_mgrts_result_gone(self):
+        import repro.solvers
+        import repro.solvers.api as api
+
+        for namespace in (repro.solvers, api):
+            assert not hasattr(namespace, "MgrtsResult")
+        with pytest.raises(ImportError):
+            from repro.solvers.api import MgrtsResult  # noqa: F401
 
     def test_every_preexisting_name_still_resolves(self):
         preexisting = [
@@ -191,28 +206,10 @@ class TestDeprecationShims:
             "csp2-generic+tc", "csp2-generic+dc",
             "csp2-local", "sat", "sat+pairwise",
         ]
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            for name in preexisting:
-                assert name in available_solvers()
-                engine = make_solver(name, running_example(), Platform.identical(2))
-                assert hasattr(engine, "solve")
-
-    def test_mgrts_result_importable_and_warns(self):
-        from repro.solvers.api import MgrtsResult
-        from repro.model.transform import clone_for_arbitrary_deadlines
-
-        system = running_example()
-        report = solve(system, m=2, time_limit=20)
-        cloned, cmap = clone_for_arbitrary_deadlines(system)
-        with pytest.warns(DeprecationWarning, match="MgrtsResult"):
-            legacy = MgrtsResult(
-                result=report.result, system=system,
-                cloned_system=cloned, clone_map=cmap,
-            )
-        assert legacy.is_feasible == report.is_feasible
-        assert legacy.status is report.status
-        assert legacy.schedule == report.schedule
+        for name in preexisting:
+            assert name in available_solvers()
+            engine = create_solver(name, running_example(), Platform.identical(2))
+            assert hasattr(engine, "solve")
 
 
 class TestProblemFrontDoor:
