@@ -183,8 +183,10 @@ def var_order_dom_wdeg(state: DomainState, ctx: SearchContext) -> Variable | Non
         if not m & (m - 1):
             continue
         i = v.index
-        denom = ctx.degrees[i] + weights[i]
-        key = (m.bit_count() / denom if denom else float("inf"), i)
+        # zero degree + zero weight falls back to 1, same as dom/deg, so
+        # the two heuristics coincide before the first conflict
+        denom = (ctx.degrees[i] + weights[i]) or 1
+        key = (m.bit_count() / denom, i)
         if best_key is None or key < best_key:
             best_key = key
             best = v

@@ -48,6 +48,7 @@ import heapq
 from bisect import bisect_right
 
 from repro.csp.state import CAUSE_DECISION, DomainState
+from repro.util.bitset import values_from_mask
 
 __all__ = [
     "Lit",
@@ -233,6 +234,18 @@ class NogoodStore:
         — it is watched together with the deepest of the remaining
         (currently true) literals, so the nogood wakes exactly when it
         can force again after backtracking.
+
+        Known incompleteness: watches only wake on *newly-true* literals
+        (fresh trail-log entries), but a backjump can silently return a
+        nogood to the all-but-one-true state — unwinding levels makes
+        literals open again without logging anything, and both watches
+        may sit on still-true literals whose log entries the ``seen``
+        cursor already consumed.  The search compensates for the common
+        case by calling :meth:`reexamine` after every backjump on the
+        nogoods whose own forcings were undone; the residual misses
+        (a non-nogood falsifier undone while both watches stay true)
+        cost only pruning, never soundness — the violated state is still
+        detected when its last literal becomes true.
         """
         ng = Nogood(self._next_id, tuple(lits))
         self._next_id += 1
@@ -347,9 +360,61 @@ class NogoodStore:
             self.watches.pop(lit, None)
         return conflict
 
+    def reexamine(self, ng: Nogood, state: DomainState) -> Nogood | None:
+        """Re-evaluate one nogood whose forcing a backjump just undid.
+
+        Backjumping reopens literals without making anything newly true,
+        so the watched-literal scheme gets no wake — a nogood whose
+        forced negation was popped can already be back in the
+        all-but-one-true state.  Re-derives the forcing (attributed to
+        ``ng`` so conflict analysis can explain it): returns ``ng`` when
+        it is violated or its forcing wipes a domain out, None otherwise.
+        """
+        pending = None
+        for l in ng.lits:
+            if lit_is_true(state, l):
+                continue
+            if lit_is_false(state, l):
+                return None  # a literal is false: the nogood is inert
+            if pending is not None:
+                return None  # two open literals: nothing to force yet
+            pending = l
+        if pending is None:
+            return ng  # every literal holds: violated
+        prev = state.cause
+        state.cause = -2 - ng.id
+        ok = apply_negation(state, pending)
+        state.cause = prev
+        return None if ok else ng
+
 
 class _Fallback(Exception):
     """Internal: a reason could not be validated; use the decision nogood."""
+
+
+def _assignment_prefix(lit, pos, state):
+    """Reason literals an assignment literal needs *beyond* its event.
+
+    A positive literal ``x==w`` anchored at event ``pos`` holds because
+    the event collapsed the domain to ``{w}`` — but the collapse needed
+    every *earlier* removal on ``x`` too, and the recorded cause only
+    explains the removals of the event itself.  Returns the negative
+    literals ``(x, u, False)`` for every value ``u`` removed from ``x``
+    before ``pos`` (root-level removals are filtered out later by the
+    analyzer, like any root fact).  Empty for negative literals and for
+    events that pruned the variable's full initial domain themselves.
+    """
+    idx, _val, sign = lit
+    if not sign:
+        return ()
+    old = state.events[pos][1]
+    var = state.model.variables[idx]
+    prior = var.initial_mask & ~old
+    if not prior:
+        return ()
+    return [
+        (idx, u, False) for u in values_from_mask(prior, var.offset)
+    ]
 
 
 def _reason_of(lit, pos, state, trail, props, store, decisions):
@@ -363,6 +428,14 @@ def _reason_of(lit, pos, state, trail, props, store, decisions):
     prefix of the event's level — sound because every event is a
     deterministic consequence of the decisions above it.
 
+    When ``lit`` is a positive assignment literal ``x==w``, the
+    dispatched reason only covers the anchoring event's own removals, so
+    it is extended with :func:`_assignment_prefix` — the removals that
+    shrank ``x`` *before* the event.  Exception: a forcing nogood that
+    contains ``(x, w, False)`` forced the assignment itself (it applied
+    ``¬(x!=w)``, which is ``x==w`` in solution semantics), so its other
+    literals already imply the assignment outright.
+
     Raises :class:`_Fallback` when even the dispatch is inconsistent
     (e.g. a decision literal asked to explain itself), telling
     :func:`analyze_conflict` to fall back to the plain decision nogood.
@@ -374,7 +447,13 @@ def _reason_of(lit, pos, state, trail, props, store, decisions):
         if ng is None:
             raise _Fallback  # reason forgotten (must not happen: locked)
         store.bump(ng)
-        return [l for l in ng.lits if pos_of.get(l, pos) < pos]
+        out = [l for l in ng.lits if pos_of.get(l, pos) < pos]
+        idx, val, sign = lit
+        if sign and (idx, val, False) not in ng.lits:
+            # the nogood only removed a value; the collapse to ``val``
+            # also needed every earlier removal on the variable
+            out.extend(_assignment_prefix(lit, pos, state))
+        return out
     if cause == CAUSE_DECISION:
         # only removal spellings of a decision assignment land here (the
         # canonical decision literal is the UIP by construction); they
@@ -393,6 +472,7 @@ def _reason_of(lit, pos, state, trail, props, store, decisions):
         if p >= pos:
             raise _Fallback  # "reason" younger than the consequence
         out.append(l)
+    out.extend(_assignment_prefix(lit, pos, state))
     return out
 
 

@@ -103,6 +103,7 @@ from collections.abc import Iterable, Sequence
 
 from repro.csp.core import Variable
 from repro.csp.state import EVT_ANY, EVT_ASSIGN, EVT_BOUNDS, EVT_REMOVE, DomainState
+from repro.util.bitset import values_from_mask
 
 __all__ = [
     "Propagator",
@@ -1116,12 +1117,8 @@ class NonDecreasing(Propagator):
         pin its bound, hence the ripple it caused."""
         pos_of = trail.pos_of
         out = []
-        off = neigh.offset
-        m = neigh.initial_mask
-        while m:
-            low = m & -m
-            m ^= low
-            lit = (neigh.index, off + low.bit_length() - 1, False)
+        for val in values_from_mask(neigh.initial_mask, neigh.offset):
+            lit = (neigh.index, val, False)
             p = pos_of.get(lit)
             if p is not None and p < pos:
                 out.append(lit)
@@ -1207,7 +1204,15 @@ class Table(Propagator):
     for a mask intersection.  Residues are deliberately not trailed:
     a stale residue is a hint that misses, never an unsound keep."""
 
-    __slots__ = ("tuples", "_supports", "_positions", "_residue", "_valid", "_stamp")
+    __slots__ = (
+        "tuples",
+        "_supports",
+        "_positions",
+        "_mentioned_lits",
+        "_residue",
+        "_valid",
+        "_stamp",
+    )
 
     priority = 2
     wake_on = EVT_REMOVE
@@ -1231,6 +1236,19 @@ class Table(Propagator):
         self._positions: dict[int, list[int]] = {}
         for p, v in enumerate(self.vars):
             self._positions.setdefault(v.index, []).append(p)
+        # removal-literal candidates for explanations, one per distinct
+        # (variable, mentioned value) pair — static after construction
+        mentioned: list[tuple[int, int, bool]] = []
+        seen_vars: set[int] = set()
+        for v in self.vars:
+            if v.index in seen_vars:
+                continue
+            seen_vars.add(v.index)
+            vals: set[int] = set()
+            for q in self._positions[v.index]:
+                vals.update(self._supports[q])
+            mentioned.extend((v.index, val, False) for val in vals)
+        self._mentioned_lits = tuple(mentioned)
         self._residue: dict[tuple[int, int], int] = {}
         self._valid: list[int] | None = None
         self._stamp = -1
@@ -1289,19 +1307,10 @@ class Table(Propagator):
         function of which mentioned values have been removed."""
         pos_of = trail.pos_of
         out = []
-        seen: set[int] = set()
-        for v in self.vars:
-            if v.index in seen:
-                continue
-            seen.add(v.index)
-            vals: set[int] = set()
-            for q in self._positions[v.index]:
-                vals.update(self._supports[q])
-            for val in vals:
-                lit = (v.index, val, False)
-                p = pos_of.get(lit)
-                if p is not None and p < limit:
-                    out.append(lit)
+        for lit in self._mentioned_lits:
+            p = pos_of.get(lit)
+            if p is not None and p < limit:
+                out.append(lit)
         return out
 
     def explain_event(self, state: DomainState, trail, pos: int):

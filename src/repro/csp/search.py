@@ -618,6 +618,7 @@ class Solver:
                 store.seen += 1
                 violated = store.on_true(lit, state)
                 if violated is not None:
+                    store.bump(violated)  # it conflicted: keep it around
                     self._reset_queue(state)
                     return (list(violated.lits), None)
                 continue
@@ -738,7 +739,15 @@ class Solver:
             trail.push_mark()
             decisions.append((var.index, val, True))
             state.cause = CAUSE_DECISION
-            state.assign(var, val)
+            if not state.assign(var, val):
+                # no iterator to fall back on here (the chronological
+                # twin just tries the next value): a first value outside
+                # the domain violates the value-order contract and would
+                # spin this loop forever — fail loudly instead
+                raise ValueError(
+                    f"value_order returned {val}, which is not in the "
+                    f"domain of {var.name}"
+                )
             try:
                 conflict = self._fixpoint_learning(state, trail, store)
             except _Timeout:
@@ -777,6 +786,17 @@ class Solver:
                     stats.backjumps += 1
                     if jumped > stats.max_backjump:
                         stats.max_backjump = jumped
+                # nogood forcings recorded inside the levels about to be
+                # popped must be re-examined after the jump: unwinding
+                # makes no literal newly true, so the watched-literal
+                # scheme alone would never re-derive them
+                if backjump_level < len(trail.marks):
+                    mark = trail.marks[backjump_level]
+                    recheck = sorted(
+                        {-2 - c for c in state.causes[mark:] if c <= -2}
+                    )
+                else:
+                    recheck = ()
                 while state.level > backjump_level:
                     state.pop_level()
                 state.refresh_stamp()  # post-backjump deltas must re-trail
@@ -797,9 +817,23 @@ class Solver:
                 ok = apply_negation(state, uip)
                 state.cause = CAUSE_DECISION
                 if not ok:
+                    store.bump(ng)  # asserting it already conflicts
                     conflict = (list(ng.lits), None)
                     continue
-                try:
-                    conflict = self._fixpoint_learning(state, trail, store)
-                except _Timeout:
-                    return outcome(Status.UNKNOWN)
+                # re-derive the forcings the backjump undid (see above)
+                for nid in recheck:
+                    old = store.by_id.get(nid)
+                    if old is None or old is ng:
+                        continue
+                    violated = store.reexamine(old, state)
+                    if violated is not None:
+                        store.bump(violated)
+                        conflict = (list(violated.lits), None)
+                        break
+                else:
+                    try:
+                        conflict = self._fixpoint_learning(
+                            state, trail, store
+                        )
+                    except _Timeout:
+                        return outcome(Status.UNKNOWN)

@@ -510,6 +510,82 @@ def test_learning_agrees_with_brute_force():
             assert all(_semantics(c, vals) for c in m.constraints)
 
 
+# -- multi-valued soundness: singleton-collapse resolution --------------------
+
+class TestMultiValuedResolution:
+    """1-UIP resolution on multi-valued domains: a removal that collapses
+    a domain to a singleton is canonicalized into the assignment literal,
+    whose reason must include *every* earlier removal on the variable —
+    not just the collapsing event's own explanation."""
+
+    def test_pinned_collapse_model_stays_sat(self):
+        """Regression: this SAT model (alldifferent + nondecreasing over
+        mixed-width domains) was reported UNSAT when assignment literals
+        were resolved through the collapsing event's explanation alone."""
+
+        def build():
+            m = Model()
+            x0 = m.int_var(0, 2, "x0")
+            x1 = m.int_var(0, 2, "x1")
+            x2 = m.int_var(0, 3, "x2")
+            x3 = m.int_var(0, 2, "x3")
+            x4 = m.int_var(0, 3, "x4")
+            m.add_all_different_except([x2, x1, x3, x4], None)
+            m.add_all_different_except([x0, x4, x1, x2], None)
+            m.add_non_decreasing([x2, x3, x1])
+            return m
+
+        assert Solver(build()).solve().status is Status.SAT
+        out = Solver(build(), learn=True).solve()
+        assert out.status is Status.SAT
+        vals = {v.index: val for v, val in out.solution.items()}
+        assert all(_semantics(c, vals) for c in build().constraints)
+
+    def test_differential_learn_vs_plain_multivalued(self):
+        """Randomized differential: learn=True and learn=False must agree
+        on small all-multi-valued models (CountEq, AllDifferentExceptValue,
+        NonDecreasing, Table) — the shape that exposed the unsound
+        collapse resolution, which Boolean-heavy grids never catch."""
+        rng = random.Random(84)
+        checked = 0
+        for _ in range(150):
+            m = Model()
+            vs = [m.int_var(0, rng.randint(2, 4), f"x{i}") for i in range(5)]
+            for _ in range(rng.randint(2, 4)):
+                kind = rng.choice(["count", "alldiff", "nondec", "table"])
+                sub = rng.sample(vs, rng.randint(2, 5))
+                try:
+                    if kind == "count":
+                        m.add_count_eq(
+                            sub, rng.randint(0, 4), rng.randint(0, len(sub))
+                        )
+                    elif kind == "alldiff":
+                        m.add_all_different_except(sub, rng.choice([None, 0]))
+                    elif kind == "nondec":
+                        m.add_non_decreasing(sub)
+                    else:
+                        doms = [v.initial_values() for v in sub]
+                        m.add_table(
+                            sub,
+                            [tuple(rng.choice(d) for d in doms)
+                             for _ in range(rng.randint(1, 6))],
+                        )
+                except ValueError:
+                    continue
+            plain = Solver(m).solve(node_limit=50_000)
+            learned = Solver(
+                m, learn=True, nogood_limit=rng.choice([2, 5000])
+            ).solve(node_limit=50_000)
+            if Status.UNKNOWN in (plain.status, learned.status):
+                continue
+            assert learned.status is plain.status
+            if learned.status is Status.SAT:
+                vals = {v.index: val for v, val in learned.solution.items()}
+                assert all(_semantics(c, vals) for c in m.constraints)
+            checked += 1
+        assert checked > 100  # the grid genuinely exercises both engines
+
+
 # -- agreement with the non-learning engine on paper encodings ----------------
 
 @pytest.mark.parametrize("learner,reference", [
@@ -652,3 +728,83 @@ class TestNogoodStore:
     def test_capacity_validation(self):
         with pytest.raises(ValueError):
             NogoodStore(capacity=0)
+
+    def test_reexamine_forces_violates_or_stays_inert(self):
+        """Post-backjump re-examination: all-but-one-true forces the open
+        literal (attributed to the nogood), all-true reports violation,
+        a false or second open literal leaves the state untouched."""
+        m = Model()
+        x = m.int_var(0, 2, "x")
+        y = m.int_var(0, 2, "y")
+        z = m.int_var(0, 2, "z")
+        s = DomainState(m, record_causes=True)
+        t = Trail(s)
+        store = NogoodStore()
+        ng = store.add(
+            [(x.index, 1, True), (y.index, 1, True), (z.index, 2, False)],
+            s, t,
+        )
+        # two open literals: nothing to do
+        s.assign(x, 1)
+        assert store.reexamine(ng, s) is None
+        assert s.contains(z, 2)
+        # all but one true: the open literal's negation is forced
+        s.assign(y, 1)
+        assert store.reexamine(ng, s) is None
+        assert s.contains(z, 2)  # forced ¬(z!=2) i.e. z := 2
+        assert s.value(z) == 2
+        assert s.causes[-1] == -2 - ng.id
+        # a false literal makes it inert
+        s2 = DomainState(m, record_causes=True)
+        s2.assign(x, 1)
+        s2.assign(y, 2)  # falsifies (y, 1, True)
+        s2.remove_value(z, 2)
+        assert store.reexamine(ng, s2) is None
+        # every literal true: violated
+        s3 = DomainState(m, record_causes=True)
+        s3.assign(x, 1)
+        s3.assign(y, 1)
+        s3.remove_value(z, 2)
+        assert store.reexamine(ng, s3) is ng
+
+    def test_violated_nogoods_get_bumped(self):
+        """A nogood reported violated by watched-literal propagation is
+        bumped on the spot, so frequent culprits are not forgotten first."""
+
+        class SpyStore(NogoodStore):
+            def __init__(self):
+                super().__init__()
+                self.log = []
+
+            def on_true(self, lit, state):
+                out = super().on_true(lit, state)
+                if out is not None:
+                    self.log.append(("violated", out.id))
+                return out
+
+            def bump(self, ng):
+                self.log.append(("bumped", ng.id))
+                super().bump(ng)
+
+        from repro.csp.heuristics import value_order_custom, var_order_input
+        from repro.encodings.csp2 import encode_csp2
+        from repro.solvers.ordering import task_order
+
+        inst = generate_instance(GeneratorConfig(n=5, tmax=5, m=2), 14)
+        enc = encode_csp2(inst.system, Platform.identical(inst.m), True)
+        order = task_order(inst.system, "dc")
+        order.append(enc.idle_value)
+        solver = Solver(
+            enc.model,
+            var_order=var_order_input,
+            value_order=value_order_custom(order),
+            learn=True,
+        )
+        solver._store = store = SpyStore()
+        out = solver._search(None, None, max_solutions=1)
+        assert out.status is Status.UNSAT
+        hits = [i for i, (kind, _) in enumerate(store.log)
+                if kind == "violated"]
+        assert hits  # the run exercised direct watched-literal conflicts
+        for i in hits:  # ... and each one was bumped immediately
+            assert store.log[i + 1] == ("bumped", store.log[i][1])
