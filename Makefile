@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test docs-check solvers-check solvers-md bench bench-portfolio bench-engine bench-analysis bench-learning bench-trajectory ci
+.PHONY: test docs-check solvers-check solvers-md bench bench-portfolio bench-engine bench-analysis bench-learning bench-trajectory bench-difftest difftest difftest-smoke ci
 
 ## tier-1 test suite (the bar every PR must keep green)
 test:
@@ -55,5 +55,21 @@ bench-learning:
 bench-trajectory:
 	$(PYTHON) benchmarks/bench_learning.py --trajectory benchmarks/BENCH_trajectory.json
 
+## differential-testing campaign: cross-check every complete solver
+## (+ the edf-exact oracle) on the seeded grid; non-zero exit on any
+## disagreement, JSONL trail in difftest-artifacts.jsonl
+difftest:
+	$(PYTHON) -m repro.cli difftest --seed 0 --instances 200 \
+	  --artifacts difftest-artifacts.jsonl
+
+## small seeded difftest (what CI runs); fails CI on any disagreement
+difftest-smoke:
+	$(PYTHON) -m repro.cli difftest --seed 0 --instances 15 \
+	  --time-limit 5 --quiet
+
+## difftest throughput + edf-exact state-space statistics snapshot
+bench-difftest:
+	$(PYTHON) benchmarks/bench_difftest.py --out BENCH_difftest.json
+
 ## what CI runs: doc guards first (fast), then the full suite
-ci: docs-check solvers-check test
+ci: docs-check solvers-check test difftest-smoke

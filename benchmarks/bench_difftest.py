@@ -1,0 +1,193 @@
+"""Differential-testing benchmark: oracle cost and campaign throughput.
+
+Two measurements on pinned seeded grids:
+
+* ``oracle`` — the exact global-EDF test (``repro.baselines.edf_exact``)
+  alone on every instance: verdict census, total simulated slots, total
+  hashed configurations and the largest repeating cycle found.  These
+  numbers are machine-independent (the oracle is deterministic), so the
+  section doubles as a regression pin on the state-space explorer.
+* ``campaign`` — a full :func:`repro.difftest.run_difftest` sweep with
+  the default solver set: cells per second and — the soundness bar —
+  the finding count, which must be 0 (``--check-schema`` enforces it,
+  mirroring ``bench_analysis``'s agreement guard).
+
+Only the ``wall_time_s`` / ``cells_per_s`` fields may move between
+machines; every census is pinned by the seed.
+
+Usage::
+
+    python benchmarks/bench_difftest.py --out BENCH_difftest.json
+    python benchmarks/bench_difftest.py --smoke --out /tmp/smoke.json
+    python benchmarks/bench_difftest.py --check-schema BENCH_difftest.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform as py_platform
+import sys
+import time
+
+from repro.baselines.edf_exact import EDF_SCHEDULABLE, edf_exact_test
+from repro.difftest import DiffTestConfig, run_difftest
+from repro.generator import GeneratorConfig, generate_instances
+
+SCHEMA = "bench-difftest/v1"
+
+#: top-level keys every BENCH_difftest.json must carry (CI schema guard)
+REQUIRED_TOP_KEYS = ("schema", "scale", "python", "grid", "oracle", "campaign")
+#: keys of the oracle section (CI schema guard)
+REQUIRED_ORACLE_KEYS = (
+    "verdicts", "slots", "configurations", "max_cycle_length", "wall_time_s"
+)
+#: keys of the campaign section (CI schema guard)
+REQUIRED_CAMPAIGN_KEYS = (
+    "solvers", "instances", "cells", "findings", "wall_time_s", "cells_per_s"
+)
+
+
+def _grid(smoke: bool) -> dict:
+    """The pinned generator grid (small periods keep hyperperiods sane)."""
+    if smoke:
+        return {"count": 12, "n": 4, "tmax": 4, "m": "uniform",
+                "seed": 0, "time_limit": 5.0}
+    return {"count": 60, "n": 5, "tmax": 5, "m": "uniform",
+            "seed": 0, "time_limit": 10.0}
+
+
+def _oracle_section(grid: dict) -> dict:
+    """Run edf-exact alone on the grid; aggregate state-space statistics."""
+    cfg = GeneratorConfig(n=grid["n"], tmax=grid["tmax"], m=grid["m"])
+    instances = generate_instances(cfg, grid["count"], seed=grid["seed"])
+    verdicts: dict[str, int] = {}
+    slots = 0
+    configurations = 0
+    max_cycle = 0
+    t0 = time.perf_counter()
+    for inst in instances:
+        outcome = edf_exact_test(
+            inst.system, inst.m, time_limit=grid["time_limit"]
+        )
+        verdicts[outcome.verdict] = verdicts.get(outcome.verdict, 0) + 1
+        slots += outcome.slots
+        configurations += outcome.configurations
+        if outcome.verdict == EDF_SCHEDULABLE:
+            max_cycle = max(max_cycle, outcome.cycle_length)
+    return {
+        "verdicts": dict(sorted(verdicts.items())),
+        "slots": slots,
+        "configurations": configurations,
+        "max_cycle_length": max_cycle,
+        "wall_time_s": round(time.perf_counter() - t0, 4),
+    }
+
+
+def _campaign_section(grid: dict) -> dict:
+    """Run a full difftest sweep; throughput + the zero-findings bar."""
+    config = DiffTestConfig(
+        instances=grid["count"], seed=grid["seed"], n=grid["n"],
+        tmax=grid["tmax"], m=grid["m"], time_limit=grid["time_limit"],
+    )
+    report = run_difftest(config)
+    return {
+        "solvers": list(config.solvers),
+        "instances": report.instances,
+        "cells": report.cells,
+        "findings": len(report.findings),
+        "finding_kinds": sorted({f.kind for f in report.findings}),
+        "verdicts": report.verdicts,
+        "wall_time_s": round(report.elapsed, 4),
+        "cells_per_s": round(report.cells / report.elapsed, 3)
+        if report.elapsed > 0 else 0.0,
+    }
+
+
+def run_bench(smoke: bool = False) -> dict:
+    """Run both measurements and return the BENCH_difftest document."""
+    grid = _grid(smoke)
+    return {
+        "schema": SCHEMA,
+        "scale": "smoke" if smoke else "full",
+        "python": py_platform.python_version(),
+        "grid": grid,
+        "oracle": _oracle_section(grid),
+        "campaign": _campaign_section(grid),
+    }
+
+
+def check_schema(path: str) -> list[str]:
+    """Validate a BENCH_difftest.json document; return problems (empty = ok)."""
+    problems: list[str] = []
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return [f"cannot read {path}: {exc}"]
+    for key in REQUIRED_TOP_KEYS:
+        if key not in doc:
+            problems.append(f"missing top-level key {key!r}")
+    if doc.get("schema") != SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    for key in REQUIRED_ORACLE_KEYS:
+        if key not in doc.get("oracle", {}):
+            problems.append(f"section 'oracle' missing key {key!r}")
+    for key in REQUIRED_CAMPAIGN_KEYS:
+        if key not in doc.get("campaign", {}):
+            problems.append(f"section 'campaign' missing key {key!r}")
+    if doc.get("campaign", {}).get("findings", 1) != 0:
+        problems.append(
+            f"difftest findings recorded: "
+            f"{doc.get('campaign', {}).get('findings')!r} (soundness bug)"
+        )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--out", default="BENCH_difftest.json", help="output JSON path"
+    )
+    ap.add_argument(
+        "--smoke", action="store_true",
+        help="tiny grid for CI (seconds, not minutes)",
+    )
+    ap.add_argument(
+        "--check-schema", metavar="PATH", default=None,
+        help="validate an existing document instead of running the grids",
+    )
+    args = ap.parse_args(argv)
+
+    if args.check_schema:
+        problems = check_schema(args.check_schema)
+        for p in problems:
+            print(f"{args.check_schema}: {p}", file=sys.stderr)
+        if not problems:
+            print(f"{args.check_schema}: schema ok")
+        return 1 if problems else 0
+
+    doc = run_bench(smoke=args.smoke)
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    oracle = doc["oracle"]
+    campaign = doc["campaign"]
+    print(
+        f"oracle: {sum(oracle['verdicts'].values())} instances, "
+        f"{oracle['slots']} slots, {oracle['configurations']} configs "
+        f"in {oracle['wall_time_s']:.3f}s ({oracle['verdicts']})"
+    )
+    print(
+        f"campaign: {campaign['cells']} cells in "
+        f"{campaign['wall_time_s']:.3f}s "
+        f"({campaign['cells_per_s']:.2f} cells/s), "
+        f"{campaign['findings']} findings"
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

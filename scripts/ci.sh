@@ -35,5 +35,8 @@ python benchmarks/bench_learning.py --check-schema benchmarks/BENCH_learning.aft
 python benchmarks/bench_learning.py --compare benchmarks/BENCH_learning.before.json benchmarks/BENCH_learning.after.json
 python benchmarks/bench_learning.py --check-trajectory benchmarks/BENCH_trajectory.json
 
+echo "== difftest-smoke: solvers must agree on the seeded grid (exact oracle cross-check) =="
+python -m repro.cli difftest --seed 0 --instances 15 --time-limit 5 --quiet
+
 echo "== tier-1: full test suite =="
 python -m pytest -x -q

@@ -21,6 +21,12 @@ feasible, hence the CSPs must find it feasible too.
 """
 
 from repro.baselines.simulator import SimulationResult, simulate_priority_policy
+from repro.baselines.edf_exact import (
+    EdfExactOutcome,
+    EdfExactSolver,
+    edf_exact_certificate,
+    edf_exact_test,
+)
 from repro.baselines.priorities import (
     global_edf,
     global_fixed_priority,
@@ -40,6 +46,10 @@ from repro.baselines.partitioned import (
 )
 
 __all__ = [
+    "EdfExactOutcome",
+    "EdfExactSolver",
+    "edf_exact_certificate",
+    "edf_exact_test",
     "PartitionResult",
     "exact_partition",
     "first_fit_partition",

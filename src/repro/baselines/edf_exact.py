@@ -1,0 +1,418 @@
+"""The exact global-EDF schedulability test (Goossens & Meumeu Yomsi).
+
+PAPERS.md's *Exact Schedulability Test for global-EDF Scheduling of
+Periodic Hard Real-Time Tasks on Identical Multiprocessors* observes
+that deterministic global EDF on a periodic constrained-deadline system
+is a finite-state process: at every hyperperiod-aligned instant the
+whole future is determined by the vector of (remaining work, laxity to
+absolute deadline) of the active jobs.  Exploring that state space —
+hashing every configuration seen at the aligned instants — therefore
+*decides* EDF-schedulability, with no simulation-horizon leap of faith:
+
+* a **repeated configuration** with no deadline miss in between proves
+  the schedule cycles forever — the repeating segment is extracted as a
+  C1-C4-validating cyclic :class:`~repro.schedule.schedule.Schedule`;
+* a **deadline miss** disproves EDF-schedulability outright, and the
+  concrete miss configuration (which job, which deadline, what every
+  task was carrying at that instant) is the counterexample.
+
+This is deliberately a *second, independent decision procedure*: the
+loop below shares no code with the CSP/SAT engines, the screening
+cascade, or even :mod:`repro.baselines.simulator` (whose cycle check
+only compares consecutive aligned states and gives up after
+``max_cycles`` hyperperiods).  That independence is what makes it a
+useful differential-testing oracle (:mod:`repro.difftest`) — and a
+cheap portfolio member for EDF-shaped instances.
+
+Mapping EDF-schedulability onto this library's *feasibility* question
+(registered as solver ``edf-exact``) is asymmetric, and the registry
+metadata says so:
+
+* EDF-schedulable ⇒ FEASIBLE, witnessed by the validated cycle;
+* an EDF miss on ``m == 1`` ⇒ INFEASIBLE — uniprocessor preemptive EDF
+  is optimal (Dertouzos), so no schedule of any kind exists; the family
+  carries :data:`~repro.solvers.registry.PROVES_INFEASIBILITY` for
+  exactly this case;
+* an EDF miss on ``m >= 2`` ⇒ UNKNOWN — global EDF is *not* optimal on
+  multiprocessors, so the miss only rules out EDF itself; the miss
+  configuration still travels in the result's stats for forensics.
+
+Consequently ``edf-exact`` does **not** claim the ``exact`` capability:
+it always terminates with a verdict about *EDF*, but not always about
+feasibility.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.analysis.certificates import Certificate
+from repro.model.platform import Platform
+from repro.model.system import TaskSystem
+from repro.schedule.schedule import IDLE, Schedule
+from repro.solvers.base import Feasibility, SolveResult, SolverStats
+from repro.solvers.registry import PROVES_INFEASIBILITY, register_solver
+
+__all__ = [
+    "EdfExactOutcome",
+    "edf_exact_test",
+    "edf_exact_certificate",
+    "EdfExactSolver",
+]
+
+#: outcome verdict strings of :func:`edf_exact_test`
+EDF_SCHEDULABLE = "edf-schedulable"
+EDF_MISS = "edf-miss"
+EDF_OVERRUN = "overrun"
+
+
+@dataclass(frozen=True)
+class EdfExactOutcome:
+    """What the state-space exploration decided.
+
+    Attributes
+    ----------
+    verdict:
+        ``"edf-schedulable"``, ``"edf-miss"``, or ``"overrun"`` (a
+        caller-imposed time/node/configuration budget expired — never
+        happens without one: the state space is finite).
+    schedule:
+        The repeating cyclic segment (``cycle_length`` hyperperiods
+        long) when schedulable; None otherwise.
+    cycle_start, cycle_length:
+        Hyperperiod indices: the configuration first seen at hyperperiod
+        ``cycle_start`` recurred at ``cycle_start + cycle_length``.
+    miss:
+        On a miss: ``{"task", "release", "deadline", "time",
+        "configuration"}`` — the concrete counterexample configuration,
+        with per-task ``[remaining, deadline - time]`` entries (None for
+        tasks with no active job).
+    slots, configurations:
+        Exploration effort: simulated time slots and distinct aligned
+        configurations hashed.
+    """
+
+    verdict: str
+    schedule: Schedule | None
+    cycle_start: int
+    cycle_length: int
+    miss: dict[str, Any] | None
+    slots: int
+    configurations: int
+
+    @property
+    def schedulable(self) -> bool | None:
+        """True/False when decided, None on an ``overrun``."""
+        if self.verdict == EDF_SCHEDULABLE:
+            return True
+        if self.verdict == EDF_MISS:
+            return False
+        return None
+
+
+def edf_exact_test(
+    system: TaskSystem,
+    m: int,
+    time_limit: float | None = None,
+    node_limit: int | None = None,
+    config_limit: int | None = None,
+) -> EdfExactOutcome:
+    """Decide global-EDF schedulability by exhaustive state exploration.
+
+    Simulates deterministic global preemptive EDF (earliest absolute
+    deadline first, ties by task index) slot by slot, hashing the system
+    configuration at every hyperperiod-aligned instant past the largest
+    offset.  Terminates on the first deadline miss or the first repeated
+    configuration — one of which must occur, because a constrained-
+    deadline system carries at most one active job per task and the
+    per-task ``(remaining, deadline - t)`` pairs range over a finite set.
+
+    Parameters
+    ----------
+    system:
+        Constrained-deadline task system (clone arbitrary deadlines
+        first, as every solver does).
+    m:
+        Number of identical processors.
+    time_limit, node_limit, config_limit:
+        Optional budgets (wall seconds / simulated slots / hashed
+        configurations).  Exceeding one yields an ``overrun`` outcome;
+        without budgets the test always decides.
+    """
+    if not system.is_constrained:
+        raise ValueError(
+            "edf_exact_test requires constrained deadlines (clone first)"
+        )
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    T = system.hyperperiod
+    n = system.n
+    offsets = [t.offset for t in system]
+    periods = [t.period for t in system]
+    wcets = [t.wcet for t in system]
+    deadlines = [t.deadline for t in system]
+    # first hyperperiod-aligned instant at which the release pattern has
+    # become fully periodic (every task has had its first release)
+    start_cycle = (max(offsets) + T - 1) // T
+
+    # per task: the active job's (release, abs_deadline, remaining); None = idle
+    current: list[tuple[int, int, int] | None] = [None] * n
+    next_release = list(offsets)
+
+    #: configuration -> hyperperiod index of its first occurrence
+    seen: dict[tuple, int] = {}
+    #: one m x T schedule block per simulated hyperperiod
+    blocks: list[np.ndarray] = []
+
+    deadline_wall = None if time_limit is None else time.monotonic() + time_limit
+
+    def configuration(t: int) -> tuple:
+        return tuple(
+            None if c is None else (c[2], c[1] - t) for c in current
+        )
+
+    def miss_payload(i: int, t: int) -> dict[str, Any]:
+        rel, dl, rem = current[i]
+        return {
+            "task": i,
+            "release": rel,
+            "deadline": dl,
+            "remaining": rem,
+            "time": t,
+            "m": m,
+            "configuration": [
+                None if c is None else [c[2], c[1] - t] for c in current
+            ],
+        }
+
+    t = 0
+    while True:
+        aligned = t % T == 0 and t >= start_cycle * T
+        if aligned:
+            config = configuration(t)
+            k = t // T
+            first = seen.setdefault(config, k)
+            if first != k:
+                table = np.hstack(blocks[first:k])
+                return EdfExactOutcome(
+                    verdict=EDF_SCHEDULABLE,
+                    schedule=Schedule(system, Platform.identical(m), table),
+                    cycle_start=first,
+                    cycle_length=k - first,
+                    miss=None,
+                    slots=t,
+                    configurations=len(seen),
+                )
+            if config_limit is not None and len(seen) > config_limit:
+                break
+        if t % T == 0:
+            if deadline_wall is not None and time.monotonic() >= deadline_wall:
+                break
+            blocks.append(np.full((m, T), IDLE, dtype=np.int32))
+        if node_limit is not None and t >= node_limit:
+            break
+
+        # releases at time t (constrained deadlines: the previous job of a
+        # task must have completed — or missed — before its next release)
+        for i in range(n):
+            if next_release[i] == t:
+                next_release[i] += periods[i]
+                if wcets[i] > 0:
+                    current[i] = (t, t + deadlines[i], wcets[i])
+
+        # run the m active jobs with the earliest absolute deadlines
+        active = sorted(
+            (c[1], i) for i, c in enumerate(current) if c is not None
+        )
+        block = blocks[-1]
+        col = t % T
+        for slot, (_, i) in enumerate(active[:m]):
+            block[slot, col] = i
+            rel, dl, rem = current[i]
+            rem -= 1
+            current[i] = None if rem == 0 else (rel, dl, rem)
+
+        t += 1
+
+        # deadline check: remaining work at (or past) the absolute deadline
+        for i in range(n):
+            c = current[i]
+            if c is not None and t >= c[1]:
+                return EdfExactOutcome(
+                    verdict=EDF_MISS,
+                    schedule=None,
+                    cycle_start=0,
+                    cycle_length=0,
+                    miss=miss_payload(i, t),
+                    slots=t,
+                    configurations=len(seen),
+                )
+
+    return EdfExactOutcome(
+        verdict=EDF_OVERRUN,
+        schedule=None,
+        cycle_start=0,
+        cycle_length=0,
+        miss=None,
+        slots=t,
+        configurations=len(seen),
+    )
+
+
+def edf_exact_certificate(
+    system: TaskSystem,
+    m: int,
+    time_limit: float | None = None,
+    node_limit: int | None = None,
+    config_limit: int | None = None,
+) -> Certificate:
+    """The exact EDF test as an analysis-style :class:`Certificate`.
+
+    FEASIBLE carries the repeating cycle as its witness schedule;
+    INFEASIBLE (``m == 1`` miss, by uniprocessor EDF optimality) carries
+    the miss configuration; an ``m >= 2`` miss — or a budget overrun —
+    abstains, with the miss configuration still recorded in the witness
+    for the former.
+    """
+    outcome = edf_exact_test(
+        system,
+        m,
+        time_limit=time_limit,
+        node_limit=node_limit,
+        config_limit=config_limit,
+    )
+    if outcome.verdict == EDF_SCHEDULABLE:
+        return Certificate.feasible(
+            "edf-exact:cycle",
+            witness={
+                "cycle_start": outcome.cycle_start,
+                "cycle_length": outcome.cycle_length,
+                "slots": outcome.slots,
+                "configurations": outcome.configurations,
+            },
+            detail=(
+                f"EDF cycles after {outcome.cycle_start + outcome.cycle_length}"
+                f" hyperperiod(s) (cycle length {outcome.cycle_length}T, "
+                f"{outcome.configurations} configuration(s) explored)"
+            ),
+            schedule=outcome.schedule,
+        )
+    if outcome.verdict == EDF_MISS and m == 1:
+        miss = outcome.miss
+        return Certificate.infeasible(
+            "edf-exact:miss",
+            witness=miss,
+            detail=(
+                f"uniprocessor EDF (optimal) misses: task {miss['task']} "
+                f"job released at {miss['release']} still holds "
+                f"{miss['remaining']} unit(s) at its deadline {miss['deadline']}"
+            ),
+        )
+    if outcome.verdict == EDF_MISS:
+        miss = outcome.miss
+        return Certificate(
+            Feasibility.UNKNOWN,
+            "edf-exact:miss",
+            witness=miss,
+            detail=(
+                f"global EDF on m={m} misses (task {miss['task']} at "
+                f"t={miss['time']}); EDF is not optimal on multiprocessors, "
+                "so this rules out EDF only, not feasibility"
+            ),
+        )
+    return Certificate(
+        Feasibility.UNKNOWN,
+        "edf-exact:overrun",
+        witness={"slots": outcome.slots, "configurations": outcome.configurations},
+        detail=f"budget expired after {outcome.slots} slot(s)",
+    )
+
+
+class EdfExactSolver:
+    """Adapter: the exact EDF test with the solver calling convention.
+
+    ``solve`` maps the EDF verdict onto the feasibility question as
+    documented in the module docstring and records the full exploration
+    provenance (verdict, cycle/miss witness, configuration counts) in
+    ``stats.extra["edf_exact"]``, so JSONL round-trips keep it.
+    """
+
+    name = "edf-exact"
+
+    def __init__(
+        self,
+        system: TaskSystem,
+        platform: Platform,
+        config_limit: int | None = None,
+    ) -> None:
+        if not platform.is_identical:
+            raise ValueError(
+                "the exact EDF test argues about identical processors only"
+            )
+        if not system.is_constrained:
+            raise ValueError(
+                "edf-exact requires constrained deadlines (the solve front "
+                "door clones arbitrary-deadline systems first)"
+            )
+        self.system = system
+        self.platform = platform
+        self.config_limit = config_limit
+
+    def solve(
+        self, time_limit: float | None = None, node_limit: int | None = None
+    ) -> SolveResult:
+        """Run the decision procedure; map its verdict onto feasibility."""
+        t0 = time.monotonic()
+        cert = edf_exact_certificate(
+            self.system,
+            self.platform.m,
+            time_limit=time_limit,
+            node_limit=node_limit,
+            config_limit=self.config_limit,
+        )
+        witness = dict(cert.witness)
+        stats = SolverStats(
+            nodes=int(witness.get("slots", witness.get("time", 0)) or 0),
+            elapsed=time.monotonic() - t0,
+            extra={
+                "edf_exact": {
+                    "test": cert.test_name,
+                    "verdict": cert.verdict.value,
+                    "witness": witness,
+                }
+            },
+        )
+        return SolveResult(
+            status=cert.verdict,
+            schedule=cert.schedule,
+            stats=stats,
+            solver_name=self.name,
+            decided_by=cert.test_name if cert.decided else None,
+        )
+
+
+@register_solver(
+    "edf-exact",
+    description=(
+        "Exact global-EDF schedulability decision by configuration-hashed "
+        "state-space exploration (Goossens & Meumeu Yomsi): FEASIBLE with "
+        "a validated repeating cycle, INFEASIBLE on a uniprocessor miss "
+        "(EDF is optimal there), UNKNOWN on a multiprocessor miss"
+    ),
+    paper_section="",
+    pick_when=(
+        "EDF-shaped instances, as a portfolio member, and as the "
+        "independent oracle behind `repro-mgrts difftest`"
+    ),
+    capabilities=(PROVES_INFEASIBILITY,),
+    suffixes={},
+    options=("config_limit",),
+    platforms=("identical",),
+)
+def _build_edf_exact(system, platform, spec, seed, **options):
+    """Registry factory: ``edf-exact`` (the exact global-EDF oracle)."""
+    return EdfExactSolver(system, platform, **options)

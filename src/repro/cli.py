@@ -5,6 +5,8 @@ Subcommands
 ``generate``    sample random instances (Section VII-A) to a JSON file
 ``solve``       solve one instance (from a JSON file or inline tuples)
 ``analyze``     run the polynomial-time screening cascade (no search)
+``difftest``    differentially fuzz a set of solvers against each other
+                (seeded grid, witness validation, counterexample shrinking)
 ``solvers``     list every registered solver with its metadata
 ``validate``    re-check a solved schedule JSON against C1-C4
 ``figure1``     print the paper's Figure 1 chart
@@ -226,6 +228,53 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         "use `solve` (or the screen+NAME solver) for an exact answer"
     )
     return 2
+
+
+def _cmd_difftest(args: argparse.Namespace) -> int:
+    """Differentially test solvers on a seeded generator grid.
+
+    Every instance is solved by every ``--solvers`` member; verdicts are
+    cross-checked capability-aware, witness schedules are re-validated
+    against C1-C4, and any finding is shrunk to a 1-minimal
+    counterexample (disable with ``--no-shrink``).  ``--artifacts``
+    writes a JSONL trail with full SolveReport provenance.  Exit code 0
+    on a clean run, 1 when any finding survived, 2 on bad usage.
+    """
+    from repro.difftest import DiffTestConfig, run_difftest, write_artifacts
+
+    if _invalid_jobs(args):
+        return 2
+    solvers = _split_solver_list(args.solvers)
+    if not solvers:
+        print(f"--solvers is empty; pick from {available_solvers()}",
+              file=sys.stderr)
+        return 2
+    if any(_bad_solver(s) for s in solvers):
+        return 2
+    config = DiffTestConfig(
+        solvers=tuple(solvers),
+        instances=args.instances,
+        seed=args.seed,
+        n=args.n,
+        tmax=args.tmax,
+        m=args.m if args.m is not None else "uniform",
+        time_limit=args.time_limit,
+        shrink=not args.no_shrink,
+        jobs=args.jobs,
+    )
+    progress = _progress_printer(args, "cell")
+    report = run_difftest(config, progress=progress)
+    if not args.quiet:
+        print(file=sys.stderr)
+    if args.artifacts:
+        write_artifacts(args.artifacts, report)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
+        if args.artifacts:
+            print(f"artifacts written to {args.artifacts}")
+    return 0 if report.ok else 1
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -457,6 +506,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     an.add_argument("--json", action="store_true", help="machine-readable output")
     an.set_defaults(func=_cmd_analyze)
+
+    d = sub.add_parser(
+        "difftest",
+        help="differentially fuzz solvers against each other on a seeded "
+        "grid (witness validation + counterexample shrinking)",
+    )
+    d.add_argument(
+        "--solvers",
+        default="edf-exact,csp2+dc,csp2+learn,sat,screen+csp2+dc",
+        help="comma-separated registry names to cross-check; use ';' as "
+        "the separator when listing a portfolio (its name contains "
+        "commas)",
+    )
+    d.add_argument("--instances", type=int, default=100,
+                   help="instances to generate and cross-check")
+    d.add_argument("--seed", type=int, default=0, help="generator seed")
+    d.add_argument("-n", type=int, default=5, help="tasks per instance")
+    d.add_argument("--tmax", type=int, default=5, help="maximum period")
+    d.add_argument("-m", type=int, default=None,
+                   help="processors (default: U(1..n-1))")
+    d.add_argument("--time-limit", type=float, default=10.0,
+                   help="per-cell wall budget (seconds)")
+    d.add_argument("--jobs", "-j", type=int, default=1,
+                   help="worker processes (1 = serial, in-process)")
+    d.add_argument("--artifacts", default=None,
+                   help="write a JSONL disagreement trail here")
+    d.add_argument("--no-shrink", action="store_true",
+                   help="keep findings at generated size (skip shrinking)")
+    d.add_argument("--quiet", action="store_true")
+    d.add_argument("--json", action="store_true", help="machine-readable output")
+    d.set_defaults(func=_cmd_difftest)
 
     ls = sub.add_parser(
         "solvers", help="list registered solvers with their metadata"

@@ -1,0 +1,53 @@
+"""Differential testing: cross-check every complete solver, permanently.
+
+The library now answers the same feasibility question along several
+independent paths — the paper's CSP encodings on two engines, the SAT
+pipeline, the conflict-directed learning search, the certified screening
+cascade, and the exact global-EDF oracle
+(:mod:`repro.baselines.edf_exact`).  Agreement between them used to be
+spot-checked by seeded grids inside individual test files; PR 5's
+review found a soundness bug those spot checks missed.  This package
+turns the cross-check into a first-class, reusable subsystem:
+
+* :mod:`repro.difftest.core` — generator-driven seeded fuzzing over any
+  set of registered solvers: every instance is solved by every solver,
+  verdicts are cross-checked *capability-aware* (an INFEASIBLE only
+  counts as a proof when the family carries ``proves_infeasibility``),
+  and every claimed witness schedule is re-validated through
+  :mod:`repro.schedule.validate`;
+* :mod:`repro.difftest.shrink` — deterministic greedy shrinking of a
+  disagreeing instance to a 1-minimal counterexample (fewer tasks,
+  fewer processors, smaller task parameters) while the failure
+  reproduces;
+* :mod:`repro.difftest.artifacts` — JSONL disagreement artifacts with
+  full :class:`~repro.solvers.problem.SolveReport` provenance for every
+  finding, original and shrunk.
+
+Surfaced as ``repro-mgrts difftest`` and ``make difftest`` /
+``make difftest-smoke`` (the smoke run gates CI): any future engine —
+vectorised kernels, a sharded service backend — lands only after a
+seeded fuzz run against the oracles reports zero disagreements.
+"""
+
+from repro.difftest.core import (
+    DEFAULT_SOLVERS,
+    DiffTestConfig,
+    DiffTestReport,
+    Finding,
+    cross_check,
+    run_difftest,
+)
+from repro.difftest.shrink import shrink_problem
+from repro.difftest.artifacts import iter_artifacts, write_artifacts
+
+__all__ = [
+    "DEFAULT_SOLVERS",
+    "DiffTestConfig",
+    "DiffTestReport",
+    "Finding",
+    "cross_check",
+    "run_difftest",
+    "shrink_problem",
+    "write_artifacts",
+    "iter_artifacts",
+]

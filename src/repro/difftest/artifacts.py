@@ -1,0 +1,53 @@
+"""JSONL disagreement artifacts: the difftest campaign's paper trail.
+
+A campaign that finds nothing writes a single header line (so CI can
+archive proof that the run *happened* with a given config); a campaign
+that finds disagreements appends one self-contained line per finding,
+carrying the full :class:`~repro.solvers.problem.SolveReport` provenance
+of every solver on both the original and the shrunk instance.  Each
+finding line round-trips through :meth:`Finding.from_dict`, so a
+disagreement found by a nightly fuzz run can be replayed — exact
+instance, exact budgets, exact seed — in a debugger or pinned as a
+regression test without re-fuzzing.
+
+Format: line 1 is ``{"kind": "difftest-header", "config": ...,
+"summary": ...}``; every further line is one ``Finding.to_dict()``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.difftest.core import DiffTestReport, Finding
+
+__all__ = ["write_artifacts", "iter_artifacts"]
+
+#: the ``kind`` tag of the leading header line
+HEADER_KIND = "difftest-header"
+
+
+def write_artifacts(path: str, report: DiffTestReport) -> str:
+    """Write a campaign's header + findings as JSONL; returns ``path``."""
+    with open(path, "w") as fh:
+        fh.write(json.dumps({
+            "kind": HEADER_KIND,
+            "config": report.config.to_dict(),
+            "summary": report.to_dict(),
+        }) + "\n")
+        for finding in report.findings:
+            fh.write(json.dumps(finding.to_dict()) + "\n")
+    return path
+
+
+def iter_artifacts(path: str) -> tuple[dict[str, Any], list[Finding]]:
+    """Read an artifact file back: ``(header, findings)``.
+
+    Raises ``ValueError`` when the file does not start with a difftest
+    header (it is probably some other JSONL journal).
+    """
+    with open(path) as fh:
+        lines = [json.loads(line) for line in fh if line.strip()]
+    if not lines or lines[0].get("kind") != HEADER_KIND:
+        raise ValueError(f"{path} is not a difftest artifact file")
+    return lines[0], [Finding.from_dict(d) for d in lines[1:]]

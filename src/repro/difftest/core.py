@@ -1,0 +1,429 @@
+"""The differential-testing engine: fuzz, cross-check, shrink, report.
+
+One :func:`run_difftest` call fans a seeded generator grid across every
+configured solver through the normal :func:`~repro.solvers.problem.solve_iter`
+front door (so difftest exercises exactly the code paths production
+uses), then applies :func:`cross_check` to each instance's reports.
+
+The cross-check is *capability-aware* — the same trust rules the racing
+portfolio applies at answer time:
+
+* a FEASIBLE claim must be substantiated: a carried schedule is
+  re-validated against C1-C4, a schedule-free FEASIBLE is accepted only
+  from a certified analysis bound (``decided_by`` of ``sufficient:...``);
+* an INFEASIBLE claim counts as a proof only when the reporting family's
+  registry metadata carries ``proves_infeasibility`` — an incomplete
+  family answering INFEASIBLE at all is itself a finding
+  (``unsound-infeasible``), because the meta-solvers are required to
+  downgrade such answers;
+* an ``edf-exact`` infeasibility proof is additionally replayed through
+  the *independent* simulator of :mod:`repro.baselines.priorities`
+  (different code, same policy) — the claimed uniprocessor miss must
+  reproduce;
+* UNKNOWN never disagrees with anything (a budget overrun is not a
+  verdict).
+
+A ``verdict-disagreement`` finding — some solver proves FEASIBLE while
+another proves INFEASIBLE on the same instance — is the smoking gun this
+subsystem exists for.  Each finding is (optionally) shrunk to a
+1-minimal counterexample by :mod:`repro.difftest.shrink` and carries the
+full :class:`~repro.solvers.problem.SolveReport` provenance of both the
+original and the shrunk instance for the JSONL artifact trail.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.generator.random_systems import GeneratorConfig, generate_instances
+from repro.schedule.validate import validate
+from repro.solvers.base import Feasibility
+from repro.solvers.problem import Problem, SolveReport, solve_iter, solve_problem
+from repro.solvers.registry import is_solver_name, solver_info
+from repro.solvers.spec import SolverSpec
+
+__all__ = [
+    "DEFAULT_SOLVERS",
+    "VERDICT_DISAGREEMENT",
+    "INVALID_WITNESS",
+    "MISSING_WITNESS",
+    "UNSOUND_INFEASIBLE",
+    "DiffTestConfig",
+    "Finding",
+    "DiffTestReport",
+    "cross_check",
+    "run_difftest",
+]
+
+#: the standing cross-check set: the EDF oracle against every complete
+#: decision path (both engines, learning, SAT, and the screened cascade)
+DEFAULT_SOLVERS = ("edf-exact", "csp2+dc", "csp2+learn", "sat", "screen+csp2+dc")
+
+#: finding kinds
+VERDICT_DISAGREEMENT = "verdict-disagreement"
+INVALID_WITNESS = "invalid-witness"
+MISSING_WITNESS = "missing-witness"
+UNSOUND_INFEASIBLE = "unsound-infeasible"
+
+#: replay budget (hyperperiods) for confirming an edf-exact miss claim
+_REPLAY_CYCLES = 1024
+
+
+@dataclass(frozen=True)
+class DiffTestConfig:
+    """One differential-testing campaign, fully determined by its fields.
+
+    The generator knobs mirror :class:`~repro.generator.random_systems.
+    GeneratorConfig`; the default grid (``n=5, tmax=5, m ~ U(1..n-1)``)
+    keeps hyperperiods small enough that every solver answers in
+    milliseconds while still covering FEASIBLE, INFEASIBLE and
+    not-EDF-schedulable instances.
+    """
+
+    solvers: tuple[str, ...] = DEFAULT_SOLVERS
+    instances: int = 100
+    seed: int = 0
+    n: int = 5
+    tmax: int = 5
+    m: int | str = "uniform"
+    order: str = "d-first"
+    offsets: str = "uniform"
+    time_limit: float | None = 10.0
+    node_limit: int | None = None
+    shrink: bool = True
+    shrink_budget: int = 200
+    jobs: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.solvers:
+            raise ValueError("difftest needs at least one solver")
+        if len(set(self.solvers)) != len(self.solvers):
+            raise ValueError(f"duplicate solvers in {self.solvers}")
+        if self.instances < 0:
+            raise ValueError(f"instances must be >= 0, got {self.instances}")
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        for name in self.solvers:
+            if not is_solver_name(name):
+                raise ValueError(
+                    f"unknown solver {name!r} in difftest configuration"
+                )
+
+    def generator_config(self) -> GeneratorConfig:
+        """The instance-generator knobs as a :class:`GeneratorConfig`."""
+        return GeneratorConfig(
+            n=self.n, tmax=self.tmax, m=self.m,
+            order=self.order, offsets=self.offsets,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able form, recorded in the artifact header."""
+        return {
+            "solvers": list(self.solvers),
+            "instances": self.instances,
+            "seed": self.seed,
+            "n": self.n,
+            "tmax": self.tmax,
+            "m": self.m,
+            "order": self.order,
+            "offsets": self.offsets,
+            "time_limit": self.time_limit,
+            "node_limit": self.node_limit,
+            "shrink": self.shrink,
+            "shrink_budget": self.shrink_budget,
+            "jobs": self.jobs,
+        }
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One cross-check failure, with everything needed to reproduce it.
+
+    ``reports`` are the raw per-solver :class:`SolveReport` records of
+    the failing instance; when shrinking ran, ``shrunk_problem`` /
+    ``shrunk_reports`` hold the 1-minimal counterexample and its
+    re-solved reports.
+    """
+
+    kind: str
+    detail: str
+    problem: Problem
+    solvers: tuple[str, ...]
+    reports: tuple[SolveReport, ...]
+    shrunk_problem: Problem | None = None
+    shrunk_reports: tuple[SolveReport, ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSONL-ready form with full report provenance."""
+        return {
+            "kind": self.kind,
+            "detail": self.detail,
+            "solvers": list(self.solvers),
+            "problem": self.problem.to_dict(),
+            "reports": [r.to_dict() for r in self.reports],
+            "shrunk_problem": (
+                None if self.shrunk_problem is None
+                else self.shrunk_problem.to_dict()
+            ),
+            "shrunk_reports": [r.to_dict() for r in self.shrunk_reports],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Finding":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            kind=data["kind"],
+            detail=data["detail"],
+            solvers=tuple(data["solvers"]),
+            problem=Problem.from_dict(data["problem"]),
+            reports=tuple(SolveReport.from_dict(r) for r in data["reports"]),
+            shrunk_problem=(
+                None if data.get("shrunk_problem") is None
+                else Problem.from_dict(data["shrunk_problem"])
+            ),
+            shrunk_reports=tuple(
+                SolveReport.from_dict(r) for r in data.get("shrunk_reports", ())
+            ),
+        )
+
+
+@dataclass
+class DiffTestReport:
+    """Outcome of one campaign: verdict census plus every finding."""
+
+    config: DiffTestConfig
+    findings: list[Finding] = field(default_factory=list)
+    #: solver name -> status label -> count
+    verdicts: dict[str, dict[str, int]] = field(default_factory=dict)
+    instances: int = 0
+    cells: int = 0
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True iff the campaign surfaced no finding of any kind."""
+        return not self.findings
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able summary (the artifact header's ``summary`` field)."""
+        return {
+            "ok": self.ok,
+            "instances": self.instances,
+            "cells": self.cells,
+            "elapsed": self.elapsed,
+            "verdicts": self.verdicts,
+            "findings": [
+                {"kind": f.kind, "detail": f.detail} for f in self.findings
+            ],
+        }
+
+    def summary(self) -> str:
+        """Multi-line human-readable census (the CLI's default output)."""
+        lines = [
+            f"{self.instances} instance(s) x {len(self.config.solvers)} "
+            f"solver(s) = {self.cells} cells in {self.elapsed:.2f}s"
+        ]
+        for solver in self.config.solvers:
+            counts = self.verdicts.get(solver, {})
+            census = "  ".join(
+                f"{status}: {counts[status]}" for status in sorted(counts)
+            )
+            lines.append(f"  {solver:<24} {census}")
+        if self.ok:
+            lines.append("no disagreements, all witnesses validate")
+        else:
+            lines.append(f"{len(self.findings)} FINDING(S):")
+            for f in self.findings:
+                lines.append(f"  [{f.kind}] {f.detail}")
+        return "\n".join(lines)
+
+
+def _witness_findings(problem: Problem, report: SolveReport) -> list[tuple[str, str]]:
+    """Witness-level failures of one report: ``(kind, detail)`` pairs."""
+    out: list[tuple[str, str]] = []
+    status = report.status
+    decided_by = report.decided_by or ""
+    if status is Feasibility.FEASIBLE:
+        if report.schedule is not None:
+            check = validate(report.schedule)
+            if not check.ok:
+                out.append((
+                    INVALID_WITNESS,
+                    f"{report.solver}: FEASIBLE schedule violates "
+                    f"{len(check.violations)} constraint(s): "
+                    f"{check.violations[0]}",
+                ))
+        elif not decided_by.startswith("sufficient:"):
+            out.append((
+                MISSING_WITNESS,
+                f"{report.solver}: FEASIBLE without a schedule and without "
+                f"a certified sufficient bound (decided_by={decided_by!r})",
+            ))
+    elif status is Feasibility.INFEASIBLE:
+        info = solver_info(SolverSpec.parse(report.solver))
+        if not info.proves_infeasibility:
+            out.append((
+                UNSOUND_INFEASIBLE,
+                f"{report.solver}: family lacks proves_infeasibility yet "
+                "reported INFEASIBLE (meta-solvers must downgrade this)",
+            ))
+        if decided_by == "edf-exact:miss":
+            out.extend(_replay_edf_miss(report))
+    return out
+
+
+def _replay_edf_miss(report: SolveReport) -> list[tuple[str, str]]:
+    """Independently confirm an ``edf-exact`` miss proof by simulation.
+
+    Uses :func:`repro.baselines.priorities.global_edf` — a separate
+    implementation of the same deterministic policy — so a bug in the
+    oracle's own loop cannot vouch for itself.  Inconclusive replays
+    (cycle cap hit first) are not findings; a *schedulable* replay is.
+    """
+    from repro.baselines.priorities import global_edf
+
+    sim = global_edf(
+        report.cloned_system, report.problem.platform.m,
+        max_cycles=_REPLAY_CYCLES,
+    )
+    if sim.schedulable is True:
+        return [(
+            INVALID_WITNESS,
+            f"{report.solver}: claimed EDF miss does not reproduce — the "
+            "independent EDF simulation finds the system schedulable",
+        )]
+    return []
+
+
+def cross_check(
+    problem: Problem, reports: Sequence[SolveReport]
+) -> list[Finding]:
+    """Cross-check one instance's per-solver reports.
+
+    Returns witness-level findings for each individual report plus (at
+    most) one ``verdict-disagreement`` finding when a trusted FEASIBLE
+    and a trusted INFEASIBLE coexist.  UNKNOWN/skipped reports are
+    ignored: an overrun is not a verdict.
+    """
+    findings: list[Finding] = []
+    solvers = tuple(r.solver for r in reports)
+    witness_ok: dict[int, bool] = {}
+    for idx, report in enumerate(reports):
+        issues = _witness_findings(problem, report)
+        witness_ok[idx] = not issues
+        for kind, detail in issues:
+            findings.append(Finding(
+                kind=kind, detail=detail, problem=problem,
+                solvers=solvers, reports=tuple(reports),
+            ))
+    feasible = [
+        r.solver for i, r in enumerate(reports)
+        if r.status is Feasibility.FEASIBLE and witness_ok[i]
+    ]
+    infeasible = [
+        r.solver for i, r in enumerate(reports)
+        if r.status is Feasibility.INFEASIBLE and witness_ok[i]
+        and solver_info(SolverSpec.parse(r.solver)).proves_infeasibility
+    ]
+    if feasible and infeasible:
+        label = problem.label or "instance"
+        findings.append(Finding(
+            kind=VERDICT_DISAGREEMENT,
+            detail=(
+                f"{label}: {', '.join(feasible)} prove(s) FEASIBLE while "
+                f"{', '.join(infeasible)} prove(s) INFEASIBLE"
+            ),
+            problem=problem,
+            solvers=solvers,
+            reports=tuple(reports),
+        ))
+    return findings
+
+
+def _solve_all(
+    problem: Problem, solvers: Sequence[str]
+) -> list[SolveReport]:
+    """Solve one problem with every solver, serially (shrink predicate)."""
+    return [solve_problem(problem, s, check=False) for s in solvers]
+
+
+def _shrunk(finding: Finding, config: DiffTestConfig) -> Finding:
+    """Shrink a finding's instance while a same-kind finding reproduces."""
+    from repro.difftest.shrink import shrink_problem
+
+    def still_fails(candidate: Problem) -> bool:
+        reports = _solve_all(candidate, config.solvers)
+        return any(
+            f.kind == finding.kind for f in cross_check(candidate, reports)
+        )
+
+    small = shrink_problem(
+        finding.problem, still_fails, budget=config.shrink_budget
+    )
+    if small == finding.problem:
+        return finding
+    return Finding(
+        kind=finding.kind,
+        detail=finding.detail,
+        problem=finding.problem,
+        solvers=finding.solvers,
+        reports=finding.reports,
+        shrunk_problem=small,
+        shrunk_reports=tuple(_solve_all(small, config.solvers)),
+    )
+
+
+def run_difftest(
+    config: DiffTestConfig | None = None,
+    progress: "Callable[[int, int], None] | None" = None,
+) -> DiffTestReport:
+    """Run one campaign: generate, solve the matrix, cross-check, shrink.
+
+    Deterministic for a fixed config (``jobs > 1`` changes scheduling,
+    never verdicts or findings).  ``progress(done, total)`` ticks once
+    per completed (instance, solver) cell.
+    """
+    if config is None:
+        config = DiffTestConfig()
+    t0 = time.monotonic()
+    grid = generate_instances(
+        config.generator_config(), config.instances, seed=config.seed
+    )
+    problems = [
+        Problem.of(
+            inst.system,
+            m=inst.m,
+            time_limit=config.time_limit,
+            node_limit=config.node_limit,
+            seed=config.seed,
+            label=f"difftest[{rank}] seed={inst.seed}",
+        )
+        for rank, inst in enumerate(grid)
+    ]
+    n_solvers = len(config.solvers)
+    per_problem: dict[int, list[SolveReport]] = {}
+    verdicts: dict[str, dict[str, int]] = {s: {} for s in config.solvers}
+    for report in solve_iter(
+        problems, config.solvers, jobs=config.jobs, check=False,
+        progress=progress,
+    ):
+        per_problem.setdefault(report.index // n_solvers, []).append(report)
+        counts = verdicts[report.solver]
+        counts[report.status_label] = counts.get(report.status_label, 0) + 1
+    findings: list[Finding] = []
+    for rank in sorted(per_problem):
+        reports = sorted(per_problem[rank], key=lambda r: r.index)
+        findings.extend(cross_check(problems[rank], reports))
+    if config.shrink:
+        findings = [_shrunk(f, config) for f in findings]
+    return DiffTestReport(
+        config=config,
+        findings=findings,
+        verdicts=verdicts,
+        instances=len(problems),
+        cells=len(problems) * n_solvers,
+        elapsed=time.monotonic() - t0,
+    )

@@ -1,0 +1,148 @@
+"""Deterministic greedy shrinking of a failing instance.
+
+A fuzz-found disagreement on a 5-task instance with mixed offsets and
+periods is a debugging chore; the same disagreement on ``[(0, 2, 3, 3)]
+x 2`` on one processor is a unit test.  :func:`shrink_problem` reduces a
+failing :class:`~repro.solvers.problem.Problem` to a 1-minimal
+counterexample: no single further reduction step keeps the failure
+alive.
+
+The reduction order is fixed (drop a task, drop a processor, zero an
+offset, halve/decrement a WCET, tighten a deadline, shorten a period),
+candidates are generated purely from the current instance, and the
+predicate is re-evaluated greedily first-success-restart — so for a
+deterministic predicate the result is a pure function of the input, as
+the planted-disagreement tests pin.  Every candidate keeps the Task
+invariants (and constrained deadlines: ``D <= T`` is preserved, periods
+never shrink below the deadline).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+from repro.model.platform import Platform
+from repro.model.system import TaskSystem
+from repro.model.task import Task
+from repro.solvers.problem import Problem
+
+__all__ = ["shrink_problem", "shrink_candidates"]
+
+
+def _with_system(problem: Problem, tasks: list[Task]) -> Problem:
+    """``problem`` with a replacement task list (budget/seed kept)."""
+    return Problem(
+        system=TaskSystem(tasks),
+        platform=problem.platform,
+        time_limit=problem.time_limit,
+        node_limit=problem.node_limit,
+        seed=problem.seed,
+        label=problem.label,
+        variable_limit=problem.variable_limit,
+    )
+
+
+def _with_m(problem: Problem, m: int) -> Problem:
+    """``problem`` on a smaller identical platform."""
+    return Problem(
+        system=problem.system,
+        platform=Platform.identical(m),
+        time_limit=problem.time_limit,
+        node_limit=problem.node_limit,
+        seed=problem.seed,
+        label=problem.label,
+        variable_limit=problem.variable_limit,
+    )
+
+
+def shrink_candidates(problem: Problem) -> Iterator[Problem]:
+    """All one-step reductions of ``problem``, in fixed priority order.
+
+    Structural reductions (fewer tasks, fewer processors) come before
+    parameter reductions so the big wins are tried first; within a
+    parameter, a halving is tried before a decrement.
+    """
+    tasks = list(problem.system.tasks)
+    n = len(tasks)
+
+    # 1. drop one task (a TaskSystem needs at least one)
+    if n > 1:
+        for i in range(n):
+            yield _with_system(problem, tasks[:i] + tasks[i + 1 :])
+
+    # 2. drop one processor (identical platforms only — the generator's)
+    if problem.platform.is_identical and problem.platform.m > 1:
+        yield _with_m(problem, problem.platform.m - 1)
+
+    # 3. per-task parameter reductions, smallest index first
+    for i, t in enumerate(tasks):
+
+        def patched(**kw) -> Problem:
+            repl = Task(
+                kw.get("offset", t.offset),
+                kw.get("wcet", t.wcet),
+                kw.get("deadline", t.deadline),
+                kw.get("period", t.period),
+            )
+            return _with_system(problem, tasks[:i] + [repl] + tasks[i + 1 :])
+
+        if t.offset > 0:
+            yield patched(offset=0)
+            if t.offset > 1:
+                yield patched(offset=t.offset // 2)
+        if t.wcet > 0:
+            if t.wcet > 1:
+                yield patched(wcet=t.wcet // 2)
+            yield patched(wcet=t.wcet - 1)
+        floor_d = max(1, t.wcet)
+        if t.deadline > floor_d:
+            if t.deadline // 2 >= floor_d:
+                yield patched(deadline=t.deadline // 2)
+            yield patched(deadline=t.deadline - 1)
+        # keep D <= T so the instance stays constrained
+        floor_t = max(1, t.deadline)
+        if t.period > floor_t:
+            yield patched(period=floor_t)
+            if t.period - 1 > floor_t:
+                yield patched(period=t.period - 1)
+
+
+def shrink_problem(
+    problem: Problem,
+    still_fails: Callable[[Problem], bool],
+    budget: int = 200,
+) -> Problem:
+    """Greedily reduce ``problem`` while ``still_fails`` stays true.
+
+    Parameters
+    ----------
+    problem:
+        The failing instance (``still_fails(problem)`` is assumed true;
+        it is not re-checked).
+    still_fails:
+        The failure predicate — typically "re-solving with all solvers
+        still produces a finding of the same kind".  Must be
+        deterministic for the result to be.
+    budget:
+        Maximum predicate evaluations; on exhaustion the best-so-far
+        reduction is returned (still a valid failing instance).
+
+    Returns
+    -------
+    Problem
+        A 1-minimal failing instance (unless the budget cut in first).
+    """
+    spent = 0
+    current = problem
+    improved = True
+    while improved:
+        improved = False
+        for candidate in shrink_candidates(current):
+            if spent >= budget:
+                return current
+            spent += 1
+            if still_fails(candidate):
+                current = candidate
+                improved = True
+                break
+    return current

@@ -114,6 +114,20 @@ class PortfolioSolver:
         self.members = specs
         #: resolved up front: unknown member names fail at construction
         self._infos = [solver_info(s) for s in specs]
+        for spec, info in zip(specs, self._infos):
+            # capability coherence: a family claiming a complete search
+            # (`exact`) must be able to prove infeasibility — otherwise its
+            # INFEASIBLE answers would be silently downgraded while the
+            # metadata promises they are proofs.  (The converse is fine:
+            # `edf-exact` proves infeasibility on uniprocessors without
+            # being complete for the feasibility question.)
+            if info.is_exact and not info.proves_infeasibility:
+                raise ValueError(
+                    f"portfolio member {spec.canonical!r} claims the 'exact' "
+                    "capability without 'proves_infeasibility'; an incomplete "
+                    "solver must not claim completeness — fix its "
+                    "@register_solver capabilities"
+                )
         self.name = "portfolio:" + ",".join(s.canonical for s in specs)
 
     # -- answer classification -------------------------------------------------

@@ -158,6 +158,7 @@ _CANONICAL_ORDER = (
     "portfolio",
     "screen",
     "edf",
+    "edf-exact",
     "fp",
 )
 
@@ -180,6 +181,7 @@ _BUILTIN_PLUGINS = (
     "repro.solvers.portfolio",
     "repro.analysis.cascade",
     "repro.baselines.registered",
+    "repro.baselines.edf_exact",
 )
 _loaded_builtins = False
 

@@ -153,6 +153,54 @@ class TestPortfolioAccounting:
         assert accounted == set(meta["members"])
 
 
+class TestPortfolioCapabilityCoherence:
+    """EXACT ⟹ PROVES_INFEASIBILITY: a member claiming a complete search
+    must be able to prove infeasibility, or its INFEASIBLE answers would
+    be silently downgraded while the metadata promises proofs."""
+
+    def test_rejects_exact_member_without_infeasibility_proofs(self):
+        from repro.solvers import register_solver
+        from repro.solvers import registry as reg
+        from repro.solvers.registry import EXACT
+
+        @register_solver(
+            "test-incoherent",
+            description="test-only: exact without proves_infeasibility",
+            capabilities=(EXACT,),
+            advertise=False,
+        )
+        def _build(system, platform, spec, seed, **options):  # pragma: no cover
+            raise AssertionError("must fail at portfolio construction")
+
+        try:
+            with pytest.raises(ValueError, match="proves_infeasibility"):
+                create_solver(
+                    "portfolio:test-incoherent,csp2+dc",
+                    running_example(), Platform.identical(2),
+                )
+        finally:
+            reg._REGISTRY.pop("test-incoherent", None)
+
+    def test_registry_wide_coherence(self):
+        """No registered family may claim EXACT without the proof bit
+        (edf-exact is the deliberate converse: proofs without EXACT)."""
+        from repro.solvers import iter_solver_info
+
+        for info in iter_solver_info():
+            if info.is_exact:
+                assert info.proves_infeasibility, info.base
+
+    def test_edf_exact_infeasible_is_definitive(self):
+        """An edf-exact uniprocessor miss proof ends the race."""
+        report = solve(
+            TaskSystem.from_tuples([(0, 2, 2, 2), (0, 2, 2, 2)]), m=1,
+            solver="portfolio:edf-exact,csp2+dc", time_limit=20, jobs=1,
+        )
+        assert report.status is Feasibility.INFEASIBLE
+        assert report.winner == "edf-exact"
+        assert report.decided_by == "edf-exact:miss"
+
+
 class TestPortfolioConstruction:
     def test_unknown_member_fails_fast(self):
         with pytest.raises(ValueError, match="unknown solver"):
