@@ -4,11 +4,17 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test docs-check solvers-check solvers-md bench bench-portfolio bench-engine bench-analysis bench-learning bench-trajectory bench-difftest difftest difftest-smoke ci
+.PHONY: test lint docs-check solvers-check solvers-md bench bench-portfolio bench-engine bench-analysis bench-learning bench-trajectory bench-difftest difftest difftest-smoke ci
 
 ## tier-1 test suite (the bar every PR must keep green)
 test:
 	$(PYTHON) -m pytest -x -q
+
+## contract-aware static analysis (determinism, explain contract,
+## registry coherence, pickle and trail safety); suppressions with
+## justifications live in lint-baseline.txt
+lint:
+	$(PYTHON) -m repro.cli lint
 
 ## fail if any public module/callable lacks a docstring
 docs-check:
@@ -71,5 +77,6 @@ difftest-smoke:
 bench-difftest:
 	$(PYTHON) benchmarks/bench_difftest.py --out BENCH_difftest.json
 
-## what CI runs: doc guards first (fast), then the full suite
-ci: docs-check solvers-check test difftest-smoke
+## what CI runs: static analysis + doc guards first (fast), then the
+## full suite
+ci: lint docs-check solvers-check test difftest-smoke

@@ -1,10 +1,28 @@
 #!/bin/sh
-# Minimal CI: docstring guard, registry-docs drift guard, then the
+# Minimal CI: contract lint first (fastest, most specific), then the
+# docstring guard, registry-docs drift guard, perf smokes and the
 # tier-1 test suite.
 # Usage: sh scripts/ci.sh   (from the repo root; no install required)
 set -eu
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== lint: contract-aware static analysis must be clean =="
+python -m repro.cli lint
+
+echo "== ruff: style gate (skipped when ruff is not installed) =="
+if python -m ruff --version >/dev/null 2>&1; then
+    python -m ruff check src/repro scripts
+else
+    echo "ruff not installed; skipping (configured in pyproject.toml)"
+fi
+
+echo "== mypy: typed-core gate (skipped when mypy is not installed) =="
+if python -m mypy --version >/dev/null 2>&1; then
+    python -m mypy src/repro/solvers/spec.py src/repro/solvers/registry.py src/repro/solvers/problem.py
+else
+    echo "mypy not installed; skipping (configured in pyproject.toml)"
+fi
 
 echo "== docs-check: public modules and callables must be documented =="
 python -m pytest -q tests/test_docstrings.py

@@ -7,6 +7,8 @@ Subcommands
 ``analyze``     run the polynomial-time screening cascade (no search)
 ``difftest``    differentially fuzz a set of solvers against each other
                 (seeded grid, witness validation, counterexample shrinking)
+``lint``        run the contract-aware static analyzer (determinism,
+                explain-contract, registry, pickle and trail safety)
 ``solvers``     list every registered solver with its metadata
 ``validate``    re-check a solved schedule JSON against C1-C4
 ``figure1``     print the paper's Figure 1 chart
@@ -277,6 +279,48 @@ def _cmd_difftest(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the contract-aware static analyzer over the repo.
+
+    Exit code 0 when clean (no unbaselined findings), 1 when findings
+    remain, 2 on an engine error (bad path, syntax error, malformed
+    baseline).  ``--json`` emits the machine-readable report;
+    ``--list-rules`` prints the registered rules and exits.
+    """
+    from repro.lint import LintError, iter_rules, run_lint
+
+    if args.list_rules:
+        rules = iter_rules()
+        if args.json:
+            print(json.dumps([
+                {
+                    "id": r.id,
+                    "family": r.family,
+                    "description": r.description,
+                    "contract": r.contract,
+                    "scope": list(r.scope),
+                }
+                for r in rules
+            ], indent=2))
+        else:
+            width = max(len(r.id) for r in rules)
+            for r in rules:
+                print(f"{r.id:<{width}}  [{r.family}] {r.description}")
+        return 0
+    try:
+        report = run_lint(
+            args.root, targets=args.paths or None, baseline=args.baseline
+        )
+    except LintError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     with open(args.schedule) as fh:
         sched = schedule_from_dict(json.load(fh))
@@ -537,6 +581,31 @@ def build_parser() -> argparse.ArgumentParser:
     d.add_argument("--quiet", action="store_true")
     d.add_argument("--json", action="store_true", help="machine-readable output")
     d.set_defaults(func=_cmd_difftest)
+
+    li = sub.add_parser(
+        "lint",
+        help="contract-aware static analysis (determinism, explain "
+        "contract, registry coherence, pickle and trail safety)",
+    )
+    li.add_argument(
+        "paths", nargs="*",
+        help="repo-relative files/dirs to lint (default: src/repro scripts "
+        "+ the checked-in lint fixtures)",
+    )
+    li.add_argument(
+        "--root", default=".",
+        help="repository root the paths (and the baseline) are relative to",
+    )
+    li.add_argument(
+        "--baseline", default=None,
+        help="suppression file (default: <root>/lint-baseline.txt if present)",
+    )
+    li.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit",
+    )
+    li.add_argument("--json", action="store_true", help="machine-readable output")
+    li.set_defaults(func=_cmd_lint)
 
     ls = sub.add_parser(
         "solvers", help="list registered solvers with their metadata"

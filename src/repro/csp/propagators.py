@@ -49,7 +49,14 @@ Writing an incremental propagator
    the updated counters prove the wake would be a no-op (no failure, no
    pruning, no entailment possible) and the engine skips the enqueue;
    any other return value schedules ``propagate`` as usual.
-4. Only report :data:`PROP_ENTAILED` when no future domain change could
+4. Declare every attribute ``on_event``/``propagate`` mutates in the
+   class-level ``_trail_safe`` tuple — the statically checked record of
+   which search-time state is trailed (or deliberately not, with a
+   comment saying why that is sound, as for :class:`Table`'s residual
+   caches and the ``_stamp`` guards).  ``repro-mgrts lint`` flags any
+   search-time mutation outside the declared set
+   (``R5.unregistered-mutation``).
+5. Only report :data:`PROP_ENTAILED` when no future domain change could
    make the constraint prune or fail again in this subtree — a
    too-eager entailment silently weakens propagation.
 
@@ -171,6 +178,12 @@ class Propagator:
     priority = 1
     #: event types that wake this propagator (see ``watches``)
     wake_on = EVT_ANY
+    #: attributes ``on_event``/``propagate`` may mutate: each is either
+    #: trailed (state.save/save_all or the inlined ``_undo`` form) or
+    #: deliberately untrailed with a comment at the subclass declaration
+    #: saying why that is sound.  Checked statically by the lint rule
+    #: R5.unregistered-mutation.
+    _trail_safe: tuple[str, ...] = ()
 
     def watches(self) -> list[tuple[Variable, int, int | None]]:
         """``(variable, wake_mask, relevance)`` subscriptions; default:
@@ -224,6 +237,9 @@ class AtMostOneTrue(Propagator):
 
     priority = 0
     wake_on = EVT_ASSIGN
+    # _c is trailed via the inlined _undo form; _stamp is a monotone
+    # once-per-node guard that is sound without trailing
+    _trail_safe = ("_c", "_stamp")
 
     def __init__(self, bools: Sequence[Variable]) -> None:
         self.vars = _check_bools(bools)
@@ -312,6 +328,9 @@ class ExactSumBool(Propagator):
 
     priority = 0
     wake_on = EVT_ASSIGN
+    # _c is trailed via the inlined _undo form; _stamp is a monotone
+    # once-per-node guard that is sound without trailing
+    _trail_safe = ("_c", "_stamp")
 
     def __init__(self, bools: Sequence[Variable], total: int) -> None:
         self.vars = _check_bools(bools)
@@ -436,6 +455,9 @@ class WeightedExactSumBool(Propagator):
 
     priority = 0
     wake_on = EVT_ASSIGN
+    # _c is trailed via the inlined _undo form; _stamp is a monotone
+    # once-per-node guard that is sound without trailing
+    _trail_safe = ("_c", "_stamp")
 
     def __init__(
         self, bools: Sequence[Variable], coefs: Sequence[int], total: int
@@ -592,6 +614,9 @@ class CountEq(Propagator):
 
     priority = 0
     wake_on = EVT_REMOVE
+    # _c is trailed via the inlined _undo form; _stamp is a monotone
+    # once-per-node guard that is sound without trailing
+    _trail_safe = ("_c", "_stamp")
 
     def __init__(self, vars: Sequence[Variable], value: int, total: int) -> None:
         self.vars = tuple(vars)
@@ -779,6 +804,9 @@ class WeightedCountEq(Propagator):
 
     priority = 0
     wake_on = EVT_REMOVE
+    # _c is trailed via the inlined _undo form; _stamp is a monotone
+    # once-per-node guard that is sound without trailing
+    _trail_safe = ("_c", "_stamp")
 
     def __init__(
         self,
@@ -1216,6 +1244,10 @@ class Table(Propagator):
 
     priority = 2
     wake_on = EVT_REMOVE
+    # _valid is trailed via state.save; _residue is a deliberately
+    # untrailed residual-support cache (stale entries miss, never keep
+    # unsoundly); _stamp is a monotone once-per-node guard
+    _trail_safe = ("_valid", "_residue", "_stamp")
 
     def __init__(self, vars: Sequence[Variable], tuples: Iterable[Sequence[int]]) -> None:
         self.vars = tuple(vars)

@@ -1,0 +1,44 @@
+"""Contract-aware static analysis for the repro codebase.
+
+A small AST lint engine purpose-built for this repo's invariants — the
+contracts generic linters cannot see: determinism of search (R1), the
+propagator explain contract (R2), solver-registry coherence (R3),
+pickle safety across process boundaries (R4), and trail safety of
+search-time propagator state (R5).
+
+Entry points: ``repro-mgrts lint`` (CLI), ``make lint``, the first
+stage of ``scripts/ci.sh``, and :func:`repro.lint.engine.run_lint`
+programmatically.  Rules register themselves via
+:func:`repro.lint.engine.register_rule`, mirroring the solver registry
+idiom; suppressions live in ``lint-baseline.txt``
+(:mod:`repro.lint.baseline`) and every entry carries a justification.
+"""
+
+from repro.lint.baseline import Baseline, BaselineEntry
+from repro.lint.engine import (
+    DEFAULT_TARGETS,
+    LintContext,
+    ModuleInfo,
+    Rule,
+    iter_rules,
+    register_rule,
+    rule_info,
+    run_lint,
+)
+from repro.lint.report import Finding, LintError, LintReport
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "DEFAULT_TARGETS",
+    "Finding",
+    "LintContext",
+    "LintError",
+    "LintReport",
+    "ModuleInfo",
+    "Rule",
+    "iter_rules",
+    "register_rule",
+    "rule_info",
+    "run_lint",
+]

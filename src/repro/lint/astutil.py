@@ -1,0 +1,132 @@
+"""Small AST helpers shared by the lint rules.
+
+Everything here is *syntactic*: dotted-name rendering, literal
+extraction, and the project-wide propagator class hierarchy resolved by
+simple name.  No imports of the code under lint ever happen — the engine
+must be able to lint a broken working tree.
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = [
+    "dotted_name",
+    "call_name",
+    "const_str",
+    "const_str_tuple",
+    "class_attr_str_tuple",
+    "propagator_classes",
+]
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """Render a ``Name``/``Attribute`` chain as ``a.b.c`` (else None)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    """The dotted name a call is made through (``random.Random``, ...)."""
+    return dotted_name(node.func)
+
+
+def const_str(node: ast.expr | None) -> str | None:
+    """The value of a string-literal node (implicit concatenation folds
+    into one ``Constant`` at parse time); None for anything else."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def const_str_tuple(node: ast.expr | None) -> tuple[str, ...] | None:
+    """The value of a literal tuple/list of strings; None otherwise."""
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    out = []
+    for elt in node.elts:
+        s = const_str(elt)
+        if s is None:
+            return None
+        out.append(s)
+    return tuple(out)
+
+
+def class_attr_str_tuple(cls: ast.ClassDef, name: str) -> tuple[str, ...] | None:
+    """A class-level ``name = ("a", "b")`` declaration's value, if any."""
+    for stmt in cls.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        for t in targets:
+            if isinstance(t, ast.Name) and t.id == name:
+                return const_str_tuple(value)
+    return None
+
+
+def _base_names(cls: ast.ClassDef) -> list[str]:
+    out = []
+    for base in cls.bases:
+        name = dotted_name(base)
+        if name:
+            out.append(name.rsplit(".", 1)[-1])
+    return out
+
+
+def propagator_classes(modules) -> list[tuple[object, ast.ClassDef, list[ast.ClassDef]]]:
+    """Every class transitively subclassing a class named ``Propagator``.
+
+    Resolution is by *simple name* across all scanned modules — exactly
+    right for this repo (one ``Propagator``; fixture files ship their own
+    stub so they stay self-contained).  Returns
+    ``(module, classdef, project_ancestors)`` triples; the root
+    ``Propagator`` class itself is included (its hooks are checked like
+    any other's).
+    """
+    by_name: dict[str, tuple[object, ast.ClassDef]] = {}
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                by_name.setdefault(node.name, (module, node))
+
+    is_prop: dict[str, bool] = {"Propagator": "Propagator" in by_name}
+    changed = True
+    while changed:
+        changed = False
+        for name, (_m, cls) in by_name.items():
+            if is_prop.get(name):
+                continue
+            if name == "Propagator" or any(
+                is_prop.get(b) or b == "Propagator" for b in _base_names(cls)
+            ):
+                is_prop[name] = True
+                changed = True
+
+    def ancestors(cls: ast.ClassDef) -> list[ast.ClassDef]:
+        out: list[ast.ClassDef] = []
+        queue = list(_base_names(cls))
+        seen: set[str] = set()
+        while queue:
+            b = queue.pop()
+            if b in seen or b not in by_name:
+                continue
+            seen.add(b)
+            parent = by_name[b][1]
+            out.append(parent)
+            queue.extend(_base_names(parent))
+        return out
+
+    return [
+        (module, cls, ancestors(cls))
+        for name, (module, cls) in sorted(by_name.items())
+        if is_prop.get(name)
+    ]

@@ -1,0 +1,147 @@
+"""Baseline suppressions: known findings, each with a written justification.
+
+The lint bar is "the repo lints clean"; a baseline entry is the narrow,
+auditable escape hatch for a finding that is *deliberate* (e.g. the
+``edf-exact`` oracle's empty ``paper_section`` — it reproduces related
+work, not a section of this paper).  Every entry **must** carry an
+inline ``#`` justification; an entry without one is a :class:`LintError`
+(the run refuses to start), so a suppression can never be silent.
+
+File format (default ``<repo>/lint-baseline.txt``)::
+
+    # comment / blank lines are ignored
+    <path>: <rule-id>: <symbol>  # justification (required)
+    src/repro/baselines/edf_exact.py: R3.registry-paper-section: edf-exact  # oracle from related work
+
+``symbol`` is the finding's anchor (enclosing ``Class.method``, or a
+rule-chosen key such as a solver base name); ``*`` suppresses the rule
+for the whole file.  Entries are matched against findings, never lines,
+so ordinary edits don't invalidate them.
+
+Staleness: an entry whose file was scanned but which matched nothing is
+reported as a ``baseline.stale`` finding — the baseline cannot outlive
+the violations it documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.report import Finding, LintError
+
+__all__ = ["Baseline", "BaselineEntry"]
+
+#: rule id carried by stale-entry findings
+STALE_RULE = "baseline.stale"
+
+
+@dataclass
+class BaselineEntry:
+    """One suppression: ``(path, rule, symbol)`` plus its justification."""
+
+    path: str
+    rule: str
+    symbol: str
+    justification: str
+    #: where the entry lives (for stale-entry findings)
+    source: str
+    line: int
+    #: set when any finding matched this entry during the run
+    used: bool = False
+
+    def matches(self, finding: Finding) -> bool:
+        """Whether this entry suppresses ``finding``."""
+        if finding.path != self.path or finding.rule != self.rule:
+            return False
+        return self.symbol == "*" or self.symbol == finding.symbol
+
+
+@dataclass
+class Baseline:
+    """A parsed suppression file (possibly empty)."""
+
+    entries: list[BaselineEntry] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path, missing_ok: bool = False) -> "Baseline":
+        """Parse a baseline file.
+
+        ``missing_ok`` covers the default-path case (no baseline file =
+        empty baseline); an *explicitly* named missing file is a
+        :class:`LintError`.
+        """
+        if not path.exists():
+            if missing_ok:
+                return cls()
+            raise LintError(f"baseline file not found: {path}")
+        return cls.parse(path.read_text(), source=str(path))
+
+    @classmethod
+    def parse(cls, text: str, source: str = "<baseline>") -> "Baseline":
+        """Parse baseline text; malformed entries raise :class:`LintError`."""
+        entries: list[BaselineEntry] = []
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            entry_part, sep, justification = line.partition("#")
+            justification = justification.strip()
+            if not sep or not justification:
+                raise LintError(
+                    f"{source}:{lineno}: baseline entry has no justification "
+                    "(every suppression needs an inline '# why' comment)"
+                )
+            fields = [p.strip() for p in entry_part.split(":", 2)]
+            if len(fields) != 3 or not fields[0] or not fields[1]:
+                raise LintError(
+                    f"{source}:{lineno}: malformed baseline entry "
+                    "(expected '<path>: <rule-id>: <symbol>  # justification')"
+                )
+            entries.append(
+                BaselineEntry(
+                    path=fields[0],
+                    rule=fields[1],
+                    symbol=fields[2],
+                    justification=justification,
+                    source=source,
+                    line=lineno,
+                )
+            )
+        return cls(entries=entries)
+
+    def matches(self, finding: Finding) -> bool:
+        """Whether any entry suppresses ``finding`` (marks the entry used)."""
+        hit = False
+        for entry in self.entries:
+            if entry.matches(finding):
+                entry.used = True
+                hit = True
+        return hit
+
+    def stale_entries(self, scanned_paths: set[str]) -> list[Finding]:
+        """``baseline.stale`` findings for unused entries of scanned files.
+
+        Entries for files outside this run's targets are left alone — a
+        partial lint (one file, a fixture) must not declare the rest of
+        the baseline rotten.
+        """
+        out = []
+        for entry in self.entries:
+            if entry.used or entry.path not in scanned_paths:
+                continue
+            out.append(
+                Finding(
+                    rule=STALE_RULE,
+                    path=entry.source,
+                    line=entry.line,
+                    col=0,
+                    message=(
+                        f"stale baseline entry: nothing in {entry.path} "
+                        f"triggers {entry.rule} [{entry.symbol}] anymore — "
+                        "delete the entry"
+                    ),
+                    symbol=entry.symbol,
+                )
+            )
+        return out

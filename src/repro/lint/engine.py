@@ -1,0 +1,378 @@
+"""The AST lint engine: parse once, run every registered rule, report.
+
+Mirrors the solver registry idiom (:mod:`repro.solvers.registry`): rule
+plugins register themselves under a stable id with :func:`register_rule`,
+built-in rule modules are imported lazily on first use, and everything
+downstream — ``repro-mgrts lint``, ``--list-rules``, the docs table —
+derives from the same metadata.
+
+The engine's job is mechanical: collect ``.py`` files, parse each into an
+:class:`ast.Module` exactly once (a syntax error is a :class:`LintError`,
+not a finding — the run cannot be trusted), wrap them in
+:class:`ModuleInfo`, and drive the two rule hooks:
+
+* ``check_module(ctx, module)`` — per file, scope-filtered; yields
+  findings about that file;
+* ``check_project(ctx)`` — once, after every file is parsed; for
+  cross-module contracts (registry coherence, docs drift).
+
+Scope: every rule declares path prefixes it applies to (default: all of
+``src/repro``).  ``tests/lint_fixtures/`` is *always* in scope so the
+checked-in bad examples demonstrably fire each rule without polluting
+the repo-wide run (the default target is ``src/repro`` only).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+
+from repro.lint.baseline import Baseline
+from repro.lint.report import Finding, LintError, LintReport
+
+__all__ = [
+    "ModuleInfo",
+    "LintContext",
+    "Rule",
+    "register_rule",
+    "iter_rules",
+    "rule_info",
+    "run_lint",
+    "DEFAULT_TARGETS",
+]
+
+#: what a bare ``repro-mgrts lint`` scans (repo-relative)
+DEFAULT_TARGETS = ("src/repro", "scripts")
+
+#: fixture directory that is in scope for *every* rule (see module docs)
+FIXTURE_PREFIX = "tests/lint_fixtures/"
+
+
+# ---------------------------------------------------------------------------
+# parsed modules
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file plus the derived indexes rules share."""
+
+    #: repo-relative posix path (the stable id used in findings/baselines)
+    rel: str
+    #: parsed tree (never reparsed; rules must not mutate it)
+    tree: ast.Module
+    #: raw source (for rules that need the text, e.g. justification scans)
+    source: str
+    #: ``(start, end, dotted symbol)`` spans of every class/function,
+    #: innermost-last, for :meth:`symbol_at`
+    _spans: list[tuple[int, int, str]] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, rel: str, source: str) -> "ModuleInfo":
+        """Parse ``source``; raises :class:`LintError` on a syntax error."""
+        try:
+            tree = ast.parse(source, filename=rel)
+        except SyntaxError as exc:
+            raise LintError(f"cannot parse {rel}: {exc}") from None
+        info = cls(rel=rel, tree=tree, source=source)
+        info._index_spans()
+        return info
+
+    def _index_spans(self) -> None:
+        def walk(node: ast.AST, prefix: str) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                ):
+                    name = f"{prefix}.{child.name}" if prefix else child.name
+                    self._spans.append(
+                        (child.lineno, child.end_lineno or child.lineno, name)
+                    )
+                    walk(child, name)
+                else:
+                    walk(child, prefix)
+
+        walk(self.tree, "")
+
+    def symbol_at(self, lineno: int) -> str:
+        """Innermost enclosing ``Class.method`` symbol ("" at module level).
+
+        Decorator lines sit *above* ``def``/``class`` and therefore
+        resolve to the enclosing scope, which is what baseline entries
+        want (a decorator finding anchors to the decorated thing's
+        container, not the thing itself).
+        """
+        best = ""
+        for start, end, name in self._spans:
+            if start <= lineno <= end:
+                best = name  # spans are appended outermost-first
+        return best
+
+    @property
+    def dotted(self) -> str | None:
+        """Import path for files under ``src/`` (None elsewhere)."""
+        p = PurePosixPath(self.rel)
+        if p.parts[:1] != ("src",) or p.suffix != ".py":
+            return None
+        parts = p.with_suffix("").parts[1:]
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts)
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may look at beyond its current module."""
+
+    #: repo root (absolute); rules needing sibling artifacts
+    #: (docs/SOLVERS.md, ...) resolve them against this
+    root: Path
+    #: every scanned module, in scan order
+    modules: list[ModuleInfo] = field(default_factory=list)
+    _prop_classes: list | None = field(default=None, repr=False)
+
+    def module(self, rel: str) -> ModuleInfo | None:
+        """The scanned module at this repo-relative path, if any."""
+        for m in self.modules:
+            if m.rel == rel:
+                return m
+        return None
+
+    def propagator_classes(self) -> list:
+        """Project-wide propagator hierarchy, resolved once per run.
+
+        Rules call this instead of :func:`repro.lint.astutil.
+        propagator_classes` directly: the resolution walks every scanned
+        tree, so the per-(rule, module) hooks must share one result.
+        """
+        if self._prop_classes is None:
+            from repro.lint.astutil import propagator_classes
+
+            self._prop_classes = propagator_classes(self.modules)
+        return self._prop_classes
+
+
+# ---------------------------------------------------------------------------
+# rule registry (the solver-registry idiom, applied to lint rules)
+
+
+class Rule:
+    """Base class for lint rules; subclasses implement the hooks.
+
+    Registration (:func:`register_rule`) stamps the class with ``id``,
+    ``family`` and ``description``.  ``scope`` is a tuple of repo-relative
+    path prefixes the rule applies to; the engine additionally keeps
+    ``tests/lint_fixtures/`` in scope for every rule.
+    """
+
+    #: stamped by :func:`register_rule`
+    id: str = ""
+    family: str = ""
+    description: str = ""
+    #: where the invariant comes from (module/PR that introduced it)
+    contract: str = ""
+    #: repo-relative path prefixes this rule applies to
+    scope: tuple[str, ...] = ("src/repro/",)
+
+    def applies_to(self, rel: str) -> bool:
+        """Whether ``check_module`` runs on this file."""
+        if rel.startswith(FIXTURE_PREFIX):
+            return True
+        return any(rel.startswith(prefix) for prefix in self.scope)
+
+    def check_module(self, ctx: LintContext, module: ModuleInfo) -> Iterator[Finding]:
+        """Per-module findings (default: none)."""
+        return iter(())
+
+    def check_project(self, ctx: LintContext) -> Iterator[Finding]:
+        """Cross-module findings, run once after all parsing (default: none)."""
+        return iter(())
+
+    # -- helpers shared by every rule --------------------------------------
+    def finding(
+        self,
+        module: ModuleInfo,
+        node: ast.AST | int,
+        message: str,
+        symbol: str | None = None,
+    ) -> Finding:
+        """Build a finding anchored at ``node`` (or a bare line number)."""
+        if isinstance(node, int):
+            line, col = node, 0
+        else:
+            line, col = node.lineno, node.col_offset
+        return Finding(
+            rule=self.id,
+            path=module.rel,
+            line=line,
+            col=col,
+            message=message,
+            symbol=module.symbol_at(line) if symbol is None else symbol,
+        )
+
+
+#: rule id -> rule class
+_RULES: dict[str, type[Rule]] = {}
+
+#: modules that register the built-in rule families; imported lazily so
+#: ``import repro`` stays cheap (mirrors the solver registry)
+_BUILTIN_RULE_MODULES = (
+    "repro.lint.rules.determinism",
+    "repro.lint.rules.explain_contract",
+    "repro.lint.rules.registry_coherence",
+    "repro.lint.rules.pickle_safety",
+    "repro.lint.rules.trail_safety",
+)
+_loaded_builtins = False
+
+
+def _load_builtins() -> None:
+    global _loaded_builtins
+    if not _loaded_builtins:
+        _loaded_builtins = True
+        import importlib
+
+        for module in _BUILTIN_RULE_MODULES:
+            importlib.import_module(module)
+
+
+def register_rule(
+    rule_id: str,
+    *,
+    family: str,
+    description: str,
+    contract: str = "",
+):
+    """Class decorator registering a :class:`Rule` under ``rule_id``.
+
+    Ids follow ``Rn.kebab-name`` where ``Rn`` groups the family (R1
+    determinism, R2 explain-contract, R3 registry, R4 pickle-safety,
+    R5 trail-safety).  Re-registering an id replaces the entry (last one
+    wins), which lets tests override a rule.
+    """
+
+    def decorator(cls: type[Rule]) -> type[Rule]:
+        if not issubclass(cls, Rule):
+            raise TypeError(f"{cls.__name__} must subclass Rule")
+        if not description:
+            raise ValueError(f"rule {rule_id!r} needs a description")
+        cls.id = rule_id
+        cls.family = family
+        cls.description = description
+        _RULES[rule_id] = cls
+        return cls
+
+    return decorator
+
+
+def iter_rules() -> list[type[Rule]]:
+    """Every registered rule class, sorted by id (stable listing)."""
+    _load_builtins()
+    return [_RULES[k] for k in sorted(_RULES)]
+
+
+def rule_info(rule_id: str) -> type[Rule]:
+    """Resolve an id to its rule class (``LintError`` when unknown)."""
+    _load_builtins()
+    try:
+        return _RULES[rule_id]
+    except KeyError:
+        known = ", ".join(sorted(_RULES))
+        raise LintError(f"unknown rule {rule_id!r}; known rules: {known}") from None
+
+
+# ---------------------------------------------------------------------------
+# the run
+
+
+def _collect_files(root: Path, targets: Iterable[str]) -> list[Path]:
+    files: list[Path] = []
+    seen: set[Path] = set()
+    for target in targets:
+        path = (root / target) if not Path(target).is_absolute() else Path(target)
+        if not path.exists():
+            raise LintError(f"no such lint target: {target}")
+        if path.is_dir():
+            batch = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            batch = [path]
+        else:
+            raise LintError(f"not a python file or directory: {target}")
+        for f in batch:
+            r = f.resolve()
+            if r not in seen:
+                seen.add(r)
+                files.append(f)
+    return files
+
+
+def run_lint(
+    root: str | Path,
+    targets: Iterable[str] | None = None,
+    baseline: "str | Path | Baseline | None" = None,
+    rules: Iterable[str] | None = None,
+) -> LintReport:
+    """Lint ``targets`` (repo-relative paths/dirs) under ``root``.
+
+    Parameters
+    ----------
+    root:
+        Repository root; findings carry paths relative to it.
+    targets:
+        Files or directories to scan; default :data:`DEFAULT_TARGETS`.
+    baseline:
+        A :class:`~repro.lint.baseline.Baseline`, a path to one, or
+        ``None`` for the default ``<root>/lint-baseline.txt`` (missing
+        file = empty baseline).  Matched findings are suppressed; stale
+        entries become ``baseline.stale`` findings so the file cannot
+        rot.
+    rules:
+        Rule ids to run (default: all registered rules).
+
+    Raises
+    ------
+    LintError
+        On anything that makes the run untrustworthy: a missing target,
+        an unparseable file, a malformed baseline entry, an unknown rule.
+    """
+    root = Path(root).resolve()
+    if isinstance(baseline, Baseline):
+        base = baseline
+    elif baseline is None:
+        base = Baseline.load(root / "lint-baseline.txt", missing_ok=True)
+    else:
+        base = Baseline.load(Path(baseline), missing_ok=False)
+
+    if rules is None:
+        active = iter_rules()
+    else:
+        active = [rule_info(r) for r in rules]
+
+    ctx = LintContext(root=root)
+    for path in _collect_files(root, targets or DEFAULT_TARGETS):
+        try:
+            rel = path.resolve().relative_to(root).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        ctx.modules.append(ModuleInfo.parse(rel, path.read_text()))
+
+    report = LintReport(rules=[r.id for r in active])
+    report.files = [m.rel for m in ctx.modules]
+    raw: list[Finding] = []
+    for cls in active:
+        rule = cls()
+        for module in ctx.modules:
+            if rule.applies_to(module.rel):
+                raw.extend(rule.check_module(ctx, module))
+        raw.extend(rule.check_project(ctx))
+
+    scanned = set(report.files)
+    for f in raw:
+        if base.matches(f):
+            report.suppressed.append(f)
+        else:
+            report.findings.append(f)
+    report.findings.extend(base.stale_entries(scanned))
+    return report.finalize()

@@ -1,0 +1,135 @@
+"""Findings and reports: what a lint run produces and how it renders.
+
+A :class:`Finding` is one contract violation at one source location; a
+:class:`LintReport` is the deterministic, sorted collection of everything
+one run surfaced, plus the bookkeeping (files scanned, rules run,
+suppression counts) the text and JSON renderings need.  The JSON shape is
+versioned and consumed by the ``repro-mgrts lint --json`` CLI contract
+test, so extend it additively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Finding", "LintReport", "LintError"]
+
+#: bumped whenever the ``--json`` payload shape changes incompatibly
+JSON_VERSION = 1
+
+
+class LintError(Exception):
+    """An engine failure (unparseable file, malformed baseline, bad path).
+
+    Distinct from findings on purpose: findings mean "the *code under
+    lint* breaks a contract" (CLI exit 1), a ``LintError`` means "the
+    lint run itself could not be trusted" (CLI exit 2).
+    """
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One contract violation at one source location.
+
+    Attributes
+    ----------
+    rule:
+        Rule id, ``FAMILY.check`` (e.g. ``"R1.module-random"``).
+    path:
+        Repo-relative posix path of the offending file.
+    line, col:
+        1-based line and 0-based column of the offending node.
+    message:
+        Human-readable statement of the violated contract.
+    symbol:
+        Stable anchor for baseline matching: the enclosing dotted
+        ``Class.method`` (or a rule-chosen key like a solver base name);
+        empty at module level.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    symbol: str = ""
+
+    @property
+    def baseline_key(self) -> tuple[str, str, str]:
+        """The ``(path, rule, symbol)`` triple a baseline entry matches."""
+        return (self.path, self.rule, self.symbol)
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict (one element of the report's ``findings``)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "symbol": self.symbol,
+        }
+
+    def render(self) -> str:
+        """The one-line text rendering: ``path:line:col: RULE message``."""
+        where = f" [{self.symbol}]" if self.symbol else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}{where}"
+
+
+def _sort_key(f: Finding) -> tuple:
+    return (f.path, f.line, f.col, f.rule, f.message)
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced, deterministically ordered."""
+
+    #: unsuppressed findings, sorted by (path, line, col, rule)
+    findings: list[Finding] = field(default_factory=list)
+    #: findings matched (and silenced) by a baseline entry
+    suppressed: list[Finding] = field(default_factory=list)
+    #: repo-relative paths of every file scanned
+    files: list[str] = field(default_factory=list)
+    #: ids of every rule that ran
+    rules: list[str] = field(default_factory=list)
+
+    def finalize(self) -> "LintReport":
+        """Sort everything into the canonical order (idempotent)."""
+        self.findings.sort(key=_sort_key)
+        self.suppressed.sort(key=_sort_key)
+        self.files.sort()
+        self.rules.sort()
+        return self
+
+    @property
+    def ok(self) -> bool:
+        """True iff no unbaselined finding survived."""
+        return not self.findings
+
+    def to_dict(self) -> dict:
+        """The versioned ``--json`` payload."""
+        return {
+            "version": JSON_VERSION,
+            "ok": self.ok,
+            "files_scanned": len(self.files),
+            "rules_run": self.rules,
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": len(self.suppressed),
+        }
+
+    def render_text(self) -> str:
+        """The human rendering: one line per finding, then a summary."""
+        lines = [f.render() for f in self.findings]
+        noun = "finding" if len(self.findings) == 1 else "findings"
+        tail = f" ({len(self.suppressed)} baselined)" if self.suppressed else ""
+        summary = (
+            f"{len(self.findings)} {noun} in {len(self.files)} file(s), "
+            f"{len(self.rules)} rule(s){tail}"
+        )
+        if self.ok:
+            summary = (
+                f"clean: {len(self.files)} file(s), "
+                f"{len(self.rules)} rule(s){tail}"
+            )
+        lines.append(summary)
+        return "\n".join(lines)

@@ -1,0 +1,11 @@
+"""Built-in rule families of the contract lint engine.
+
+One module per family: :mod:`~repro.lint.rules.determinism` (R1),
+:mod:`~repro.lint.rules.explain_contract` (R2),
+:mod:`~repro.lint.rules.registry_coherence` (R3),
+:mod:`~repro.lint.rules.pickle_safety` (R4) and
+:mod:`~repro.lint.rules.trail_safety` (R5).  Modules are imported
+lazily by :func:`repro.lint.engine._load_builtins`; importing one
+registers its rules as a side effect of the ``@register_rule``
+decorators.
+"""

@@ -1,0 +1,209 @@
+"""R1 — determinism: search decisions must be reproducible byte-for-byte.
+
+The repo's determinism guarantees are load-bearing: the batch cache keys
+results by content (same cell → same record), ``jobs=N`` must equal
+``jobs=1``, and ``tests/test_engine_regression.py`` pins node counts on
+a seeded grid.  Anything that injects ambient nondeterminism into
+``csp/``, ``solvers/`` or ``baselines/`` breaks those silently:
+
+* an *unseeded* RNG (``random.Random()``) or the module-global
+  ``random.*`` functions (shared, externally reseedable state);
+* wall clocks (``time.time``/``perf_counter``) feeding anything but a
+  budget — budgets use ``time.monotonic`` via
+  :class:`repro.util.timer.Deadline`;
+* iterating a ``set``/``frozenset`` where order can feed search order
+  (set iteration order is unspecified across runs/processes).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.astutil import call_name
+from repro.lint.engine import LintContext, ModuleInfo, Rule, register_rule
+from repro.lint.report import Finding
+
+__all__ = ["UnseededRandomRule", "ModuleRandomRule", "WallClockRule", "SetIterationRule"]
+
+#: the dirs the determinism contract covers (search + solving + baselines)
+DETERMINISM_SCOPE = (
+    "src/repro/csp/",
+    "src/repro/solvers/",
+    "src/repro/baselines/",
+)
+
+#: zero-argument constructors of *unseeded* RNGs
+_UNSEEDED_CTORS = frozenset(
+    {
+        "random.Random",
+        "np.random.default_rng",
+        "numpy.random.default_rng",
+        "np.random.RandomState",
+        "numpy.random.RandomState",
+    }
+)
+
+#: module-level sampling functions (all share one ambient global RNG)
+_MODULE_RANDOM_FNS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "gauss",
+        "getrandbits",
+        "triangular",
+        "betavariate",
+        "seed",
+    }
+)
+
+#: wall/CPU clocks that are not valid inputs to any search decision
+_WALL_CLOCKS = frozenset(
+    {
+        "time.time",
+        "time.perf_counter",
+        "time.process_time",
+        "time.perf_counter_ns",
+        "time.time_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+    }
+)
+
+
+@register_rule(
+    "R1.unseeded-random",
+    family="determinism",
+    description="RNG constructed without a seed in search/solver code",
+    contract="batch cache keys and test_engine_regression.py pin seeded runs",
+)
+class UnseededRandomRule(Rule):
+    """Flag ``random.Random()`` (and numpy equivalents) with no seed."""
+
+    scope = DETERMINISM_SCOPE
+
+    def check_module(self, ctx: LintContext, module: ModuleInfo) -> Iterator[Finding]:
+        """Yield a finding per zero-argument RNG construction."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name in _UNSEEDED_CTORS and not node.args and not node.keywords:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{name}() without a seed: searches must be "
+                    "reproducible — thread a seed through (see "
+                    "solvers/api.solve's seed parameter)",
+                )
+
+
+@register_rule(
+    "R1.module-random",
+    family="determinism",
+    description="module-global random.* call (shared, reseedable state)",
+    contract="solver randomness must flow through an owned, seeded Random",
+)
+class ModuleRandomRule(Rule):
+    """Flag ``random.choice(...)``-style calls on the module-global RNG."""
+
+    scope = DETERMINISM_SCOPE
+
+    def check_module(self, ctx: LintContext, module: ModuleInfo) -> Iterator[Finding]:
+        """Yield a finding per call through the ambient ``random`` module."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None:
+                continue
+            head, _, fn = name.rpartition(".")
+            if head in ("random", "np.random", "numpy.random") and fn in _MODULE_RANDOM_FNS:
+                if name in _UNSEEDED_CTORS:
+                    continue  # the ctor rule owns that spelling
+                yield self.finding(
+                    module,
+                    node,
+                    f"{name}(...) uses the module-global RNG; construct "
+                    "random.Random(seed) and call methods on it instead",
+                )
+
+
+@register_rule(
+    "R1.wall-clock",
+    family="determinism",
+    description="wall clock read in search/solver code",
+    contract="budgets poll time.monotonic via repro.util.timer.Deadline",
+)
+class WallClockRule(Rule):
+    """Flag ``time.time()``/``perf_counter()``/``datetime.now()`` reads.
+
+    ``time.monotonic`` is the sanctioned budget clock (what
+    :class:`repro.util.timer.Deadline` wraps); the flagged clocks jump
+    with NTP/suspend and invite time-dependent *decisions* rather than
+    budgets.
+    """
+
+    scope = DETERMINISM_SCOPE
+
+    def check_module(self, ctx: LintContext, module: ModuleInfo) -> Iterator[Finding]:
+        """Yield a finding per flagged clock call."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if call_name(node) in _WALL_CLOCKS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{call_name(node)}() in solver code: use "
+                    "time.monotonic() (or repro.util.timer.Deadline) for "
+                    "budgets, and never let a clock feed a decision",
+                )
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        return name in ("set", "frozenset")
+    return False
+
+
+@register_rule(
+    "R1.set-iteration",
+    family="determinism",
+    description="iteration directly over a set (unspecified order)",
+    contract="anything feeding search order must iterate deterministically",
+)
+class SetIterationRule(Rule):
+    """Flag ``for x in {…}`` / ``for x in set(…)`` (loops & comprehensions).
+
+    Set iteration order is unspecified across interpreter runs — wrap
+    the set in ``sorted(...)`` (which this rule never flags) or keep a
+    list.
+    """
+
+    scope = DETERMINISM_SCOPE
+
+    def check_module(self, ctx: LintContext, module: ModuleInfo) -> Iterator[Finding]:
+        """Yield a finding per loop/comprehension iterating a set."""
+        message = (
+            "iterating a set: order is unspecified and can change the "
+            "search — iterate sorted(...) or a list instead"
+        )
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)) and _is_set_expr(node.iter):
+                yield self.finding(module, node.iter, message)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for gen in node.generators:
+                    if _is_set_expr(gen.iter):
+                        yield self.finding(module, gen.iter, message)

@@ -1,0 +1,138 @@
+"""R2 — the propagator explain contract (PR 5's conflict-directed search).
+
+A propagator that explains itself must do so *coherently*: the conflict
+analyzer resolves both forced events (``explain_event``) and wipe-outs
+(``explain_failure``) through the same propagator, so implementing one
+without the other produces nogoods that mix real reasons with the coarse
+decision-prefix fallback — sound, but silently much weaker, and exactly
+the kind of asymmetry a reviewer misses.  Explanation literals are
+``(var_index, value, sign)`` triples everywhere (:mod:`repro.csp.learning`
+indexes them by that exact shape); any other tuple arity corrupts the
+trail index.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.engine import LintContext, ModuleInfo, Rule, register_rule
+from repro.lint.report import Finding
+
+__all__ = ["ExplainPairRule", "LiteralShapeRule"]
+
+
+def _methods(cls: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+    return {
+        stmt.name: stmt
+        for stmt in cls.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+class _PropagatorRule(Rule):
+    """Shared driver: run a per-class check over every Propagator subclass."""
+
+    def check_module(self, ctx: LintContext, module: ModuleInfo) -> Iterator[Finding]:
+        """Yield findings from :meth:`check_class` for this module's
+        propagator classes (hierarchy resolved project-wide)."""
+        for mod, cls, ancestors in ctx.propagator_classes():
+            if mod is module:
+                yield from self.check_class(module, cls, ancestors)
+
+    def check_class(
+        self, module: ModuleInfo, cls: ast.ClassDef, ancestors: list[ast.ClassDef]
+    ) -> Iterator[Finding]:
+        """Per-class hook; subclasses override."""
+        return iter(())
+
+
+@register_rule(
+    "R2.explain-pair",
+    family="explain-contract",
+    description="propagator implements exactly one of explain_event/explain_failure",
+    contract="csp/learning.py resolves events and failures through the same propagator",
+)
+class ExplainPairRule(_PropagatorRule):
+    """A propagating class must define both explanations or neither."""
+
+    def check_class(
+        self, module: ModuleInfo, cls: ast.ClassDef, ancestors: list[ast.ClassDef]
+    ) -> Iterator[Finding]:
+        """Flag classes overriding on_event/propagate with a lone explain_*."""
+        methods = _methods(cls)
+        if "on_event" not in methods and "propagate" not in methods:
+            return
+        has_event = "explain_event" in methods
+        has_failure = "explain_failure" in methods
+        if has_event == has_failure:
+            return
+        present, missing = (
+            ("explain_event", "explain_failure")
+            if has_event
+            else ("explain_failure", "explain_event")
+        )
+        yield self.finding(
+            module,
+            cls,
+            f"{cls.name} implements {present} but not {missing}: a "
+            "propagator explains both its forcings and its failures, or "
+            "neither (lone halves silently degrade learned nogoods to "
+            "the decision-prefix fallback)",
+            symbol=cls.name,
+        )
+
+
+def _literal_tuples(fn: ast.FunctionDef) -> Iterator[ast.Tuple]:
+    """Tuple literals in explanation-building positions.
+
+    Positions that end up in the returned literal list: elements of a
+    list display, elements of comprehensions, arguments to ``.append``,
+    and a tuple returned directly.
+    """
+    for node in ast.walk(fn):
+        if isinstance(node, ast.List):
+            for elt in node.elts:
+                if isinstance(elt, ast.Tuple):
+                    yield elt
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            if isinstance(node.elt, ast.Tuple):
+                yield node.elt
+        elif isinstance(node, ast.Call):
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "append"
+                and len(node.args) == 1
+                and isinstance(node.args[0], ast.Tuple)
+            ):
+                yield node.args[0]
+        elif isinstance(node, ast.Return) and isinstance(node.value, ast.Tuple):
+            yield node.value
+
+
+@register_rule(
+    "R2.literal-shape",
+    family="explain-contract",
+    description="explanation literal is not a (var, value, sign) 3-tuple",
+    contract="learning.Trail.pos_of indexes literals by exactly that shape",
+)
+class LiteralShapeRule(_PropagatorRule):
+    """Tuple literals built inside explain_* must have exactly 3 elements."""
+
+    def check_class(
+        self, module: ModuleInfo, cls: ast.ClassDef, ancestors: list[ast.ClassDef]
+    ) -> Iterator[Finding]:
+        """Flag mis-shaped tuple literals in explanation builders."""
+        for name, fn in _methods(cls).items():
+            if name not in ("explain_event", "explain_failure"):
+                continue
+            for tup in _literal_tuples(fn):
+                if len(tup.elts) != 3:
+                    yield self.finding(
+                        module,
+                        tup,
+                        f"{cls.name}.{name} builds a {len(tup.elts)}-tuple "
+                        "literal; explanation literals are (var_index, "
+                        "value, sign) triples",
+                        symbol=f"{cls.name}.{name}",
+                    )

@@ -1,0 +1,364 @@
+"""R3 — solver registry coherence, checked statically at the decorator.
+
+The ``@register_solver`` declarations are the single source of truth for
+solver capabilities, docs and option validation; PR 6 additionally made
+capability coherence load-bearing (``portfolio.py`` rejects members
+claiming ``EXACT`` without ``PROVES_INFEASIBILITY`` at construction).
+Runtime catches those violations only when the bad family is actually
+raced; this rule family catches them at commit time, from the AST:
+
+* ``EXACT ⇒ PROVES_INFEASIBILITY`` (an incomplete solver must not claim
+  completeness; the converse — ``edf-exact`` — is deliberate and fine);
+* metadata hygiene: non-empty ``description``/``paper_section``;
+* declared ``options`` match the factory: every option name the factory
+  body reads must be declared, and without ``**kwargs`` every declared
+  option must be a parameter;
+* every module carrying a ``@register_solver`` is reachable: it must be
+  listed in ``registry._BUILTIN_PLUGINS`` (lazy loading never imports an
+  unlisted module, so its family would silently not exist);
+* every registered base name appears in ``docs/SOLVERS.md`` (the static
+  face of the ``scripts/solvers_md.py --check`` drift guard).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.lint.astutil import const_str, const_str_tuple, dotted_name
+from repro.lint.engine import LintContext, ModuleInfo, Rule, register_rule
+from repro.lint.report import Finding
+
+__all__ = [
+    "ExactImpliesProofRule",
+    "RegistryMetadataRule",
+    "OptionsSignatureRule",
+    "PluginReachabilityRule",
+    "DocsCoverageRule",
+]
+
+#: capability Name identifiers → capability strings (registry.py spelling)
+_CAPABILITY_NAMES = {
+    "PROVES_INFEASIBILITY": "proves_infeasibility",
+    "EXACT": "exact",
+}
+
+#: the repo-relative registry module (``_BUILTIN_PLUGINS`` lives here)
+REGISTRY_REL = "src/repro/solvers/registry.py"
+
+#: the registry-generated document every base name must appear in
+SOLVERS_MD_REL = "docs/SOLVERS.md"
+
+
+@dataclass
+class Registration:
+    """One ``@register_solver(...)`` call, statically extracted."""
+
+    module: ModuleInfo
+    call: ast.Call
+    factory: ast.FunctionDef | ast.AsyncFunctionDef | ast.ClassDef
+    base: str | None
+    #: resolved capability strings; ``unresolved`` counts entries we
+    #: could not map statically (non-literal, unknown identifier)
+    capabilities: set[str] = field(default_factory=set)
+    unresolved: int = 0
+    description: str | None = None
+    has_description: bool = False
+    paper_section: str | None = None
+    has_paper_section: bool = False
+    options: tuple[str, ...] | None = None
+
+
+def _extract(module: ModuleInfo) -> list[Registration]:
+    regs: list[Registration] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        for deco in node.decorator_list:
+            if not isinstance(deco, ast.Call):
+                continue
+            name = dotted_name(deco.func)
+            if name is None or name.rsplit(".", 1)[-1] != "register_solver":
+                continue
+            reg = Registration(
+                module=module,
+                call=deco,
+                factory=node,
+                base=const_str(deco.args[0]) if deco.args else None,
+            )
+            for kw in deco.keywords:
+                if kw.arg == "capabilities" and isinstance(kw.value, (ast.Tuple, ast.List)):
+                    for elt in kw.value.elts:
+                        if (s := const_str(elt)) is not None:
+                            reg.capabilities.add(s)
+                        elif isinstance(elt, ast.Name) and elt.id in _CAPABILITY_NAMES:
+                            reg.capabilities.add(_CAPABILITY_NAMES[elt.id])
+                        else:
+                            reg.unresolved += 1
+                elif kw.arg == "description":
+                    reg.has_description = True
+                    reg.description = const_str(kw.value)
+                elif kw.arg == "paper_section":
+                    reg.has_paper_section = True
+                    reg.paper_section = const_str(kw.value)
+                elif kw.arg == "options":
+                    reg.options = const_str_tuple(kw.value)
+            regs.append(reg)
+    return regs
+
+
+class _RegistrationRule(Rule):
+    """Shared driver: run a per-registration check."""
+
+    def check_module(self, ctx: LintContext, module: ModuleInfo) -> Iterator[Finding]:
+        """Yield findings from :meth:`check_registration` for this module."""
+        for reg in _extract(module):
+            yield from self.check_registration(module, reg)
+
+    def check_registration(
+        self, module: ModuleInfo, reg: Registration
+    ) -> Iterator[Finding]:
+        """Per-registration hook; subclasses override."""
+        return iter(())
+
+
+@register_rule(
+    "R3.exact-implies-proof",
+    family="registry",
+    description="EXACT capability claimed without PROVES_INFEASIBILITY",
+    contract="portfolio.py rejects such members at construction (PR 6)",
+)
+class ExactImpliesProofRule(_RegistrationRule):
+    """A complete search can always prove infeasibility; claim both."""
+
+    def check_registration(
+        self, module: ModuleInfo, reg: Registration
+    ) -> Iterator[Finding]:
+        """Flag EXACT-without-proof capability tuples."""
+        if reg.unresolved:
+            return  # cannot judge a partially-resolved tuple
+        if "exact" in reg.capabilities and "proves_infeasibility" not in reg.capabilities:
+            yield self.finding(
+                module,
+                reg.call,
+                f"solver {reg.base!r} claims EXACT without "
+                "PROVES_INFEASIBILITY: a complete search proves "
+                "infeasibility by exhaustion — either add the capability "
+                "or drop the completeness claim (portfolio.py enforces "
+                "this at runtime; the converse, proof-without-EXACT, is "
+                "legitimate — see edf-exact)",
+                symbol=reg.base or "",
+            )
+
+
+@register_rule(
+    "R3.registry-metadata",
+    family="registry",
+    description="empty description or paper_section in @register_solver",
+    contract="docs/SOLVERS.md and the solvers CLI render this metadata verbatim",
+)
+class RegistryMetadataRule(_RegistrationRule):
+    """Registry metadata must actually say something."""
+
+    def check_registration(
+        self, module: ModuleInfo, reg: Registration
+    ) -> Iterator[Finding]:
+        """Flag missing/empty description and paper_section strings."""
+        if reg.description is not None and not reg.description.strip() or (
+            not reg.has_description
+        ):
+            yield self.finding(
+                module,
+                reg.call,
+                f"solver {reg.base!r} has an empty description; one line "
+                "of 'what it is' drives docs/SOLVERS.md and the CLI",
+                symbol=reg.base or "",
+            )
+        if not reg.has_paper_section or (
+            reg.paper_section is not None and not reg.paper_section.strip()
+        ):
+            yield self.finding(
+                module,
+                reg.call,
+                f"solver {reg.base!r} has an empty paper_section; say "
+                "where the paper discusses it (or why it is out of "
+                "scope) — baseline deliberate omissions with a "
+                "justification",
+                symbol=reg.base or "",
+            )
+
+
+def _factory_params(fn: ast.FunctionDef | ast.AsyncFunctionDef):
+    """(names beyond the 4 positional, has **kwargs, kwargs param name)."""
+    a = fn.args
+    positional = [p.arg for p in a.posonlyargs + a.args]
+    extra = positional[4:] + [p.arg for p in a.kwonlyargs]
+    return extra, a.kwarg is not None, a.kwarg.arg if a.kwarg else None
+
+
+def _option_reads(fn: ast.AST, kwargs_name: str) -> Iterator[tuple[str, ast.AST]]:
+    """String keys the body reads out of the ``**options`` mapping."""
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Subscript):
+            if (
+                isinstance(node.value, ast.Name)
+                and node.value.id == kwargs_name
+                and (key := const_str(node.slice)) is not None
+            ):
+                yield key, node
+        elif isinstance(node, ast.Compare):
+            if (
+                len(node.ops) == 1
+                and isinstance(node.ops[0], (ast.In, ast.NotIn))
+                and isinstance(node.comparators[0], ast.Name)
+                and node.comparators[0].id == kwargs_name
+                and (key := const_str(node.left)) is not None
+            ):
+                yield key, node
+        elif isinstance(node, ast.Call):
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("get", "pop", "setdefault")
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == kwargs_name
+                and node.args
+                and (key := const_str(node.args[0])) is not None
+            ):
+                yield key, node
+
+
+@register_rule(
+    "R3.options-signature",
+    family="registry",
+    description="declared options disagree with the factory signature/body",
+    contract="create_solver validates kwargs against the declared tuple",
+)
+class OptionsSignatureRule(_RegistrationRule):
+    """``options=(...)`` must cover what the factory accepts and reads."""
+
+    def check_registration(
+        self, module: ModuleInfo, reg: Registration
+    ) -> Iterator[Finding]:
+        """Flag undeclared parameters/reads and unreceivable declarations."""
+        if reg.options is None or isinstance(reg.factory, ast.ClassDef):
+            return
+        declared = set(reg.options)
+        extra, has_kwargs, kwargs_name = _factory_params(reg.factory)
+        for name in extra:
+            if name not in declared:
+                yield self.finding(
+                    module,
+                    reg.factory,
+                    f"factory parameter {name!r} is not in solver "
+                    f"{reg.base!r}'s declared options {sorted(declared)}; "
+                    "create_solver would reject it before the factory "
+                    "ever sees it",
+                    symbol=reg.base or "",
+                )
+        if not has_kwargs:
+            for name in sorted(declared - set(extra)):
+                yield self.finding(
+                    module,
+                    reg.call,
+                    f"declared option {name!r} of solver {reg.base!r} is "
+                    "not a factory parameter and the factory takes no "
+                    "**options; the option would crash on use",
+                    symbol=reg.base or "",
+                )
+        if kwargs_name:
+            for key, node in _option_reads(reg.factory, kwargs_name):
+                if key not in declared:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"factory body reads option {key!r} which solver "
+                        f"{reg.base!r} does not declare; create_solver "
+                        "strips undeclared options, so this read can "
+                        "never see a caller value",
+                        symbol=reg.base or "",
+                    )
+
+
+def _registered_src_modules(ctx: LintContext) -> list[tuple[ModuleInfo, list[Registration]]]:
+    out = []
+    for module in ctx.modules:
+        if module.dotted is None:
+            continue
+        regs = _extract(module)
+        if regs:
+            out.append((module, regs))
+    return out
+
+
+@register_rule(
+    "R3.plugin-unreachable",
+    family="registry",
+    description="module registers a solver but is not in _BUILTIN_PLUGINS",
+    contract="registry._load_builtins imports exactly that list, lazily",
+)
+class PluginReachabilityRule(Rule):
+    """An unlisted plugin module's families silently don't exist."""
+
+    def check_project(self, ctx: LintContext) -> Iterator[Finding]:
+        """Cross-check registering modules against the lazy-import list."""
+        registry = ctx.module(REGISTRY_REL)
+        if registry is None:
+            return  # partial run (fixtures, single file): nothing to check
+        plugins: tuple[str, ...] | None = None
+        for node in registry.tree.body:
+            if isinstance(node, ast.Assign):
+                for t in node.targets:
+                    if isinstance(t, ast.Name) and t.id == "_BUILTIN_PLUGINS":
+                        plugins = const_str_tuple(node.value)
+        if plugins is None:
+            yield self.finding(
+                registry,
+                1,
+                "_BUILTIN_PLUGINS is no longer a literal tuple of module "
+                "names; the plugin-reachability lint cannot check it",
+                symbol="_BUILTIN_PLUGINS",
+            )
+            return
+        for module, regs in _registered_src_modules(ctx):
+            if module.rel == REGISTRY_REL or module.dotted in plugins:
+                continue
+            yield self.finding(
+                module,
+                regs[0].call,
+                f"{module.dotted} registers solver(s) "
+                f"{sorted({r.base for r in regs if r.base})} but is not "
+                "listed in registry._BUILTIN_PLUGINS — lazy loading never "
+                "imports it, so the family does not exist at runtime",
+                symbol=regs[0].base or "",
+            )
+
+
+@register_rule(
+    "R3.docs-coverage",
+    family="registry",
+    description="registered base name missing from docs/SOLVERS.md",
+    contract="scripts/solvers_md.py --check guards full drift at runtime",
+)
+class DocsCoverageRule(Rule):
+    """Every registered base name must appear in the generated solver docs."""
+
+    def check_project(self, ctx: LintContext) -> Iterator[Finding]:
+        """Substring-check each base name against docs/SOLVERS.md."""
+        if ctx.module(REGISTRY_REL) is None:
+            return  # partial run: repo-level docs check does not apply
+        docs_path = ctx.root / SOLVERS_MD_REL
+        if not docs_path.exists():
+            return
+        text = docs_path.read_text()
+        for module, regs in _registered_src_modules(ctx):
+            for reg in regs:
+                if reg.base and reg.base not in text:
+                    yield self.finding(
+                        module,
+                        reg.call,
+                        f"solver {reg.base!r} does not appear in "
+                        f"{SOLVERS_MD_REL}; regenerate it with "
+                        "`python scripts/solvers_md.py --write`",
+                        symbol=reg.base,
+                    )

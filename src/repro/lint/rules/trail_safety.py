@@ -1,0 +1,221 @@
+"""R5 — trail safety: propagator state mutated during search must backtrack.
+
+``on_event``/``propagate`` run inside the search; any ``self`` attribute
+they mutate lives across backtracking unless it is trailed through the
+:class:`~repro.csp.state.DomainState` helpers (``save``/``save_all``/the
+inlined ``_undo`` form).  A forgotten trail is the nastiest propagator
+bug there is — counters silently drift after the first backjump and the
+solver starts pruning soundly-looking nonsense.
+
+The contract is made *explicit and reviewable*: every propagator class
+declares ``_trail_safe``, the tuple of attribute names it may mutate
+during search — each either trailed (reversible counters, validity
+masks) or deliberately not (monotone stamp guards, residual-support
+caches that are sound when stale), with a comment at the declaration
+saying which.  This rule then flags any search-time ``self`` mutation —
+direct, subscripted, or through a local alias (``c = self._c; c[0] += 1``)
+— of an attribute outside the declared set.
+
+Additionally, ``on_event`` must never mutate *domains* (the module
+docstring of :mod:`repro.csp.propagators` has always said so: all
+pruning belongs in ``propagate``); calls to the ``DomainState`` domain
+mutators from ``on_event`` are flagged directly.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.astutil import class_attr_str_tuple
+from repro.lint.engine import LintContext, ModuleInfo, Rule, register_rule
+from repro.lint.report import Finding
+
+__all__ = ["UnregisteredMutationRule", "OnEventDomainWriteRule"]
+
+#: the class-level declaration this family checks against
+DECLARATION = "_trail_safe"
+
+#: search-time methods whose ``self`` mutations are checked
+SEARCH_METHODS = ("on_event", "propagate")
+
+#: container methods that mutate their receiver
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "remove",
+        "clear",
+        "add",
+        "discard",
+        "update",
+        "setdefault",
+        "sort",
+        "reverse",
+    }
+)
+
+#: DomainState methods that mutate domains (forbidden from on_event)
+_DOMAIN_MUTATORS = frozenset(
+    {"assign", "remove_value", "intersect_mask", "remove_above", "remove_below"}
+)
+
+
+def _search_methods(cls: ast.ClassDef) -> Iterator[ast.FunctionDef]:
+    for stmt in cls.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name in SEARCH_METHODS:
+            yield stmt
+
+
+def _declared(cls: ast.ClassDef, ancestors: list[ast.ClassDef]) -> set[str]:
+    out: set[str] = set()
+    for c in [cls, *ancestors]:
+        out.update(class_attr_str_tuple(c, DECLARATION) or ())
+    return out
+
+
+def _self_attr(node: ast.expr, self_name: str) -> str | None:
+    """``self.X`` → ``X`` (else None)."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == self_name
+    ):
+        return node.attr
+    return None
+
+
+def _aliases(fn: ast.FunctionDef, self_name: str) -> dict[str, str]:
+    """Local names bound to ``self.X`` (``c = self._c`` → ``{"c": "_c"}``)."""
+    out: dict[str, str] = {}
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            attr = _self_attr(node.value, self_name)
+            if isinstance(target, ast.Name) and attr is not None:
+                out[target.id] = attr
+    return out
+
+
+def _mutated_attr(
+    node: ast.expr, self_name: str, aliases: dict[str, str]
+) -> str | None:
+    """The ``self`` attribute a write target ultimately mutates, if any.
+
+    Handles ``self.X``, ``self.X[...]``, ``alias`` and ``alias[...]``
+    where ``alias = self.X`` earlier in the function.
+    """
+    if (attr := _self_attr(node, self_name)) is not None:
+        return attr
+    if isinstance(node, ast.Subscript):
+        return _mutated_attr(node.value, self_name, aliases)
+    if isinstance(node, ast.Name):
+        return aliases.get(node.id)
+    return None
+
+
+@register_rule(
+    "R5.unregistered-mutation",
+    family="trail-safety",
+    description="search-time self mutation outside the _trail_safe declaration",
+    contract="counters must be trailed via DomainState.save/save_all (PR 3)",
+)
+class UnregisteredMutationRule(Rule):
+    """on_event/propagate may only mutate declared ``_trail_safe`` attrs."""
+
+    def check_module(self, ctx: LintContext, module: ModuleInfo) -> Iterator[Finding]:
+        """Flag undeclared self mutations in search-time methods."""
+        for mod, cls, ancestors in ctx.propagator_classes():
+            if mod is not module:
+                continue
+            allowed = _declared(cls, ancestors)
+            for fn in _search_methods(cls):
+                self_name = fn.args.args[0].arg if fn.args.args else "self"
+                aliases = _aliases(fn, self_name)
+                yield from self._check_fn(module, cls, fn, self_name, aliases, allowed)
+
+    def _check_fn(
+        self,
+        module: ModuleInfo,
+        cls: ast.ClassDef,
+        fn: ast.FunctionDef,
+        self_name: str,
+        aliases: dict[str, str],
+        allowed: set[str],
+    ) -> Iterator[Finding]:
+        def flag(node: ast.AST, attr: str) -> Finding:
+            return self.finding(
+                module,
+                node,
+                f"{cls.name}.{fn.name} mutates self.{attr} which is not "
+                f"declared in {cls.name}.{DECLARATION}: search-time state "
+                "must be trailed (state.save/save_all, or the documented "
+                "_undo inlining) and every mutated attribute declared — "
+                "deliberately untrailed caches need a comment at the "
+                "declaration",
+                symbol=f"{cls.name}.{fn.name}",
+            )
+
+        for node in ast.walk(fn):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                # a plain local rebind (`c = self._c`) mutates nothing
+                if isinstance(node, ast.Assign) and isinstance(target, ast.Name):
+                    continue
+                attr = _mutated_attr(target, self_name, aliases)
+                if attr is not None and attr not in allowed:
+                    yield flag(target, attr)
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATING_METHODS
+            ):
+                attr = _mutated_attr(node.func.value, self_name, aliases)
+                if attr is not None and attr not in allowed:
+                    yield flag(node, attr)
+
+
+@register_rule(
+    "R5.on-event-domain-write",
+    family="trail-safety",
+    description="on_event mutates domains (all pruning belongs in propagate)",
+    contract="csp/propagators.py module docstring, step 3 of the recipe",
+)
+class OnEventDomainWriteRule(Rule):
+    """``on_event`` is bookkeeping only; domain writes there corrupt the
+    event log the engine is in the middle of draining."""
+
+    def check_module(self, ctx: LintContext, module: ModuleInfo) -> Iterator[Finding]:
+        """Flag DomainState domain-mutator calls inside on_event bodies."""
+        for mod, cls, _ancestors in ctx.propagator_classes():
+            if mod is not module:
+                continue
+            for fn in _search_methods(cls):
+                if fn.name != "on_event":
+                    continue
+                params = [a.arg for a in fn.args.args]
+                state_name = params[1] if len(params) > 1 else "state"
+                for node in ast.walk(fn):
+                    if (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in _DOMAIN_MUTATORS
+                        and isinstance(node.func.value, ast.Name)
+                        and node.func.value.id == state_name
+                    ):
+                        yield self.finding(
+                            module,
+                            node,
+                            f"{cls.name}.on_event calls "
+                            f"{state_name}.{node.func.attr}(...): on_event "
+                            "must never mutate domains — update counters "
+                            "and prune from propagate instead",
+                            symbol=f"{cls.name}.on_event",
+                        )

@@ -1,0 +1,21 @@
+"""Bad examples for the R1 determinism rules (lint fixture, never imported).
+
+Expected findings: 1x R1.unseeded-random, 1x R1.module-random,
+1x R1.wall-clock, 2x R1.set-iteration.
+"""
+
+import random
+import time
+
+
+def pick_processor(candidates):
+    """Every decision here is ambient-nondeterministic."""
+    rng = random.Random()  # R1.unseeded-random
+    random.shuffle(candidates)  # R1.module-random
+    if time.time() > 1e9:  # R1.wall-clock
+        candidates.reverse()
+    order = []
+    for c in {3, 1, 2}:  # R1.set-iteration (for loop)
+        order.append(c)
+    doubled = [c * 2 for c in set(candidates)]  # R1.set-iteration (comprehension)
+    return rng, order, doubled

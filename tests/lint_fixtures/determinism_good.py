@@ -1,0 +1,19 @@
+"""Good examples for the R1 determinism rules (lint fixture, never imported).
+
+Seeded RNG, monotonic budget clock, sorted set iteration: clean under
+every rule.
+"""
+
+import random
+import time
+
+
+def pick_processor(candidates, seed):
+    """Every decision is a deterministic function of (inputs, seed)."""
+    rng = random.Random(seed)  # seeded: fine
+    rng.shuffle(candidates)  # owned RNG, not the module global
+    deadline = time.monotonic() + 1.0  # the sanctioned budget clock
+    order = []
+    for c in sorted({3, 1, 2}):  # sorted(): deterministic order
+        order.append(c)
+    return rng, order, deadline

@@ -1,0 +1,39 @@
+"""Bad examples for the R2 explain-contract rules (lint fixture, never imported).
+
+Expected findings: 1x R2.explain-pair (LoneExplain), 2x R2.literal-shape
+(WrongArity: one 2-tuple, one 4-tuple).
+"""
+
+
+class Propagator:
+    """Local stand-in base so the hierarchy resolves inside this file."""
+
+
+class LoneExplain(Propagator):
+    """Implements explain_failure but not explain_event: R2.explain-pair."""
+
+    def propagate(self, state):
+        """Prune nothing."""
+        return 1
+
+    def explain_failure(self, state, trail):
+        """A correctly-shaped literal list (the *pairing* is what is wrong)."""
+        return [(1, 0, True)]
+
+
+class WrongArity(Propagator):
+    """Both explains present, but the literals are mis-shaped."""
+
+    def propagate(self, state):
+        """Prune nothing."""
+        return 1
+
+    def explain_event(self, state, trail, pos):
+        """Builds a 2-tuple literal: R2.literal-shape."""
+        out = []
+        out.append((1, 2))  # R2.literal-shape (2-tuple)
+        return out
+
+    def explain_failure(self, state, trail):
+        """Builds a 4-tuple literal: R2.literal-shape."""
+        return [(1, 2, True, False)]  # R2.literal-shape (4-tuple)

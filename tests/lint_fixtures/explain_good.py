@@ -1,0 +1,25 @@
+"""Good examples for the R2 explain-contract rules (lint fixture, never imported).
+
+Both explanations implemented, every literal a (var, value, sign)
+3-tuple: clean under every rule.
+"""
+
+
+class Propagator:
+    """Local stand-in base so the hierarchy resolves inside this file."""
+
+
+class WellExplained(Propagator):
+    """Explains both its forcings and its failures, with 3-tuple literals."""
+
+    def propagate(self, state):
+        """Prune nothing."""
+        return 1
+
+    def explain_event(self, state, trail, pos):
+        """One correctly-shaped literal."""
+        return [(pos, 0, True)]
+
+    def explain_failure(self, state, trail):
+        """Two correctly-shaped literals."""
+        return [(0, 1, False), (2, 3, True)]

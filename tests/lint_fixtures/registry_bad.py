@@ -1,0 +1,46 @@
+"""Bad examples for the R3 registry rules (lint fixture, never imported).
+
+Expected findings: 1x R3.exact-implies-proof, 2x R3.registry-metadata
+(empty description + missing paper_section), 3x R3.options-signature
+(undeclared parameter 'budget', unreceivable declared option 'gamma' is
+absent here -- instead: undeclared body read of 'beta'; plus the
+declared-but-not-a-parameter case in make_rigid).
+"""
+
+EXACT = "exact"
+PROVES_INFEASIBILITY = "proves_infeasibility"
+
+
+def register_solver(base, **metadata):
+    """Stand-in decorator so this fixture parses standalone."""
+
+    def deco(fn):
+        return fn
+
+    return deco
+
+
+@register_solver(
+    "fixture-bad",
+    description="",  # R3.registry-metadata (empty description)
+    # paper_section missing entirely: R3.registry-metadata
+    capabilities=(EXACT,),  # R3.exact-implies-proof
+    options=("alpha",),
+)
+def make_bad(system, platform, spec, seed, budget=None, **options):
+    """Factory whose signature and body disagree with the declaration."""
+    # 'budget' is a 5th parameter not in options: R3.options-signature
+    level = options["beta"]  # undeclared read: R3.options-signature
+    return (system, platform, spec, seed, budget, level)
+
+
+@register_solver(
+    "fixture-rigid",
+    description="declares an option its factory cannot receive",
+    paper_section="VII",
+    capabilities=(EXACT, PROVES_INFEASIBILITY),
+    options=("gamma",),
+)
+def make_rigid(system, platform, spec, seed):
+    """No **options and no 'gamma' parameter: R3.options-signature."""
+    return (system, platform, spec, seed)

@@ -1,0 +1,30 @@
+"""Good examples for the R3 registry rules (lint fixture, never imported).
+
+Coherent capabilities, non-empty metadata, options that match the
+factory: clean under every rule.
+"""
+
+EXACT = "exact"
+PROVES_INFEASIBILITY = "proves_infeasibility"
+
+
+def register_solver(base, **metadata):
+    """Stand-in decorator so this fixture parses standalone."""
+
+    def deco(fn):
+        return fn
+
+    return deco
+
+
+@register_solver(
+    "fixture-good",
+    description="a fully-declared fixture solver",
+    paper_section="VII",
+    capabilities=(EXACT, PROVES_INFEASIBILITY),
+    options=("budget",),
+)
+def make_good(system, platform, spec, seed, **options):
+    """Reads exactly the options it declares."""
+    budget = options.get("budget", 1.0)
+    return (system, platform, spec, seed, budget)

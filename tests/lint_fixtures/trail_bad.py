@@ -1,0 +1,31 @@
+"""Bad examples for the R5 trail-safety rules (lint fixture, never imported).
+
+Expected findings: 3x R5.unregistered-mutation (self._seen augassign,
+alias dict write, self._hits.append) and 1x R5.on-event-domain-write.
+"""
+
+
+class Propagator:
+    """Local stand-in base so the hierarchy resolves inside this file."""
+
+    _trail_safe = ()
+
+
+class LeakyCounter(Propagator):
+    """Mutates search-time state it never declared (or trailed)."""
+
+    _trail_safe = ("_c",)
+
+    def on_event(self, state, idx, old, new):
+        """One declared mutation, two violations."""
+        self._c[0] += 1  # declared: fine
+        self._seen += 1  # R5.unregistered-mutation
+        state.remove_value(idx, old)  # R5.on-event-domain-write
+        return None
+
+    def propagate(self, state):
+        """Mutates an undeclared cache through a local alias."""
+        cache = self._cache
+        cache["hits"] = 1  # R5.unregistered-mutation (alias write)
+        self._hits.append(1)  # R5.unregistered-mutation (method call)
+        return 1

@@ -1,0 +1,31 @@
+"""Good examples for the R5 trail-safety rules (lint fixture, never imported).
+
+Counters trailed through the DomainState helpers and declared in
+``_trail_safe``; domains untouched in ``on_event``: clean under every
+rule.
+"""
+
+
+class Propagator:
+    """Local stand-in base so the hierarchy resolves inside this file."""
+
+    _trail_safe = ()
+
+
+class TidyCounter(Propagator):
+    """Declares (and trails) exactly what it mutates during search."""
+
+    _trail_safe = ("_c", "_stamp")
+
+    def on_event(self, state, idx, old, new):
+        """Trail the counters once per node, then update the delta."""
+        c = self._c
+        if self._stamp != state.stamp:
+            self._stamp = state.stamp
+            state.save_all(c)
+        c[0] += 1
+        return None
+
+    def propagate(self, state):
+        """Prune nothing."""
+        return 1
