@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint docs-check solvers-check solvers-md bench bench-portfolio bench-engine bench-analysis bench-learning bench-trajectory bench-difftest difftest difftest-smoke ci
+.PHONY: test lint docs-check solvers-check solvers-md bench bench-portfolio bench-engine bench-analysis bench-learning bench-trajectory bench-difftest difftest difftest-smoke chaos-smoke ci
 
 ## tier-1 test suite (the bar every PR must keep green)
 test:
@@ -77,6 +77,11 @@ difftest-smoke:
 bench-difftest:
 	$(PYTHON) benchmarks/bench_difftest.py --out BENCH_difftest.json
 
+## seeded chaos campaign: fault-injected run must lose no cell and
+## journal byte-identically on re-run; non-zero exit otherwise
+chaos-smoke:
+	$(PYTHON) scripts/chaos_smoke.py
+
 ## what CI runs: static analysis + doc guards first (fast), then the
 ## full suite
-ci: lint docs-check solvers-check test difftest-smoke
+ci: lint docs-check solvers-check test difftest-smoke chaos-smoke

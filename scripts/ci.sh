@@ -56,5 +56,8 @@ python benchmarks/bench_learning.py --check-trajectory benchmarks/BENCH_trajecto
 echo "== difftest-smoke: solvers must agree on the seeded grid (exact oracle cross-check) =="
 python -m repro.cli difftest --seed 0 --instances 15 --time-limit 5 --quiet
 
+echo "== chaos-smoke: fault-injected campaign must lose no cell, deterministically =="
+python scripts/chaos_smoke.py
+
 echo "== tier-1: full test suite =="
 python -m pytest -x -q

@@ -15,7 +15,15 @@ campaigns into first-class objects:
   and crash-safe ``--resume``;
 * :mod:`repro.batch.racing` — :func:`race`: the complementary
   primitive for the ``portfolio:`` meta-solver — several attempts at
-  the *same* cell, first decisive answer wins, losers terminated.
+  the *same* cell, first decisive answer wins, losers terminated;
+* :mod:`repro.batch.supervise` — :func:`run_supervised`: one work unit
+  in one disposable watched child, with wall watchdog, optional
+  address-space rlimit and fault classification (the layer that makes
+  ``run_batch`` campaigns *always complete*, journaling dead cells as
+  ``fault:*`` records after bounded deterministic retries);
+* :mod:`repro.batch.chaos` — :class:`ChaosConfig`: seeded deterministic
+  fault injection (crash / hang / oom / error / torn journal writes)
+  for testing all of the above without real hardware failures.
 
 ``repro.experiments.runner.run_instances`` is a thin shim over this
 layer (``jobs=1``, no cache) and every table/benchmark driver and the
@@ -24,7 +32,16 @@ layer (``jobs=1``, no cache) and every table/benchmark driver and the
 
 from repro.batch.cache import ResultCache
 from repro.batch.cells import Cell, cell_key, cells_for_matrix, solve_cell
+from repro.batch.chaos import ChaosConfig, ChaosError
 from repro.batch.executor import BatchReport, load_journal, run_batch
+from repro.batch.supervise import (
+    FAULT_CRASH,
+    FAULT_ERROR,
+    FAULT_OOM,
+    FAULT_TIMEOUT,
+    FaultRecord,
+    run_supervised,
+)
 
 __all__ = [
     "Cell",
@@ -35,4 +52,12 @@ __all__ = [
     "BatchReport",
     "load_journal",
     "run_batch",
+    "ChaosConfig",
+    "ChaosError",
+    "FaultRecord",
+    "run_supervised",
+    "FAULT_CRASH",
+    "FAULT_ERROR",
+    "FAULT_OOM",
+    "FAULT_TIMEOUT",
 ]

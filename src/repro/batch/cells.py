@@ -134,7 +134,7 @@ def cells_for_matrix(
     ]
 
 
-def solve_cell(cell: Cell):
+def solve_cell(cell: Cell, chaos=None, chaos_key: str | None = None):
     """Run one cell and return its :class:`~repro.experiments.runner.RunRecord`.
 
     A thin client of :func:`repro.solvers.problem.solve_problem` (the one
@@ -143,11 +143,20 @@ def solve_cell(cell: Cell):
     any model is built, model/encoding construction counts against the
     wall budget, and an ``unknown`` outcome (the paper's *overrun*) is
     charged the full budget.
+
+    ``chaos`` opts this run into deterministic fault injection
+    (:mod:`repro.batch.chaos`) keyed by ``chaos_key`` (default: the
+    cell's content key) — only ever pass it in a supervised child, since
+    an injected ``crash`` SIGKILLs the calling process.
     """
     from repro.experiments.runner import RunRecord
     from repro.generator.random_systems import Instance
     from repro.solvers.problem import Problem, solve_problem
 
+    if chaos is not None:
+        from repro.batch.chaos import inject_worker_fault
+
+        inject_worker_fault(chaos, chaos_key or cell_key(cell))
     system = cell.system()
     instance = Instance(system=system, m=cell.m, seed=cell.instance_seed)
     problem = Problem(

@@ -1,0 +1,182 @@
+"""Seeded, deterministic fault injection for the batch stack.
+
+Fault tolerance that has never seen a fault is a hypothesis, not a
+feature.  This module makes faults *reproducible test inputs*: a
+:class:`ChaosConfig` carries a seed and an injection rate, and the
+decision "does site S fault on key K?" is a pure function of
+``(seed, site, key)`` — a sha256 draw, no RNG object, no wall clock, no
+process state.  Two campaigns configured identically inject identical
+faults in identical places, which is what lets the chaos acceptance
+tests demand byte-identical journals and exact resume equivalence.
+
+Fault kinds (drawn deterministically from the same hash):
+
+* ``crash``      — the worker SIGABRTs itself on entry (the segfault
+  shape: no exception, no report, just a corpse; SIGABRT rather than
+  SIGKILL so the supervisor classifies it ``crash``, not OOM);
+* ``hang``       — the worker sleeps past any reasonable budget (the
+  supervisor's watchdog must reap it);
+* ``oom``        — the worker balloons memory until the supervisor's
+  address-space rlimit kills the allocation, or a built-in cap raises
+  ``MemoryError`` (the cap keeps un-rlimited chaos runs from actually
+  exhausting the host);
+* ``error``      — the worker raises :class:`ChaosError` (an ordinary
+  Python failure with a traceback);
+* ``torn-write`` — the *journal* writes a truncated, newline-terminated
+  duplicate of a record line before the real line (what a crash
+  mid-``write`` leaves behind; resume must skip it).
+
+Injection is strictly opt-in: every entry point takes
+``chaos=None`` and does nothing without a config.  Worker-side faults
+are drawn per *attempt* (the key is salted with the retry attempt), so
+a cell that crashed on its first try may — deterministically — succeed
+on its second, exercising the retry path rather than dooming the cell.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "CHAOS_KINDS",
+    "ChaosConfig",
+    "ChaosError",
+    "chaos_draw",
+    "inject_worker_fault",
+    "torn_write_prefix",
+]
+
+#: worker-side fault kinds, in draw order (torn-write is journal-side)
+CHAOS_KINDS = ("crash", "hang", "oom", "error")
+
+#: how long a "hang" sleeps (far past any test budget; the watchdog reaps)
+_HANG_SECONDS = 3600.0
+
+#: allocation step for the "oom" balloon (small enough to trip a tight
+#: rlimit before the kernel notices, big enough to get there fast)
+_BALLOON_STEP = 8 * 1024 * 1024
+
+#: safety cap on the balloon: past this the fault raises MemoryError
+#: itself, so chaos without an rlimit cannot actually exhaust the host
+_BALLOON_CAP = 256 * 1024 * 1024
+
+
+class ChaosError(RuntimeError):
+    """The injected Python-level failure (the ``error`` fault kind)."""
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One chaos campaign's injection policy, fully determined by its fields.
+
+    Attributes
+    ----------
+    seed:
+        Draw seed; same seed + same keys = same faults, always.
+    rate:
+        Probability in ``[0, 1]`` that a given (site, key) faults.
+    kinds:
+        The fault kinds eligible for worker-side injection (subset of
+        :data:`CHAOS_KINDS`); the journal-side ``torn-write`` fault is
+        controlled by ``torn_writes``.
+    torn_writes:
+        Also inject torn duplicate lines into the journal at ``rate``.
+    """
+
+    seed: int = 0
+    rate: float = 0.1
+    kinds: tuple[str, ...] = CHAOS_KINDS
+    torn_writes: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"chaos rate must be in [0, 1], got {self.rate}")
+        if not self.kinds:
+            raise ValueError("chaos needs at least one fault kind")
+        for kind in self.kinds:
+            if kind not in CHAOS_KINDS:
+                raise ValueError(
+                    f"unknown chaos kind {kind!r}; pick from {CHAOS_KINDS}"
+                )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able form (campaign provenance headers)."""
+        return {
+            "seed": self.seed,
+            "rate": self.rate,
+            "kinds": list(self.kinds),
+            "torn_writes": self.torn_writes,
+        }
+
+
+def chaos_draw(
+    config: "ChaosConfig | None", site: str, key: str
+) -> str | None:
+    """The deterministic injection decision for one (site, key).
+
+    Returns the fault kind to inject, or ``None``.  The draw hashes
+    ``seed:site:key`` — a pure function, so the same configuration
+    replays the same faults and the R1 determinism contract holds (no
+    RNG state, no clock).
+    """
+    if config is None or config.rate <= 0.0:
+        return None
+    digest = hashlib.sha256(
+        f"{config.seed}:{site}:{key}".encode()
+    ).digest()
+    # first 8 bytes -> uniform in [0, 1); next byte picks the kind
+    u = int.from_bytes(digest[:8], "big") / 2**64
+    if u >= config.rate:
+        return None
+    return config.kinds[digest[8] % len(config.kinds)]
+
+
+def inject_worker_fault(
+    config: "ChaosConfig | None", key: str
+) -> None:
+    """Maybe fault the *current process* per the chaos draw for ``key``.
+
+    Called on worker entry (``site="worker"``).  ``crash``/``hang``/
+    ``oom`` never return normally; ``error`` raises :class:`ChaosError`;
+    a no-draw returns immediately.  Only ever call this in a supervised
+    child — a ``crash`` draw kills the calling process with SIGABRT.
+    """
+    kind = chaos_draw(config, "worker", key)
+    if kind is None:
+        return
+    if kind == "crash":
+        import faulthandler
+
+        faulthandler.disable()  # the abort is deliberate; no dump needed
+        os.kill(os.getpid(), signal.SIGABRT)
+    elif kind == "hang":
+        time.sleep(_HANG_SECONDS)  # pragma: no cover - watchdog reaps first
+        raise ChaosError(f"chaos hang outlived the watchdog for {key}")
+    elif kind == "oom":
+        balloon = []
+        while len(balloon) * _BALLOON_STEP < _BALLOON_CAP:
+            balloon.append(bytearray(_BALLOON_STEP))  # MemoryError under rlimit
+        raise MemoryError(f"chaos balloon hit the {_BALLOON_CAP}-byte safety cap")
+    else:
+        raise ChaosError(f"chaos: injected failure for cell {key}")
+
+
+def torn_write_prefix(
+    config: "ChaosConfig | None", key: str, line: str
+) -> str | None:
+    """The torn duplicate to write *before* a journal line, if drawn.
+
+    Returns roughly half of ``line`` (newline-terminated so subsequent
+    lines stay parseable) — the debris a crash mid-write leaves behind.
+    ``load_journal`` must skip it; resume must survive it.
+    """
+    if config is None or not config.torn_writes:
+        return None
+    if chaos_draw(config, "journal", key) is None:
+        return None
+    return line[: max(1, len(line) // 2)] + "\n"

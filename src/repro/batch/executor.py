@@ -1,4 +1,4 @@
-"""Process-pool executor with caching, journaling and crash-safe resume.
+"""Process-pool executor with caching, journaling, supervision and resume.
 
 :func:`run_batch` is the one entry point: give it the cells of a campaign
 and it returns their records in canonical cell order, no matter which of
@@ -16,11 +16,25 @@ three sources each record came from —
    (bit-compatible with the historical serial runner) or on a
    ``ProcessPoolExecutor`` with one worker per job.
 
+Fault tolerance: a campaign *always completes*.  A cell whose execution
+dies — worker SIGKILLed by the OOM killer, a hang past the watchdog, an
+unhandled exception — is retried a bounded number of times (seeded
+deterministic backoff) in supervised one-shot children
+(:mod:`repro.batch.supervise`), then journaled as a ``fault:*`` record
+like any other result.  The default pool path escalates failed cells to
+the supervised path instead of letting ``BrokenProcessPool`` abort the
+campaign; ``supervised=True`` (forced on whenever chaos injection is
+configured) runs *every* computed cell in its own watched child with an
+optional address-space rlimit.
+
 Determinism: a cell's outcome depends only on its content (system, solver,
 budgets, seed), never on scheduling, so ``jobs=N`` produces the same
 statuses/node counts as ``jobs=1`` and the same record *order* — only the
 wall-clock ``elapsed`` fields can differ between cold runs.  Cached or
-resumed cells reproduce byte-identically.
+resumed cells reproduce byte-identically.  Under chaos injection every
+computed record is charged its full budget as ``elapsed`` (the way
+overruns already are), so a chaos campaign's journal is byte-identical
+across re-runs with the same seeds.
 """
 
 from __future__ import annotations
@@ -28,14 +42,20 @@ from __future__ import annotations
 import json
 import os
 import time
-from collections.abc import Callable, Sequence
-from dataclasses import asdict, dataclass, field
+import warnings
 from pathlib import Path
+from collections.abc import Callable, Sequence
+from dataclasses import asdict, dataclass, field, replace
 
 from repro.batch.cache import ResultCache
 from repro.batch.cells import Cell, cell_key, rekey_record, solve_cell
+from repro.batch.chaos import ChaosConfig, torn_write_prefix
+from repro.batch.supervise import DEFAULT_GRACE, FaultRecord, run_supervised
 
 __all__ = ["BatchReport", "run_batch", "load_journal"]
+
+#: deterministic seed salt for the retry-backoff jitter
+_BACKOFF_SALT = "repro-batch-backoff"
 
 
 @dataclass
@@ -50,6 +70,10 @@ class BatchReport:
     cache_hits: int = 0
     #: cells actually solved this run
     computed: int = 0
+    #: cells whose final record is a ``fault:*`` (retries exhausted)
+    faults: int = 0
+    #: cells that needed more than one execution attempt
+    retried: int = 0
     #: wall-clock seconds for the whole batch
     elapsed: float = 0.0
 
@@ -87,6 +111,100 @@ def load_journal(path: str | os.PathLike) -> dict[str, dict]:
     return out
 
 
+def _backoff_delay(backoff: float, key: str, attempt: int) -> float:
+    """The seeded retry delay before ``attempt`` (1-based) of ``key``.
+
+    Exponential base with a deterministic jitter drawn by hashing — no
+    wall clock, no shared RNG state, so retry *decisions* replay
+    byte-identically (the R1 determinism contract).
+    """
+    import hashlib
+
+    if backoff <= 0.0:
+        return 0.0
+    digest = hashlib.sha256(
+        f"{_BACKOFF_SALT}:{key}:{attempt}".encode()
+    ).digest()
+    jitter = 0.5 + int.from_bytes(digest[:8], "big") / 2**64
+    return backoff * (2 ** (attempt - 1)) * jitter
+
+
+def _supervised_cell(payload):
+    """Supervised child target: unpack one (cell, chaos, key) and solve it."""
+    cell, chaos, chaos_key = payload
+    if chaos is None:
+        return solve_cell(cell)
+    return solve_cell(cell, chaos=chaos, chaos_key=chaos_key)
+
+
+def _fault_run_record(cell: Cell, fault: FaultRecord):
+    """The journal-able ``fault:*`` record for a cell that never answered.
+
+    Charged the full wall budget (the paper's overrun convention) with
+    deterministic content, so chaos journals replay byte-identically.
+    """
+    from repro.experiments.runner import RunRecord
+    from repro.generator.random_systems import Instance
+
+    system = cell.system()
+    instance = Instance(system=system, m=cell.m, seed=cell.instance_seed)
+    return RunRecord(
+        instance_seed=cell.instance_seed,
+        n=system.n,
+        m=cell.m,
+        hyperperiod=system.hyperperiod,
+        utilization_ratio=float(instance.utilization_ratio),
+        solver=cell.solver,
+        status=f"fault:{fault.kind}",
+        elapsed=cell.time_limit,
+        nodes=0,
+        decided_by=f"supervisor:{fault.kind}",
+        fault=fault.to_dict(),
+    )
+
+
+def _solve_cell_with_retries(
+    key: str,
+    cell: Cell,
+    retries: int,
+    memory_limit: int | None,
+    chaos: ChaosConfig | None,
+    grace: float,
+    backoff: float,
+):
+    """Run one cell in supervised children until it answers or retries run out.
+
+    Returns ``(record, attempts)`` where ``attempts`` is how many
+    executions happened (1 = first try succeeded).  The chaos key is
+    salted with the attempt number, so injected faults are per-attempt
+    draws — a cell that crashed once can (deterministically) succeed on
+    retry.  On exhaustion the record is the ``fault:*`` record of the
+    *last* fault observed.
+    """
+    wall = None if cell.time_limit is None else cell.time_limit + grace
+    last_fault: FaultRecord | None = None
+    for attempt in range(retries + 1):
+        if attempt:
+            delay = _backoff_delay(backoff, key, attempt)
+            if delay > 0.0:
+                time.sleep(delay)
+        record, fault = run_supervised(
+            _supervised_cell,
+            (cell, chaos, f"{key}:{attempt}"),
+            wall_limit=wall,
+            memory_limit=memory_limit,
+        )
+        if fault is None:
+            if chaos is not None:
+                # chaos campaigns trade timing fidelity for determinism:
+                # charge the budget so re-runs journal byte-identically
+                record = replace(record, elapsed=cell.time_limit)
+            return record, attempt + 1
+        last_fault = fault
+    fault = replace(last_fault, attempts=retries + 1)
+    return _fault_run_record(cell, fault), retries + 1
+
+
 def run_batch(
     cells: Sequence[Cell],
     jobs: int = 1,
@@ -94,6 +212,13 @@ def run_batch(
     journal: str | os.PathLike | None = None,
     resume: bool = False,
     progress: Callable[[int, int], None] | None = None,
+    supervised: bool = False,
+    retries: int = 1,
+    memory_limit: int | None = None,
+    chaos: ChaosConfig | None = None,
+    grace: float = DEFAULT_GRACE,
+    backoff: float = 0.0,
+    fault_resume: str = "skip",
 ) -> BatchReport:
     """Run a campaign of cells, in parallel, with caching and resume.
 
@@ -105,7 +230,9 @@ def run_batch(
         Worker processes; ``1`` runs in-process (no pool, no pickling).
     cache:
         A :class:`ResultCache` or a directory path for one; ``None``
-        disables cross-campaign caching.
+        disables cross-campaign caching.  Fault records never enter the
+        cache — a fault is an execution accident, not a property of the
+        cell.
     journal:
         JSONL path streamed to as cells complete; with ``resume=True`` its
         existing complete lines are honored before anything is scheduled.
@@ -113,42 +240,91 @@ def run_batch(
         Re-read ``journal`` and skip cells already recorded there.
     progress:
         ``progress(done, total)`` callback, called as each cell resolves
-        (from whichever source).
+        (from whichever source).  A callback that raises is disabled with
+        a warning — user code must never abort journaling mid-campaign.
+    supervised:
+        Run every computed cell in its own watched child process
+        (watchdog + optional rlimit + fault classification).  Without it
+        the pool fast path is used and only *failing* cells escalate to
+        supervision.  Forced on whenever ``chaos`` is set.
+    retries:
+        Extra supervised attempts granted to a faulted cell before it is
+        journaled as ``fault:*``.
+    memory_limit:
+        Per-child ``RLIMIT_AS`` in bytes (supervised executions only).
+    chaos:
+        Opt-in deterministic fault injection
+        (:class:`~repro.batch.chaos.ChaosConfig`); implies supervision.
+    grace:
+        Watchdog headroom in seconds past each cell's ``time_limit``.
+    backoff:
+        Base seconds of the seeded exponential retry backoff (``0`` =
+        retry immediately; the delay schedule is deterministic per key).
+    fault_resume:
+        What ``resume`` does with journaled ``fault:*`` cells: ``"skip"``
+        serves them as-is, ``"retry"`` recomputes them.
 
     Returns
     -------
     BatchReport
-        Records in canonical order plus hit/compute accounting.
+        Records in canonical order plus hit/compute/fault accounting.
     """
     from repro.experiments.runner import RunRecord
 
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if fault_resume not in ("skip", "retry"):
+        raise ValueError(
+            f"fault_resume must be 'skip' or 'retry', got {fault_resume!r}"
+        )
     if isinstance(cache, (str, os.PathLike)):
         cache = ResultCache(cache)
+    use_supervised = supervised or chaos is not None
     t_start = time.monotonic()
     report = BatchReport(records=[None] * len(cells))
     keys = [cell_key(c) for c in cells]
     total = len(cells)
     done = 0
+    callback = progress
 
     def tick() -> None:
-        if progress is not None:
-            progress(done, total)
+        nonlocal callback
+        if callback is None:
+            return
+        try:
+            callback(done, total)
+        except Exception as exc:
+            # journaling and completion must survive user code: disable
+            # the callback and finish the campaign
+            callback = None
+            warnings.warn(
+                f"progress callback raised {type(exc).__name__}: {exc}; "
+                "disabling progress reporting for the rest of the campaign",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    def is_fault(record) -> bool:
+        return record.status.startswith("fault:")
 
     # 1. resume from the journal's completed lines
     journaled: dict[str, dict] = {}
     if resume and journal is not None:
         journaled = load_journal(journal)
     for i, (cell, key) in enumerate(zip(cells, keys)):
-        if key in journaled:
-            record = RunRecord(**journaled[key])
-            report.records[i] = rekey_record(record, cell)
-            report.resumed += 1
-            done += 1
-            if cache is not None and key not in cache:
-                cache.put(key, record)  # warm the shared cache too
-            tick()
+        if key not in journaled:
+            continue
+        record = RunRecord(**journaled[key])
+        if is_fault(record) and fault_resume == "retry":
+            continue  # policy: give crashed cells another campaign
+        report.records[i] = rekey_record(record, cell)
+        report.resumed += 1
+        done += 1
+        if cache is not None and key not in cache and not is_fault(record):
+            cache.put(key, record)  # warm the shared cache too
+        tick()
 
     journal_fh = None
     if journal is not None:
@@ -171,9 +347,15 @@ def run_batch(
         if journal_fh is not None:
             # journal the *rekeyed* record: the JSONL is this campaign's
             # output and must carry this campaign's instance seeds
-            json.dump({"key": key, "record": asdict(rekeyed)}, journal_fh,
-                      separators=(",", ":"))
-            journal_fh.write("\n")
+            line = json.dumps(
+                {"key": key, "record": asdict(rekeyed)}, separators=(",", ":")
+            )
+            torn = torn_write_prefix(chaos, key, line)
+            if torn is not None:
+                # injected torn duplicate: the debris a crash mid-write
+                # leaves; load_journal must skip it on resume
+                journal_fh.write(torn)
+            journal_fh.write(line + "\n")
             journal_fh.flush()
         tick()
 
@@ -194,28 +376,84 @@ def run_batch(
             if report.records[i] is None:
                 pending.setdefault(key, []).append(i)
 
-        def finish(key: str, record) -> None:
-            if cache is not None:
+        def finish(key: str, record, was_retried: bool = False) -> None:
+            report.computed += 1
+            if was_retried:
+                report.retried += 1
+            if is_fault(record):
+                report.faults += 1
+            elif cache is not None:
                 cache.put(key, record)
             for i in pending[key]:
                 record_done(i, key, record)
 
-        if pending and jobs == 1:
+        def run_keys_supervised(run_keys, escalated: bool = False) -> None:
+            """Run these pending keys in watched children, ``jobs`` wide.
+
+            ``escalated`` marks keys that already burned a pool attempt,
+            so any supervised execution counts as a retry for them.
+            """
+            if jobs == 1 or len(run_keys) == 1:
+                for key in run_keys:
+                    record, attempts = _solve_cell_with_retries(
+                        key, cells[pending[key][0]], retries, memory_limit,
+                        chaos, grace, backoff,
+                    )
+                    finish(key, record, attempts > 1 or escalated)
+                return
+            from concurrent.futures import ThreadPoolExecutor, as_completed
+
+            # threads only *wait* on supervised children; the work runs
+            # in one watched process per attempt
+            with ThreadPoolExecutor(max_workers=jobs) as waiters:
+                tasks = {
+                    waiters.submit(
+                        _solve_cell_with_retries,
+                        key, cells[pending[key][0]], retries, memory_limit,
+                        chaos, grace, backoff,
+                    ): key
+                    for key in run_keys
+                }
+                for fut in as_completed(tasks):
+                    record, attempts = fut.result()
+                    finish(tasks[fut], record, attempts > 1 or escalated)
+
+        if pending and use_supervised:
+            run_keys_supervised(list(pending))
+        elif pending and jobs == 1:
             for key, indices in pending.items():
-                record = solve_cell(cells[indices[0]])
-                report.computed += 1
-                finish(key, record)
+                try:
+                    record = solve_cell(cells[indices[0]])
+                except Exception:
+                    # escalate: retry in supervised children, classify
+                    run_keys_supervised([key], escalated=True)
+                else:
+                    finish(key, record)
         elif pending:
             from concurrent.futures import ProcessPoolExecutor, as_completed
 
+            escalate: list[str] = []
             with ProcessPoolExecutor(max_workers=jobs) as pool:
                 futures = {
                     pool.submit(solve_cell, cells[indices[0]]): key
                     for key, indices in pending.items()
                 }
                 for fut in as_completed(futures):
-                    report.computed += 1
-                    finish(futures[fut], fut.result())
+                    try:
+                        record = fut.result()
+                    except Exception:
+                        # a worker exception or a broken pool (one
+                        # SIGKILLed worker fails every in-flight future):
+                        # never abort — escalate those cells below
+                        escalate.append(futures[fut])
+                        continue
+                    finish(futures[fut], record)
+            if escalate:
+                # recovery pass in canonical pending order: pool-breakage
+                # victims simply succeed here, repeat offenders classify
+                run_keys_supervised(
+                    [k for k in pending if k in escalate], escalated=True
+                )
     finally:
         if journal_fh is not None:
             journal_fh.close()

@@ -13,6 +13,14 @@ worker is a module-level callable, and decisiveness is a caller-supplied
 predicate over ``(entry index, result)``.  Results are reported through a
 queue; an entry that crashes its worker is recorded as a
 :class:`RaceError` value rather than poisoning the race.
+
+Fault tolerance: the loop waits on every live member's *process
+sentinel* alongside the result queue, so a member that dies without
+reporting — SIGKILLed by the OOM killer, segfaulted, anything that
+never reaches ``out.put`` — resolves to a :class:`RaceError`
+immediately and the race keeps going with the survivors.  Without the
+sentinels a no-``time_limit`` race would block on the queue forever the
+first time a worker was killed.
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ import queue as queue_mod
 import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _wait_connections
 
 __all__ = ["RaceError", "RaceOutcome", "race"]
 
@@ -71,6 +80,7 @@ def race(
     decisive: Callable[[int, object], bool],
     jobs: int | None = None,
     time_limit: float | None = None,
+    grace: float = GRACE,
 ) -> RaceOutcome:
     """Race ``worker(payload)`` over all payloads; first decisive wins.
 
@@ -87,12 +97,18 @@ def race(
         Max concurrent processes (default: all entries at once).
     time_limit:
         Wall budget; workers that have not reported within
-        ``time_limit + GRACE`` are terminated and listed as cancelled.
+        ``time_limit + grace`` are terminated and listed as cancelled.
+    grace:
+        Seconds granted past ``time_limit`` for self-reporting (model
+        construction happens before a member's own deadline arms).
 
     Returns
     -------
     RaceOutcome
         Winner index (or None), per-entry results, cancellations, wall.
+        An entry whose process died without reporting carries a
+        :class:`RaceError` result — never a hang, even without a
+        ``time_limit``.
     """
     t0 = time.monotonic()
     n = len(payloads)
@@ -105,7 +121,7 @@ def race(
     procs: dict[int, mp.process.BaseProcess] = {}
     next_index = 0
     outcome = RaceOutcome(winner=None)
-    deadline = None if time_limit is None else t0 + time_limit + GRACE
+    deadline = None if time_limit is None else t0 + time_limit + grace
 
     def launch_until_full() -> None:
         nonlocal next_index
@@ -119,23 +135,58 @@ def race(
             procs[next_index] = p
             next_index += 1
 
+    def handle(index: int, result) -> bool:
+        """Record one entry's result; True when it decides the race."""
+        proc = procs.pop(index, None)
+        if proc is not None:
+            proc.join()
+        outcome.results[index] = result
+        if decisive(index, result):
+            outcome.winner = index
+            return True
+        return False
+
     try:
         launch_until_full()
-        while procs:
+        while procs and outcome.winner is None:
             timeout = None if deadline is None else deadline - time.monotonic()
             if timeout is not None and timeout <= 0:
-                break
-            try:
-                index, result = out.get(timeout=timeout)
-            except queue_mod.Empty:
                 break  # budget exhausted: survivors get cancelled below
-            proc = procs.pop(index, None)
-            if proc is not None:
-                proc.join()
-            outcome.results[index] = result
-            if decisive(index, result):
-                outcome.winner = index
+            # Wait on every live member's sentinel: a reporting worker
+            # exits right after its put, and a killed worker *only*
+            # exits — either way a sentinel fires, so the race can never
+            # block forever on the queue (the old no-time_limit hang).
+            _wait_connections(
+                [p.sentinel for p in procs.values()], timeout=timeout
+            )
+            # drain everything already reported
+            while True:
+                try:
+                    index, result = out.get_nowait()
+                except queue_mod.Empty:
+                    break
+                if handle(index, result):
+                    break
+            if outcome.winner is not None:
                 break
+            # reap members that died without reporting: a clean exit has
+            # already put, so give the feeder pipe a beat before calling
+            # a silent death
+            for index in [i for i, p in procs.items() if not p.is_alive()]:
+                while index in procs and outcome.winner is None:
+                    try:
+                        got, result = out.get(timeout=0.25)
+                    except queue_mod.Empty:
+                        proc = procs[index]
+                        proc.join()
+                        handle(index, RaceError(
+                            "worker died without reporting "
+                            f"(exitcode {proc.exitcode})"
+                        ))
+                        break
+                    handle(got, result)
+                if outcome.winner is not None:
+                    break
             launch_until_full()
     finally:
         for index, proc in procs.items():

@@ -1,0 +1,254 @@
+"""Supervised execution: one work unit, one disposable child, one verdict.
+
+The process pool treats a dead worker as a catastrophe
+(``BrokenProcessPool`` aborts everything in flight).  The paper's own
+experiments say workers *will* die — CSP1 "runs out of memory on large
+instances" — so campaigns need the opposite stance: a child process is
+*expected* to be killable, and its death is a classifiable result, not
+an exception.
+
+:func:`run_supervised` runs ``fn(payload)`` in a dedicated child with
+
+* a **wall-clock watchdog** — the parent waits on the result pipe *and*
+  the process sentinel (``multiprocessing.connection.wait``), so a child
+  that dies without reporting is noticed immediately and a child that
+  hangs is terminated at the deadline;
+* an optional **address-space rlimit** — ``RLIMIT_AS`` set in the child
+  before any work, so a memory balloon dies with ``MemoryError`` (or a
+  kernel kill) inside its own sandbox instead of taking the machine down;
+* **exit classification** into a :class:`FaultRecord`: a clean return,
+  a Python error (with traceback), a signal death (SIGKILL read as the
+  OOM-killer's signature), or a watchdog timeout.
+
+``fn`` must be a module-level callable and ``payload`` plain picklable
+data (the R4 pickle-safety lint enforces both), exactly like the pool
+and race primitives.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import signal
+import time
+import traceback
+from collections.abc import Callable
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _wait_connections
+from typing import Any
+
+from repro.batch.chaos import ChaosConfig, inject_worker_fault
+
+__all__ = [
+    "FAULT_CRASH",
+    "FAULT_ERROR",
+    "FAULT_OOM",
+    "FAULT_TIMEOUT",
+    "FaultRecord",
+    "run_supervised",
+]
+
+#: fault kinds a supervised run classifies into
+FAULT_ERROR = "error"      # the child raised; detail carries the traceback
+FAULT_CRASH = "crash"      # the child died to a signal without reporting
+FAULT_OOM = "oom"          # SIGKILL death or MemoryError: memory exhaustion
+FAULT_TIMEOUT = "timeout"  # the watchdog deadline passed; child terminated
+
+#: default seconds granted past the nominal budget before the watchdog
+#: fires (covers model construction and interpreter startup)
+DEFAULT_GRACE = 10.0
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """How one supervised run failed, as plain classifiable data.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`FAULT_ERROR` / :data:`FAULT_CRASH` /
+        :data:`FAULT_OOM` / :data:`FAULT_TIMEOUT`.
+    detail:
+        Human-readable cause: the child's traceback (``error``/``oom``
+        via MemoryError), the fatal signal name (``crash``/``oom`` via
+        SIGKILL), or the exceeded deadline (``timeout``).
+    exitcode:
+        The child's ``Process.exitcode`` (negative = killed by that
+        signal; ``None`` when the child had to be force-killed).
+    attempts:
+        Filled in by the retrying caller: 1-based attempt count this
+        record is the last of.
+    """
+
+    kind: str
+    detail: str
+    exitcode: int | None = None
+    attempts: int = 1
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able form (rides the journal inside fault records)."""
+        return {
+            "kind": self.kind,
+            "detail": self.detail,
+            "exitcode": self.exitcode,
+            "attempts": self.attempts,
+        }
+
+
+def _signal_name(exitcode: int) -> str:
+    """``-9`` -> ``"SIGKILL"`` (falls back to the raw number)."""
+    try:
+        return signal.Signals(-exitcode).name
+    except ValueError:  # pragma: no cover - unknown signal number
+        return f"signal {-exitcode}"
+
+
+def _supervised_entry(
+    conn,
+    fn: Callable,
+    payload,
+    memory_limit: int | None,
+    chaos: ChaosConfig | None,
+    chaos_key: str | None,
+) -> None:
+    """Child target: sandbox, maybe inject chaos, run, report once.
+
+    Reports ``("ok", result)`` or ``("error", traceback_text)`` on the
+    pipe; a signal death reports nothing (that *is* the signal the
+    parent classifies).  The rlimit is set before any allocation so an
+    over-budget run fails inside the sandbox.
+    """
+    if memory_limit is not None:
+        import resource
+
+        soft, hard = resource.getrlimit(resource.RLIMIT_AS)
+        resource.setrlimit(
+            resource.RLIMIT_AS,
+            (memory_limit, hard if 0 < hard < memory_limit else memory_limit),
+        )
+    try:
+        if chaos is not None and chaos_key is not None:
+            inject_worker_fault(chaos, chaos_key)
+        result = fn(payload)
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc(limit=20)))
+        except (MemoryError, OSError):  # pragma: no cover - truly starved
+            pass
+        return
+    conn.send(("ok", result))
+
+
+def _classify_death(exitcode: int | None) -> FaultRecord:
+    """A child died without reporting: signal death or silent exit."""
+    if exitcode is not None and exitcode < 0:
+        name = _signal_name(exitcode)
+        kind = FAULT_OOM if -exitcode == signal.SIGKILL else FAULT_CRASH
+        detail = f"worker killed by {name} (exitcode {exitcode})"
+        if kind == FAULT_OOM:
+            detail += " — SIGKILL without a report is the OOM-killer's signature"
+        return FaultRecord(kind=kind, detail=detail, exitcode=exitcode)
+    return FaultRecord(
+        kind=FAULT_CRASH,
+        detail=f"worker exited without reporting (exitcode {exitcode})",
+        exitcode=exitcode,
+    )
+
+
+def _reap(proc) -> None:
+    """Terminate, then if needed kill, a still-running child."""
+    if proc.is_alive():
+        proc.terminate()
+    proc.join(timeout=5.0)
+    if proc.is_alive():  # pragma: no cover - terminate() failed
+        proc.kill()
+        proc.join(timeout=5.0)
+
+
+def run_supervised(
+    fn: Callable,
+    payload,
+    wall_limit: float | None = None,
+    memory_limit: int | None = None,
+    chaos: ChaosConfig | None = None,
+    chaos_key: str | None = None,
+) -> "tuple[Any, FaultRecord | None]":
+    """Run ``fn(payload)`` in a watched child; classify how it ended.
+
+    Parameters
+    ----------
+    fn:
+        Module-level callable (pickled by qualified name into the child).
+    payload:
+        Plain picklable argument for ``fn``.
+    wall_limit:
+        Watchdog deadline in seconds (``None`` = wait for the sentinel
+        forever — death is still detected, hangs are the caller's risk).
+    memory_limit:
+        ``RLIMIT_AS`` in bytes for the child, set before any work.
+    chaos, chaos_key:
+        Opt-in fault injection: the child calls
+        :func:`~repro.batch.chaos.inject_worker_fault` with this key on
+        entry.  ``None`` injects nothing.
+
+    Returns
+    -------
+    (result, fault):
+        Exactly one side is meaningful: ``fault is None`` and ``result``
+        is ``fn``'s return value, or ``fault`` is the classified
+        :class:`FaultRecord` and ``result`` is ``None``.
+    """
+    ctx = mp.get_context()
+    parent, child = ctx.Pipe(duplex=False)
+    proc = ctx.Process(
+        target=_supervised_entry,
+        args=(child, fn, payload, memory_limit, chaos, chaos_key),
+        daemon=True,
+    )
+    proc.start()
+    child.close()  # the child's handle lives in the child now
+    deadline = None if wall_limit is None else time.monotonic() + wall_limit
+    try:
+        while True:
+            timeout = None
+            if deadline is not None:
+                timeout = max(0.0, deadline - time.monotonic())
+            ready = _wait_connections([parent, proc.sentinel], timeout=timeout)
+            if parent in ready:
+                try:
+                    tag, value = parent.recv()
+                except (EOFError, OSError):
+                    # pipe closed without a message: treat as a death
+                    proc.join()
+                    return None, _classify_death(proc.exitcode)
+                proc.join()
+                if tag == "ok":
+                    return value, None
+                return None, _classify_fault_message(value, proc.exitcode)
+            if proc.sentinel in ready:
+                # dead without (yet) a message — drain the pipe once:
+                # a child can send and exit before the parent polls
+                if parent.poll(0.1):
+                    continue
+                proc.join()
+                return None, _classify_death(proc.exitcode)
+            # neither fired: the watchdog deadline passed
+            _reap(proc)
+            return None, FaultRecord(
+                kind=FAULT_TIMEOUT,
+                detail=(
+                    f"worker exceeded the {wall_limit:.3f}s watchdog "
+                    "deadline and was terminated"
+                ),
+                exitcode=proc.exitcode,
+            )
+    finally:
+        _reap(proc)
+        parent.close()
+
+
+def _classify_fault_message(tb_text: str, exitcode: int | None) -> FaultRecord:
+    """A child reported an error: Python failure, or OOM via MemoryError."""
+    kind = FAULT_ERROR
+    if "MemoryError" in tb_text:
+        kind = FAULT_OOM
+    return FaultRecord(kind=kind, detail=tb_text, exitcode=exitcode)

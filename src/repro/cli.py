@@ -416,6 +416,19 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         )
         instances = generate_instances(cfg, args.count, seed=args.seed)
 
+    if args.retries < 0:
+        print(f"--retries must be >= 0, got {args.retries}", file=sys.stderr)
+        return 2
+    chaos = None
+    if args.chaos_seed is not None:
+        from repro.batch import ChaosConfig
+
+        try:
+            chaos = ChaosConfig(seed=args.chaos_seed, rate=args.chaos_rate)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+
     progress = _progress_printer(args, "cell")
     cells = cells_for_matrix(instances, solvers, args.time_limit)
     report = run_batch(
@@ -425,6 +438,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         journal=args.output,
         resume=args.resume,
         progress=progress,
+        supervised=args.supervised,
+        retries=args.retries,
+        memory_limit=args.memory_limit,
+        chaos=chaos,
+        fault_resume=args.fault_resume,
     )
     if not args.quiet:
         print(file=sys.stderr)
@@ -439,6 +457,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         f"  computed: {report.computed}  cache hits: {report.cache_hits}  "
         f"resumed: {report.resumed}  wall: {report.elapsed:.2f}s  jobs: {args.jobs}"
     )
+    if report.faults or report.retried or chaos is not None:
+        print(f"  faults: {report.faults}  retried: {report.retried}")
     print(f"records streamed to {args.output}")
     return 0
 
@@ -666,6 +686,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="streaming JSONL journal (one line per cell)")
     b.add_argument("--resume", action="store_true",
                    help="skip cells already completed in --output")
+    b.add_argument("--supervised", action="store_true",
+                   help="run every cell in its own watched child process "
+                   "(watchdog, fault classification, optional rlimit)")
+    b.add_argument("--retries", type=int, default=1,
+                   help="extra supervised attempts for a faulted cell "
+                   "before it is journaled as fault:*")
+    b.add_argument("--memory-limit", type=int, default=None, metavar="BYTES",
+                   help="per-child RLIMIT_AS (supervised executions only)")
+    b.add_argument("--fault-resume", choices=("skip", "retry"), default="skip",
+                   help="what --resume does with journaled fault:* cells: "
+                   "serve them as-is, or recompute them")
+    b.add_argument("--chaos-seed", type=int, default=None,
+                   help="enable deterministic fault injection with this "
+                   "seed (implies --supervised; testing only)")
+    b.add_argument("--chaos-rate", type=float, default=0.1,
+                   help="per-site injection probability under --chaos-seed")
     b.add_argument("--quiet", action="store_true")
     b.set_defaults(func=_cmd_batch)
 

@@ -406,9 +406,12 @@ def run_difftest(
     n_solvers = len(config.solvers)
     per_problem: dict[int, list[SolveReport]] = {}
     verdicts: dict[str, dict[str, int]] = {s: {} for s in config.solvers}
+    # on_fault="record": a solver that crashes its worker yields a
+    # ``fault:*`` report (status UNKNOWN underneath), which cross_check
+    # ignores — one bad solver build must not abort the whole campaign
     for report in solve_iter(
         problems, config.solvers, jobs=config.jobs, check=False,
-        progress=progress,
+        progress=progress, on_fault="record",
     ):
         per_problem.setdefault(report.index // n_solvers, []).append(report)
         counts = verdicts[report.solver]

@@ -27,6 +27,12 @@ class RunRecord:
     cell pruned by the cascade, a member name for a portfolio win); it is
     ``None`` for cells that never ran and for journals written before the
     field existed.
+
+    ``status`` is normally one of ``feasible`` / ``infeasible`` /
+    ``unknown`` / ``skipped-memory``; a cell whose execution died and
+    exhausted its retries carries a ``fault:*`` status instead (crash,
+    oom, timeout, error) with the classified
+    :class:`~repro.batch.supervise.FaultRecord` dict in ``fault``.
     """
 
     instance_seed: int | None
@@ -35,19 +41,25 @@ class RunRecord:
     hyperperiod: int
     utilization_ratio: float
     solver: str
-    status: str  # feasible | infeasible | unknown | skipped-memory
+    status: str  # feasible | infeasible | unknown | skipped-memory | fault:*
     elapsed: float
     nodes: int
     decided_by: str | None = None
+    fault: dict | None = None
 
     @property
     def overrun(self) -> bool:
         """The paper's overrun: budget exhausted without an answer.
 
         ``skipped-memory`` counts as an overrun too — the paper reports
-        CSP1 "runs out of memory on large instances" in the same breath.
+        CSP1 "runs out of memory on large instances" in the same breath —
+        and so does any ``fault:*`` outcome: a crashed cell consumed its
+        budget without producing an answer.
         """
-        return self.status in ("unknown", "skipped-memory")
+        return (
+            self.status in ("unknown", "skipped-memory")
+            or self.status.startswith("fault:")
+        )
 
     @property
     def solved(self) -> bool:

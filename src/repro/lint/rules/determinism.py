@@ -4,7 +4,9 @@ The repo's determinism guarantees are load-bearing: the batch cache keys
 results by content (same cell → same record), ``jobs=N`` must equal
 ``jobs=1``, and ``tests/test_engine_regression.py`` pins node counts on
 a seeded grid.  Anything that injects ambient nondeterminism into
-``csp/``, ``solvers/`` or ``baselines/`` breaks those silently:
+``csp/``, ``solvers/``, ``baselines/`` or ``batch/`` (whose retry and
+chaos-injection decisions must replay byte-identically) breaks those
+silently:
 
 * an *unseeded* RNG (``random.Random()``) or the module-global
   ``random.*`` functions (shared, externally reseedable state);
@@ -26,11 +28,14 @@ from repro.lint.report import Finding
 
 __all__ = ["UnseededRandomRule", "ModuleRandomRule", "WallClockRule", "SetIterationRule"]
 
-#: the dirs the determinism contract covers (search + solving + baselines)
+#: the dirs the determinism contract covers (search + solving + baselines,
+#: plus the batch layer: retry/backoff decisions and chaos draws must
+#: replay byte-identically for journal byte-identity and crash-safe resume)
 DETERMINISM_SCOPE = (
     "src/repro/csp/",
     "src/repro/solvers/",
     "src/repro/baselines/",
+    "src/repro/batch/",
 )
 
 #: zero-argument constructors of *unseeded* RNGs

@@ -13,7 +13,8 @@ Two checks:
 
 * the *callable* position of a process primitive (``Process(target=…)``,
   pool ``submit``/``map``/``apply_async``, :func:`repro.batch.racing.race`'s
-  ``worker``) must not be a lambda or a locally-defined function;
+  ``worker``, :func:`repro.batch.supervise.run_supervised`'s ``fn``) must
+  not be a lambda or a locally-defined function;
 * the *payload* arguments of those same primitives must not contain
   lambdas anywhere (payloads are data, and data pickles).
 """
@@ -70,6 +71,17 @@ def _process_calls(tree: ast.AST) -> Iterator[tuple[ast.Call, list[ast.expr], li
             for kw in node.keywords:
                 if kw.arg == "worker":
                     callables.append(kw.value)
+        elif simple == "run_supervised":
+            # run_supervised(fn, payload, ...): fn is pickled into the
+            # supervised child, payload rides along
+            if node.args:
+                callables.append(node.args[0])
+                payloads.extend(node.args[1:2])
+            for kw in node.keywords:
+                if kw.arg == "fn":
+                    callables.append(kw.value)
+                elif kw.arg == "payload":
+                    payloads.append(kw.value)
         if callables or payloads:
             yield node, callables, payloads
 

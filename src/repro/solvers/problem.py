@@ -51,10 +51,32 @@ __all__ = [
     "solve_problem",
     "solve_iter",
     "estimate_generic_variables",
+    "FAULT_PREFIX",
+    "fault_label",
+    "is_fault_label",
 ]
 
 #: report status string for a cell skipped by the memory guard
 SKIPPED_MEMORY = "skipped-memory"
+
+#: prefix of every fault status label (``fault:crash``, ``fault:oom``,
+#: ``fault:timeout``, ``fault:error``): the cell's *execution* failed —
+#: worker death, watchdog timeout, unhandled error — as opposed to the
+#: solver answering ``unknown`` within a healthy run.  Fault statuses are
+#: journaled like any other outcome so campaigns always complete, and
+#: they are never verdicts: difftest and the tables treat them as
+#: UNKNOWN-with-provenance.
+FAULT_PREFIX = "fault:"
+
+
+def fault_label(kind: str) -> str:
+    """The status label for a fault of ``kind`` (e.g. ``"fault:crash"``)."""
+    return FAULT_PREFIX + kind
+
+
+def is_fault_label(status: str) -> bool:
+    """True iff ``status`` records an execution fault, not a verdict."""
+    return status.startswith(FAULT_PREFIX)
 
 
 def estimate_generic_variables(system: TaskSystem, platform: Platform) -> int:
@@ -195,10 +217,15 @@ class SolveReport:
     cloned_system: TaskSystem
     clone_map: CloneMap
     elapsed: float
-    #: non-None when the cell never ran (currently only "memory")
+    #: non-None when the cell never produced a solver result: ``"memory"``
+    #: (the variable-limit guard) or a ``fault:*`` label (the cell's
+    #: execution crashed / hung / OOMed — see :data:`FAULT_PREFIX`)
     skipped: str | None = None
     #: position in the solve_iter matrix (problem-major, solver-minor)
     index: int = 0
+    #: fault provenance (kind / detail / attempts) when ``skipped`` is a
+    #: ``fault:*`` label; rides the JSONL round-trip
+    fault: dict | None = None
 
     # -- MgrtsResult-compatible surface ---------------------------------------
     @property
@@ -215,10 +242,13 @@ class SolveReport:
 
     @property
     def status_label(self) -> str:
-        """The verdict as a record string (``skipped-memory`` included)."""
-        if self.skipped is not None:
-            return SKIPPED_MEMORY
-        return self.status.value
+        """The verdict as a record string (``skipped-memory`` and
+        ``fault:*`` included)."""
+        if self.skipped is None:
+            return self.status.value
+        if is_fault_label(self.skipped):
+            return self.skipped
+        return SKIPPED_MEMORY
 
     @property
     def is_feasible(self) -> bool:
@@ -263,7 +293,10 @@ class SolveReport:
     def decided_by(self) -> str | None:
         """Provenance of the verdict: the analysis test (``screen``'s
         cascade), winning member (portfolio) or engine that decided this
-        cell; ``None`` for cells that never ran."""
+        cell; ``supervisor:<kind>`` for faulted cells; ``None`` for
+        cells that never ran."""
+        if self.skipped is not None and is_fault_label(self.skipped):
+            return "supervisor:" + self.skipped[len(FAULT_PREFIX):]
         if self.result is None:
             return None
         return self.result.decided_by or self.winner
@@ -291,6 +324,7 @@ class SolveReport:
             "schedule": (
                 None if self.schedule is None else self.schedule.table.tolist()
             ),
+            "fault": self.fault,
         }
 
     @classmethod
@@ -304,7 +338,11 @@ class SolveReport:
         problem = Problem.from_dict(data["problem"])
         cloned, cmap = clone_for_arbitrary_deadlines(problem.system)
         status_label = data["status"]
-        skipped = "memory" if status_label == SKIPPED_MEMORY else None
+        skipped = None
+        if status_label == SKIPPED_MEMORY:
+            skipped = "memory"
+        elif is_fault_label(status_label):
+            skipped = status_label
         s = data["stats"]
         stats = SolverStats(
             nodes=s["nodes"],
@@ -335,6 +373,7 @@ class SolveReport:
             elapsed=data["elapsed"],
             skipped=skipped,
             index=data.get("index", 0),
+            fault=data.get("fault"),
         )
 
 
@@ -419,6 +458,41 @@ def _solve_entry(entry) -> SolveReport:
     return replace(report, index=index)
 
 
+def _fault_report(
+    entry, kind: str, detail: str, attempts: int = 1
+) -> SolveReport:
+    """A synthesized ``fault:*`` report for a cell whose execution died.
+
+    The cell is charged its full wall budget (like an overrun) and the
+    fault provenance rides the report, so downstream consumers see an
+    UNKNOWN-with-a-reason instead of a missing cell or a dead campaign.
+    """
+    index, problem, solver, _check, _options = entry
+    cloned, cmap = clone_for_arbitrary_deadlines(problem.system)
+    spec = solver if isinstance(solver, SolverSpec) else SolverSpec.parse(solver)
+    return SolveReport(
+        problem=problem,
+        solver=spec.canonical,
+        result=None,
+        cloned_system=cloned,
+        clone_map=cmap,
+        elapsed=problem.time_limit or 0.0,
+        skipped=fault_label(kind),
+        index=index,
+        fault={"kind": kind, "detail": detail, "attempts": attempts},
+    )
+
+
+def _guarded_entry(entry) -> SolveReport:
+    """In-process cell execution that records failures as fault reports."""
+    try:
+        return _solve_entry(entry)
+    except Exception:
+        import traceback
+
+        return _fault_report(entry, "error", traceback.format_exc(limit=20))
+
+
 def solve_iter(
     problems: "Iterable[Problem] | Problem",
     solvers: "Sequence[str | SolverSpec] | str" = ("csp2+dc",),
@@ -426,6 +500,7 @@ def solve_iter(
     check: bool = True,
     options: dict | None = None,
     progress=None,
+    on_fault: str = "raise",
 ) -> Iterator[SolveReport]:
     """Stream :class:`SolveReport` records for a problems x solvers matrix.
 
@@ -446,11 +521,21 @@ def solve_iter(
         Extra solver options applied to every cell (registry-validated).
     progress:
         Optional ``progress(done, total)`` callback.
+    on_fault:
+        ``"raise"`` (default) propagates a failing cell's exception —
+        the historical behavior.  ``"record"`` makes the matrix
+        fault-tolerant: a cell whose execution raises or whose worker
+        dies (even a pool-breaking SIGKILL) yields a ``fault:*`` report
+        instead of aborting the stream; pool-breakage victims are
+        re-run once in supervised one-shot children before being
+        classified.
 
     Yields
     ------
     SolveReport
-        One per (problem, solver) cell.
+        One per (problem, solver) cell, always — under
+        ``on_fault="record"`` a faulted cell yields a report whose
+        :attr:`~SolveReport.status_label` is ``fault:<kind>``.
     """
     if isinstance(problems, Problem):
         problems = [problems]
@@ -458,6 +543,8 @@ def solve_iter(
         solvers = [solvers]
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if on_fault not in ("raise", "record"):
+        raise ValueError(f"on_fault must be 'raise' or 'record', got {on_fault!r}")
     options = options or {}
     entries = [
         (index, problem, SolverSpec.parse(s), check, options)
@@ -473,18 +560,50 @@ def solve_iter(
             progress(done, total)
 
     if jobs == 1:
+        runner = _guarded_entry if on_fault == "record" else _solve_entry
         for entry in entries:
-            report = _solve_entry(entry)
+            report = runner(entry)
             done += 1
             tick()
             yield report
         return
     from concurrent.futures import ProcessPoolExecutor, as_completed
 
+    failed: list[tuple] = []
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = [pool.submit(_solve_entry, entry) for entry in entries]
+        futures = {pool.submit(_solve_entry, entry): entry for entry in entries}
         for fut in as_completed(futures):
-            report = fut.result()
+            try:
+                report = fut.result()
+            except Exception:
+                if on_fault == "raise":
+                    raise
+                # a worker exception or a broken pool (a SIGKILLed
+                # worker fails every in-flight future): queue the cell
+                # for the supervised recovery pass below
+                failed.append(futures[fut])
+                continue
+            done += 1
+            tick()
+            yield report
+    # recovery pass: each failed cell re-runs once in a supervised
+    # one-shot child — a broken pool's innocent victims succeed here,
+    # repeat offenders classify into fault reports
+    if failed:
+        from repro.batch.supervise import DEFAULT_GRACE, run_supervised
+
+        for entry in sorted(failed, key=lambda e: e[0]):
+            wall = entry[1].time_limit
+            result, fault = run_supervised(
+                _solve_entry, entry,
+                wall_limit=None if wall is None else wall + DEFAULT_GRACE,
+            )
+            if fault is None:
+                report = result
+            else:
+                report = _fault_report(
+                    entry, fault.kind, fault.detail, attempts=2
+                )
             done += 1
             tick()
             yield report

@@ -2,6 +2,7 @@
 
 import json
 import os
+import signal
 
 import pytest
 
@@ -207,6 +208,125 @@ class TestExecutor:
     def test_bad_jobs_rejected(self, cells):
         with pytest.raises(ValueError):
             run_batch(cells, jobs=0)
+
+
+#: instance seed whose cells the killer/raiser helpers below target;
+#: set by each test before launching the campaign
+_VICTIM_SEED = None
+
+
+def _solve_or_sigkill(cell):
+    """Worker stand-in: SIGKILL ourselves on the victim's cells."""
+    if cell.instance_seed == _VICTIM_SEED:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return solve_cell(cell)
+
+
+def _solve_or_raise(cell):
+    """Worker stand-in: raise on the victim's cells."""
+    if cell.instance_seed == _VICTIM_SEED:
+        raise RuntimeError("deliberate worker failure")
+    return solve_cell(cell)
+
+
+class TestFaultTolerance:
+    """A campaign always completes; dead cells become fault:* records."""
+
+    def _mark_victim(self, monkeypatch, instances):
+        monkeypatch.setattr(
+            "tests.test_batch._VICTIM_SEED", instances[0].seed, raising=False
+        )
+        # monkeypatch can't reach the module-global read by the forked
+        # workers through its normal attr path, so set it directly too
+        global _VICTIM_SEED
+        _VICTIM_SEED = instances[0].seed
+
+    def test_sigkilled_pool_worker_does_not_abort_the_campaign(
+        self, tmp_path, monkeypatch, instances, cells
+    ):
+        """A SIGKILLed worker breaks the pool; the campaign must still
+        complete, with the victim journaled as a fault record."""
+        self._mark_victim(monkeypatch, instances)
+        monkeypatch.setattr(
+            "repro.batch.executor.solve_cell", _solve_or_sigkill
+        )
+        journal = tmp_path / "r.jsonl"
+        report = run_batch(cells, jobs=2, journal=journal, retries=1, grace=2.0)
+        assert all(r is not None for r in report.records)
+        victims = [r for r in report.records if r.instance_seed == instances[0].seed]
+        assert victims and all(r.status.startswith("fault:") for r in victims)
+        # SIGKILL without a report classifies as the OOM-killer's work
+        assert all(r.status == "fault:oom" for r in victims)
+        survivors = [r for r in report.records if r.instance_seed != instances[0].seed]
+        assert all(not r.status.startswith("fault:") for r in survivors)
+        assert set(load_journal(journal)) == {cell_key(c) for c in cells}
+        assert report.faults == len(victims)
+
+    def test_inprocess_failure_escalates_to_supervision(
+        self, tmp_path, monkeypatch, instances, cells
+    ):
+        """jobs=1 in-process exceptions classify instead of propagating."""
+        self._mark_victim(monkeypatch, instances)
+        monkeypatch.setattr("repro.batch.executor.solve_cell", _solve_or_raise)
+        report = run_batch(cells[:4], jobs=1, retries=0, grace=2.0)
+        faulted = [r for r in report.records if r.status == "fault:error"]
+        assert len(faulted) == 2  # both solvers of the victim instance
+        assert all("deliberate worker failure" in r.fault["detail"] for r in faulted)
+        assert report.retried == 2
+
+    def test_supervised_matches_plain_execution(self, cells):
+        plain = run_batch(cells[:6], jobs=1)
+        watched = run_batch(cells[:6], jobs=2, supervised=True)
+        assert strip_elapsed(plain.records) == strip_elapsed(watched.records)
+        assert watched.faults == 0 and watched.retried == 0
+
+    def test_raising_progress_callback_cannot_abort_journaling(
+        self, tmp_path, cells
+    ):
+        def bad_progress(done, total):
+            raise ValueError("user callback bug")
+
+        journal = tmp_path / "r.jsonl"
+        with pytest.warns(RuntimeWarning, match="progress callback"):
+            report = run_batch(cells[:4], jobs=1, journal=journal,
+                               progress=bad_progress)
+        assert all(r is not None for r in report.records)
+        assert set(load_journal(journal)) == {cell_key(c) for c in cells[:4]}
+
+    def test_fault_resume_skip_serves_retry_recomputes(self, tmp_path, cells):
+        from repro.batch import ChaosConfig
+
+        chaos = ChaosConfig(seed=0, rate=1.0, kinds=("error",), torn_writes=False)
+        journal = tmp_path / "r.jsonl"
+        first = run_batch(cells[:2], journal=journal, chaos=chaos, retries=0)
+        assert first.faults == 2
+
+        served = run_batch(cells[:2], journal=journal, resume=True)
+        assert served.resumed == 2 and served.computed == 0
+        assert all(r.status == "fault:error" for r in served.records)
+
+        healed = run_batch(
+            cells[:2], journal=journal, resume=True, fault_resume="retry"
+        )
+        assert healed.resumed == 0 and healed.computed == 2
+        assert all(not r.status.startswith("fault:") for r in healed.records)
+        # the journal's last word per key is now the healed record
+        for rec in load_journal(journal).values():
+            assert not rec["status"].startswith("fault:")
+
+    def test_fault_records_never_enter_the_cache(self, tmp_path, cells):
+        from repro.batch import ChaosConfig
+
+        chaos = ChaosConfig(seed=0, rate=1.0, kinds=("error",))
+        cache = ResultCache(tmp_path / "cache")
+        run_batch(cells[:2], cache=cache, chaos=chaos, retries=0)
+        assert len(cache) == 0
+
+    def test_bad_knobs_rejected(self, cells):
+        with pytest.raises(ValueError):
+            run_batch(cells[:1], retries=-1)
+        with pytest.raises(ValueError):
+            run_batch(cells[:1], fault_resume="maybe")
 
 
 class TestRunnerShim:

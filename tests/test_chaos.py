@@ -1,0 +1,187 @@
+"""Tests for deterministic chaos injection and fault-tolerant campaigns.
+
+The acceptance bar (ISSUE 8): with a 0.3 injection rate on a seeded
+100-cell grid, ``run_batch`` completes with zero raised exceptions, every
+cell is journaled (a result or a ``fault:*`` record), and a re-run with
+the same seeds produces a byte-identical journal.
+"""
+
+import json
+
+import pytest
+
+from repro.batch import cells_for_matrix, load_journal, run_batch
+from repro.batch.chaos import (
+    CHAOS_KINDS,
+    ChaosConfig,
+    ChaosError,
+    chaos_draw,
+    inject_worker_fault,
+    torn_write_prefix,
+)
+from repro.batch.cells import cell_key
+from repro.generator.random_systems import GeneratorConfig, generate_instances
+
+#: small budgets keep injected hangs cheap: a hang costs wall_limit =
+#: time_limit + grace before the watchdog reaps it
+TIME_LIMIT = 0.4
+GRACE = 0.4
+
+
+@pytest.fixture(scope="module")
+def grid_cells():
+    """The acceptance grid: 100 tiny cells (50 instances x 2 solvers)."""
+    instances = generate_instances(GeneratorConfig(n=3, m=2, tmax=3), 50, seed=2009)
+    return cells_for_matrix(instances, ["csp2+dc", "csp2"], TIME_LIMIT)
+
+
+class TestChaosConfig:
+    def test_rate_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(rate=1.5)
+        with pytest.raises(ValueError):
+            ChaosConfig(rate=-0.1)
+
+    def test_kinds_validated(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(kinds=())
+        with pytest.raises(ValueError):
+            ChaosConfig(kinds=("crash", "meteor"))
+
+    def test_to_dict_is_json_able(self):
+        cfg = ChaosConfig(seed=7, rate=0.25, kinds=("error",))
+        assert json.loads(json.dumps(cfg.to_dict())) == cfg.to_dict()
+
+
+class TestChaosDraw:
+    def test_pure_function_of_seed_site_key(self):
+        cfg = ChaosConfig(seed=13, rate=0.5)
+        draws = [chaos_draw(cfg, "worker", f"k{i}") for i in range(64)]
+        again = [chaos_draw(cfg, "worker", f"k{i}") for i in range(64)]
+        assert draws == again
+
+    def test_seed_and_site_change_the_draws(self):
+        a = ChaosConfig(seed=1, rate=0.5)
+        b = ChaosConfig(seed=2, rate=0.5)
+        keys = [f"k{i}" for i in range(128)]
+        assert [chaos_draw(a, "worker", k) for k in keys] != [
+            chaos_draw(b, "worker", k) for k in keys
+        ]
+        assert [chaos_draw(a, "worker", k) for k in keys] != [
+            chaos_draw(a, "journal", k) for k in keys
+        ]
+
+    def test_rate_zero_never_draws(self):
+        cfg = ChaosConfig(rate=0.0)
+        assert all(chaos_draw(cfg, "worker", f"k{i}") is None for i in range(100))
+        assert chaos_draw(None, "worker", "k") is None
+
+    def test_rate_one_always_draws_a_known_kind(self):
+        cfg = ChaosConfig(rate=1.0)
+        for i in range(100):
+            assert chaos_draw(cfg, "worker", f"k{i}") in CHAOS_KINDS
+
+    def test_rate_is_roughly_respected(self):
+        cfg = ChaosConfig(seed=5, rate=0.3)
+        hits = sum(
+            chaos_draw(cfg, "worker", f"k{i}") is not None for i in range(1000)
+        )
+        assert 200 <= hits <= 400  # ~0.3 within generous tolerance
+
+    def test_error_kind_raises_chaos_error(self):
+        cfg = ChaosConfig(rate=1.0, kinds=("error",))
+        with pytest.raises(ChaosError):
+            inject_worker_fault(cfg, "some-cell")
+        inject_worker_fault(None, "some-cell")  # no config: no-op
+
+
+class TestTornWrites:
+    def test_prefix_is_a_truncated_newline_terminated_copy(self):
+        cfg = ChaosConfig(rate=1.0)
+        line = json.dumps({"key": "k", "record": {"a": 1}})
+        torn = torn_write_prefix(cfg, "k", line)
+        assert torn is not None and torn.endswith("\n")
+        body = torn[:-1]
+        assert line.startswith(body) and len(body) < len(line)
+
+    def test_disabled_by_flag_or_config(self):
+        line = "x" * 50
+        assert torn_write_prefix(None, "k", line) is None
+        cfg = ChaosConfig(rate=1.0, torn_writes=False)
+        assert torn_write_prefix(cfg, "k", line) is None
+
+
+class TestChaosCampaign:
+    """The acceptance bar: chaos campaigns always complete, reproducibly."""
+
+    CHAOS = ChaosConfig(seed=42, rate=0.3)
+
+    def run(self, cells, journal, **kw):
+        return run_batch(
+            cells, journal=journal, chaos=self.CHAOS, retries=1,
+            grace=GRACE, **kw,
+        )
+
+    def test_campaign_completes_and_reruns_byte_identically(
+        self, tmp_path, grid_cells
+    ):
+        j1, j2 = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        report = self.run(grid_cells, j1)
+
+        # zero raised exceptions (we got here) and every cell journaled
+        assert report.total == 100
+        assert all(r is not None for r in report.records)
+        entries = load_journal(j1)
+        assert set(entries) == {cell_key(c) for c in grid_cells}
+        for rec in entries.values():
+            assert rec["status"].startswith("fault:") or rec["status"] in (
+                "feasible", "infeasible", "unknown", "skipped-memory",
+            )
+
+        # the chaos actually did something on this seed
+        assert report.retried > 0
+        statuses = {r.status for r in report.records}
+        assert any(s.startswith("fault:") for s in statuses) or report.retried
+
+        # byte-identical journal on re-run with the same seeds
+        self.run(grid_cells, j2)
+        assert j1.read_bytes() == j2.read_bytes()
+
+    def test_resume_equivalence_after_a_crash(self, tmp_path, grid_cells):
+        """Fresh run vs crash-at-arbitrary-byte + resume: same journal."""
+        fresh = tmp_path / "fresh.jsonl"
+        self.run(grid_cells, fresh)
+        data = fresh.read_bytes()
+
+        crashed = tmp_path / "crashed.jsonl"
+        crashed.write_bytes(data[: int(len(data) * 0.6)])  # torn mid-line
+        report = self.run(grid_cells, crashed, resume=True)
+        assert report.resumed > 0 and report.computed > 0
+        assert crashed.read_bytes() == data
+
+    def test_fault_records_carry_provenance(self, tmp_path, grid_cells):
+        chaos = ChaosConfig(seed=42, rate=1.0, kinds=("error",))
+        cells = grid_cells[:3]
+        report = run_batch(
+            cells, journal=tmp_path / "f.jsonl", chaos=chaos, retries=1,
+            grace=GRACE,
+        )
+        assert report.faults == 3
+        for r in report.records:
+            assert r.status == "fault:error"
+            assert r.decided_by == "supervisor:error"
+            assert r.elapsed == TIME_LIMIT and r.nodes == 0
+            assert r.fault["kind"] == "error"
+            assert r.fault["attempts"] == 2  # retries=1 -> two attempts
+            assert "ChaosError" in r.fault["detail"]
+
+    def test_retry_can_rescue_a_cell(self, tmp_path, grid_cells):
+        """Attempt-salted draws: cells that fault once succeed on retry."""
+        no_retry = run_batch(
+            grid_cells[:40], chaos=self.CHAOS, retries=0, grace=GRACE,
+        )
+        with_retry = run_batch(
+            grid_cells[:40], chaos=self.CHAOS, retries=2, grace=GRACE,
+        )
+        assert with_retry.faults < no_retry.faults
+        assert with_retry.retried > 0

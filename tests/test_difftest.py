@@ -316,6 +316,57 @@ class TestRunDifftest:
         assert ticks == [(1, 3), (2, 3), (3, 3)]
 
 
+@pytest.fixture
+def bomb():
+    """A solver whose build always raises — a faulting campaign member."""
+    from repro.solvers import registry as reg
+
+    def make_result(system, platform):
+        raise RuntimeError("deliberate solver explosion")
+
+    name = _register_canned("test-bomb", make_result)
+    yield name
+    reg._REGISTRY.pop(name)
+
+
+class TestFaultTolerantCampaign:
+    """One crashing solver must not abort the differential campaign."""
+
+    def test_faulting_solver_becomes_unknown_census(self, bomb):
+        cfg = DiffTestConfig(
+            solvers=(bomb, "csp2+dc"), instances=3, n=3, tmax=3,
+            time_limit=10.0,
+        )
+        report = run_difftest(cfg)
+        # the campaign completed; the bomb's cells are fault:error and,
+        # being UNKNOWN underneath, can never disagree with anyone
+        assert report.ok
+        assert report.verdicts[bomb] == {"fault:error": 3}
+        assert sum(report.verdicts["csp2+dc"].values()) == 3
+
+    def test_solve_iter_on_fault_record_yields_fault_reports(self, bomb):
+        from repro.solvers.problem import solve_iter
+
+        problem = feasible_problem()
+        reports = list(solve_iter(problem, [bomb], on_fault="record"))
+        assert len(reports) == 1
+        assert reports[0].status_label == "fault:error"
+        assert reports[0].decided_by == "supervisor:error"
+        assert "deliberate solver explosion" in reports[0].fault["detail"]
+
+    def test_solve_iter_on_fault_raise_still_propagates(self, bomb):
+        from repro.solvers.problem import solve_iter
+
+        with pytest.raises(RuntimeError, match="deliberate solver explosion"):
+            list(solve_iter(feasible_problem(), [bomb]))
+
+    def test_solve_iter_rejects_unknown_policy(self):
+        from repro.solvers.problem import solve_iter
+
+        with pytest.raises(ValueError, match="on_fault"):
+            list(solve_iter(feasible_problem(), ["csp2"], on_fault="ignore"))
+
+
 class TestArtifacts:
     def test_round_trip(self, tmp_path, liar):
         cfg = DiffTestConfig(

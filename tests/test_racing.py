@@ -1,0 +1,104 @@
+"""Direct tests for the race() primitive's fault tolerance.
+
+The portfolio tests exercise race() end-to-end through solvers; these
+tests target the primitive itself, especially the regression the
+supervision PR fixed: a worker that dies without reporting used to hang
+a no-``time_limit`` race forever on the result queue.
+"""
+
+import os
+import signal
+import time
+
+from repro.batch.racing import RaceError, race
+
+
+def _identity(payload):
+    return payload
+
+
+def _die_by_sigkill(_payload):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _sleep_then_return(seconds):
+    time.sleep(seconds)
+    return seconds
+
+
+def _any_result(_index, result):
+    return not isinstance(result, RaceError)
+
+
+def _never(_index, _result):
+    return False
+
+
+class TestDeadWorkers:
+    def test_dead_worker_without_time_limit_does_not_hang(self):
+        """The regression: no deadline + a SIGKILLed worker must resolve
+        to a RaceError promptly instead of blocking on the queue."""
+        t0 = time.monotonic()
+        outcome = race([None], _die_by_sigkill, _never, time_limit=None)
+        assert time.monotonic() - t0 < 30.0
+        assert outcome.winner is None
+        assert isinstance(outcome.results[0], RaceError)
+        assert "exitcode -9" in outcome.results[0].message
+
+    def test_race_survives_a_dead_member(self):
+        """One member dies, the other still wins."""
+        outcome = race(
+            [0.2, None],
+            _sleep_or_die,
+            _any_result,
+            time_limit=None,
+        )
+        assert outcome.winner == 0
+        assert outcome.results[0] == 0.2
+        assert isinstance(outcome.results.get(1, RaceError("")), RaceError)
+
+    def test_all_dead_members_all_reported(self):
+        outcome = race([None, None, None], _die_by_sigkill, _never)
+        assert outcome.winner is None
+        assert len(outcome.results) == 3
+        assert all(isinstance(r, RaceError) for r in outcome.results.values())
+
+
+def _sleep_or_die(payload):
+    if payload is None:
+        os.kill(os.getpid(), signal.SIGKILL)
+    time.sleep(payload)
+    return payload
+
+
+class TestGraceKnob:
+    def test_grace_extends_the_deadline(self):
+        """A worker needing ~0.5s reports in time under time_limit=0.1
+        only because grace covers the overshoot."""
+        outcome = race(
+            [0.5], _sleep_then_return, _any_result,
+            time_limit=0.1, grace=30.0,
+        )
+        assert outcome.winner == 0
+
+    def test_tight_grace_cancels_the_laggard(self):
+        outcome = race(
+            [30.0], _sleep_then_return, _any_result,
+            time_limit=0.1, grace=0.2,
+        )
+        assert outcome.winner is None
+        assert outcome.cancelled == [0]
+
+
+class TestBasics:
+    def test_first_decisive_wins_and_losers_cancelled(self):
+        outcome = race(
+            [0.05, 60.0], _sleep_then_return, _any_result, time_limit=None,
+        )
+        assert outcome.winner == 0
+        assert 1 in outcome.cancelled or outcome.results.get(1) == 60.0
+
+    def test_results_recorded_for_indecisive_entries(self):
+        outcome = race([1, 2], _identity, _never, time_limit=5.0)
+        assert outcome.winner is None
+        assert outcome.results == {0: 1, 1: 2}

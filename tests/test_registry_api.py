@@ -280,6 +280,22 @@ class TestProblemFrontDoor:
         assert not back.clone_map.is_identity
         assert back.original_schedule.system == arb
 
+    def test_fault_report_jsonl_roundtrip(self):
+        """A fault:* report (crashed cell) survives the JSONL round trip."""
+        from repro.solvers.problem import _fault_report
+
+        problem = Problem.of(tiny_feasible(), m=1, time_limit=2.0)
+        entry = (3, problem, "csp2", False, {})
+        report = _fault_report(entry, "crash", "worker killed by SIGABRT")
+        line = json.dumps(report.to_dict())
+        back = SolveReport.from_dict(json.loads(line))
+        assert back.to_dict() == report.to_dict()
+        assert back.status_label == "fault:crash"
+        assert back.decided_by == "supervisor:crash"
+        assert back.elapsed == 2.0  # charged the full budget, like overruns
+        assert back.fault["detail"] == "worker killed by SIGABRT"
+        assert back.index == 3
+
     def test_node_limit_stop_keeps_true_wall_time(self):
         report = solve(
             running_example(), m=2, solver="csp1", time_limit=30.0, node_limit=1

@@ -1,0 +1,124 @@
+"""Tests for supervised execution: watchdog, rlimit, fault classification."""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.batch.supervise import (
+    FAULT_CRASH,
+    FAULT_ERROR,
+    FAULT_OOM,
+    FAULT_TIMEOUT,
+    FaultRecord,
+    run_supervised,
+)
+
+# -- module-level worker functions (pickled by name into children) ---------
+
+
+def _double(x):
+    return x * 2
+
+
+def _raise_value_error(_):
+    raise ValueError("deliberate failure")
+
+
+def _raise_memory_error(_):
+    raise MemoryError("simulated exhaustion")
+
+
+def _die_by_signal(sig):
+    os.kill(os.getpid(), sig)
+
+
+def _exit_silently(code):
+    os._exit(code)
+
+
+def _sleep_forever(_):
+    time.sleep(3600.0)
+
+
+def _allocate_3gb(_):
+    return len(bytearray(3 << 30))
+
+
+class TestCleanRuns:
+    def test_result_comes_back(self):
+        result, fault = run_supervised(_double, 21)
+        assert result == 42 and fault is None
+
+    def test_picklable_payloads_roundtrip(self):
+        result, fault = run_supervised(_double, [1, 2])
+        assert result == [1, 2, 1, 2] and fault is None
+
+
+class TestClassification:
+    def test_python_error_carries_traceback(self):
+        result, fault = run_supervised(_raise_value_error, None)
+        assert result is None
+        assert fault.kind == FAULT_ERROR
+        assert "ValueError" in fault.detail and "deliberate failure" in fault.detail
+        assert fault.exitcode == 0  # the child reported, then exited cleanly
+
+    def test_memory_error_classifies_as_oom(self):
+        _, fault = run_supervised(_raise_memory_error, None)
+        assert fault.kind == FAULT_OOM
+        assert "MemoryError" in fault.detail
+
+    def test_sigkill_death_reads_as_oom(self):
+        """SIGKILL without a report is the OOM-killer's signature."""
+        _, fault = run_supervised(_die_by_signal, signal.SIGKILL)
+        assert fault.kind == FAULT_OOM
+        assert fault.exitcode == -signal.SIGKILL
+        assert "SIGKILL" in fault.detail
+
+    def test_other_signal_death_is_a_crash(self):
+        _, fault = run_supervised(_die_by_signal, signal.SIGABRT)
+        assert fault.kind == FAULT_CRASH
+        assert fault.exitcode == -signal.SIGABRT
+        assert "SIGABRT" in fault.detail
+
+    def test_silent_exit_is_a_crash(self):
+        _, fault = run_supervised(_exit_silently, 7)
+        assert fault.kind == FAULT_CRASH
+        assert fault.exitcode == 7
+        assert "without reporting" in fault.detail
+
+
+class TestWatchdog:
+    def test_hang_is_reaped_at_the_deadline(self):
+        t0 = time.monotonic()
+        result, fault = run_supervised(_sleep_forever, None, wall_limit=0.5)
+        assert result is None
+        assert fault.kind == FAULT_TIMEOUT
+        assert time.monotonic() - t0 < 10.0  # reaped, not waited out
+
+    def test_fast_work_beats_the_deadline(self):
+        result, fault = run_supervised(_double, 3, wall_limit=30.0)
+        assert result == 6 and fault is None
+
+
+class TestMemoryLimit:
+    def test_rlimit_turns_a_balloon_into_oom(self):
+        _, fault = run_supervised(
+            _allocate_3gb, None, wall_limit=30.0, memory_limit=2 << 30
+        )
+        assert fault is not None
+        # MemoryError under the rlimit, or a kernel kill — both are OOM
+        assert fault.kind == FAULT_OOM
+
+    def test_modest_work_fits_under_the_limit(self):
+        result, fault = run_supervised(_double, 5, memory_limit=8 << 30)
+        assert result == 10 and fault is None
+
+
+class TestFaultRecord:
+    def test_to_dict_roundtrips_the_fields(self):
+        rec = FaultRecord(kind="crash", detail="d", exitcode=-9, attempts=3)
+        assert rec.to_dict() == {
+            "kind": "crash", "detail": "d", "exitcode": -9, "attempts": 3,
+        }
