@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint docs-check solvers-check solvers-md bench bench-portfolio bench-engine bench-analysis bench-learning bench-trajectory bench-difftest difftest difftest-smoke chaos-smoke ci
+.PHONY: test lint docs-check solvers-check solvers-md bench bench-portfolio bench-engine bench-analysis bench-learning bench-trajectory bench-difftest bench-service difftest difftest-smoke chaos-smoke serve-smoke ci
 
 ## tier-1 test suite (the bar every PR must keep green)
 test:
@@ -82,6 +82,15 @@ bench-difftest:
 chaos-smoke:
 	$(PYTHON) scripts/chaos_smoke.py
 
+## solver-service gate: daemon answers byte-equivalent to solve_iter
+## (modulo elapsed), warm re-run all cache hits, shard merge canonical
+serve-smoke:
+	$(PYTHON) scripts/serve_smoke.py
+
+## service throughput snapshot: cold vs warm problems/s at jobs 1 and 4
+bench-service:
+	$(PYTHON) benchmarks/bench_service.py --out BENCH_service.json
+
 ## what CI runs: static analysis + doc guards first (fast), then the
 ## full suite
-ci: lint docs-check solvers-check test difftest-smoke chaos-smoke
+ci: lint docs-check solvers-check test difftest-smoke chaos-smoke serve-smoke

@@ -53,11 +53,19 @@ python benchmarks/bench_learning.py --check-schema benchmarks/BENCH_learning.aft
 python benchmarks/bench_learning.py --compare benchmarks/BENCH_learning.before.json benchmarks/BENCH_learning.after.json
 python benchmarks/bench_learning.py --check-trajectory benchmarks/BENCH_trajectory.json
 
+echo "== perf-smoke: service throughput tiny grid, warm pass all cache hits =="
+python benchmarks/bench_service.py --smoke --out "${TMPDIR:-/tmp}/bench_service_smoke.json"
+python benchmarks/bench_service.py --check-schema "${TMPDIR:-/tmp}/bench_service_smoke.json"
+python benchmarks/bench_service.py --check-schema benchmarks/BENCH_service.json
+
 echo "== difftest-smoke: solvers must agree on the seeded grid (exact oracle cross-check) =="
 python -m repro.cli difftest --seed 0 --instances 15 --time-limit 5 --quiet
 
 echo "== chaos-smoke: fault-injected campaign must lose no cell, deterministically =="
 python scripts/chaos_smoke.py
+
+echo "== serve-smoke: daemon byte-equivalent to solve_iter, warm cache hits, shard merge canonical =="
+python scripts/serve_smoke.py
 
 echo "== tier-1: full test suite =="
 python -m pytest -x -q

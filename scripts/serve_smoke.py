@@ -1,0 +1,190 @@
+#!/usr/bin/env python
+"""Service smoke gate: the daemon must answer exactly like solve_iter.
+
+Boots the real ``repro-mgrts serve`` daemon on localhost and holds it to
+the library baseline on a seeded 40-problem grid:
+
+* **cold equivalence** — every report streamed back over TCP must match
+  the in-process ``solve_iter`` answer byte-for-byte (canonical JSON,
+  elapsed zeroed — wall clock is the one sanctioned difference);
+* **warm memo** — resubmitting the same grid must serve every response
+  from the shared cache (``"cached": true``), computing nothing;
+* **journal sharding** — splitting the grid across two daemon runs with
+  separate shard journals, then ``merge_journals``-ing them, must
+  reproduce the single-daemon journal modulo elapsed.
+
+Usage: ``python scripts/serve_smoke.py`` (from the repo root; exits
+non-zero on any divergence).
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.batch.journal import merge_journals
+from repro.generator.random_systems import GeneratorConfig, generate_instances
+from repro.service.client import ServiceClient
+from repro.solvers.problem import Problem, solve_iter
+
+SOLVER = "csp2+dc"
+TIME_LIMIT = 5.0
+VARIABLE_LIMIT = 2_000_000  # matches the server cap: clamping is identity
+
+
+def make_problems(count, seed):
+    """The seeded smoke grid, budgets explicit so clamping changes nothing."""
+    instances = generate_instances(
+        GeneratorConfig(n=3, m=2, tmax=3), count, seed=seed
+    )
+    return [
+        Problem.of(
+            inst.system, m=inst.m, time_limit=TIME_LIMIT,
+            variable_limit=VARIABLE_LIMIT, label=f"seed:{inst.seed}",
+        )
+        for inst in instances
+    ]
+
+
+def canonical(report_dict):
+    """A report document with wall-clock fields zeroed, in stable bytes."""
+    doc = json.loads(json.dumps(report_dict))  # deep copy
+    doc["elapsed"] = 0.0
+    if doc.get("stats"):
+        doc["stats"]["elapsed"] = 0.0
+    # matrix position in solve_iter, always 0 for per-request serving:
+    # ordering bookkeeping, not solve content
+    doc["index"] = 0
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def canonical_journal(path):
+    """key -> canonical report bytes, plus the key order, for one journal."""
+    order, content = [], {}
+    for line in Path(path).read_text().splitlines():
+        entry = json.loads(line)
+        if entry["key"] not in content:
+            order.append(entry["key"])
+        content[entry["key"]] = canonical(entry["report"])
+    return order, content
+
+
+class Daemon:
+    """One ``repro-mgrts serve`` subprocess on an ephemeral port.
+
+    ``jobs=1`` on purpose: solves then complete in admission order, so
+    the journal's key order is deterministic and the shard-merge
+    comparison below can be byte-for-byte rather than set-wise.
+    """
+
+    def __init__(self, journal, cache_dir, jobs=1):
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--port", "0", "--jobs", str(jobs), "--unsupervised",
+                "--cache-dir", str(cache_dir), "--journal", str(journal),
+            ],
+            stdout=subprocess.PIPE,
+            text=True,
+            cwd=str(Path(__file__).resolve().parent.parent),
+            env={"PYTHONPATH": "src"},
+        )
+        listening = json.loads(self.proc.stdout.readline())
+        assert listening["type"] == "listening", listening
+        self.host, self.port = listening["host"], listening["port"]
+
+    def client(self):
+        return ServiceClient.connect(self.host, self.port)
+
+    def shutdown(self):
+        with self.client() as client:
+            client.shutdown()
+        return self.proc.wait(timeout=60.0)
+
+
+def main(argv=None):
+    """Run the service smoke gate; return a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--count", type=int, default=40)
+    parser.add_argument("--seed", type=int, default=2009)
+    args = parser.parse_args(argv)
+
+    problems = make_problems(args.count, args.seed)
+    baseline = [
+        canonical(r.to_dict()) for r in solve_iter(problems, SOLVER)
+    ]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+
+        # -- one daemon, the whole grid: cold equivalence + warm memo -------
+        daemon = Daemon(tmp / "full.jsonl", tmp / "cache-full")
+        with daemon.client() as client:
+            cold_flags, warm_flags = [], []
+            cold = client.solve_many(
+                problems, SOLVER,
+                on_response=lambda i, r, c: cold_flags.append(c),
+            )
+            client.solve_many(
+                problems, SOLVER,
+                on_response=lambda i, r, c: warm_flags.append(c),
+            )
+            stats = client.stats()
+        divergent = [
+            i for i, (report, want) in enumerate(zip(cold, baseline))
+            if canonical(report.to_dict()) != want
+        ]
+        if divergent:
+            print(f"FAIL: {len(divergent)} of {len(problems)} served reports "
+                  f"diverge from the solve_iter baseline (first: problem "
+                  f"{divergent[0]})")
+            return 1
+        if any(cold_flags):
+            print(f"FAIL: {sum(cold_flags)} cold responses claimed "
+                  "to be cached against an empty cache")
+            return 1
+        if not all(warm_flags):
+            print(f"FAIL: only {sum(warm_flags)} of {len(problems)} warm "
+                  "responses were cache hits")
+            return 1
+        if stats["computed"] != len(problems):
+            print(f"FAIL: server computed {stats['computed']} solves, "
+                  f"expected {len(problems)}")
+            return 1
+        if daemon.shutdown() != 0:
+            print("FAIL: daemon exited non-zero after shutdown")
+            return 1
+
+        # -- two daemons, half the grid each: shard-merge equivalence -------
+        half = len(problems) // 2
+        for name, part in (("a", problems[:half]), ("b", problems[half:])):
+            daemon = Daemon(tmp / f"shard-{name}.jsonl", tmp / "cache-shards")
+            with daemon.client() as client:
+                client.solve_many(part, SOLVER)
+            if daemon.shutdown() != 0:
+                print(f"FAIL: shard daemon {name!r} exited non-zero")
+                return 1
+        merge_journals(
+            [tmp / "shard-a.jsonl", tmp / "shard-b.jsonl"],
+            tmp / "merged.jsonl",
+        )
+        if canonical_journal(tmp / "merged.jsonl") \
+                != canonical_journal(tmp / "full.jsonl"):
+            print("FAIL: merged shard journals diverge from the "
+                  "single-daemon journal (modulo elapsed)")
+            return 1
+
+    print(
+        f"serve smoke OK: {len(problems)} problems cold-equivalent to "
+        f"solve_iter, {len(problems)} warm cache hits, 2-shard merge "
+        "matches the single-daemon journal"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

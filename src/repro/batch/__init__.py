@@ -23,17 +23,37 @@ campaigns into first-class objects:
   ``fault:*`` records after bounded deterministic retries);
 * :mod:`repro.batch.chaos` — :class:`ChaosConfig`: seeded deterministic
   fault injection (crash / hang / oom / error / torn journal writes)
-  for testing all of the above without real hardware failures.
+  for testing all of the above without real hardware failures;
+* :mod:`repro.batch.transport` — the :class:`Transport` execution seam:
+  :class:`LocalPoolTransport` is the serial/pool/supervised local path
+  ``run_batch`` always used, now pluggable so other consumers (the
+  solver service in :mod:`repro.service`) run on the same machinery;
+* :mod:`repro.batch.journal` — crash-safe JSONL journal primitives:
+  :func:`load_journal` (torn-line tolerant, last-line-wins),
+  :func:`trim_torn_tail` and :func:`merge_journals` (N shard journals
+  -> one canonical-order journal).
 
 ``repro.experiments.runner.run_instances`` is a thin shim over this
 layer (``jobs=1``, no cache) and every table/benchmark driver and the
 ``repro batch`` CLI route through it.
 """
 
-from repro.batch.cache import ResultCache
+from repro.batch.cache import ReportCache, ResultCache
 from repro.batch.cells import Cell, cell_key, cells_for_matrix, solve_cell
 from repro.batch.chaos import ChaosConfig, ChaosError
-from repro.batch.executor import BatchReport, load_journal, run_batch
+from repro.batch.executor import BatchReport, run_batch
+from repro.batch.journal import (
+    MergeReport,
+    load_journal,
+    merge_journals,
+    trim_torn_tail,
+)
+from repro.batch.transport import (
+    LocalPoolTransport,
+    Transport,
+    WorkItem,
+    WorkResult,
+)
 from repro.batch.supervise import (
     FAULT_CRASH,
     FAULT_ERROR,
@@ -49,9 +69,17 @@ __all__ = [
     "cells_for_matrix",
     "solve_cell",
     "ResultCache",
+    "ReportCache",
     "BatchReport",
     "load_journal",
+    "trim_torn_tail",
+    "merge_journals",
+    "MergeReport",
     "run_batch",
+    "Transport",
+    "LocalPoolTransport",
+    "WorkItem",
+    "WorkResult",
     "ChaosConfig",
     "ChaosError",
     "FaultRecord",

@@ -1,15 +1,24 @@
-"""Content-addressed on-disk result cache for batch campaigns.
+"""Content-addressed on-disk caches for batch campaigns and the service.
 
-Layout: one JSON file per solved cell under ``<root>/<key[:2]>/<key>.json``
+Layout: one JSON file per entry under ``<root>/<key[:2]>/<key>.json``
 (two-level fan-out keeps directories small on big campaigns).  Writes go
 through a same-directory temp file + ``os.replace`` so a crash mid-write
 can never leave a truncated entry — readers see either the old state or
 the complete new one.
 
-The cache is shared freely between concurrent workers and campaigns:
+Caches are shared freely between concurrent workers and campaigns:
 entries are immutable once written (content-addressed by
 :func:`repro.batch.cells.cell_key`), so the only race is two processes
 computing the same cell, and either's ``os.replace`` wins harmlessly.
+
+Two value shapes share the machinery:
+
+* :class:`ResultCache` — flat :class:`~repro.experiments.runner.RunRecord`
+  dicts, the campaign memo ``run_batch`` consults;
+* :class:`ReportCache` — full :class:`~repro.solvers.problem.SolveReport`
+  documents (schedule table included), the solver service's shared memo
+  layer.  Point it at a *different* root than a :class:`ResultCache` —
+  both address by cell key, and the value shapes are incompatible.
 """
 
 from __future__ import annotations
@@ -20,11 +29,16 @@ import tempfile
 from dataclasses import asdict
 from pathlib import Path
 
-__all__ = ["ResultCache"]
+__all__ = ["ResultCache", "ReportCache"]
 
 
-class ResultCache:
-    """Maps :func:`~repro.batch.cells.cell_key` hex digests to records."""
+class _JsonFileCache:
+    """Shared layout + atomic-write + tolerant-read machinery.
+
+    Subclasses define how a value becomes a JSON document
+    (:meth:`_encode`) and back (:meth:`_decode`); everything about paths,
+    atomicity and corruption tolerance lives here once.
+    """
 
     def __init__(self, root: str | os.PathLike) -> None:
         self.root = Path(root)
@@ -33,29 +47,33 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def _encode(self, value) -> dict:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def _decode(self, doc: dict):
+        raise NotImplementedError  # pragma: no cover - abstract
+
     def get(self, key: str):
-        """The cached :class:`~repro.experiments.runner.RunRecord`, or None.
+        """The cached value, or None.
 
         Unreadable/corrupt entries (e.g. an out-of-band partial copy) are
-        treated as misses, never errors — the cell is simply recomputed.
+        treated as misses, never errors — the work is simply recomputed.
         """
-        from repro.experiments.runner import RunRecord
-
         path = self._path(key)
         try:
             with open(path) as fh:
-                return RunRecord(**json.load(fh))
-        except (OSError, ValueError, TypeError):
+                return self._decode(json.load(fh))
+        except (OSError, ValueError, TypeError, KeyError):
             return None
 
-    def put(self, key: str, record) -> None:
-        """Atomically persist one record under its key."""
+    def put(self, key: str, value) -> None:
+        """Atomically persist one value under its key."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as fh:
-                json.dump(asdict(record), fh, separators=(",", ":"))
+                json.dump(self._encode(value), fh, separators=(",", ":"))
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -70,3 +88,34 @@ class ResultCache:
     def __len__(self) -> int:
         """Number of cached entries (walks the fan-out directories)."""
         return sum(1 for _ in self.root.glob("??/*.json"))
+
+
+class ResultCache(_JsonFileCache):
+    """Maps :func:`~repro.batch.cells.cell_key` hex digests to records."""
+
+    def _encode(self, value) -> dict:
+        return asdict(value)
+
+    def _decode(self, doc: dict):
+        from repro.experiments.runner import RunRecord
+
+        return RunRecord(**doc)
+
+
+class ReportCache(_JsonFileCache):
+    """Maps cell keys to full :class:`~repro.solvers.problem.SolveReport` docs.
+
+    The solver service's memo layer: a report round-trips through its
+    own ``to_dict``/``from_dict`` (schedule table, stats and fault
+    payloads included), so a warm request is answered byte-equivalently
+    to the cold solve that produced it — only the request-scoped label
+    gets patched by the server.
+    """
+
+    def _encode(self, value) -> dict:
+        return value.to_dict()
+
+    def _decode(self, doc: dict):
+        from repro.solvers.problem import SolveReport
+
+        return SolveReport.from_dict(doc)

@@ -54,6 +54,10 @@ class Cell:
     instance_seed:
         Generator seed, recorded in the output for aggregation but *not*
         part of the cache key — the system content already is.
+    node_limit:
+        Optional per-cell search-node budget (service requests carry
+        one); ``None`` (the campaign default) keeps the key payload
+        byte-identical to historical keys, so existing caches stay warm.
     """
 
     tasks: tuple[tuple[int, int, int, int], ...]
@@ -63,6 +67,7 @@ class Cell:
     csp1_variable_limit: int = DEFAULT_VARIABLE_LIMIT
     seed: int | None = None
     instance_seed: int | None = None
+    node_limit: int | None = None
 
     @classmethod
     def from_instance(
@@ -97,18 +102,19 @@ def cell_key(cell: Cell) -> str:
     ``instance_seed`` (bookkeeping only) is not, so identical systems
     generated under different campaign seeds share cache entries.
     """
-    payload = json.dumps(
-        {
-            "tasks": [list(t) for t in cell.tasks],
-            "m": cell.m,
-            "solver": cell.solver,
-            "time_limit": cell.time_limit,
-            "csp1_variable_limit": cell.csp1_variable_limit,
-            "seed": cell.seed,
-        },
-        sort_keys=True,
-        separators=(",", ":"),
-    )
+    doc = {
+        "tasks": [list(t) for t in cell.tasks],
+        "m": cell.m,
+        "solver": cell.solver,
+        "time_limit": cell.time_limit,
+        "csp1_variable_limit": cell.csp1_variable_limit,
+        "seed": cell.seed,
+    }
+    if cell.node_limit is not None:
+        # keyed only when set: the default (None) payload stays
+        # byte-identical to pre-node_limit keys, keeping old caches warm
+        doc["node_limit"] = cell.node_limit
+    payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
@@ -163,6 +169,7 @@ def solve_cell(cell: Cell, chaos=None, chaos_key: str | None = None):
         system=system,
         platform=Platform.identical(cell.m),
         time_limit=cell.time_limit,
+        node_limit=cell.node_limit,
         seed=cell.seed,
         variable_limit=cell.csp1_variable_limit,
     )

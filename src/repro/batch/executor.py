@@ -1,4 +1,4 @@
-"""Process-pool executor with caching, journaling, supervision and resume.
+"""Campaign orchestration: caching, journaling, resume over a transport.
 
 :func:`run_batch` is the one entry point: give it the cells of a campaign
 and it returns their records in canonical cell order, no matter which of
@@ -11,10 +11,10 @@ three sources each record came from —
 2. the shared **cache** (``--cache-dir``): the content-addressed store of
    :mod:`repro.batch.cache`, which lets *different* campaigns (or a warm
    re-run) skip any cell ever solved under the same key;
-3. fresh **computation**: remaining cells are deduplicated by key and run
-   through :func:`~repro.batch.cells.solve_cell`, serially for ``jobs=1``
-   (bit-compatible with the historical serial runner) or on a
-   ``ProcessPoolExecutor`` with one worker per job.
+3. fresh **computation**: remaining cells are deduplicated by key and
+   handed to a :class:`~repro.batch.transport.Transport` — by default a
+   :class:`~repro.batch.transport.LocalPoolTransport` reproducing the
+   historical serial / process-pool / supervised strategies exactly.
 
 Fault tolerance: a campaign *always completes*.  A cell whose execution
 dies — worker SIGKILLed by the OOM killer, a hang past the watchdog, an
@@ -25,7 +25,8 @@ like any other result.  The default pool path escalates failed cells to
 the supervised path instead of letting ``BrokenProcessPool`` abort the
 campaign; ``supervised=True`` (forced on whenever chaos injection is
 configured) runs *every* computed cell in its own watched child with an
-optional address-space rlimit.
+optional address-space rlimit.  All of that now lives behind the
+transport seam, so other consumers (the solver service) inherit it.
 
 Determinism: a cell's outcome depends only on its content (system, solver,
 budgets, seed), never on scheduling, so ``jobs=N`` produces the same
@@ -50,12 +51,11 @@ from dataclasses import asdict, dataclass, field, replace
 from repro.batch.cache import ResultCache
 from repro.batch.cells import Cell, cell_key, rekey_record, solve_cell
 from repro.batch.chaos import ChaosConfig, torn_write_prefix
-from repro.batch.supervise import DEFAULT_GRACE, FaultRecord, run_supervised
+from repro.batch.journal import load_journal, trim_torn_tail
+from repro.batch.supervise import DEFAULT_GRACE, FaultRecord
+from repro.batch.transport import LocalPoolTransport, Transport, WorkItem
 
 __all__ = ["BatchReport", "run_batch", "load_journal"]
-
-#: deterministic seed salt for the retry-backoff jitter
-_BACKOFF_SALT = "repro-batch-backoff"
 
 
 @dataclass
@@ -83,58 +83,17 @@ class BatchReport:
         return len(self.records)
 
 
-def load_journal(path: str | os.PathLike) -> dict[str, dict]:
-    """Parse a results journal into ``{cell key: record dict}``.
+def _batch_worker(payload, attempt: int):
+    """Transport worker: unpack one ``(cell, chaos, key)`` and solve it.
 
-    Tolerates a torn final line (the crash case journaling exists for) and
-    skips any line that does not decode into a well-formed record — resume
-    must never be the thing that fails a campaign.
+    The chaos key is salted with the attempt number, so injected faults
+    are per-attempt draws — a cell that crashed once can
+    (deterministically) succeed on retry.
     """
-    from repro.experiments.runner import RunRecord
-
-    out: dict[str, dict] = {}
-    try:
-        fh = open(path)
-    except OSError:
-        return out
-    with fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                entry = json.loads(line)
-                RunRecord(**entry["record"])  # shape check, raises TypeError
-                out[entry["key"]] = entry["record"]
-            except (ValueError, KeyError, TypeError):
-                continue  # torn/corrupt/foreign line: recompute that cell
-    return out
-
-
-def _backoff_delay(backoff: float, key: str, attempt: int) -> float:
-    """The seeded retry delay before ``attempt`` (1-based) of ``key``.
-
-    Exponential base with a deterministic jitter drawn by hashing — no
-    wall clock, no shared RNG state, so retry *decisions* replay
-    byte-identically (the R1 determinism contract).
-    """
-    import hashlib
-
-    if backoff <= 0.0:
-        return 0.0
-    digest = hashlib.sha256(
-        f"{_BACKOFF_SALT}:{key}:{attempt}".encode()
-    ).digest()
-    jitter = 0.5 + int.from_bytes(digest[:8], "big") / 2**64
-    return backoff * (2 ** (attempt - 1)) * jitter
-
-
-def _supervised_cell(payload):
-    """Supervised child target: unpack one (cell, chaos, key) and solve it."""
-    cell, chaos, chaos_key = payload
+    cell, chaos, key = payload
     if chaos is None:
         return solve_cell(cell)
-    return solve_cell(cell, chaos=chaos, chaos_key=chaos_key)
+    return solve_cell(cell, chaos=chaos, chaos_key=f"{key}:{attempt}")
 
 
 def _fault_run_record(cell: Cell, fault: FaultRecord):
@@ -163,48 +122,6 @@ def _fault_run_record(cell: Cell, fault: FaultRecord):
     )
 
 
-def _solve_cell_with_retries(
-    key: str,
-    cell: Cell,
-    retries: int,
-    memory_limit: int | None,
-    chaos: ChaosConfig | None,
-    grace: float,
-    backoff: float,
-):
-    """Run one cell in supervised children until it answers or retries run out.
-
-    Returns ``(record, attempts)`` where ``attempts`` is how many
-    executions happened (1 = first try succeeded).  The chaos key is
-    salted with the attempt number, so injected faults are per-attempt
-    draws — a cell that crashed once can (deterministically) succeed on
-    retry.  On exhaustion the record is the ``fault:*`` record of the
-    *last* fault observed.
-    """
-    wall = None if cell.time_limit is None else cell.time_limit + grace
-    last_fault: FaultRecord | None = None
-    for attempt in range(retries + 1):
-        if attempt:
-            delay = _backoff_delay(backoff, key, attempt)
-            if delay > 0.0:
-                time.sleep(delay)
-        record, fault = run_supervised(
-            _supervised_cell,
-            (cell, chaos, f"{key}:{attempt}"),
-            wall_limit=wall,
-            memory_limit=memory_limit,
-        )
-        if fault is None:
-            if chaos is not None:
-                # chaos campaigns trade timing fidelity for determinism:
-                # charge the budget so re-runs journal byte-identically
-                record = replace(record, elapsed=cell.time_limit)
-            return record, attempt + 1
-        last_fault = fault
-    fault = replace(last_fault, attempts=retries + 1)
-    return _fault_run_record(cell, fault), retries + 1
-
-
 def run_batch(
     cells: Sequence[Cell],
     jobs: int = 1,
@@ -219,6 +136,7 @@ def run_batch(
     grace: float = DEFAULT_GRACE,
     backoff: float = 0.0,
     fault_resume: str = "skip",
+    transport: Transport | None = None,
 ) -> BatchReport:
     """Run a campaign of cells, in parallel, with caching and resume.
 
@@ -263,6 +181,13 @@ def run_batch(
     fault_resume:
         What ``resume`` does with journaled ``fault:*`` cells: ``"skip"``
         serves them as-is, ``"retry"`` recomputes them.
+    transport:
+        Execution backend for computed cells.  ``None`` builds the
+        :class:`~repro.batch.transport.LocalPoolTransport` implied by
+        ``jobs``/``supervised``/``retries``/``memory_limit``/``grace``/
+        ``backoff`` — the historical behavior; passing one explicitly
+        overrides all of those execution knobs (caching, journaling and
+        ordering are unaffected).
 
     Returns
     -------
@@ -330,13 +255,10 @@ def run_batch(
     if journal is not None:
         path = Path(journal)
         path.parent.mkdir(parents=True, exist_ok=True)
-        if resume and path.exists() and path.stat().st_size > 0:
+        if resume:
             # a crash can leave a torn final line with no newline; cut it
             # so the finished journal contains only complete JSONL lines
-            with open(path, "rb+") as tail:
-                data = tail.read()
-                if not data.endswith(b"\n"):
-                    tail.truncate(data.rfind(b"\n") + 1)
+            trim_torn_tail(path)
         journal_fh = open(path, "a" if resume else "w")
 
     def record_done(i: int, key: str, record) -> None:
@@ -387,73 +309,37 @@ def run_batch(
             for i in pending[key]:
                 record_done(i, key, record)
 
-        def run_keys_supervised(run_keys, escalated: bool = False) -> None:
-            """Run these pending keys in watched children, ``jobs`` wide.
-
-            ``escalated`` marks keys that already burned a pool attempt,
-            so any supervised execution counts as a retry for them.
-            """
-            if jobs == 1 or len(run_keys) == 1:
-                for key in run_keys:
-                    record, attempts = _solve_cell_with_retries(
-                        key, cells[pending[key][0]], retries, memory_limit,
-                        chaos, grace, backoff,
-                    )
-                    finish(key, record, attempts > 1 or escalated)
-                return
-            from concurrent.futures import ThreadPoolExecutor, as_completed
-
-            # threads only *wait* on supervised children; the work runs
-            # in one watched process per attempt
-            with ThreadPoolExecutor(max_workers=jobs) as waiters:
-                tasks = {
-                    waiters.submit(
-                        _solve_cell_with_retries,
-                        key, cells[pending[key][0]], retries, memory_limit,
-                        chaos, grace, backoff,
-                    ): key
-                    for key in run_keys
-                }
-                for fut in as_completed(tasks):
-                    record, attempts = fut.result()
-                    finish(tasks[fut], record, attempts > 1 or escalated)
-
-        if pending and use_supervised:
-            run_keys_supervised(list(pending))
-        elif pending and jobs == 1:
-            for key, indices in pending.items():
-                try:
-                    record = solve_cell(cells[indices[0]])
-                except Exception:
-                    # escalate: retry in supervised children, classify
-                    run_keys_supervised([key], escalated=True)
-                else:
-                    finish(key, record)
-        elif pending:
-            from concurrent.futures import ProcessPoolExecutor, as_completed
-
-            escalate: list[str] = []
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
-                futures = {
-                    pool.submit(solve_cell, cells[indices[0]]): key
-                    for key, indices in pending.items()
-                }
-                for fut in as_completed(futures):
-                    try:
-                        record = fut.result()
-                    except Exception:
-                        # a worker exception or a broken pool (one
-                        # SIGKILLed worker fails every in-flight future):
-                        # never abort — escalate those cells below
-                        escalate.append(futures[fut])
-                        continue
-                    finish(futures[fut], record)
-            if escalate:
-                # recovery pass in canonical pending order: pool-breakage
-                # victims simply succeed here, repeat offenders classify
-                run_keys_supervised(
-                    [k for k in pending if k in escalate], escalated=True
+        if pending:
+            if transport is None:
+                transport = LocalPoolTransport(
+                    jobs=jobs,
+                    supervised=use_supervised,
+                    retries=retries,
+                    memory_limit=memory_limit,
+                    grace=grace,
+                    backoff=backoff,
                 )
+            items = [
+                WorkItem(
+                    key=key,
+                    fn=_batch_worker,
+                    payload=(cells[indices[0]], chaos, key),
+                    wall_limit=cells[indices[0]].time_limit,
+                )
+                for key, indices in pending.items()
+            ]
+            for res in transport.execute(items):
+                cell = cells[pending[res.key][0]]
+                if res.fault is not None:
+                    record = _fault_run_record(cell, res.fault)
+                elif chaos is not None:
+                    # chaos campaigns trade timing fidelity for
+                    # determinism: charge the budget so re-runs journal
+                    # byte-identically
+                    record = replace(res.value, elapsed=cell.time_limit)
+                else:
+                    record = res.value
+                finish(res.key, record, res.attempts > 1)
     finally:
         if journal_fh is not None:
             journal_fh.close()

@@ -15,6 +15,10 @@ Subcommands
 ``experiment``  reproduce table1 / table2 / table3 / table4
 ``batch``       run an (instance x solver) campaign in parallel with
                 caching and crash-safe ``--resume``
+``serve``       run the solver service daemon (JSONL over TCP or stdio)
+``submit``      stream a problem set through a running daemon
+``journal``     journal utilities (``merge``: N shard journals -> one
+                canonical-order journal, last-line-wins)
 
 ``--solver`` values are registry names (see ``repro-mgrts solvers``),
 including racing portfolios such as ``portfolio:csp2+dc,sat`` and
@@ -102,8 +106,11 @@ def _cmd_solvers(args: argparse.Namespace) -> int:
     """List every registered solver family with its registry metadata."""
     infos = [i for i in iter_solver_info() if i.advertise or args.all]
     if args.json:
+        # service clients discover what a server can run from this
+        # payload; keep additions additive (consumers pin fields)
         payload = [
             {
+                "base": info.base,
                 "names": info.names(),
                 "description": info.description,
                 "paper_section": info.paper_section,
@@ -111,6 +118,8 @@ def _cmd_solvers(args: argparse.Namespace) -> int:
                 "capabilities": sorted(info.capabilities),
                 "options": list(info.options),
                 "platforms": list(info.platforms),
+                "suffixes": dict(info.suffixes),
+                "memory_bound": info.memory_bound,
             }
             for info in infos
         ]
@@ -463,6 +472,170 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_problem_set(args: argparse.Namespace):
+    """The submit command's problem list (instances file or generator)."""
+    from repro.generator.random_systems import Instance
+    from repro.solvers.problem import Problem
+
+    if args.instances_file:
+        with open(args.instances_file) as fh:
+            payload = json.load(fh)
+        if isinstance(payload, dict):
+            payload = [payload]
+        instances = [
+            Instance(
+                system=TaskSystem.from_tuples(d["tasks"]),
+                m=d.get("m", 1),
+                seed=d.get("seed", i),
+            )
+            for i, d in enumerate(payload)
+        ]
+    else:
+        cfg = GeneratorConfig(
+            n=args.n, tmax=args.tmax,
+            m=args.m if args.m is not None else "uniform",
+        )
+        instances = generate_instances(cfg, args.count, seed=args.seed)
+    return [
+        Problem.of(
+            inst.system,
+            m=inst.m,
+            time_limit=args.time_limit,
+            node_limit=args.node_limit,
+            variable_limit=args.variable_limit,
+            label=f"seed:{inst.seed}",
+        )
+        for inst in instances
+    ]
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the solver service daemon until shutdown."""
+    import asyncio
+
+    from repro.service import ServiceCaps, ServiceConfig, SolverService
+
+    if _invalid_jobs(args):
+        return 2
+    if args.max_pending < 1:
+        print(f"--max-pending must be >= 1, got {args.max_pending}",
+              file=sys.stderr)
+        return 2
+    if args.retries < 0:
+        print(f"--retries must be >= 0, got {args.retries}", file=sys.stderr)
+        return 2
+    caps = ServiceCaps(
+        max_time_limit=args.max_time_limit,
+        default_time_limit=min(args.default_time_limit, args.max_time_limit),
+        max_node_limit=args.max_node_limit,
+        max_variable_limit=args.max_variable_limit,
+    )
+    config = ServiceConfig(
+        jobs=args.jobs,
+        max_pending=args.max_pending,
+        caps=caps,
+        cache_dir=args.cache_dir,
+        journal=args.journal,
+        supervised=not args.unsupervised,
+        retries=args.retries,
+        memory_limit=args.memory_limit,
+        allow_shutdown=not args.no_remote_shutdown,
+    )
+    service = SolverService(config)
+    if args.stdio:
+        # stdout is the protocol channel: nothing else may print there
+        asyncio.run(service.serve_stdio())
+        return 0
+
+    def ready(addr) -> None:
+        # machine-readable so scripts can learn an ephemeral port
+        print(
+            json.dumps(
+                {"type": "listening", "host": addr[0], "port": addr[1]}
+            ),
+            flush=True,
+        )
+
+    try:
+        asyncio.run(service.serve_tcp(args.host, args.port, ready=ready))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Stream a problem set through a running solver daemon."""
+    from repro.service import ServiceClient, ServiceError
+
+    if _bad_solver(args.solver):
+        return 2
+    problems = _load_problem_set(args)
+    progress = _progress_printer(args, "problem")
+    cached_count = 0
+    done = 0
+
+    def on_response(index, report, cached) -> None:
+        nonlocal cached_count, done
+        done += 1
+        if cached:
+            cached_count += 1
+        if progress is not None:
+            progress(done, len(problems))
+
+    try:
+        with ServiceClient.connect(args.host, args.port) as client:
+            reports = client.solve_many(
+                problems, args.solver, on_response=on_response
+            )
+            stats = client.stats() if args.stats else None
+            if args.shutdown:
+                client.shutdown()
+    except (ServiceError, OSError) as exc:
+        print(f"\nsubmit failed: {exc}", file=sys.stderr)
+        return 2
+    if not args.quiet:
+        print(file=sys.stderr)
+    if args.output:
+        with open(args.output, "w") as fh:
+            for report in reports:
+                fh.write(json.dumps(report.to_dict(),
+                                    separators=(",", ":")) + "\n")
+    by_status: dict[str, int] = {}
+    for report in reports:
+        label = report.status_label
+        by_status[label] = by_status.get(label, 0) + 1
+    statuses = "  ".join(f"{k}: {v}" for k, v in sorted(by_status.items()))
+    print(f"{len(reports)} problems via {args.host}:{args.port}")
+    print(f"  {statuses}")
+    print(f"  served from cache: {cached_count}")
+    if stats is not None:
+        print(f"  server stats: {json.dumps(stats, sort_keys=True)}")
+    if args.output:
+        print(f"reports written to {args.output}")
+    return 0
+
+
+def _cmd_journal_merge(args: argparse.Namespace) -> int:
+    """Merge N shard journals into one canonical-order journal."""
+    import os
+
+    from repro.batch import merge_journals
+
+    missing = [s for s in args.shards if not os.path.exists(s)]
+    if missing:
+        print(f"missing shard journal(s): {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    report = merge_journals(args.shards, args.output)
+    print(
+        f"merged {len(report.shards)} shard(s): {report.records} records "
+        f"from {report.lines} lines ({report.duplicates} superseded "
+        f"duplicates, {report.torn} torn/corrupt lines skipped) "
+        f"-> {args.output}"
+    )
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.table1 import Table1Config, run_table1
     from repro.experiments.table2 import run_table2
@@ -704,6 +877,94 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-site injection probability under --chaos-seed")
     b.add_argument("--quiet", action="store_true")
     b.set_defaults(func=_cmd_batch)
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the solver service daemon (JSONL over TCP or stdio)",
+    )
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=0,
+                    help="TCP port (0 = ephemeral; the bound port is "
+                    "printed as a JSON 'listening' line)")
+    sv.add_argument("--stdio", action="store_true",
+                    help="serve one session over stdin/stdout instead of "
+                    "TCP (stdout becomes the protocol channel)")
+    sv.add_argument("--jobs", "-j", type=int, default=2,
+                    help="solves in flight at once (one watched child each)")
+    sv.add_argument("--max-pending", type=int, default=64,
+                    help="admission window; the next request is answered "
+                    "with a structured 'busy' error")
+    sv.add_argument("--cache-dir", default=None,
+                    help="shared memo layer root (reports live under "
+                    "<cache-dir>/reports)")
+    sv.add_argument("--journal", default=None,
+                    help="crash-safe JSONL request journal (appended "
+                    "across restarts; torn tail trimmed)")
+    sv.add_argument("--max-time-limit", type=float, default=30.0,
+                    help="per-request wall-budget ceiling (seconds)")
+    sv.add_argument("--default-time-limit", type=float, default=5.0,
+                    help="wall budget granted to requests carrying none")
+    sv.add_argument("--max-node-limit", type=int, default=None,
+                    help="per-request node-budget ceiling (default: uncapped)")
+    sv.add_argument("--max-variable-limit", type=int, default=2_000_000,
+                    help="memory-guard ceiling (predicted model variables)")
+    sv.add_argument("--retries", type=int, default=1,
+                    help="extra supervised attempts before a request is "
+                    "answered fault:*")
+    sv.add_argument("--memory-limit", type=int, default=None, metavar="BYTES",
+                    help="per-child RLIMIT_AS (supervised solves only)")
+    sv.add_argument("--unsupervised", action="store_true",
+                    help="solve in-process instead of watched children "
+                    "(faster; a crashing solve takes the daemon down)")
+    sv.add_argument("--no-remote-shutdown", action="store_true",
+                    help="ignore 'shutdown' requests from clients")
+    sv.set_defaults(func=_cmd_serve)
+
+    sm = sub.add_parser(
+        "submit",
+        help="stream a problem set through a running solver daemon",
+    )
+    sm.add_argument("--host", default="127.0.0.1")
+    sm.add_argument("--port", type=int, required=True)
+    sm.add_argument("--instances-file", default=None,
+                    help="instance JSON from `generate` (overrides "
+                    "--count/-n/-m/--tmax/--seed)")
+    sm.add_argument("--count", type=int, default=40,
+                    help="instances to generate")
+    sm.add_argument("-n", type=int, default=5, help="tasks per instance")
+    sm.add_argument("-m", type=int, default=None,
+                    help="processors (default: U(1..n-1))")
+    sm.add_argument("--tmax", type=int, default=5)
+    sm.add_argument("--seed", type=int, default=2009, help="generator seed")
+    sm.add_argument("--solver", default="csp2+dc",
+                    help="registry name to request for every problem")
+    sm.add_argument("--time-limit", type=float, default=None,
+                    help="per-request wall budget (None = server default; "
+                    "the server clamps to its cap)")
+    sm.add_argument("--node-limit", type=int, default=None,
+                    help="per-request search-node budget")
+    sm.add_argument("--variable-limit", type=int, default=None,
+                    help="per-request memory-guard budget")
+    sm.add_argument("--output", "-o", default=None,
+                    help="write one SolveReport JSON line per problem")
+    sm.add_argument("--stats", action="store_true",
+                    help="print the server's counters after the run")
+    sm.add_argument("--shutdown", action="store_true",
+                    help="ask the server to stop after the run")
+    sm.add_argument("--quiet", action="store_true")
+    sm.set_defaults(func=_cmd_submit)
+
+    j = sub.add_parser("journal", help="campaign/service journal utilities")
+    jsub = j.add_subparsers(dest="journal_command", required=True)
+    jm = jsub.add_parser(
+        "merge",
+        help="combine N shard journals into one canonical-order journal "
+        "(last-line-wins dedup, torn lines skipped)",
+    )
+    jm.add_argument("shards", nargs="+", help="shard journal JSONL files")
+    jm.add_argument("--output", "-o", required=True,
+                    help="merged journal path (written atomically)")
+    jm.set_defaults(func=_cmd_journal_merge)
 
     return parser
 

@@ -30,12 +30,15 @@ __all__ = ["UnseededRandomRule", "ModuleRandomRule", "WallClockRule", "SetIterat
 
 #: the dirs the determinism contract covers (search + solving + baselines,
 #: plus the batch layer: retry/backoff decisions and chaos draws must
-#: replay byte-identically for journal byte-identity and crash-safe resume)
+#: replay byte-identically for journal byte-identity and crash-safe
+#: resume; plus the solver service, whose cache keys, journals and retry
+#: decisions inherit the same contracts over the wire)
 DETERMINISM_SCOPE = (
     "src/repro/csp/",
     "src/repro/solvers/",
     "src/repro/baselines/",
     "src/repro/batch/",
+    "src/repro/service/",
 )
 
 #: zero-argument constructors of *unseeded* RNGs

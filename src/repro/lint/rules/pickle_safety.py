@@ -30,11 +30,13 @@ from repro.lint.report import Finding
 
 __all__ = ["ProcessCallableRule", "ProcessPayloadRule"]
 
-#: the dirs whose callables routinely cross process boundaries
+#: the dirs whose callables routinely cross process boundaries (the
+#: service ships every solve into transport workers/supervised children)
 PICKLE_SCOPE = (
     "src/repro/batch/",
     "src/repro/difftest/",
     "src/repro/solvers/portfolio.py",
+    "src/repro/service/",
 )
 
 #: pool/executor methods whose first argument is pickled into a worker

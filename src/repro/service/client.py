@@ -1,0 +1,251 @@
+"""Thin blocking client for the solver service.
+
+One socket, line-buffered JSONL both ways.  :class:`ServiceClient` keeps
+the bookkeeping small and honest: it generates request ids, matches
+interleaved response lines back to requests, and exposes three levels of
+API —
+
+* :meth:`~ServiceClient.submit` / :meth:`~ServiceClient.recv` — raw
+  pipelining for callers that manage their own windows;
+* :meth:`~ServiceClient.solve` — one problem, blocking, returning the
+  decoded :class:`~repro.solvers.problem.SolveReport` (or raising
+  :class:`ServiceError` on a structured refusal);
+* :meth:`~ServiceClient.solve_many` — a whole problem list pipelined
+  under the server's advertised admission window, results returned in
+  *submission* order regardless of completion order.
+
+The client is deliberately synchronous: campaign drivers, the
+``repro-mgrts submit`` subcommand and the tests all want call-and-wait
+semantics; the asyncio complexity stays on the server side.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any
+
+from repro.service.protocol import PROTOCOL, encode
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A structured refusal (or a dead connection) from the service."""
+
+    def __init__(self, code: str, detail: str) -> None:
+        super().__init__(f"{code}: {detail}")
+        self.code = code
+        self.detail = detail
+
+
+class ServiceClient:
+    """A connected JSONL session with one solver daemon."""
+
+    def __init__(self, rfile, wfile, sock: socket.socket | None = None) -> None:
+        self._rfile = rfile
+        self._wfile = wfile
+        self._sock = sock
+        self._next_id = 0
+        #: responses read while waiting for a different id
+        self._mailbox: dict[Any, dict] = {}
+        #: the server's hello line (protocol, solvers, caps, max_pending)
+        self.hello = self._read_hello()
+
+    @classmethod
+    def connect(
+        cls, host: str, port: int, timeout: float | None = 60.0
+    ) -> "ServiceClient":
+        """Open a TCP session to a daemon and read its hello line."""
+        sock = socket.create_connection((host, port), timeout=timeout)
+        rfile = sock.makefile("r", encoding="utf-8", newline="\n")
+        wfile = sock.makefile("w", encoding="utf-8", newline="\n")
+        return cls(rfile, wfile, sock=sock)
+
+    def _read_hello(self) -> dict:
+        line = self._rfile.readline()
+        if not line:
+            raise ServiceError("closed", "server closed before hello")
+        hello = json.loads(line)
+        proto = hello.get("protocol")
+        if hello.get("type") != "hello" or proto != PROTOCOL:
+            raise ServiceError(
+                "bad-protocol",
+                f"expected {PROTOCOL} hello, got {proto!r}",
+            )
+        return hello
+
+    @property
+    def max_pending(self) -> int:
+        """The server's advertised admission window."""
+        return int(self.hello.get("max_pending", 1))
+
+    @property
+    def solvers(self) -> list[str]:
+        """Solver names the server advertises."""
+        return list(self.hello.get("solvers", []))
+
+    def close(self) -> None:
+        """Close the session (the server finishes in-flight work)."""
+        try:
+            self._wfile.close()
+            self._rfile.close()
+        finally:
+            if self._sock is not None:
+                self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- raw pipelining -----------------------------------------------------
+    def _fresh_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def _write(self, doc: dict) -> None:
+        self._wfile.write(encode(doc))
+        self._wfile.flush()
+
+    def submit(
+        self,
+        problem,
+        solver: str = "csp2+dc",
+        options: dict | None = None,
+    ) -> int:
+        """Send one solve request; returns its id (response comes later)."""
+        request_id = self._fresh_id()
+        self._write(
+            {
+                "id": request_id,
+                "type": "solve",
+                "problem": problem.to_dict(),
+                "solver": solver,
+                "options": options or {},
+            }
+        )
+        return request_id
+
+    def recv(self, request_id: Any) -> dict:
+        """Block until the response for ``request_id`` arrives.
+
+        Responses interleave in completion order; anything read for a
+        different id is parked and handed out when *its* turn comes.
+        """
+        if request_id in self._mailbox:
+            return self._mailbox.pop(request_id)
+        while True:
+            line = self._rfile.readline()
+            if not line:
+                raise ServiceError(
+                    "closed", "server closed with responses outstanding"
+                )
+            entry = json.loads(line)
+            if entry.get("id") == request_id:
+                return entry
+            self._mailbox[entry.get("id")] = entry
+
+    @staticmethod
+    def _unwrap(entry: dict):
+        """A response envelope -> SolveReport (raises on error lines)."""
+        from repro.solvers.problem import SolveReport
+
+        if entry.get("type") == "error":
+            raise ServiceError(
+                entry.get("code", "error"), entry.get("detail", "")
+            )
+        if entry.get("type") != "report":
+            raise ServiceError(
+                "bad-protocol", f"unexpected response {entry.get('type')!r}"
+            )
+        report = SolveReport.from_dict(entry["report"])
+        return report, bool(entry.get("cached")), entry.get("key")
+
+    # -- blocking conveniences ----------------------------------------------
+    def solve(
+        self,
+        problem,
+        solver: str = "csp2+dc",
+        options: dict | None = None,
+    ):
+        """Solve one problem; returns its :class:`SolveReport`."""
+        report, _cached, _key = self._unwrap(
+            self.recv(self.submit(problem, solver, options))
+        )
+        return report
+
+    def solve_many(
+        self,
+        problems,
+        solver: str = "csp2+dc",
+        options: dict | None = None,
+        window: int | None = None,
+        on_response=None,
+    ) -> list:
+        """Pipeline a problem list; reports come back in submission order.
+
+        ``window`` bounds how many requests are in flight at once and is
+        clipped to the server's advertised admission window, so a
+        well-behaved client never triggers ``busy`` back-pressure.
+        ``on_response(index, report, cached)`` (if given) fires as each
+        response lands, in completion order.
+        """
+        problems = list(problems)
+        limit = self.max_pending if window is None else min(
+            window, self.max_pending
+        )
+        limit = max(1, limit)
+        out: list = [None] * len(problems)
+        ids: dict[int, int] = {}  # request id -> problem index
+        sent = 0
+        received = 0
+        while received < len(problems):
+            while sent < len(problems) and len(ids) < limit:
+                ids[self.submit(problems[sent], solver, options)] = sent
+                sent += 1
+            # drain one response (any id) to open a window slot; parked
+            # lines from an interleaved recv() count too
+            parked = [i for i in list(self._mailbox) if i in ids]
+            if parked:
+                entry = self._mailbox.pop(parked[0])
+            else:
+                line = self._rfile.readline()
+                if not line:
+                    raise ServiceError(
+                        "closed", "server closed with responses outstanding"
+                    )
+                entry = json.loads(line)
+            request_id = entry.get("id")
+            if request_id not in ids:
+                self._mailbox[request_id] = entry
+                continue
+            index = ids.pop(request_id)
+            report, cached, _key = self._unwrap(entry)
+            out[index] = report
+            received += 1
+            if on_response is not None:
+                on_response(index, report, cached)
+        return out
+
+    def stats(self) -> dict:
+        """The server's counters."""
+        request_id = self._fresh_id()
+        self._write({"id": request_id, "type": "stats"})
+        entry = self.recv(request_id)
+        if entry.get("type") != "stats":
+            raise ServiceError(
+                "bad-protocol", f"unexpected response {entry.get('type')!r}"
+            )
+        return entry["stats"]
+
+    def shutdown(self) -> None:
+        """Ask the server to stop (requires ``allow_shutdown``)."""
+        request_id = self._fresh_id()
+        self._write({"id": request_id, "type": "shutdown"})
+        entry = self.recv(request_id)
+        if entry.get("type") == "error":
+            raise ServiceError(
+                entry.get("code", "error"), entry.get("detail", "")
+            )

@@ -53,6 +53,7 @@ __all__ = [
     "estimate_generic_variables",
     "FAULT_PREFIX",
     "fault_label",
+    "fault_report",
     "is_fault_label",
 ]
 
@@ -458,16 +459,21 @@ def _solve_entry(entry) -> SolveReport:
     return replace(report, index=index)
 
 
-def _fault_report(
-    entry, kind: str, detail: str, attempts: int = 1
+def fault_report(
+    problem: Problem,
+    solver: "str | SolverSpec",
+    kind: str,
+    detail: str,
+    attempts: int = 1,
+    index: int = 0,
 ) -> SolveReport:
     """A synthesized ``fault:*`` report for a cell whose execution died.
 
     The cell is charged its full wall budget (like an overrun) and the
-    fault provenance rides the report, so downstream consumers see an
+    fault provenance rides the report, so downstream consumers — the
+    solve_iter stream, the solver service's response lines — see an
     UNKNOWN-with-a-reason instead of a missing cell or a dead campaign.
     """
-    index, problem, solver, _check, _options = entry
     cloned, cmap = clone_for_arbitrary_deadlines(problem.system)
     spec = solver if isinstance(solver, SolverSpec) else SolverSpec.parse(solver)
     return SolveReport(
@@ -480,6 +486,16 @@ def _fault_report(
         skipped=fault_label(kind),
         index=index,
         fault={"kind": kind, "detail": detail, "attempts": attempts},
+    )
+
+
+def _fault_report(
+    entry, kind: str, detail: str, attempts: int = 1
+) -> SolveReport:
+    """:func:`fault_report` for one solve_iter pool entry."""
+    index, problem, solver, _check, _options = entry
+    return fault_report(
+        problem, solver, kind, detail, attempts=attempts, index=index
     )
 
 

@@ -1,0 +1,22 @@
+"""Bad examples for the service-scoped rules (lint fixture, never imported).
+
+A miniature solver daemon that breaks the contracts the real
+``src/repro/service/`` package is held to: wall-clock stats stamps,
+ambient-RNG retry jitter, and a lambda shipped into a worker process.
+
+Expected findings: 1x R1.wall-clock, 1x R1.module-random,
+1x R4.process-callable.
+"""
+
+import random
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+
+def serve_request(entry):
+    """Every service decision here leaks ambient nondeterminism."""
+    stamp = time.time()  # R1.wall-clock
+    jitter = random.uniform(0.5, 1.5)  # R1.module-random
+    with ProcessPoolExecutor() as pool:
+        handle = pool.submit(lambda e: e, entry)  # R4.process-callable
+    return stamp, jitter, handle

@@ -1,0 +1,23 @@
+"""Good examples for the service-scoped rules (lint fixture, never imported).
+
+Monotonic budget clock, seeded jitter, module-level worker: the shape
+the real ``src/repro/service/`` package follows; clean under every rule.
+"""
+
+import random
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+
+def handle_request(payload):
+    """Module-level worker: pickles by qualified name."""
+    return payload
+
+
+def serve_request(entry, seed):
+    """Budget via time.monotonic, jitter from an owned seeded Random."""
+    started = time.monotonic()
+    jitter = random.Random(seed).uniform(0.5, 1.5)
+    with ProcessPoolExecutor() as pool:
+        handle = pool.submit(handle_request, entry)
+    return started, jitter, handle

@@ -1,0 +1,203 @@
+"""Tests for JSONL journal semantics (``repro.batch.journal``).
+
+Last-line-wins, torn-line tolerance and shard merging are load-bearing
+for crash-safe resume and for reassembling split campaigns / service
+shards, so they get standalone coverage here, independent of the
+campaign machinery in ``tests/test_batch.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.batch import (
+    MergeReport,
+    cells_for_matrix,
+    load_journal,
+    merge_journals,
+    run_batch,
+    trim_torn_tail,
+)
+from repro.cli import main
+from repro.generator.random_systems import GeneratorConfig, generate_instances
+
+
+def record(key, **extra):
+    """A minimal well-formed campaign record line for ``key``."""
+    doc = {
+        "instance_seed": 1, "n": 2, "m": 1, "hyperperiod": 6,
+        "utilization_ratio": 0.5, "solver": "csp2", "status": "feasible",
+        "elapsed": 0.1, "nodes": 3,
+    }
+    doc.update(extra)
+    return json.dumps({"key": key, "record": doc})
+
+
+def write_lines(path, lines):
+    path.write_text("".join(line + "\n" for line in lines))
+    return path
+
+
+class TestLoadJournal:
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_journal(tmp_path / "nope.jsonl") == {}
+
+    def test_last_line_wins(self, tmp_path):
+        path = write_lines(
+            tmp_path / "j.jsonl",
+            [record("a", nodes=1), record("b"), record("a", nodes=99)],
+        )
+        journal = load_journal(path)
+        assert set(journal) == {"a", "b"}
+        assert journal["a"]["nodes"] == 99
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(record("a") + "\n" + record("b")[:17])
+        assert set(load_journal(path)) == {"a"}
+
+    def test_corrupt_and_foreign_lines_are_skipped(self, tmp_path):
+        path = write_lines(
+            tmp_path / "j.jsonl",
+            [
+                record("a"),
+                "not json at all",
+                '{"key": "x"}',  # keyed but recordless
+                '{"key": "y", "record": {"bogus": 1}}',  # wrong shape
+                "",
+            ],
+        )
+        assert set(load_journal(path)) == {"a"}
+
+
+class TestTrimTornTail:
+    def test_missing_and_empty_files_left_alone(self, tmp_path):
+        assert trim_torn_tail(tmp_path / "nope.jsonl") is False
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert trim_torn_tail(empty) is False
+
+    def test_complete_journal_untouched(self, tmp_path):
+        path = write_lines(tmp_path / "j.jsonl", [record("a"), record("b")])
+        before = path.read_bytes()
+        assert trim_torn_tail(path) is False
+        assert path.read_bytes() == before
+
+    def test_torn_tail_cut_back_to_last_newline(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        intact = record("a") + "\n"
+        path.write_text(intact + record("b")[:23])
+        assert trim_torn_tail(path) is True
+        assert path.read_text() == intact
+
+    def test_fully_torn_single_line_leaves_empty_file(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(record("a")[:10])
+        assert trim_torn_tail(path) is True
+        assert path.read_bytes() == b""
+
+
+class TestMergeJournals:
+    def test_first_appearance_order_last_occurrence_content(self, tmp_path):
+        s1 = write_lines(
+            tmp_path / "s1.jsonl", [record("a", nodes=1), record("b", nodes=2)]
+        )
+        s2 = write_lines(
+            tmp_path / "s2.jsonl", [record("c", nodes=3), record("a", nodes=9)]
+        )
+        out = tmp_path / "merged.jsonl"
+        report = merge_journals([s1, s2], out)
+        entries = [json.loads(x) for x in out.read_text().splitlines()]
+        assert [e["key"] for e in entries] == ["a", "b", "c"]
+        assert entries[0]["record"]["nodes"] == 9  # s2's later line won
+        assert isinstance(report, MergeReport)
+        assert (report.lines, report.records, report.duplicates, report.torn) \
+            == (4, 3, 1, 0)
+
+    def test_winning_lines_are_copied_verbatim(self, tmp_path):
+        # idiosyncratic spacing would not survive a reserialization
+        raw = '{"key":   "a",  "weird": [1,    2]}'
+        shard = write_lines(tmp_path / "s.jsonl", [raw])
+        out = tmp_path / "merged.jsonl"
+        merge_journals([shard], out)
+        assert out.read_text() == raw + "\n"
+
+    def test_single_complete_shard_merges_to_identity(self, tmp_path):
+        shard = write_lines(
+            tmp_path / "s.jsonl", [record("a"), record("b"), record("c")]
+        )
+        out = tmp_path / "merged.jsonl"
+        merge_journals([shard], out)
+        assert out.read_bytes() == shard.read_bytes()
+
+    def test_missing_shard_merges_as_empty(self, tmp_path):
+        shard = write_lines(tmp_path / "s.jsonl", [record("a")])
+        out = tmp_path / "merged.jsonl"
+        report = merge_journals([tmp_path / "ghost.jsonl", shard], out)
+        assert report.records == 1
+        assert [json.loads(x)["key"] for x in out.read_text().splitlines()] \
+            == ["a"]
+
+    def test_torn_and_keyless_lines_counted_and_dropped(self, tmp_path):
+        shard = write_lines(
+            tmp_path / "s.jsonl",
+            [
+                record("a"),
+                '{"record": {"orphan": 1}}',  # keyless
+                '{"key": 7, "record": {}}',  # non-string key
+                '{"key": "b", "rec',  # torn
+            ],
+        )
+        out = tmp_path / "merged.jsonl"
+        report = merge_journals([shard], out)
+        assert (report.lines, report.records, report.torn) == (4, 1, 3)
+        assert "orphan" not in out.read_text()
+
+    def test_split_campaign_merge_equals_single_run(self, tmp_path):
+        """Two half-campaign shards merge into the one-run journal."""
+        instances = generate_instances(
+            GeneratorConfig(n=3, m=2, tmax=3), 4, seed=11
+        )
+        cells = cells_for_matrix(instances, ["csp2+dc"], 5.0)
+        whole = tmp_path / "whole.jsonl"
+        run_batch(cells, journal=whole)
+        s1, s2 = tmp_path / "s1.jsonl", tmp_path / "s2.jsonl"
+        run_batch(cells[: len(cells) // 2], journal=s1)
+        run_batch(cells[len(cells) // 2:], journal=s2)
+        merged = tmp_path / "merged.jsonl"
+        merge_journals([s1, s2], merged)
+
+        def canon(path):
+            out = []
+            for line in path.read_text().splitlines():
+                entry = json.loads(line)
+                entry["record"]["elapsed"] = 0.0  # wall clock, not content
+                out.append(entry)
+            return out
+
+        assert canon(merged) == canon(whole)
+
+
+class TestMergeCli:
+    def test_merge_summary_and_exit_zero(self, tmp_path, capsys):
+        s1 = write_lines(tmp_path / "s1.jsonl", [record("a"), record("a")])
+        s2 = write_lines(tmp_path / "s2.jsonl", [record("b")])
+        out = tmp_path / "merged.jsonl"
+        code = main(
+            ["journal", "merge", str(s1), str(s2), "--output", str(out)]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "merged 2 shard(s): 2 records from 3 lines" in stdout
+        assert "1 superseded duplicates" in stdout
+        assert out.exists()
+
+    def test_missing_shard_exits_two(self, tmp_path, capsys):
+        ghost = tmp_path / "ghost.jsonl"
+        code = main(
+            ["journal", "merge", str(ghost),
+             "--output", str(tmp_path / "out.jsonl")]
+        )
+        assert code == 2
+        assert "missing shard journal" in capsys.readouterr().err
+        assert not (tmp_path / "out.jsonl").exists()

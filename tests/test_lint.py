@@ -48,6 +48,12 @@ EXPECTED = {
         "R5.unregistered-mutation": 3,
         "R5.on-event-domain-write": 1,
     },
+    # the service package inherits the determinism + pickle contracts
+    "service": {
+        "R1.wall-clock": 1,
+        "R1.module-random": 1,
+        "R4.process-callable": 1,
+    },
 }
 
 #: every per-module rule -> the fixture stem demonstrating it

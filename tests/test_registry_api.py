@@ -347,6 +347,19 @@ class TestSolversCli:
         assert "proves_infeasibility" in by_base["csp2"]["capabilities"]
         assert by_base["csp2-local"]["capabilities"] == []
 
+    def test_solvers_json_carries_service_discovery_fields(self, capsys):
+        """The service hello/clients key off base, suffixes, memory_bound."""
+        from repro.cli import main
+
+        assert main(["solvers", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        by_base = {entry["base"]: entry for entry in payload}
+        assert set(by_base["csp2"]["suffixes"]) >= {"rm", "dm", "tc", "dc"}
+        assert all(
+            isinstance(entry["memory_bound"], bool) for entry in payload
+        )
+        assert by_base["csp1"]["memory_bound"] is True
+
     def test_batch_solver_list_keeps_portfolio_names(self):
         from repro.cli import _split_solver_list
 
