@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint docs-check solvers-check solvers-md bench bench-portfolio bench-engine bench-analysis bench-learning bench-trajectory bench-difftest bench-service difftest difftest-smoke chaos-smoke serve-smoke ci
+.PHONY: test lint docs-check solvers-check solvers-md bench bench-portfolio bench-engine bench-analysis bench-kernels bench-learning bench-trajectory bench-difftest bench-service difftest difftest-smoke chaos-smoke serve-smoke ci
 
 ## tier-1 test suite (the bar every PR must keep green)
 test:
@@ -45,6 +45,12 @@ bench-engine:
 ## time on the d-first grid (compare against benchmarks/BENCH_analysis.full.json)
 bench-analysis:
 	$(PYTHON) benchmarks/bench_analysis.py --out BENCH_analysis.json
+
+## vectorised-kernel benchmark: block-stepping simulator and demand
+## table vs the scalar paths they replaced; asserts result parity and
+## reports the speedups (compare against benchmarks/BENCH_kernels.json)
+bench-kernels:
+	$(PYTHON) benchmarks/bench_kernels.py --out BENCH_kernels.json
 
 ## conflict-directed learning benchmark: before/after node + wall-time
 ## comparison on the UNSAT-heavy boundary grid.  Writes fresh snapshots

@@ -293,14 +293,29 @@ def build_trajectory(bench_dir: str) -> dict:
     eng_before = load("BENCH_engine.before.json")
     eng_after = load("BENCH_engine.after.json")
     if eng_before and eng_after:
+        # the engine snapshots are re-captured each engine PR: "before"
+        # is the predecessor commit's engine, "after" the current one
+        # (PR 3 measured stateless-rescan -> incremental; PR 10 measures
+        # scalar hot paths -> batched kernels + closure-bound fixpoint)
         b, a = eng_before["totals"], eng_after["totals"]
         out["baselines"]["engine"] = {
-            "pr": 3,
-            "what": "stateless-rescan -> incremental event-driven propagation",
+            "pr": 10,
+            "what": "scalar hot paths -> batched counting kernel + "
+            "closure-bound fixpoint (vectorised kernels)",
             "wall_time_s": {"before": b["wall_time_s"], "after": a["wall_time_s"]},
             "speedup": round(b["wall_time_s"] / a["wall_time_s"], 2)
             if a["wall_time_s"] else None,
             "nodes_identical": b["nodes"] == a["nodes"],
+        }
+    kernels = load("BENCH_kernels.json")
+    if kernels:
+        out["baselines"]["kernels"] = {
+            "pr": 10,
+            "what": "block-stepping simulator + prefix-sum demand table "
+            "vs the scalar loops they replaced (parity asserted)",
+            "speedups": {
+                s["name"]: s["speedup"] for s in kernels.get("sections", [])
+            },
         }
     analysis = load("BENCH_analysis.full.json")
     if analysis:
@@ -340,7 +355,7 @@ def check_trajectory(path: str) -> list[str]:
         problems.append(
             f"schema is {doc.get('schema')!r}, expected {TRAJECTORY_SCHEMA!r}"
         )
-    for key in ("engine", "analysis", "learning"):
+    for key in ("engine", "analysis", "learning", "kernels"):
         if key not in doc.get("baselines", {}):
             problems.append(f"missing baseline {key!r}")
     return problems

@@ -34,9 +34,8 @@ from __future__ import annotations
 import math
 from fractions import Fraction
 
-import numpy as np
-
 from repro.analysis.certificates import Certificate
+from repro.kernels import demand as demand_kernel
 from repro.model import intervals
 from repro.model.system import TaskSystem
 from repro.model.transform import clone_for_arbitrary_deadlines
@@ -153,31 +152,6 @@ def _window_spans(system: TaskSystem) -> list[tuple[int, int, int]]:
     return spans
 
 
-def _enclosed_demand_table(
-    system: TaskSystem, max_cells: int = MAX_TABLE_CELLS
-) -> "np.ndarray | None":
-    """``D[a, b]`` = total demand of windows wholly inside ``[a, b]``.
-
-    Built by one 2-D prefix sum over a (start, end) histogram — O(T^2)
-    time and memory, abstaining (None) past ``max_cells``.
-    """
-    T = system.hyperperiod
-    if T * T > max_cells:
-        return None
-    hist = np.zeros((T, T), dtype=np.int64)
-    for s, e, c in _window_spans(system):
-        hist[s, e] += c
-    # suffix-sum over starts (s >= a), prefix-sum over ends (e <= b)
-    table = np.flip(np.cumsum(np.flip(hist, axis=0), axis=0), axis=0)
-    np.cumsum(table, axis=1, out=table)
-    return table
-
-
-def _interval_lengths(T: int) -> np.ndarray:
-    """``L[a, b] = b - a + 1`` (non-positive above the diagonal's left)."""
-    return np.arange(T)[None, :] - np.arange(T)[:, None] + 1
-
-
 def _enclosed_witness_pairs(
     system: TaskSystem, m: int, max_pairs: int
 ) -> "tuple[int, int, int] | None":
@@ -224,21 +198,17 @@ def _enclosed_over_capacity(
     total = system.total_demand()
     if total > m * T:
         return (0, T - 1, total), True
-    table = _enclosed_demand_table(system, max_cells=max_cells)
-    if table is None:
-        spans = _window_spans(system)
+    spans = _window_spans(system)
+    witness, tabled = demand_kernel.enclosed_excess_witness(
+        spans, T, m, max_cells=max_cells
+    )
+    if not tabled:
         starts = {s for s, _, _ in spans}
         ends = {e for _, e, _ in spans}
         if len(starts) * len(ends) > max_pairs:
             return None, False
         return _enclosed_witness_pairs(system, m, max_pairs), True
-    lengths = _interval_lengths(T)
-    excess = np.where(lengths > 0, table - m * lengths, np.int64(-1))
-    flat = int(np.argmax(excess))
-    a, b = divmod(flat, T)
-    if excess[a, b] > 0:
-        return (int(a), int(b), int(table[a, b])), True
-    return None, True
+    return witness, True
 
 
 def demand_over_capacity_witness(
@@ -308,9 +278,9 @@ def interval_load_certificate(
 def _job_fragments(system: TaskSystem):
     """Per job: linear window fragments plus wcet and window length.
 
-    Returns parallel numpy arrays ``(f_start, f_end, f_job)`` over
-    fragments (a wrapped window contributes two) and ``(wcet, wlen)``
-    over jobs, for vectorized overlap arithmetic.
+    Returns parallel lists ``(f_start, f_end, f_job)`` over fragments
+    (a wrapped window contributes two) and ``(wcet, wlen)`` over jobs,
+    ready for the overlap arithmetic in :mod:`repro.kernels.demand`.
     """
     T = system.hyperperiod
     f_start, f_end, f_job = [], [], []
@@ -330,13 +300,7 @@ def _job_fragments(system: TaskSystem):
             wcet.append(task.wcet)
             wlen.append(task.deadline)
             jid += 1
-    return (
-        np.array(f_start, dtype=np.int64),
-        np.array(f_end, dtype=np.int64),
-        np.array(f_job, dtype=np.int64),
-        np.array(wcet, dtype=np.int64),
-        np.array(wlen, dtype=np.int64),
-    )
+    return f_start, f_end, f_job, wcet, wlen
 
 
 def forced_demand_certificate(
@@ -356,34 +320,27 @@ def forced_demand_certificate(
         return Certificate.abstain(
             "necessary:forced-demand", detail="no positive-wcet jobs"
         )
-    starts = np.unique(fs)
-    ends = np.unique(fe)
+    starts = sorted(set(fs))
+    ends = sorted(set(fe))
     if len(starts) * len(ends) > max_pairs:
         return Certificate.abstain(
             "necessary:forced-demand",
             detail=f"{len(starts)}x{len(ends)} candidate intervals past "
             f"the pair budget {max_pairs}",
         )
-    for a in starts.tolist():
-        for b in ends.tolist():
-            if b < a:
-                continue
-            overlap_f = np.clip(
-                np.minimum(fe, b) - np.maximum(fs, a) + 1, 0, None
-            )
-            overlap = np.zeros(len(wc), dtype=np.int64)
-            np.add.at(overlap, fj, overlap_f)
-            forced = np.clip(wc - (wl - overlap), 0, None)
-            demand = int(forced.sum())
-            capacity = m * (b - a + 1)
-            if demand > capacity:
-                return Certificate.infeasible(
-                    "necessary:forced-demand",
-                    witness={"interval": [int(a), int(b)], "demand": demand,
-                             "capacity": capacity},
-                    detail=f"slots [{a}, {b}] force demand {demand} > "
-                    f"capacity {capacity}",
-                )
+    witness = demand_kernel.forced_demand_witness(
+        fs, fe, fj, wc, wl, starts, ends, m
+    )
+    if witness is not None:
+        a, b, demand = witness
+        capacity = m * (b - a + 1)
+        return Certificate.infeasible(
+            "necessary:forced-demand",
+            witness={"interval": [a, b], "demand": demand,
+                     "capacity": capacity},
+            detail=f"slots [{a}, {b}] force demand {demand} > "
+            f"capacity {capacity}",
+        )
     return Certificate.abstain(
         "necessary:forced-demand", detail="no over-forced interval"
     )
@@ -444,11 +401,9 @@ def processor_lower_bound(
     bound = max(1, system.min_processors)
     T = system.hyperperiod
     bound = max(bound, math.ceil(system.total_demand() / T))
-    table = _enclosed_demand_table(system, max_cells=max_cells)
-    if table is not None and table.size:
-        lengths = _interval_lengths(T)
-        valid = lengths > 0
-        need = -(-table[valid] // lengths[valid])  # ceil division
-        if need.size:
-            bound = max(bound, int(need.max()))
+    need = demand_kernel.interval_min_processors(
+        _window_spans(system), T, max_cells=max_cells
+    )
+    if need is not None:
+        bound = max(bound, need)
     return bound

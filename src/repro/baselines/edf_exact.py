@@ -45,6 +45,7 @@ feasibility.
 from __future__ import annotations
 
 import time
+from bisect import insort
 from dataclasses import dataclass
 from typing import Any
 
@@ -159,57 +160,71 @@ def edf_exact_test(
     # become fully periodic (every task has had its first release)
     start_cycle = (max(offsets) + T - 1) // T
 
-    # per task: the active job's (release, abs_deadline, remaining); None = idle
-    current: list[tuple[int, int, int] | None] = [None] * n
+    # per task: the active job's release / abs deadline / remaining work
+    # (remaining 0 = no active job)
+    release = [0] * n
+    abs_dl = [0] * n
+    remaining = [0] * n
     next_release = list(offsets)
 
     #: configuration -> hyperperiod index of its first occurrence
     seen: dict[tuple, int] = {}
     #: one m x T schedule block per simulated hyperperiod
     blocks: list[np.ndarray] = []
+    #: active jobs sorted by (abs deadline, task) — EDF order, kept
+    #: incrementally (insort on release, filter on completion)
+    queue: list[tuple[int, int]] = []
 
     deadline_wall = None if time_limit is None else time.monotonic() + time_limit
 
     def configuration(t: int) -> tuple:
         return tuple(
-            None if c is None else (c[2], c[1] - t) for c in current
+            (remaining[i], abs_dl[i] - t) if remaining[i] else None
+            for i in range(n)
         )
 
     def miss_payload(i: int, t: int) -> dict[str, Any]:
-        rel, dl, rem = current[i]
         return {
             "task": i,
-            "release": rel,
-            "deadline": dl,
-            "remaining": rem,
+            "release": release[i],
+            "deadline": abs_dl[i],
+            "remaining": remaining[i],
             "time": t,
             "m": m,
             "configuration": [
-                None if c is None else [c[2], c[1] - t] for c in current
+                [remaining[j], abs_dl[j] - t] if remaining[j] else None
+                for j in range(n)
             ],
         }
 
+    # Block stepping (see repro.kernels.simulate for the argument): the
+    # EDF pick can only change at a release or a completion, and misses
+    # and configuration hashes only happen at deadlines / aligned
+    # instants, so the slot loop advances window-by-window — each window
+    # runs to the next release / earliest active deadline / hyperperiod
+    # boundary / node budget, with an inner staircase over completions.
+    # Every observable (hash times, schedule blocks, miss time and
+    # payload, slot counts) is byte-identical to the per-slot loop.
     t = 0
     while True:
-        aligned = t % T == 0 and t >= start_cycle * T
-        if aligned:
-            config = configuration(t)
-            k = t // T
-            first = seen.setdefault(config, k)
-            if first != k:
-                table = np.hstack(blocks[first:k])
-                return EdfExactOutcome(
-                    verdict=EDF_SCHEDULABLE,
-                    schedule=Schedule(system, Platform.identical(m), table),
-                    cycle_start=first,
-                    cycle_length=k - first,
-                    miss=None,
-                    slots=t,
-                    configurations=len(seen),
-                )
-            if config_limit is not None and len(seen) > config_limit:
-                break
         if t % T == 0:
+            if t >= start_cycle * T:
+                config = configuration(t)
+                k = t // T
+                first = seen.setdefault(config, k)
+                if first != k:
+                    table = np.hstack(blocks[first:k])
+                    return EdfExactOutcome(
+                        verdict=EDF_SCHEDULABLE,
+                        schedule=Schedule(system, Platform.identical(m), table),
+                        cycle_start=first,
+                        cycle_length=k - first,
+                        miss=None,
+                        slots=t,
+                        configurations=len(seen),
+                    )
+                if config_limit is not None and len(seen) > config_limit:
+                    break
             if deadline_wall is not None and time.monotonic() >= deadline_wall:
                 break
             blocks.append(np.full((m, T), IDLE, dtype=np.int32))
@@ -222,26 +237,53 @@ def edf_exact_test(
             if next_release[i] == t:
                 next_release[i] += periods[i]
                 if wcets[i] > 0:
-                    current[i] = (t, t + deadlines[i], wcets[i])
+                    release[i] = t
+                    dl = t + deadlines[i]
+                    abs_dl[i] = dl
+                    remaining[i] = wcets[i]
+                    insort(queue, (dl, i))
 
-        # run the m active jobs with the earliest absolute deadlines
-        active = sorted(
-            (c[1], i) for i, c in enumerate(current) if c is not None
-        )
+        # widest window with no release, no active deadline, no aligned
+        # instant and no budget boundary strictly inside it
+        w = T - t % T
+        nr = min(next_release) - t
+        if nr < w:
+            w = nr
+        if queue:  # deadline-sorted: the earliest deadline is the head
+            d = queue[0][0] - t
+            if d < w:
+                w = d
+        if node_limit is not None and node_limit - t < w:
+            w = node_limit - t
+        window_end = t + (w if w > 0 else 1)
+
         block = blocks[-1]
-        col = t % T
-        for slot, (_, i) in enumerate(active[:m]):
-            block[slot, col] = i
-            rel, dl, rem = current[i]
-            rem -= 1
-            current[i] = None if rem == 0 else (rel, dl, rem)
+        while t < window_end:
+            running = queue[:m]
+            delta = window_end - t
+            for _, i in running:
+                r = remaining[i]
+                if r < delta:
+                    delta = r
+            col = t % T
+            for slot, (_, i) in enumerate(running):
+                block[slot, col:col + delta] = i
+            completed = False
+            for _, i in running:
+                left = remaining[i] - delta
+                remaining[i] = left
+                if not left:
+                    completed = True
+            t += delta
+            if completed:
+                queue = [e for e in queue if remaining[e[1]]]
 
-        t += 1
-
-        # deadline check: remaining work at (or past) the absolute deadline
+        # deadline check: remaining work at (or past) the absolute
+        # deadline — cannot fire strictly inside a window (every active
+        # deadline is >= window_end), so first miss time and task match
+        # the per-slot loop exactly
         for i in range(n):
-            c = current[i]
-            if c is not None and t >= c[1]:
+            if remaining[i] and t >= abs_dl[i]:
                 return EdfExactOutcome(
                     verdict=EDF_MISS,
                     schedule=None,

@@ -19,12 +19,15 @@ def global_edf(system: TaskSystem, m: int, max_cycles: int = 64) -> SimulationRe
     """Global preemptive EDF: earliest absolute deadline first.
 
     Job-level fixed priority; ties break by task index (deterministic).
+    The key is static (release data only), so the simulation runs on the
+    block-stepping kernel.
     """
     return simulate_priority_policy(
         system,
         m,
         priority=lambda i, rel, dl, rem: (dl, i),
         max_cycles=max_cycles,
+        static_key=("edf", None),
     )
 
 
@@ -47,11 +50,14 @@ def global_fixed_priority(
     rank = [0] * system.n
     for pos, i in enumerate(order):
         rank[i] = pos
+    # ranks are a permutation (unique), so (rank,) and (rank, i) sort
+    # identically — the static declaration matches the callable's order
     return simulate_priority_policy(
         system,
         m,
         priority=lambda i, rel, dl, rem: (rank[i],),
         max_cycles=max_cycles,
+        static_key=("rank", rank),
     )
 
 

@@ -21,11 +21,12 @@ scope).
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.kernels.simulate import STATIC_EDF, STATIC_RANK, simulate_static
 from repro.model.system import TaskSystem
 from repro.model.platform import Platform
 from repro.schedule.schedule import IDLE, Schedule
@@ -34,6 +35,10 @@ __all__ = ["SimulationResult", "simulate_priority_policy"]
 
 #: priority key: (task_index, release_time, abs_deadline, remaining) -> sortable
 PriorityKey = Callable[[int, int, int, int], tuple]
+
+#: static-key declarations accepted by ``simulate_priority_policy``:
+#: ``("edf", None)`` or ``("rank", Sequence[int])``
+StaticKey = "tuple[str, Sequence[int] | None]"
 
 
 @dataclass
@@ -62,6 +67,7 @@ def simulate_priority_policy(
     m: int,
     priority: PriorityKey,
     max_cycles: int = 64,
+    static_key: tuple | None = None,
 ) -> SimulationResult:
     """Simulate a global preemptive priority policy until decisive.
 
@@ -77,11 +83,45 @@ def simulate_priority_policy(
     max_cycles:
         Hyperperiods to simulate past the largest offset before giving up
         on convergence.
+    static_key:
+        Declares ``priority`` *static* (release-data-only), unlocking the
+        block-stepping kernel (:mod:`repro.kernels.simulate`):
+        ``("edf", None)`` for ``(abs_deadline, task)`` keys or
+        ``("rank", ranks)`` for fixed task ranks.  The declaration must
+        describe the same order ``priority`` computes — the results are
+        byte-identical, only faster (pinned by the kernel parity suite).
+        None (default) runs the slot-by-slot loop below.
     """
     if not system.is_constrained:
         raise ValueError("simulation requires constrained deadlines (clone first)")
     if m < 1:
         raise ValueError(f"m must be >= 1, got {m}")
+    if static_key is not None:
+        kind, rank = static_key
+        if kind not in (STATIC_EDF, STATIC_RANK):
+            raise ValueError(f"unknown static_key kind {kind!r}")
+        schedulable, missed, cycles, history = simulate_static(
+            [t.offset for t in system],
+            [t.period for t in system],
+            [t.wcet for t in system],
+            [t.deadline for t in system],
+            system.hyperperiod,
+            m,
+            key=kind,
+            rank=rank,
+            max_cycles=max_cycles,
+            idle=IDLE,
+        )
+        return SimulationResult(
+            schedulable=schedulable,
+            missed=missed,
+            cycles_simulated=cycles,
+            schedule=(
+                Schedule(system, Platform.identical(m), history)
+                if schedulable
+                else None
+            ),
+        )
     T = system.hyperperiod
     n = system.n
     offsets = [t.offset for t in system]

@@ -108,21 +108,26 @@ def _cmd_solvers(args: argparse.Namespace) -> int:
     if args.json:
         # service clients discover what a server can run from this
         # payload; keep additions additive (consumers pin fields)
-        payload = [
-            {
-                "base": info.base,
-                "names": info.names(),
-                "description": info.description,
-                "paper_section": info.paper_section,
-                "pick_when": info.pick_when,
-                "capabilities": sorted(info.capabilities),
-                "options": list(info.options),
-                "platforms": list(info.platforms),
-                "suffixes": dict(info.suffixes),
-                "memory_bound": info.memory_bound,
-            }
-            for info in infos
-        ]
+        from repro.kernels import kernel_availability
+
+        payload = {
+            "solvers": [
+                {
+                    "base": info.base,
+                    "names": info.names(),
+                    "description": info.description,
+                    "paper_section": info.paper_section,
+                    "pick_when": info.pick_when,
+                    "capabilities": sorted(info.capabilities),
+                    "options": list(info.options),
+                    "platforms": list(info.platforms),
+                    "suffixes": dict(info.suffixes),
+                    "memory_bound": info.memory_bound,
+                }
+                for info in infos
+            ],
+            "kernels": kernel_availability(),
+        }
         print(json.dumps(payload, indent=2))
         return 0
     for info in infos:

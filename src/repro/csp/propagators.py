@@ -178,6 +178,14 @@ class Propagator:
     priority = 1
     #: event types that wake this propagator (see ``watches``)
     wake_on = EVT_ANY
+    #: True when ``on_event`` is a pure wake filter — it updates no
+    #: counters, so its only effect is deciding whether to enqueue.
+    #: The dispatch loop then skips the call entirely while the
+    #: propagator is already queued (the outcome cannot matter), which
+    #: keeps filter cost proportional to *enqueue attempts* rather than
+    #: raw event volume.  Stateful ``on_event`` hooks (counter deltas)
+    #: must leave this False: they need to see every event.
+    stateless_filter = False
     #: attributes ``on_event``/``propagate`` may mutate: each is either
     #: trailed (state.save/save_all or the inlined ``_undo`` form) or
     #: deliberately untrailed with a comment at the subclass declaration
@@ -357,6 +365,13 @@ class ExactSumBool(Propagator):
         self._c = self._tally(state)
         self._stamp = -1
 
+    def batch_row(self):
+        """Export this row for the batched counting kernel
+        (:mod:`repro.kernels.fixpoint`): ``(kind, slots, cells, total,
+        cmax)`` with one ``(var_index, value_bit, coefficient)`` cell
+        per boolean."""
+        return ("bool", 2, [(v.index, _TRUE, 1) for v in self.vars], self.total, 1)
+
     def on_event(self, state: DomainState, idx: int, old: int, new: int):
         """A watched boolean was assigned: retally in O(1)."""
         c = self._c
@@ -495,6 +510,12 @@ class WeightedExactSumBool(Propagator):
         self._c = self._tally(state)
         self._stamp = -1
 
+    def batch_row(self):
+        """Export this row for the batched counting kernel: cells carry
+        each boolean's coefficient, plus the static ``cmax`` filter."""
+        cells = [(v.index, _TRUE, c) for v, c in zip(self.vars, self.coefs)]
+        return ("bool", 3, cells, self.total, self._cmax)
+
     def on_event(self, state: DomainState, idx: int, old: int, new: int):
         """A watched boolean was assigned: move its coefficient."""
         c = self._c
@@ -610,7 +631,16 @@ class CountEq(Propagator):
     and the wake filter is REMOVE (every event carries it; the
     ``on_event`` delta test is a pair of bit probes)."""
 
-    __slots__ = ("value", "total", "incremental", "_bits", "_watched", "_c", "_stamp")
+    __slots__ = (
+        "value",
+        "total",
+        "incremental",
+        "_bits",
+        "_watched",
+        "_scan",
+        "_c",
+        "_stamp",
+    )
 
     priority = 0
     wake_on = EVT_REMOVE
@@ -631,6 +661,11 @@ class CountEq(Propagator):
         self._watched: tuple[Variable, ...] = tuple(
             v for v in self.vars if self._can_take(v)
         )
+        # (var, bit) pairs in watch order: the forcing scans walk this
+        # instead of paying a dict lookup per variable per call
+        self._scan: tuple[tuple[Variable, int], ...] = tuple(
+            (v, self._bits[v.index]) for v in self._watched
+        )
         self.incremental = len(self._watched) >= INCREMENTAL_ARITY_THRESHOLD
         self._c: list[int] | None = None
         self._stamp = -1
@@ -649,11 +684,9 @@ class CountEq(Propagator):
 
     def _tally(self, state: DomainState) -> list[int]:
         masks = state.masks
-        bits = self._bits
         fixed = cand = 0
-        for v in self._watched:
+        for v, bit in self._scan:
             m = masks[v.index]
-            bit = bits[v.index]
             if m & bit:
                 if m == bit:
                     fixed += 1
@@ -665,6 +698,14 @@ class CountEq(Propagator):
         """Tally fixed / candidate variables from the current domains."""
         self._c = self._tally(state)
         self._stamp = -1
+
+    def batch_row(self):
+        """Export this row for the batched counting kernel: one cell per
+        *occurrence* in the watch list (a variable listed twice counts
+        twice, exactly like :meth:`_tally`); the kernel merges the
+        occurrences into one per-event update with the summed weight."""
+        cells = [(v.index, self._bits[v.index], 1) for v in self._watched]
+        return ("count", 2, cells, self.total, 1)
 
     def on_event(self, state: DomainState, idx: int, old: int, new: int):
         """Classify the delta with two bit probes; O(1)."""
@@ -761,22 +802,28 @@ class CountEq(Propagator):
             return PROP_ENTAILED
         value = self.value
         masks = state.masks
-        bits = self._bits
+        # `cand` counts the candidates the scans below will touch; the
+        # scans stop once all of them are handled (removals only mutate
+        # the candidate itself, so the count stays exact mid-scan)
         if fixed == total:  # saturated: no candidate may take `value`
-            for v in self._watched:
+            for v, bit in self._scan:
                 m = masks[v.index]
-                bit = bits[v.index]
                 if m & bit and m != bit:
                     if not state.remove_value(v, value):
                         return PROP_FAIL
+                    cand -= 1
+                    if not cand:
+                        break
             return PROP_ENTAILED
         if fixed + cand == total:  # tight: every candidate must take it
-            for v in self._watched:
+            for v, bit in self._scan:
                 m = masks[v.index]
-                bit = bits[v.index]
                 if m & bit and m != bit:
                     if not state.assign(v, value):
                         return PROP_FAIL
+                    cand -= 1
+                    if not cand:
+                        break
             return PROP_ENTAILED
         return PROP_OK
 
@@ -867,6 +914,16 @@ class WeightedCountEq(Propagator):
         """Tally the weighted fixed / free aggregates."""
         self._c = self._tally(state)
         self._stamp = -1
+
+    def batch_row(self):
+        """Export this row for the batched counting kernel: cells carry
+        each watched variable's coefficient and value bit, plus the
+        static ``cmax`` filter (watched variables are unique here)."""
+        cells = [
+            (v.index, self._bits[v.index], self._coef_of[v.index])
+            for v in self._watched
+        ]
+        return ("count", 3, cells, self.total, self._cmax)
 
     def on_event(self, state: DomainState, idx: int, old: int, new: int):
         """Classify the delta with two bit probes; O(1)."""
@@ -1012,15 +1069,21 @@ class AllDifferentExceptValue(Propagator):
     set — in CSP2 that is every idle slot), and reports entailment once
     at most one variable remains open."""
 
-    __slots__ = ("except_value", "_except_bits")
+    __slots__ = ("except_value", "_except_bits", "_same_off")
 
     priority = 1
     wake_on = EVT_ASSIGN
+    stateless_filter = True  # on_event reads, never writes
 
     def __init__(self, vars: Sequence[Variable], except_value: int | None) -> None:
         self.vars = tuple(vars)
         if len(self.vars) < 2:
             raise ValueError("AllDifferent needs at least two variables")
+        # all vars sharing one offset (the common case: CSP2 slot vars
+        # range over the same task ids) lets the pruning pass build the
+        # taken-value kill mask once instead of once per open variable
+        offs = {v.offset for v in self.vars}
+        self._same_off = offs.pop() if len(offs) == 1 else None
         self.except_value = except_value
         #: var index -> singleton mask of the exception value (0 if unreachable)
         self._except_bits: dict[int, int] = {}
@@ -1085,8 +1148,9 @@ class AllDifferentExceptValue(Propagator):
         """Value consistency over the assigned variables."""
         taken: set[int] = set()
         unassigned: list[Variable] = []
+        masks = state.masks
         for v in self.vars:
-            m = state.masks[v.index]
+            m = masks[v.index]
             if m & (m - 1):
                 unassigned.append(v)
                 continue
@@ -1099,17 +1163,28 @@ class AllDifferentExceptValue(Propagator):
         pruned = False
         if taken:
             before = len(state.events)
-            for v in unassigned:
-                off = v.offset
+            same_off = self._same_off
+            if same_off is not None:
+                # shared offset: one kill mask covers every open var
                 kill = 0
                 for val in taken:
-                    b = val - off
-                    if b >= 0:
-                        kill |= 1 << b
-                # all taken values leave in one event (delta-batched so
-                # watchers are dispatched once per variable, not per value)
-                if kill and not state.intersect_mask(v, ~kill):
-                    return PROP_FAIL
+                    kill |= 1 << (val - same_off)
+                keep = ~kill
+                for v in unassigned:
+                    if not state.intersect_mask(v, keep):
+                        return PROP_FAIL
+            else:
+                for v in unassigned:
+                    off = v.offset
+                    kill = 0
+                    for val in taken:
+                        b = val - off
+                        if b >= 0:
+                            kill |= 1 << b
+                    # all taken values leave in one event (delta-batched
+                    # so watchers fire once per variable, not per value)
+                    if kill and not state.intersect_mask(v, ~kill):
+                        return PROP_FAIL
             pruned = len(state.events) != before
         if pruned:
             # a removal may have assigned a variable; its ASSIGN event
@@ -1129,16 +1204,64 @@ class NonDecreasing(Propagator):
     never change its pruning) and reports entailment once every adjacent
     pair satisfies ``max(x_i) <= min(x_{i+1})``."""
 
-    __slots__ = ("_chain_pos",)
+    __slots__ = ("_chain_pos", "_fwd", "_bwd", "_nbr")
 
     priority = 1
     wake_on = EVT_BOUNDS
+    stateless_filter = True  # on_event reads, never writes
 
     def __init__(self, vars: Sequence[Variable]) -> None:
         self.vars = tuple(vars)
         if len(self.vars) < 2:
             raise ValueError("NonDecreasing needs at least two variables")
         self._chain_pos = {v.index: i for i, v in enumerate(self.vars)}
+        # the two ripple orders, precomputed (propagate is hot; slicing
+        # the chain on every call shows up in engine profiles)
+        self._fwd = self.vars[1:]
+        self._bwd = self.vars[-2::-1]
+        # needy-wake filter table: chain neighbours of each variable as
+        # ``idx -> (right_index, right_delta, left_index, left_delta)``
+        # with offsets pre-folded into the deltas (-1 = no neighbour).
+        # A repeated variable would alias two chain positions, so the
+        # table stays empty (filter disabled) in that degenerate case.
+        self._nbr: dict[int, tuple[int, int, int, int]] = {}
+        if len(self._chain_pos) == len(self.vars):
+            for i, v in enumerate(self.vars):
+                r = self.vars[i + 1] if i + 1 < len(self.vars) else None
+                left = self.vars[i - 1] if i else None
+                self._nbr[v.index] = (
+                    r.index if r is not None else -1,
+                    v.offset - r.offset if r is not None else 0,
+                    left.index if left is not None else -1,
+                    left.offset - v.offset if left is not None else 0,
+                )
+
+    def on_event(self, state: DomainState, idx: int, old: int, new: int):
+        """Skip the wake when no ripple can fire.
+
+        A bounds event on ``x_i`` only disturbs the pairs ``(i-1, i)``
+        and ``(i, i+1)``; if the right neighbour's lower bound already
+        sits at or above ours and the left neighbour's upper bound at or
+        below ours, :meth:`propagate` would change no domain — so the
+        wake is dropped.  (Entailment detection is merely deferred: the
+        constraint stays subscribed and later events re-run the check.)
+        Any pair made inconsistent by an *earlier* event already holds a
+        queue slot, so dropping this wake never loses a ripple."""
+        nbr = self._nbr.get(idx)
+        if nbr is None:
+            return None  # duplicated chain var: never filter
+        r_idx, r_delta, l_idx, l_delta = nbr
+        masks = state.masks
+        if r_idx >= 0:
+            m = masks[r_idx]
+            # right lower bound below ours? (offsets folded into delta)
+            if (m & -m).bit_length() < (new & -new).bit_length() + r_delta:
+                return None  # right lower bound must rise
+        if l_idx >= 0:
+            # left upper bound above ours?
+            if masks[l_idx].bit_length() + l_delta > new.bit_length():
+                return None  # left upper bound must drop
+        return False
 
     def _neighbour_removals(self, neigh: Variable, trail, pos: int):
         """Every recorded removal on ``neigh`` before ``pos`` — enough to
@@ -1196,14 +1319,14 @@ class NonDecreasing(Propagator):
         # forward pass: lower bounds ripple right
         m = masks[vs[0].index]
         lo = vs[0].offset + ((m & -m).bit_length() - 1)
-        for b in vs[1:]:
+        for b in self._fwd:
             if not state.remove_below(b, lo):
                 return PROP_FAIL
             m = masks[b.index]
             lo = b.offset + ((m & -m).bit_length() - 1)
         # backward pass: upper bounds ripple left
         hi = vs[-1].offset + masks[vs[-1].index].bit_length() - 1
-        for a in vs[-2::-1]:
+        for a in self._bwd:
             if not state.remove_above(a, hi):
                 return PROP_FAIL
             hi = a.offset + masks[a.index].bit_length() - 1

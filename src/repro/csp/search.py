@@ -62,7 +62,10 @@ from repro.csp.heuristics import (
     SearchContext,
     make_value_order_phase_saving,
     value_order_ascending,
+    var_order_input,
+    var_order_input_vec,
     var_order_min_domain,
+    var_order_min_domain_vec,
 )
 from repro.csp.learning import (
     NogoodStore,
@@ -72,6 +75,8 @@ from repro.csp.learning import (
 )
 from repro.csp.propagators import PROP_ENTAILED
 from repro.csp.state import CAUSE_DECISION, EVT_ANY, EVT_ASSIGN, DomainState
+from repro.kernels import numpy_or_none
+from repro.kernels.fixpoint import CountingKernel
 from repro.util.timer import Deadline
 
 _EVT_ASSIGN = EVT_ASSIGN  # module-local alias, bound once for the hot loop
@@ -211,6 +216,17 @@ class Solver:
         Wrap the value order so each variable retries the value it last
         held first (adaptive value ordering; most useful with learning
         or restarts).
+    vectorize:
+        ``None`` (auto, the default) batches the counting propagators'
+        tier-0 rows through :class:`repro.kernels.fixpoint.
+        CountingKernel` and, when numpy is available, mirrors the
+        domains in an int64 shadow array that vectorises the stock
+        input/min-domain variable orders.  ``False`` forces the legacy
+        per-propagator path; ``True`` insists on the kernels (still
+        falling back to the scalar reset sweep if numpy is masked).
+        Search decisions are byte-identical either way (pinned by
+        ``tests/test_engine_regression.py``); the learning engine
+        always runs unbatched — nogood bookkeeping is order-sensitive.
     """
 
     def __init__(
@@ -223,10 +239,12 @@ class Solver:
         learn: bool = False,
         nogood_limit: int = 10_000,
         phase_saving: bool = False,
+        vectorize: bool | None = None,
     ) -> None:
         self.model = model
         self.var_order = var_order or var_order_min_domain
         self.value_order = value_order or value_order_ascending
+        self.vectorize = vectorize
         if restart_nodes is not None and restart_nodes < 1:
             raise ValueError(f"restart_nodes must be >= 1, got {restart_nodes}")
         self.restart_nodes = restart_nodes
@@ -248,18 +266,34 @@ class Solver:
         # every variable, a per-event-class jump table.  An event's mask
         # is always one of REMOVE (1), REMOVE|BOUNDS (3) or
         # REMOVE|BOUNDS|ASSIGN (7), so ``self._watchers[idx][mask]`` is
-        # the pre-filtered tuple of ``(pid, on_event-or-None, relevance)``
-        # subscriptions to wake — no per-entry wake-mask test in the hot
-        # dispatch loop.
+        # the pre-filtered tuple of ``(pid, on_event-or-None, relevance,
+        # dedup)`` subscriptions to wake — no per-entry wake-mask test
+        # in the hot dispatch loop.  ``dedup`` marks stateless wake
+        # filters whose call is skipped while the propagator is queued.
         self._props = list(model.constraints)
         raw: list[list[tuple]] = [[] for _ in model.variables]
         self._tiers: list[int] = []
+        # Counting rows move out of the watcher lists into the batched
+        # kernel (vectorize=None/True, non-learning): their per-event
+        # bookkeeping runs inline in _fixpoint instead of through
+        # on_event calls.  Only tier-0 rows qualify — the inline tables
+        # enqueue straight onto q0.
+        batching = self.learn is False and vectorize is not False
+        batched_props: list[tuple[int, object]] = []
+        self._batched = [False] * len(self._props)
         for pid, prop in enumerate(self._props):
             tier = min(_N_TIERS - 1, max(0, getattr(prop, "priority", 1)))
             self._tiers.append(tier)
+            if batching and tier == 0 and hasattr(prop, "batch_row"):
+                self._batched[pid] = True
+                batched_props.append((pid, prop))
+                continue
             handler = getattr(prop, "on_event", None)
             if handler is not None and not getattr(prop, "incremental", True):
                 handler = None  # tally-on-wake mode: no delta bookkeeping
+            dedup = handler is not None and getattr(
+                prop, "stateless_filter", False
+            )
             watches = getattr(prop, "watches", None)
             entries = (
                 watches() if watches is not None
@@ -271,12 +305,37 @@ class Solver:
                     relevance = None
                 else:
                     var, wake_mask, relevance = entry
-                raw[var.index].append((pid, wake_mask, handler, relevance))
+                raw[var.index].append((pid, wake_mask, handler, relevance, dedup))
+        self._kernel = CountingKernel.build(batched_props, len(model.variables))
+        self._ktab = (
+            self._kernel.table if self._kernel is not None
+            else [{}] * len(model.variables)
+        )
+        self._kmask = (
+            self._kernel.bitmask if self._kernel is not None
+            else [0] * len(model.variables)
+        )
+        self._prop_fns = [p.propagate for p in self._props]
+        if batching and self.var_order is var_order_min_domain:
+            self.var_order = var_order_min_domain_vec
+        #: input order keeps a per-descent scan hint instead of a numpy
+        #: sweep: with chronological branching the first-open index only
+        #: moves forward within a descent and pop_level's mask restore
+        #: re-opens exactly the branch variable, so the search can set
+        #: ``ctx.first_unassigned_hint`` to the branch index + 1 before
+        #: each selection — O(1) amortized, no shadow writes needed
+        self._hint_input = self.var_order is var_order_input
+        #: attach the numpy shadow mirror only when a vectorised var
+        #: order will actually read it (the deterministic min-domain
+        #: sweep; the randomized tie-break path defers to scalar)
+        self._use_shadow = (
+            self.var_order is var_order_min_domain_vec and self.ctx.rng is None
+        ) or self.var_order is var_order_input_vec
         self._watchers: list[tuple] = [
             tuple(
                 tuple(
-                    (pid, handler, relevance)
-                    for pid, wake_mask, handler, relevance in entries
+                    (pid, handler, relevance, dedup)
+                    for pid, wake_mask, handler, relevance, dedup in entries
                     if wake_mask & event_class
                 )
                 if event_class in (1, 3, 7)
@@ -316,91 +375,230 @@ class Solver:
         # caller's pop_level truncates them (root-level callers return)
 
     def _reset_propagators(self, state: DomainState) -> None:
-        """Fresh run: reactivate everything, rebuild owned counters."""
+        """Fresh run: reactivate everything, rebuild owned counters.
+
+        Batched counting rows are excluded from the per-propagator
+        resets: the kernel recomputes all their aggregates in one pass
+        over the stacked row matrix (and re-points each ``_c`` at the
+        kernel-owned list)."""
         active = self._active
         for pid in range(len(active)):
             active[pid] = True
         self._reset_queue(state)
-        for prop in self._props:
+        batched = self._batched
+        for pid, prop in enumerate(self._props):
+            if batched[pid]:
+                continue
             reset = getattr(prop, "reset", None)
             if reset is not None:
                 reset(state)
+        if self._kernel is not None:
+            self._kernel.reset(state)
 
-    def _fixpoint(self, state: DomainState) -> bool:
-        """Dispatch pending events and run woken propagators to a
-        fixpoint; False on conflict.
+    def _make_fixpoint(self, state: DomainState):
+        """Build this search's fixpoint runner: dispatch pending events
+        and run woken propagators to a fixpoint; the returned closure
+        yields False on conflict.
 
-        Event dispatch (inlined here — this is the hottest loop in the
-        repo): for every typed event, each watching propagator whose
-        wake mask matches gets its ``on_event`` counter update exactly
-        once (queued or not), then is enqueued on its priority tier.
-        Deactivated (entailed) propagators are skipped entirely — their
-        counters are trail-consistent with the domains at entailment
-        time, see propagators.py.  Queue tiers drain cheapest-first: a
-        tier-1 propagator only runs when tier 0 is empty, tier 2 when
-        0 and 1 are."""
-        q0, q1, q2 = self._queues
-        props = self._props
-        active = self._active
-        on_queue = self._on_queue
-        watchers = self._watchers
+        The runner is rebuilt once per search and binds every hot
+        reference as a default argument, so each of the tens of
+        thousands of per-node calls starts with C-speed local setup
+        instead of an attribute-load prologue (on small instances that
+        prologue dominated the whole fixpoint).
+
+        Event dispatch (inlined in the closure — this is the hottest
+        loop in the repo): for every typed event, each watching
+        propagator whose wake mask matches gets its ``on_event``
+        counter update exactly once (queued or not), then is enqueued
+        on its priority tier.  Deactivated (entailed) propagators are
+        skipped entirely — their counters are trail-consistent with the
+        domains at entailment time, see propagators.py.  Queue tiers
+        drain cheapest-first: a tier-1 propagator only runs when tier 0
+        is empty, tier 2 when 0 and 1 are.
+
+        Batched counting rows (see :mod:`repro.kernels.fixpoint`) are
+        handled inline right here: each event's removed/assigned bits
+        index the kernel's per-variable buckets, the shared aggregates
+        are updated (with the same once-per-node undo snapshot the
+        scalar hooks take) and the row is enqueued only when its bounds
+        say propagation could act — the exact condition under which the
+        scalar ``on_event`` would not have returned False.  A row whose
+        bounds become *unsatisfiable* fails the fixpoint immediately:
+        its ``propagate`` is guaranteed to return FAIL later this node
+        (within a node ``c0`` only grows and ``c0 + c1`` only shrinks),
+        so the short-circuit changes no pinned statistic.  Queue order
+        and propagation counts can differ from the unbatched engine,
+        but the per-node fixpoint is confluent (all propagators are
+        monotone and contracting), so failures, final domains and hence
+        every search decision are byte-identical."""
         queues = self._queues
-        tiers = self._tiers
-        stats = self.stats
-        events = state.events
-        while True:
-            # -- dispatch everything that happened since the last pop
-            i = state.dispatched
-            n = len(events)
-            if i < n:
-                stats.events += n - i
-                while i < n:
-                    idx, old, new, event_mask = events[i]
-                    i += 1
-                    for pid, handler, relevance in watchers[idx][event_mask]:
-                        if not active[pid]:
-                            continue
-                        if relevance is not None and not (
-                            relevance & (old ^ new)
-                            or event_mask & _EVT_ASSIGN and relevance & new
-                        ):
-                            continue  # event can't affect this propagator
-                        if (
-                            handler is not None
-                            and handler(state, idx, old, new) is False
-                        ):
-                            continue  # counters updated; wake provably a no-op
-                        if not on_queue[pid]:
-                            on_queue[pid] = True
-                            queues[tiers[pid]].append(pid)
-                state.dispatched = i
-            # -- run the cheapest woken propagator
-            if q0:
-                pid = q0.popleft()
-            elif q1:
-                pid = q1.popleft()
-            elif q2:
-                pid = q2.popleft()
-            else:
-                return True
-            on_queue[pid] = False
-            if not active[pid]:
-                continue
-            stats.propagations += 1
-            self._prop_budget_check += 1
-            if self._prop_budget_check >= 1024:
-                self._prop_budget_check = 0
-                if self._deadline is not None and self._deadline.expired():
-                    self._reset_queue(state)
-                    raise _Timeout
-            verdict = props[pid].propagate(state)
-            if not verdict:
-                self._reset_queue(state)
-                return False
-            if verdict == PROP_ENTAILED:
-                state.save(active, pid)
-                active[pid] = False
-                stats.entailments += 1
+        deadline = self._deadline
+
+        def fixpoint(
+            *,
+            solver=self,
+            state=state,
+            q0=queues[0],
+            q1=queues[1],
+            q2=queues[2],
+            prop_fns=self._prop_fns,
+            active=self._active,
+            on_queue=self._on_queue,
+            watchers=self._watchers,
+            queues=queues,
+            tiers=self._tiers,
+            stats=self.stats,
+            events=state.events,
+            ktab=self._ktab,
+            kmask=self._kmask,
+            undo=state._undo,
+            shadow=state.shadow,
+            reset_queue=self._reset_queue,
+            # an unlimited deadline can never expire: skip its poll counter
+            timed=deadline is not None and deadline._end is not None,
+            deadline=deadline,
+        ) -> bool:
+            node_stamp = state._stamp
+            while True:
+                # -- dispatch everything that happened since the last pop
+                i = state.dispatched
+                n = len(events)
+                if i < n:
+                    stats.events += n - i
+                    while i < n:
+                        idx, old, new, event_mask = events[i]
+                        i += 1
+                        if shadow is not None:
+                            shadow[idx] = new
+                        for pid, handler, relevance, dedup in watchers[idx][event_mask]:
+                            if not active[pid]:
+                                continue
+                            if relevance is not None and not (
+                                relevance & (old ^ new)
+                                or event_mask & _EVT_ASSIGN and relevance & new
+                            ):
+                                continue  # event can't affect this propagator
+                            if handler is not None:
+                                if dedup and on_queue[pid]:
+                                    continue  # pure filter + already queued
+                                if handler(state, idx, old, new) is False:
+                                    continue  # counters updated; wake a no-op
+                            if not on_queue[pid]:
+                                on_queue[pid] = True
+                                queues[tiers[pid]].append(pid)
+                        # counting-row buckets: the event's removed bits jump
+                        # straight to the rows losing a candidate, the
+                        # assigned bit to the rows gaining a fixed one —
+                        # entries are (pid, c, st, total, coef, w3, cmax).
+                        # A row driven impossible (c0 > total or c0+c1 <
+                        # total) fails the node right here: its propagate is
+                        # guaranteed to return FAIL this fixpoint (the
+                        # aggregates only march further past the bound
+                        # within a node), so skipping the remaining drain
+                        # and the O(row) scan changes no search decision.
+                        km = kmask[idx]
+                        if km:
+                            kt = ktab[idx]
+                            removed = old & ~new & km
+                            while removed:
+                                b = removed & -removed
+                                removed -= b
+                                for pid, c, st, total, coef, w3, cmax in kt[b]:
+                                    if not active[pid]:
+                                        continue
+                                    if st[0] != node_stamp:
+                                        st[0] = node_stamp
+                                        undo.append((c, None, tuple(c)))
+                                    c[1] -= coef
+                                    if w3:  # 3-slot weighted row
+                                        c[2] -= 1
+                                        lb = c[0]
+                                        fs = c[1]
+                                        if lb + fs < total:
+                                            reset_queue(state)
+                                            state.dispatched = i
+                                            return False
+                                        if (
+                                            c[2]
+                                            and cmax <= total - lb
+                                            and cmax <= lb + fs - total
+                                        ):
+                                            continue
+                                    else:
+                                        s0 = c[0]
+                                        if s0 + c[1] < total:
+                                            reset_queue(state)
+                                            state.dispatched = i
+                                            return False
+                                        if s0 < total < s0 + c[1]:
+                                            continue
+                                    if not on_queue[pid]:
+                                        on_queue[pid] = True
+                                        q0.append(pid)
+                            if event_mask == 7 and new & km:
+                                # candidate became fixed
+                                for pid, c, st, total, coef, w3, cmax in kt[new]:
+                                    if not active[pid]:
+                                        continue
+                                    if st[0] != node_stamp:
+                                        st[0] = node_stamp
+                                        undo.append((c, None, tuple(c)))
+                                    c[0] += coef
+                                    c[1] -= coef
+                                    if w3:  # 3-slot weighted row
+                                        c[2] -= 1
+                                        lb = c[0]
+                                        if lb > total:
+                                            reset_queue(state)
+                                            state.dispatched = i
+                                            return False
+                                        if (
+                                            c[2]
+                                            and cmax <= total - lb
+                                            and cmax <= lb + c[1] - total
+                                        ):
+                                            continue
+                                    else:
+                                        if c[0] > total:
+                                            reset_queue(state)
+                                            state.dispatched = i
+                                            return False
+                                        if c[0] < total < c[0] + c[1]:
+                                            continue
+                                    if not on_queue[pid]:
+                                        on_queue[pid] = True
+                                        q0.append(pid)
+                    state.dispatched = i
+                # -- run the cheapest woken propagator
+                if q0:
+                    pid = q0.popleft()
+                elif q1:
+                    pid = q1.popleft()
+                elif q2:
+                    pid = q2.popleft()
+                else:
+                    return True
+                on_queue[pid] = False
+                if not active[pid]:
+                    continue
+                stats.propagations += 1
+                if timed:
+                    solver._prop_budget_check += 1
+                    if solver._prop_budget_check >= 1024:
+                        solver._prop_budget_check = 0
+                        if deadline.expired():
+                            reset_queue(state)
+                            raise _Timeout
+                verdict = prop_fns[pid](state)
+                if not verdict:
+                    reset_queue(state)
+                    return False
+                if verdict == PROP_ENTAILED:
+                    undo.append((active, pid, True))  # state.save, inlined
+                    active[pid] = False
+                    stats.entailments += 1
+
+        return fixpoint
 
     # -- search -------------------------------------------------------------------
     def solve(
@@ -484,6 +682,10 @@ class Solver:
         self.stats = SearchStats()
         stats = self.stats
         state = DomainState(self.model)
+        if self._use_shadow:
+            np = numpy_or_none()
+            if np is not None:
+                state.attach_shadow(np)
         self._reset_propagators(state)
         self._deadline = deadline = Deadline(time_limit)
         solutions: list[dict[Variable, int]] = []
@@ -499,14 +701,20 @@ class Solver:
             )
 
         # root propagation
+        fixpoint = self._make_fixpoint(state)
+        push_level, pop_level = state.make_trail_ops()
         self._enqueue_all()
         try:
-            if not self._fixpoint(state):
+            if not fixpoint():
                 return outcome(Status.UNSAT)
         except _Timeout:
             return outcome(Status.UNKNOWN)
 
-        first = self.var_order(state, self.ctx)
+        ctx = self.ctx
+        hint_input = self._hint_input
+        if hint_input:
+            ctx.first_unassigned_hint = 0
+        first = self.var_order(state, ctx)
         if first is None:
             solutions.append(state.solution())
             return outcome(Status.SAT)
@@ -532,28 +740,33 @@ class Solver:
                 # every value of this entry failed: unwind to the parent
                 stack.pop()
                 if stack:
-                    state.pop_level()
+                    pop_level()
                 continue
             stats.nodes += 1
             if len(stack) > stats.max_depth:
                 stats.max_depth = len(stack)
             if phases is not None:
                 phases[var.index] = val
-            state.push_level()
+            push_level()
             try:
-                ok = state.assign(var, val) and self._fixpoint(state)
+                ok = state.assign(var, val) and fixpoint()
             except _Timeout:
                 return outcome(Status.UNKNOWN)
             if not ok:
                 stats.fails += 1
-                state.pop_level()
+                pop_level()
                 continue
-            nxt = self.var_order(state, self.ctx)
+            if hint_input:
+                # everything before the branch variable is assigned, and
+                # so (now) is the branch variable itself: input-order
+                # selection never needs to rescan the assigned prefix
+                ctx.first_unassigned_hint = var.index + 1
+            nxt = self.var_order(state, ctx)
             if nxt is None:
                 solutions.append(state.solution())
                 if len(solutions) >= max_solutions:
                     return outcome(Status.SAT)
-                state.pop_level()  # keep enumerating from this entry
+                pop_level()  # keep enumerating from this entry
                 continue
             stack.append((nxt, iter(self.value_order(state, nxt))))
 
@@ -594,7 +807,7 @@ class Solver:
                 while i < n:
                     idx, old, new, event_mask = events[i]
                     i += 1
-                    for pid, handler, relevance in watchers[idx][event_mask]:
+                    for pid, handler, relevance, dedup in watchers[idx][event_mask]:
                         if not active[pid]:
                             continue
                         if relevance is not None and not (
@@ -602,11 +815,11 @@ class Solver:
                             or event_mask & _EVT_ASSIGN and relevance & new
                         ):
                             continue
-                        if (
-                            handler is not None
-                            and handler(state, idx, old, new) is False
-                        ):
-                            continue
+                        if handler is not None:
+                            if dedup and on_queue[pid]:
+                                continue  # pure filter + already queued
+                            if handler(state, idx, old, new) is False:
+                                continue
                         if not on_queue[pid]:
                             on_queue[pid] = True
                             queues[tiers[pid]].append(pid)

@@ -94,11 +94,14 @@ class DomainState:
         "causes",
         "cause",
         "dispatched",
-        "_trail",
+        "shadow",
         "_undo",
         "_levels",
         "_stamp",
     )
+
+    #: domain bitmasks must stay below this for the int64 shadow mirror
+    SHADOW_MASK_LIMIT = 1 << 62
 
     def __init__(self, model: Model, record_causes: bool = False) -> None:
         self.model = model
@@ -118,13 +121,20 @@ class DomainState:
         #: cursor into :attr:`events`: entries below it have been handed
         #: to the engine already (clamped by :meth:`pop_level`)
         self.dispatched = 0
-        #: mask trail of ``(var_index, old_mask)`` records (the hot one)
-        self._trail: list[tuple[int, int]] = []
+        #: optional int64 numpy mirror of :attr:`masks` for vectorised
+        #: heuristics; ``None`` until :meth:`attach_shadow`.  The engine
+        #: updates it while dispatching events (every mutation records
+        #: exactly one event) and :meth:`pop_level` restores it from the
+        #: event log, so it is current whenever the log is drained.
+        self.shadow = None
         #: generic undo log of ``(container, key, old_value)`` records
-        #: for propagator-owned state (key ``None`` = whole-list snapshot)
+        #: for propagator-owned state (key ``None`` = whole-list snapshot).
+        #: Domain masks have no separate trail: every mutation records
+        #: exactly one event carrying ``old_mask``, so :meth:`pop_level`
+        #: restores masks from the level's event slice.
         self._undo: list[tuple] = []
-        #: per open level: (trail mark, undo mark, event mark)
-        self._levels: list[tuple[int, int, int]] = []
+        #: per open level: (undo mark, event mark)
+        self._levels: list[tuple[int, int]] = []
         #: never-reused id of the current search node (see :attr:`stamp`)
         self._stamp = 0
 
@@ -192,7 +202,6 @@ class DomainState:
         if not old & bit:
             return False
         if old != bit:
-            self._trail.append((idx, old))
             self.events.append((idx, old, bit, _EV_SINGLETON))
             if self.causes is not None:
                 self.causes.append(self.cause)
@@ -213,7 +222,6 @@ class DomainState:
         new = old & ~bit
         if new == 0:
             return False
-        self._trail.append((idx, old))
         if not new & (new - 1):
             ev = _EV_SINGLETON
         elif bit == old & -old or new < bit:  # dropped the min or the max
@@ -237,7 +245,6 @@ class DomainState:
             return True
         if new == 0:
             return False
-        self._trail.append((idx, old))
         if not new & (new - 1):
             ev = _EV_SINGLETON
         elif old & -old != new & -new or old.bit_length() != new.bit_length():
@@ -296,6 +303,21 @@ class DomainState:
         record's key is ``None`` and the undo replays a slice assign."""
         self._undo.append((container, None, tuple(container)))
 
+    def attach_shadow(self, np_module) -> bool:
+        """Mirror the domain masks in an int64 numpy array.
+
+        Refused (returns False, :attr:`shadow` stays None) when any
+        current mask would overflow the sign-safe int64 range — domains
+        here are tiny, but the guard keeps arbitrary models sound.
+        """
+        limit = self.SHADOW_MASK_LIMIT
+        for m in self.masks:
+            if m >= limit:
+                self.shadow = None
+                return False
+        self.shadow = np_module.array(self.masks, dtype=np_module.int64)
+        return True
+
     # -- trail ---------------------------------------------------------------
     @property
     def level(self) -> int:
@@ -304,7 +326,7 @@ class DomainState:
 
     def push_level(self) -> None:
         """Open a new decision level."""
-        self._levels.append((len(self._trail), len(self._undo), len(self.events)))
+        self._levels.append((len(self._undo), len(self.events)))
         self._stamp += 1
 
     def pop_level(self) -> None:
@@ -316,24 +338,91 @@ class DomainState:
         before the push (pending, not yet drained) survive."""
         if not self._levels:
             raise RuntimeError("pop_level without matching push_level")
-        mark, undo_mark, event_mark = self._levels.pop()
-        trail = self._trail
+        undo_mark, event_mark = self._levels.pop()
         masks = self.masks
-        while len(trail) > mark:
-            idx, old = trail.pop()
-            masks[idx] = old
-        undo = self._undo
-        while len(undo) > undo_mark:
-            container, key, old = undo.pop()
-            if key is None:  # wholesale list snapshot (save_all)
-                container[:] = old
+        shadow = self.shadow
+        events = self.events
+        if len(events) > event_mark:
+            # LIFO replay leaves the oldest (correct) mask in place,
+            # including for mutations whose events were never dispatched
+            if shadow is None:
+                for idx, old, _new, _ev in reversed(events[event_mark:]):
+                    masks[idx] = old
             else:
-                container[key] = old
-        del self.events[event_mark:]
+                for idx, old, _new, _ev in reversed(events[event_mark:]):
+                    masks[idx] = old
+                    shadow[idx] = old
+            del events[event_mark:]
+        undo = self._undo
+        if len(undo) > undo_mark:
+            for container, key, old in reversed(undo[undo_mark:]):
+                if key is None:  # wholesale list snapshot (save_all)
+                    container[:] = old
+                else:
+                    container[key] = old
+            del undo[undo_mark:]
         if self.causes is not None:
             del self.causes[event_mark:]
         if self.dispatched > event_mark:
             self.dispatched = event_mark
+
+    def make_trail_ops(self):
+        """Bind ``(push, pop)`` closures over this state's trail.
+
+        Semantically identical to :meth:`push_level` / :meth:`pop_level`
+        but with every structure captured as a default argument, so the
+        once-per-node calls skip the attribute-load prologue (the search
+        makes ~2 of these per node explored; the method-call overhead is
+        measurable on small instances).  For paired use by the search
+        loop only: the unmatched-pop guard is dropped (an unmatched pop
+        raises ``IndexError`` from the list instead of ``RuntimeError``).
+
+        Bindings snapshot :attr:`shadow` and :attr:`causes`, so call
+        this *after* :meth:`attach_shadow` / trail attachment."""
+        state = self
+        levels = self._levels
+
+        def push(
+            append=levels.append,
+            undo=self._undo,
+            events=self.events,
+            state=state,
+        ) -> None:
+            append((len(undo), len(events)))
+            state._stamp += 1
+
+        def pop(
+            take=levels.pop,
+            masks=self.masks,
+            events=self.events,
+            undo=self._undo,
+            shadow=self.shadow,
+            causes=self.causes,
+            state=state,
+        ) -> None:
+            undo_mark, event_mark = take()
+            if len(events) > event_mark:
+                if shadow is None:
+                    for idx, old, _new, _ev in reversed(events[event_mark:]):
+                        masks[idx] = old
+                else:
+                    for idx, old, _new, _ev in reversed(events[event_mark:]):
+                        masks[idx] = old
+                        shadow[idx] = old
+                del events[event_mark:]
+            if len(undo) > undo_mark:
+                for container, key, old in reversed(undo[undo_mark:]):
+                    if key is None:  # wholesale list snapshot (save_all)
+                        container[:] = old
+                    else:
+                        container[key] = old
+                del undo[undo_mark:]
+            if causes is not None:
+                del causes[event_mark:]
+            if state.dispatched > event_mark:
+                state.dispatched = event_mark
+
+        return push, pop
 
     def drain_events(self) -> list[tuple[int, int, int, int]]:
         """Return the not-yet-consumed events and advance the cursor."""

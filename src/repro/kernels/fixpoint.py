@@ -1,0 +1,228 @@
+"""Batched counting rows for the propagation fixpoint.
+
+The four counting propagators (``ExactSumBool``/``WeightedExactSumBool``
+/``CountEq``/``WeightedCountEq``) are the engine's tier-0 workhorses:
+on the paper-scale CSP2 grids they receive the large majority of all
+event wakes, and each wake costs a Python method call just to bump two
+or three counters and check a bound.  This module stacks *all* their
+rows into one shared store the engine consults inline:
+
+* **Row matrix.**  Every row is a set of ``(var_index, value_bit,
+  coefficient)`` cells plus a target ``total`` (and ``cmax`` for the
+  weighted rows) — exported by each propagator's ``batch_row()``.  The
+  whole system of rows is one sparse ``(rows x vars)`` masked matrix.
+* **Reset pass.**  :meth:`CountingKernel.reset` evaluates every row's
+  aggregates from the current domain masks in a single vectorised
+  sweep over the matrix (pure-Python fallback when numpy is masked)
+  and re-points each propagator's ``_c`` at the kernel-owned list, so
+  ``propagate`` reads the shared aggregates with no synchronisation.
+* **Inline update tables.**  :attr:`CountingKernel.table` maps each
+  variable to the tuple of row entries its events touch.  The engine's
+  dispatch loop updates the aggregates *inline* (no function call) and
+  re-enqueues a row only when its bounds say propagation could act —
+  exactly the skip condition the scalar ``on_event`` hooks implement,
+  so per-node search decisions are byte-identical (pinned by
+  ``tests/test_engine_regression.py``).
+
+Per-event numpy calls are deliberately absent: one numpy dispatch costs
+more than an entire node's Python bookkeeping at these row sizes, so
+numpy is reserved for the reset sweep (and the parity cross-check),
+where one call covers the whole matrix.
+
+Trail safety: aggregate lists are snapshotted once per node onto the
+engine's undo log before the first inline update (the same
+``(list, None, tuple)`` record the scalar propagators use), guarded by
+a per-row stamp holder; deactivated (entailed) rows are skipped first,
+keeping their aggregates frozen exactly like the scalar engine.
+"""
+
+from __future__ import annotations
+
+from repro.kernels import numpy_or_none
+
+__all__ = ["CountingKernel", "SHADOW_MASK_LIMIT"]
+
+#: domain bitmasks must stay below this for int64 shadow/matrix gathers
+SHADOW_MASK_LIMIT = 1 << 62
+
+#: the TRUE bit of 2-value boolean domains (bool rows count this value)
+_TRUE = 0b10
+
+
+def _or_all(bits) -> int:
+    """OR an iterable of bit masks together."""
+    out = 0
+    for b in bits:
+        out |= b
+    return out
+
+
+class _Row:
+    """One counting row: identity, cells and the shared aggregate list."""
+
+    __slots__ = ("pid", "prop", "kind", "slots", "cells", "total", "cmax", "c", "st")
+
+    def __init__(self, pid, prop, kind, slots, cells, total, cmax):
+        self.pid = pid
+        self.prop = prop
+        self.kind = kind
+        self.slots = slots
+        self.cells = cells  # [(var_index, value_bit, coefficient), ...]
+        self.total = total
+        self.cmax = cmax
+        self.c = [0] * slots  # kernel-owned aggregates; prop._c aliases it
+        self.st = [-1]  # per-row once-per-node trail stamp holder
+
+
+class CountingKernel:
+    """Shared aggregate store + per-variable inline wake tables."""
+
+    def __init__(self, rows: list[_Row], n_vars: int) -> None:
+        self.rows = rows
+        self._matrix_cache = None  # lazy numpy CSR-ish arrays
+        # int64 gathers are only sound while every touched mask fits
+        self._np_ok = all(
+            cell[1] < SHADOW_MASK_LIMIT for row in rows for cell in row.cells
+        )
+        tables: list[dict[int, list]] = [{} for _ in range(n_vars)]
+        for row in rows:
+            # merge duplicate occurrences per variable (CountEq may watch a
+            # variable several times; one event must update the aggregates
+            # once per occurrence, so the merged entry carries the sum)
+            merged: dict[int, int] = {}
+            bit_of: dict[int, int] = {}
+            for vi, bit, coef in row.cells:
+                merged[vi] = merged.get(vi, 0) + coef
+                bit_of[vi] = bit
+            # every entry is the same uniform 7-tuple: the bool rows are
+            # just count rows whose counted value-bit is TRUE (a 2-value
+            # domain only ever sees assign events, and the gain/loss
+            # bookkeeping coincides), and the 2-slot rows are 3-slot rows
+            # without the free-count cell (w3 gates it)
+            w3 = row.slots == 3
+            for vi in merged:
+                bit = bit_of[vi] if row.kind == "count" else _TRUE
+                tables[vi].setdefault(bit, []).append(
+                    (row.pid, row.c, row.st, row.total,
+                     merged[vi], w3, row.cmax)
+                )
+        #: per-variable dict ``value_bit -> tuple of inline entries``
+        #: ``(pid, c, st, total, coef, w3, cmax)``, indexed by
+        #: ``var.index``.  Keying by bit lets the dispatch loop jump
+        #: straight from an event's removed/assigned bits to the rows
+        #: they affect, instead of scanning every row watching the var.
+        self.table: list[dict[int, tuple]] = [
+            {bit: tuple(entries) for bit, entries in t.items()} for t in tables
+        ]
+        #: per-variable OR of the keyed bits: masking an event's removed
+        #: bits with this skips the non-keyed ones before any dict lookup
+        #: (and makes every surviving lookup a guaranteed hit)
+        self.bitmask: list[int] = [
+            0 if not t else _or_all(t) for t in self.table
+        ]
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def build(cls, batched: list[tuple[int, object]], n_vars: int):
+        """Collect ``batch_row()`` exports of the given ``(pid, prop)``
+        pairs; None when the list is empty."""
+        rows = []
+        for pid, prop in batched:
+            kind, slots, cells, total, cmax = prop.batch_row()
+            rows.append(_Row(pid, prop, kind, slots, list(cells), total, cmax))
+        if not rows:
+            return None
+        return cls(rows, n_vars)
+
+    # -- the single-pass reset sweep ----------------------------------------
+    def _matrix(self, np):
+        """The stacked row matrix as flat parallel arrays (built once)."""
+        if self._matrix_cache is None:
+            cv, cb, cc, cr = [], [], [], []
+            for r, row in enumerate(self.rows):
+                for vi, bit, coef in row.cells:
+                    cv.append(vi)
+                    cb.append(bit)
+                    cc.append(coef)
+                    cr.append(r)
+            self._matrix_cache = (
+                np.array(cv, dtype=np.int64),
+                np.array(cb, dtype=np.int64),
+                np.array(cc, dtype=np.int64),
+                np.array(cr, dtype=np.int64),
+            )
+        return self._matrix_cache
+
+    def reset(self, state) -> None:
+        """Recompute every row's aggregates from the current domains.
+
+        One vectorised pass over the stacked matrix when numpy is
+        available (and every mask fits int64), else the scalar sweep;
+        both write the same values.  Each propagator's ``_c`` is
+        re-pointed at the kernel-owned list so ``propagate`` and the
+        inline tables observe the same aggregates with no copying.
+        """
+        np = numpy_or_none()
+        if np is not None and self._np_ok:
+            self._reset_numpy(state, np)
+        else:
+            aggregates = self.evaluate(state)
+            for row, agg in zip(self.rows, aggregates):
+                row.c[:] = agg
+        for row in self.rows:
+            row.st[0] = -1
+            row.prop._c = row.c
+
+    def _reset_numpy(self, state, np) -> None:
+        cv, cb, cc, cr = self._matrix(np)
+        shadow = getattr(state, "shadow", None)
+        if shadow is not None:
+            v = shadow[cv]
+        else:
+            masks = state.masks
+            v = np.fromiter(
+                (masks[i] for i in cv.tolist()), dtype=np.int64, count=len(cv)
+            )
+        influences = (v & cb) != 0
+        fixed = influences & (v == cb)
+        cand = influences & ~fixed
+        zeros = np.zeros(len(cc), dtype=np.int64)
+        fix_w = np.where(fixed, cc, zeros)
+        cand_w = np.where(cand, cc, zeros)
+        n_rows = len(self.rows)
+        agg_fix = np.zeros(n_rows, dtype=np.int64)
+        agg_cw = np.zeros(n_rows, dtype=np.int64)
+        agg_cn = np.zeros(n_rows, dtype=np.int64)
+        np.add.at(agg_fix, cr, fix_w)
+        np.add.at(agg_cw, cr, cand_w)
+        np.add.at(agg_cn, cr, cand.astype(np.int64))
+        for r, row in enumerate(self.rows):
+            if row.slots == 2:
+                row.c[:] = (int(agg_fix[r]), int(agg_cw[r]))
+            else:
+                row.c[:] = (int(agg_fix[r]), int(agg_cw[r]), int(agg_cn[r]))
+
+    def evaluate(self, state) -> list[list[int]]:
+        """Every row's aggregates, computed fresh by the scalar sweep.
+
+        The reference implementation the numpy reset pass is
+        parity-tested against; also usable by tests to cross-check the
+        incrementally-maintained aggregates mid-search.
+        """
+        out = []
+        masks = state.masks
+        for row in self.rows:
+            fix = cand_w = cand_n = 0
+            for vi, bit, coef in row.cells:
+                m = masks[vi]
+                if m & bit:
+                    if m == bit:
+                        fix += coef
+                    else:
+                        cand_w += coef
+                        cand_n += 1
+            if row.slots == 2:
+                out.append([fix, cand_w])
+            else:
+                out.append([fix, cand_w, cand_n])
+        return out

@@ -32,13 +32,16 @@ __all__ = ["UnseededRandomRule", "ModuleRandomRule", "WallClockRule", "SetIterat
 #: plus the batch layer: retry/backoff decisions and chaos draws must
 #: replay byte-identically for journal byte-identity and crash-safe
 #: resume; plus the solver service, whose cache keys, journals and retry
-#: decisions inherit the same contracts over the wire)
+#: decisions inherit the same contracts over the wire; plus the
+#: vectorised kernels, whose results are pinned byte-identical to the
+#: scalar paths they replace)
 DETERMINISM_SCOPE = (
     "src/repro/csp/",
     "src/repro/solvers/",
     "src/repro/baselines/",
     "src/repro/batch/",
     "src/repro/service/",
+    "src/repro/kernels/",
 )
 
 #: zero-argument constructors of *unseeded* RNGs

@@ -1,0 +1,45 @@
+"""Bad examples for the kernel-scoped rules (lint fixture, never imported).
+
+The vectorised kernels (``src/repro/kernels/``) inherit the determinism
+contract (their results are pinned byte-identical to the scalar paths
+they replace — an ambient RNG or set-order dependence breaks the pin)
+and the trail-safety contract (a kernel that caches per-search arrays
+on a propagator must declare and trail every search-time mutation).
+
+Expected findings: 1x R1.unseeded-random, 1x R1.set-iteration,
+2x R5.unregistered-mutation.
+"""
+
+import numpy as np
+
+
+class Propagator:
+    """Local stand-in base so the hierarchy resolves inside this file."""
+
+    _trail_safe = ()
+
+
+class CachedRowKernel(Propagator):
+    """Batched counting rows with an untrailed aggregate cache."""
+
+    _trail_safe = ("_agg",)
+
+    def on_event(self, state, idx, old, new):
+        """One declared mutation, one silent cache write."""
+        self._agg[0] += 1  # declared: fine
+        self._stale[idx] = True  # R5.unregistered-mutation
+        return None
+
+    def propagate(self, state):
+        """Mutates the cached row matrix through a local alias."""
+        rows = self._rows
+        rows[0] += 1  # R5.unregistered-mutation (alias write)
+        return 1
+
+
+def jitter_rows(matrix, touched):
+    """Kernel helper whose output depends on ambient nondeterminism."""
+    rng = np.random.default_rng()  # R1.unseeded-random
+    for r in {r for r in touched}:  # R1.set-iteration
+        matrix[r] += rng.integers(1, 3)
+    return matrix

@@ -1,0 +1,41 @@
+"""Good examples for the kernel-scoped rules (lint fixture, never imported).
+
+Seeded RNG, sorted iteration over touched rows, and a kernel cache whose
+search-time mutations are declared (and trailed once per node): clean
+under every rule.
+"""
+
+import numpy as np
+
+
+class Propagator:
+    """Local stand-in base so the hierarchy resolves inside this file."""
+
+    _trail_safe = ()
+
+
+class TidyRowKernel(Propagator):
+    """Declares (and trails) exactly the aggregates it maintains."""
+
+    _trail_safe = ("_agg", "_stamp")
+
+    def on_event(self, state, idx, old, new):
+        """Trail the aggregate row once per node, then apply the delta."""
+        agg = self._agg
+        if self._stamp != state.stamp:
+            self._stamp = state.stamp
+            state.save_all(agg)
+        agg[0] += 1
+        return None
+
+    def propagate(self, state):
+        """Prune nothing."""
+        return 1
+
+
+def jitter_rows(matrix, touched, seed):
+    """Deterministic function of (inputs, seed): fine everywhere."""
+    rng = np.random.default_rng(seed)  # seeded: fine
+    for r in sorted({r for r in touched}):  # sorted(): deterministic
+        matrix[r] += rng.integers(1, 3)
+    return matrix

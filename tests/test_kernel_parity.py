@@ -1,0 +1,269 @@
+"""Kernel parity suite: the vectorised paths must be byte-identical.
+
+Every kernel in :mod:`repro.kernels` has three implementations that must
+agree observation-for-observation:
+
+* the **scalar reference** it replaced (the slot-by-slot simulator loop,
+  the per-propagator engine path, the per-interval demand loops);
+* the **numpy** fast path;
+* the **pure-Python fallback** used when numpy is absent or masked via
+  ``REPRO_NO_NUMPY=1``.
+
+"Byte-identical" is literal: same SimulationResult fields including the
+extracted cyclic schedule, same cascade certificates witness-for-witness,
+same engine status/nodes/fails on the pinned regression grid, same
+CountingKernel aggregates.  CI runs this file twice — once with numpy,
+once under ``REPRO_NO_NUMPY=1`` — so both kernel paths stay covered.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import necessary
+from repro.baselines import global_edf, global_fixed_priority
+from repro.baselines.simulator import simulate_priority_policy
+from repro.generator import GeneratorConfig, generate_instance
+from repro.generator.named import running_example, running_example_platform
+from repro.generator.random_systems import generate_system
+from repro.kernels import demand as demand_kernel
+from repro.kernels import have_numpy, kernel_availability, numpy_or_none
+from repro.kernels.fixpoint import CountingKernel
+from repro.model import Platform, TaskSystem
+from repro.solvers.registry import create_solver
+
+SEED = 2009
+
+
+def _random_system(seed: int, n=None, tmax=None) -> TaskSystem:
+    rng = random.Random(seed)
+    n = n or rng.randint(2, 5)
+    tmax = tmax or rng.choice([4, 5, 6, 8])
+    return generate_system(rng, n, tmax)
+
+
+def _sim_equal(a, b):
+    assert a.schedulable == b.schedulable
+    assert a.missed == b.missed
+    assert a.cycles_simulated == b.cycles_simulated
+    if a.schedule is None or b.schedule is None:
+        assert a.schedule is None and b.schedule is None
+    else:
+        assert a.schedule.table.tolist() == b.schedule.table.tolist()
+
+
+# ---------------------------------------------------------------------------
+# simulator: block-stepping kernel vs the scalar slot-by-slot loop
+# ---------------------------------------------------------------------------
+
+class TestSimulatorParity:
+    """``static_key`` routing must not change a single observation."""
+
+    @pytest.mark.parametrize("seed", range(40))
+    @pytest.mark.parametrize("m", [1, 2, 3])
+    def test_edf_grid(self, seed, m):
+        system = _random_system(seed)
+        kernel = global_edf(system, m)
+        scalar = simulate_priority_policy(
+            system, m, priority=lambda i, rel, dl, rem: (dl, i)
+        )
+        _sim_equal(kernel, scalar)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_fixed_priority_grid(self, seed):
+        system = _random_system(seed)
+        rng = random.Random(seed * 7 + 1)
+        order = list(range(system.n))
+        rng.shuffle(order)
+        rank = [0] * system.n
+        for pos, i in enumerate(order):
+            rank[i] = pos
+        m = rng.randint(1, 3)
+        kernel = global_fixed_priority(system, m, order)
+        scalar = simulate_priority_policy(
+            system, m, priority=lambda i, rel, dl, rem: (rank[i], i)
+        )
+        _sim_equal(kernel, scalar)
+
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    @given(
+        tuples=st.lists(
+            st.tuples(
+                st.integers(0, 3),   # offset
+                st.integers(0, 3),   # wcet
+                st.integers(1, 6),   # deadline (>= wcet enforced below)
+                st.integers(1, 6),   # period  (>= deadline enforced below)
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        m=st.integers(1, 3),
+    )
+    def test_edf_hypothesis(self, tuples, m):
+        tasks = [
+            (o, min(c, d), d, max(d, t)) for o, c, d, t in tuples
+        ]
+        system = TaskSystem.from_tuples(tasks)
+        kernel = global_edf(system, m)
+        scalar = simulate_priority_policy(
+            system, m, priority=lambda i, rel, dl, rem: (dl, i)
+        )
+        _sim_equal(kernel, scalar)
+
+    def test_running_example(self):
+        system = running_example()
+        _sim_equal(
+            global_edf(system, 2),
+            simulate_priority_policy(
+                system, 2, priority=lambda i, rel, dl, rem: (dl, i)
+            ),
+        )
+
+    def test_numpy_masked_fallback(self, monkeypatch):
+        """The list-of-rows history path returns the same schedules."""
+        with_np = [global_edf(_random_system(s), 2) for s in range(10)]
+        monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+        without = [global_edf(_random_system(s), 2) for s in range(10)]
+        for a, b in zip(with_np, without):
+            _sim_equal(a, b)
+
+
+# ---------------------------------------------------------------------------
+# demand kernels: numpy table vs pure-Python rolling sweep
+# ---------------------------------------------------------------------------
+
+class TestDemandParity:
+    """Certificates (witnesses included) agree with numpy masked."""
+
+    def _certs(self, system, m):
+        return [
+            (c.verdict.value, c.test_name, c.witness, c.detail)
+            for c in necessary.necessary_certificates(system, m)
+        ]
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_certificate_grid(self, seed, monkeypatch):
+        system = _random_system(seed)
+        with_np = [self._certs(system, m) for m in (1, 2, 3)]
+        bound_np = necessary.processor_lower_bound(system)
+        wit_np = necessary.demand_over_capacity_witness(system, 2)
+        monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+        without = [self._certs(system, m) for m in (1, 2, 3)]
+        assert with_np == without
+        assert bound_np == necessary.processor_lower_bound(system)
+        assert wit_np == necessary.demand_over_capacity_witness(system, 2)
+
+    @settings(max_examples=50, deadline=None, derandomize=True)
+    @given(
+        spans=st.lists(
+            st.tuples(st.integers(0, 7), st.integers(0, 7), st.integers(1, 4)),
+            max_size=8,
+        ),
+        m=st.integers(1, 3),
+    )
+    def test_excess_witness_paths_agree(self, spans, m):
+        """The tie-break (np.argmax first occurrence) is pinned exactly."""
+        import os
+
+        T = 8
+        spans = [(min(s, e), max(s, e), c) for s, e, c in spans]
+        with_np = demand_kernel.enclosed_excess_witness(spans, T, m, 10_000)
+        need_np = demand_kernel.interval_min_processors(spans, T, 10_000)
+        prior = os.environ.get("REPRO_NO_NUMPY")
+        os.environ["REPRO_NO_NUMPY"] = "1"
+        try:
+            assert demand_kernel.enclosed_excess_witness(
+                spans, T, m, 10_000
+            ) == with_np
+            assert demand_kernel.interval_min_processors(
+                spans, T, 10_000
+            ) == need_np
+        finally:
+            if prior is None:
+                del os.environ["REPRO_NO_NUMPY"]
+            else:
+                os.environ["REPRO_NO_NUMPY"] = prior
+
+
+# ---------------------------------------------------------------------------
+# engine: vectorised batching vs the legacy per-propagator path
+# ---------------------------------------------------------------------------
+
+ENGINE_SPECS = [None, (4, 4, 2, 11), (4, 4, 2, 12), (5, 4, 2, 23),
+                (5, 5, 2, 31)]
+
+
+def _instance(spec):
+    if spec is None:
+        return running_example(), running_example_platform()
+    n, tmax, m, seed = spec
+    inst = generate_instance(GeneratorConfig(n=n, tmax=tmax, m=m), seed)
+    return inst.system, Platform.identical(inst.m)
+
+
+class TestEngineParity:
+    """vectorize=True/None/False: identical search decisions (PR-3 grid)."""
+
+    @pytest.mark.parametrize("solver_name", ["csp1", "csp2-generic",
+                                             "csp2-generic+dc"])
+    @pytest.mark.parametrize("spec", ENGINE_SPECS, ids=str)
+    def test_vec_vs_scalar_counters(self, solver_name, spec):
+        system, plat = _instance(spec)
+        runs = {}
+        for vec in (None, False, True):
+            solver = create_solver(
+                solver_name, system, plat, seed=SEED, vectorize=vec
+            )
+            out = solver.solve(node_limit=20_000)
+            runs[vec] = (out.status.value, out.stats.nodes, out.stats.fails)
+        assert runs[None] == runs[False] == runs[True]
+
+
+# ---------------------------------------------------------------------------
+# CountingKernel: numpy reset pass vs the scalar evaluate sweep
+# ---------------------------------------------------------------------------
+
+class TestCountingKernelReset:
+    def _kernel_and_state(self):
+        from repro.csp.search import Solver
+        from repro.csp.state import DomainState
+        from repro.encodings.csp2 import encode_csp2
+
+        system, plat = running_example(), running_example_platform()
+        enc = encode_csp2(system, plat, True)
+        engine = Solver(enc.model)
+        assert engine._kernel is not None, "csp2 should batch counting rows"
+        return engine._kernel, DomainState(enc.model)
+
+    def test_reset_matches_evaluate(self):
+        kernel, state = self._kernel_and_state()
+        kernel.reset(state)
+        after_reset = [list(row.c) for row in kernel.rows]
+        assert after_reset == kernel.evaluate(state)
+
+    def test_reset_matches_evaluate_numpy_masked(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+        kernel, state = self._kernel_and_state()
+        kernel.reset(state)
+        assert [list(row.c) for row in kernel.rows] == kernel.evaluate(state)
+
+
+# ---------------------------------------------------------------------------
+# availability reporting
+# ---------------------------------------------------------------------------
+
+class TestAvailability:
+    def test_numpy_mask_is_per_call(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+        assert numpy_or_none() is None
+        assert have_numpy() is False
+        monkeypatch.delenv("REPRO_NO_NUMPY")
+        # unmasked: the answer reflects the actual install, immediately
+        assert (numpy_or_none() is not None) == have_numpy()
+
+    def test_availability_payload_shape(self):
+        info = kernel_availability()
+        assert set(info) >= {"numpy", "batched_fixpoint", "simulator_blocks",
+                             "demand_table", "vectorized_var_orders"}

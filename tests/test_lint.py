@@ -54,6 +54,12 @@ EXPECTED = {
         "R1.module-random": 1,
         "R4.process-callable": 1,
     },
+    # the vectorised kernels inherit determinism + trail safety
+    "kernels": {
+        "R1.unseeded-random": 1,
+        "R1.set-iteration": 1,
+        "R5.unregistered-mutation": 2,
+    },
 }
 
 #: every per-module rule -> the fixture stem demonstrating it

@@ -341,11 +341,25 @@ class TestSolversCli:
 
         assert main(["solvers", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        names = [n for entry in payload for n in entry["names"]]
+        entries = payload["solvers"]
+        names = [n for entry in entries for n in entry["names"]]
         assert names == available_solvers()
-        by_base = {entry["names"][0]: entry for entry in payload}
+        by_base = {entry["names"][0]: entry for entry in entries}
         assert "proves_infeasibility" in by_base["csp2"]["capabilities"]
         assert by_base["csp2-local"]["capabilities"] == []
+
+    def test_solvers_json_reports_kernel_availability(self, capsys):
+        from repro.cli import main
+        from repro.kernels import have_numpy
+
+        assert main(["solvers", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        kernels = payload["kernels"]
+        assert kernels["numpy"] == have_numpy()
+        assert kernels["batched_fixpoint"] is True
+        for key in ("vectorized_var_orders", "simulator_blocks",
+                    "demand_table"):
+            assert key in kernels
 
     def test_solvers_json_carries_service_discovery_fields(self, capsys):
         """The service hello/clients key off base, suffixes, memory_bound."""
@@ -353,10 +367,11 @@ class TestSolversCli:
 
         assert main(["solvers", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        by_base = {entry["base"]: entry for entry in payload}
+        entries = payload["solvers"]
+        by_base = {entry["base"]: entry for entry in entries}
         assert set(by_base["csp2"]["suffixes"]) >= {"rm", "dm", "tc", "dc"}
         assert all(
-            isinstance(entry["memory_bound"], bool) for entry in payload
+            isinstance(entry["memory_bound"], bool) for entry in entries
         )
         assert by_base["csp1"]["memory_bound"] is True
 
